@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+func TestRunGeneratesEachKind(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		n    int
+		dims int
+	}{
+		{"forest", []string{"-kind", "forest", "-n", "50"}, 50, 10},
+		{"forest-expanded", []string{"-kind", "forest", "-n", "20", "-expand", "3"}, 60, 10},
+		{"osm", []string{"-kind", "osm", "-n", "40"}, 40, 2},
+		{"uniform", []string{"-kind", "uniform", "-n", "30", "-dims", "5"}, 30, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.name+".csv")
+			if err := run(append(tc.args, "-o", out)); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			objs, err := dataset.ReadCSV(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(objs) != tc.n {
+				t.Fatalf("got %d objects, want %d", len(objs), tc.n)
+			}
+			if objs[0].Point.Dim() != tc.dims {
+				t.Fatalf("dims = %d, want %d", objs[0].Point.Dim(), tc.dims)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "marble"},
+		{"-n", "0"},
+		{"-kind", "uniform", "-dims", "0"},
+		{"-bogus-flag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	if err := run([]string{"-kind", "osm", "-n", "25", "-seed", "7", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "osm", "-n", "25", "-seed", "7", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}

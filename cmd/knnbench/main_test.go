@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 8192)
+		for {
+			n, err := rp.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	wp.Close()
+	return <-done, ferr
+}
+
+func TestList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if !strings.Contains(out, name) {
+			t.Fatalf("list output missing %s", name)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "0.005", "-nodes", "4", "-k", "3", "-exp", "table2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== table2") || strings.Contains(out, "== fig8") {
+		t.Fatalf("unexpected selection:\n%s", out)
+	}
+}
+
+func TestFig7UsesSharedSweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "0.005", "-nodes", "4", "-k", "3", "-exp", "fig7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== fig7") || strings.Contains(out, "== fig6") {
+		t.Fatalf("fig7-only selection wrong:\n%s", out)
+	}
+}
+
+func TestEveryExperimentBranch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "0.005", "-nodes", "4", "-k", "3", "-exp", strings.Join(order, ",")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if !strings.Contains(out, "== "+name) {
+			t.Fatalf("output missing experiment %s", name)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "fig99"},
+		{"-not-a-flag"},
+	} {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

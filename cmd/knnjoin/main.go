@@ -1,0 +1,170 @@
+// Command knnjoin runs a k-nearest-neighbor join over CSV datasets using
+// any of the implemented algorithms and prints the result pairs plus the
+// paper's cost measures.
+//
+// Usage:
+//
+//	knnjoin -r r.csv -s s.csv -k 10 -algo pgbj -nodes 16
+//	knnjoin -r pts.csv -self -k 5 -algo hbrj -stats-only
+//	knnjoin -r pts.csv -self -k 20 -pairs -exclude-self -unordered
+//
+// Input files hold one "id,x1,x2,..." line per object (see cmd/datagen).
+// Output lines are "rID,sID,distance", one per result pair — ordered by
+// rID then ascending distance for a kNN join, or globally ascending by
+// distance in -pairs mode (the top-k closest-pairs join of Kim & Shim).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"knnjoin"
+	"knnjoin/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "knnjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("knnjoin", flag.ContinueOnError)
+	rPath := fs.String("r", "", "CSV file of the outer dataset R (required)")
+	sPath := fs.String("s", "", "CSV file of the inner dataset S")
+	self := fs.Bool("self", false, "self-join: use R as S")
+	k := fs.Int("k", 10, "number of nearest neighbors")
+	algoName := fs.String("algo", "pgbj", "algorithm: pgbj | pbj | hbrj | broadcast | theta | bruteforce | zknn | lsh")
+	metricName := fs.String("metric", "l2", "distance metric: l2 | l1 | linf")
+	nodes := fs.Int("nodes", 4, "simulated cluster nodes")
+	numPivots := fs.Int("pivots", 0, "number of pivots (0 = auto)")
+	pivotStrat := fs.String("pivot-strategy", "random", "pivot selection: random | farthest | kmeans")
+	groupStrat := fs.String("group-strategy", "geometric", "grouping: geometric | greedy")
+	seed := fs.Int64("seed", 1, "random seed")
+	statsOnly := fs.Bool("stats-only", false, "print cost statistics, not result pairs")
+	pairsMode := fs.Bool("pairs", false, "top-k closest pairs of R×S instead of a kNN join")
+	excludeSelf := fs.Bool("exclude-self", false, "with -pairs: drop pairs of an object with itself")
+	unordered := fs.Bool("unordered", false, "with -pairs: report each unordered pair once (rID < sID)")
+	radius := fs.Float64("range", 0, "θ-range join with this radius instead of a kNN join")
+	covtype := fs.Bool("covtype", false, "inputs are UCI covtype.data[.gz] files (10 quantitative attributes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rPath == "" {
+		return fmt.Errorf("-r is required")
+	}
+	if *sPath == "" && !*self {
+		return fmt.Errorf("provide -s or -self")
+	}
+
+	algo, err := knnjoin.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	metric, err := knnjoin.ParseMetric(*metricName)
+	if err != nil {
+		return err
+	}
+	ps, err := knnjoin.ParsePivotStrategy(*pivotStrat)
+	if err != nil {
+		return err
+	}
+	gs, err := knnjoin.ParseGroupStrategy(*groupStrat)
+	if err != nil {
+		return err
+	}
+
+	r, err := readInput(*rPath, *covtype)
+	if err != nil {
+		return fmt.Errorf("reading R: %w", err)
+	}
+	s := r
+	if !*self {
+		if s, err = readInput(*sPath, *covtype); err != nil {
+			return fmt.Errorf("reading S: %w", err)
+		}
+	}
+
+	if *radius > 0 {
+		results, st, err := knnjoin.RangeJoin(r, s, knnjoin.RangeOptions{
+			Radius: *radius, Metric: metric, Nodes: *nodes,
+			NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, st.String())
+		if *statsOnly {
+			return nil
+		}
+		return writeResults(results)
+	}
+
+	if *pairsMode {
+		pairs, st, err := knnjoin.ClosestPairs(r, s, knnjoin.PairOptions{
+			K: *k, Metric: metric, Nodes: *nodes,
+			ExcludeSelf: *excludeSelf, Unordered: *unordered, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, st.String())
+		if *statsOnly {
+			return nil
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, p := range pairs {
+			if _, err := fmt.Fprintf(w, "%d,%d,%g\n", p.RID, p.SID, p.Dist); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	results, st, err := knnjoin.Join(r, s, knnjoin.Options{
+		K: *k, Algorithm: algo, Metric: metric, Nodes: *nodes,
+		NumPivots: *numPivots, PivotStrategy: ps, GroupStrategy: gs, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, st.String())
+	for _, p := range st.Phases {
+		fmt.Fprintf(os.Stderr, "  %-20s %v\n", p.Name, p.Wall)
+	}
+	if *statsOnly {
+		return nil
+	}
+	return writeResults(results)
+}
+
+// writeResults prints "rID,sID,distance" lines to stdout.
+func writeResults(results []knnjoin.Result) error {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, res := range results {
+		for _, nb := range res.Neighbors {
+			if _, err := fmt.Fprintf(w, "%d,%d,%g\n", res.RID, nb.ID, nb.Dist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readInput(path string, covtype bool) ([]knnjoin.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if covtype {
+		return dataset.ReadCovType(f, 0)
+	}
+	return dataset.ReadCSV(f)
+}

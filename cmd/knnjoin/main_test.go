@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+func writeTestCSV(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, dataset.Uniform(n, 3, 100, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	defer func() { os.Stdout = old }()
+	ferr := f()
+	wp.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := rp.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String(), ferr
+}
+
+func TestRunSelfJoin(t *testing.T) {
+	csv := writeTestCSV(t, 100, 1)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "2", "-nodes", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 200 { // 100 objects × k=2
+		t.Fatalf("got %d result lines, want 200", len(lines))
+	}
+	// Self-join: first neighbor of object 0 is itself at distance 0.
+	if !strings.HasPrefix(lines[0], "0,0,0") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+}
+
+func TestRunTwoDatasets(t *testing.T) {
+	r := writeTestCSV(t, 40, 2)
+	s := writeTestCSV(t, 60, 3)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", r, "-s", s, "-k", "3", "-algo", "hbrj", "-nodes", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 120 {
+		t.Fatalf("got %d lines, want 120", n)
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	csv := writeTestCSV(t, 50, 4)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "2", "-stats-only"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("stats-only printed result pairs: %q", out)
+	}
+}
+
+func TestRunPairsMode(t *testing.T) {
+	csv := writeTestCSV(t, 100, 7)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "5", "-pairs", "-exclude-self", "-unordered", "-nodes", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d pair lines, want 5", len(lines))
+	}
+	for _, line := range lines {
+		if strings.Count(line, ",") != 2 {
+			t.Fatalf("malformed pair line %q", line)
+		}
+	}
+}
+
+func TestRunRangeMode(t *testing.T) {
+	csv := writeTestCSV(t, 120, 8)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-range", "10", "-nodes", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 120 { // at least every self-match
+		t.Fatalf("got %d range lines, want ≥ 120", len(lines))
+	}
+	for _, line := range lines[:5] {
+		if strings.Count(line, ",") != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+}
+
+func TestRunCovTypeInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "covtype.data")
+	var b strings.Builder
+	for i := 0; i < 30; i++ {
+		for col := 0; col < 55; col++ {
+			if col > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", i*55+col)
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", path, "-self", "-covtype", "-k", "2", "-nodes", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 60 {
+		t.Fatalf("got %d lines, want 60", n)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	csv := writeTestCSV(t, 80, 5)
+	var outputs []string
+	for _, algo := range []string{"pgbj", "pbj", "hbrj", "broadcast", "theta", "bruteforce"} {
+		out, err := captureStdout(t, func() error {
+			return run([]string{"-r", csv, "-self", "-k", "3", "-algo", algo, "-nodes", "4"})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		outputs = append(outputs, out)
+	}
+	// All algorithms emit the same number of pairs; distances agree per
+	// line because ties are broken by ID everywhere.
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("algorithm %d output differs from pgbj", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	csv := writeTestCSV(t, 10, 6)
+	for _, args := range [][]string{
+		{},                         // missing -r
+		{"-r", csv},                // missing -s / -self
+		{"-r", "missing", "-self"}, // bad file
+		{"-r", csv, "-self", "-algo", "quantum"},
+		{"-r", csv, "-self", "-metric", "hamming"},
+		{"-r", csv, "-self", "-pivot-strategy", "psychic"},
+		{"-r", csv, "-self", "-group-strategy", "astrology"},
+		{"-r", csv, "-self", "-k", "0"},
+	} {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

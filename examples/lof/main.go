@@ -1,0 +1,108 @@
+// Density-based outlier detection with LOF over a distributed kNN join —
+// the paper's §1 motivating application through Breunig et al. (ref [5]).
+//
+// The plain k-distance score (see examples/outlier) fails on data with
+// mixed densities: everything in a sparse region outranks a point
+// sitting suspiciously just outside a dense cluster. LOF fixes that by
+// scoring each object against its *local* density. This example builds a
+// city-like map (a dense downtown, a sparse suburb) from the OSM-like
+// generator, plants anomalies beside the dense cluster, and shows LOF
+// ranks the planted points first while the sparse suburb stays inlier —
+// then shows the k-distance score getting the same data wrong.
+//
+// Run with: go run ./examples/lof
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"knnjoin"
+	"knnjoin/internal/vector"
+)
+
+func main() {
+	const (
+		downtown = 4000 // dense cluster size
+		suburb   = 400  // sparse cluster size
+		planted  = 6
+		minPts   = 10
+	)
+	rng := rand.New(rand.NewSource(7))
+	var objs []knnjoin.Object
+	id := int64(0)
+	add := func(x, y float64) {
+		objs = append(objs, knnjoin.Object{ID: id, Point: vector.Point{x, y}})
+		id++
+	}
+	// Downtown: tight Gaussian blob, ~0.01° spread.
+	for i := 0; i < downtown; i++ {
+		add(103.85+rng.NormFloat64()*0.01, 1.29+rng.NormFloat64()*0.01)
+	}
+	// Suburb: the same shape stretched 20×, so its absolute k-distances
+	// dwarf downtown's. Draws are truncated at 2σ so the suburb has no
+	// natural outliers of its own — the planted ones should be the only
+	// anomalies on the map.
+	trunc := func(sigma float64) float64 {
+		for {
+			if v := rng.NormFloat64(); v > -2 && v < 2 {
+				return v * sigma
+			}
+		}
+	}
+	for i := 0; i < suburb; i++ {
+		add(104.5+trunc(0.2), 1.5+trunc(0.2))
+	}
+	// Planted anomalies: scattered a short hop off downtown in different
+	// directions — nothing by suburb standards, glaring by downtown
+	// standards.
+	plantedIDs := make(map[int64]bool, planted)
+	for i := 0; i < planted; i++ {
+		plantedIDs[id] = true
+		angle := 2 * math.Pi * float64(i) / planted
+		add(103.85+0.06*math.Cos(angle), 1.29+0.06*math.Sin(angle))
+	}
+
+	scores, st, err := knnjoin.LOF(objs, minPts, knnjoin.Options{Nodes: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top %d by LOF (minPts=%d):\n", planted, minPts)
+	lofHits := 0
+	for _, s := range scores[:planted] {
+		if plantedIDs[s.ID] {
+			lofHits++
+		}
+		fmt.Printf("  object %-6d LOF %6.2f planted=%v\n", s.ID, s.LOF, plantedIDs[s.ID])
+	}
+	fmt.Printf("LOF recovered %d/%d planted anomalies\n\n", lofHits, planted)
+
+	// The same detection with the plain k-distance score, for contrast.
+	results, _, err := knnjoin.SelfJoin(objs, knnjoin.Options{K: minPts + 1, Nodes: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = knnjoin.ExcludeSelf(results)
+	type scored struct {
+		id    int64
+		kdist float64
+	}
+	kd := make([]scored, len(results))
+	for i, res := range results {
+		kd[i] = scored{res.RID, res.Neighbors[len(res.Neighbors)-1].Dist}
+	}
+	sort.Slice(kd, func(i, j int) bool { return kd[i].kdist > kd[j].kdist })
+	kdHits := 0
+	for _, s := range kd[:planted] {
+		if plantedIDs[s.id] {
+			kdHits++
+		}
+	}
+	fmt.Printf("k-distance score recovered %d/%d (sparse suburb drowns the signal)\n\n", kdHits, planted)
+	fmt.Printf("join cost: %v wall, %.2f‰ selectivity, shuffle %d records\n",
+		st.TotalWall(), st.Selectivity()*1000, st.ShuffleRecords)
+}

@@ -1,0 +1,202 @@
+// Package bptree provides an in-memory B+-tree over float64 keys with
+// duplicate support and ordered range scans.
+//
+// It exists as the storage substrate for the iDistance index
+// (internal/idistance): the paper's §2.3 partitioning bounds descend from
+// iDistance [9, 20], which maps multi-dimensional objects onto
+// one-dimensional keys served by exactly this structure, and the IJoin
+// method of related work [19] runs kNN joins on top of it.
+package bptree
+
+import "sort"
+
+// DefaultOrder is the default maximum number of keys per node.
+const DefaultOrder = 64
+
+// Item is one stored entry: a key and an opaque value.
+type Item struct {
+	Key   float64
+	Value int64
+}
+
+// Tree is a B+-tree over float64 keys. Duplicate keys are allowed; range
+// scans return duplicates in insertion order. The zero value is not
+// usable; construct with New.
+type Tree struct {
+	order int
+	root  node
+	size  int
+	first *leaf // head of the leaf chain, for full scans
+}
+
+type node interface {
+	// insert adds the item; when the node overflows it returns the new
+	// right sibling and the key separating the two, else nil.
+	insert(it Item, order int) (node, float64)
+	// findLeaf descends to the leaf that would contain key.
+	findLeaf(key float64) *leaf
+	minKey() float64
+}
+
+type inner struct {
+	keys     []float64
+	children []node
+}
+
+type leaf struct {
+	items []Item
+	next  *leaf
+}
+
+// New creates an empty tree. order ≤ 3 selects DefaultOrder.
+func New(order int) *Tree {
+	if order <= 3 {
+		order = DefaultOrder
+	}
+	lf := &leaf{}
+	return &Tree{order: order, root: lf, first: lf}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert stores the item.
+func (t *Tree) Insert(key float64, value int64) {
+	right, sep := t.root.insert(Item{Key: key, Value: value}, t.order)
+	t.size++
+	if right != nil {
+		t.root = &inner{keys: []float64{sep}, children: []node{t.root, right}}
+	}
+}
+
+// Range returns all items with key in [lo, hi], in ascending key order
+// (ties in insertion order).
+func (t *Tree) Range(lo, hi float64) []Item {
+	if hi < lo || t.size == 0 {
+		return nil
+	}
+	var out []Item
+	lf := t.root.findLeaf(lo)
+	for lf != nil {
+		for _, it := range lf.items {
+			if it.Key > hi {
+				return out
+			}
+			if it.Key >= lo {
+				out = append(out, it)
+			}
+		}
+		lf = lf.next
+	}
+	return out
+}
+
+// Ascend calls fn for every item with key ≥ from, in ascending order,
+// until fn returns false.
+func (t *Tree) Ascend(from float64, fn func(Item) bool) {
+	lf := t.root.findLeaf(from)
+	for lf != nil {
+		for _, it := range lf.items {
+			if it.Key >= from {
+				if !fn(it) {
+					return
+				}
+			}
+		}
+		lf = lf.next
+	}
+}
+
+// Min returns the smallest key; ok is false on an empty tree.
+func (t *Tree) Min() (float64, bool) {
+	lf := t.first
+	for lf != nil && len(lf.items) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		return 0, false
+	}
+	return lf.items[0].Key, true
+}
+
+// Height returns the number of levels, for diagnostics.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}
+
+// ---- leaf ----------------------------------------------------------------
+
+func (l *leaf) insert(it Item, order int) (node, float64) {
+	// Position after any equal keys: duplicates keep insertion order.
+	pos := sort.Search(len(l.items), func(i int) bool { return l.items[i].Key > it.Key })
+	l.items = append(l.items, Item{})
+	copy(l.items[pos+1:], l.items[pos:])
+	l.items[pos] = it
+	if len(l.items) <= order {
+		return nil, 0
+	}
+	mid := len(l.items) / 2
+	right := &leaf{items: append([]Item(nil), l.items[mid:]...), next: l.next}
+	l.items = l.items[:mid:mid]
+	l.next = right
+	return right, right.items[0].Key
+}
+
+func (l *leaf) findLeaf(float64) *leaf { return l }
+
+func (l *leaf) minKey() float64 {
+	if len(l.items) == 0 {
+		return 0
+	}
+	return l.items[0].Key
+}
+
+// ---- inner ----------------------------------------------------------------
+
+func (n *inner) childFor(key float64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+func (n *inner) insert(it Item, order int) (node, float64) {
+	c := n.childFor(it.Key)
+	right, sep := n.children[c].insert(it, order)
+	if right == nil {
+		return nil, 0
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[c+1:], n.keys[c:])
+	n.keys[c] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[c+2:], n.children[c+1:])
+	n.children[c+1] = right
+	if len(n.keys) <= order {
+		return nil, 0
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	r := &inner{
+		keys:     append([]float64(nil), n.keys[mid+1:]...),
+		children: append([]node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return r, sepUp
+}
+
+func (n *inner) findLeaf(key float64) *leaf {
+	// Descend left of equal separators so duplicate keys in the left
+	// sibling are not skipped.
+	c := sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+	return n.children[c].findLeaf(key)
+}
+
+func (n *inner) minKey() float64 { return n.children[0].minKey() }

@@ -1,0 +1,218 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("empty tree shape wrong")
+	}
+	if got := tr.Range(0, 100); got != nil {
+		t.Fatalf("Range on empty = %v", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+}
+
+func TestInsertAndRange(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), int64(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Range(10, 20)
+	if len(got) != 11 {
+		t.Fatalf("Range(10,20) returned %d items", len(got))
+	}
+	for i, it := range got {
+		if it.Key != float64(10+i) || it.Value != int64(10+i) {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := New(4)
+	for _, k := range []float64{1, 3, 5, 7, 9} {
+		tr.Insert(k, int64(k))
+	}
+	if got := tr.Range(4, 2); got != nil {
+		t.Fatal("inverted range should be empty")
+	}
+	if got := tr.Range(-10, 0); len(got) != 0 {
+		t.Fatal("below-min range should be empty")
+	}
+	if got := tr.Range(10, 20); len(got) != 0 {
+		t.Fatal("above-max range should be empty")
+	}
+	if got := tr.Range(3, 3); len(got) != 1 || got[0].Key != 3 {
+		t.Fatalf("exact-key range = %v", got)
+	}
+	if got := tr.Range(0, 100); len(got) != 5 {
+		t.Fatalf("covering range returned %d", len(got))
+	}
+}
+
+func TestDuplicatesPreserved(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(7, int64(i))
+	}
+	tr.Insert(6, 100)
+	tr.Insert(8, 101)
+	got := tr.Range(7, 7)
+	if len(got) != 50 {
+		t.Fatalf("got %d duplicates, want 50", len(got))
+	}
+	for i, it := range got {
+		if it.Value != int64(i) {
+			t.Fatalf("duplicate order broken at %d: %+v", i, it)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), int64(i))
+	}
+	var seen []float64
+	tr.Ascend(90, func(it Item) bool {
+		seen = append(seen, it.Key)
+		return len(seen) < 5
+	})
+	if len(seen) != 5 || seen[0] != 90 || seen[4] != 94 {
+		t.Fatalf("Ascend collected %v", seen)
+	}
+}
+
+func TestMinAndHeight(t *testing.T) {
+	tr := New(4)
+	for i := 100; i > 0; i-- {
+		tr.Insert(float64(i), int64(i))
+	}
+	if min, ok := tr.Min(); !ok || min != 1 {
+		t.Fatalf("Min = %v, %v", min, ok)
+	}
+	if h := tr.Height(); h < 3 {
+		t.Fatalf("height %d suspiciously small for order 4 with 100 keys", h)
+	}
+}
+
+// Property: Range matches a sorted-slice scan for arbitrary inserts.
+func TestRangeMatchesSliceQuick(t *testing.T) {
+	f := func(keysRaw []int16, loRaw, hiRaw int16) bool {
+		tr := New(5)
+		var keys []float64
+		for i, kr := range keysRaw {
+			k := float64(kr % 100)
+			tr.Insert(k, int64(i))
+			keys = append(keys, k)
+		}
+		lo, hi := float64(loRaw%120), float64(hiRaw%120)
+		got := tr.Range(lo, hi)
+		sort.Float64s(keys)
+		var want []float64
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+			if i > 0 && got[i].Key < got[i-1].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every inserted item is retrievable by exact-key range.
+func TestNoLossQuick(t *testing.T) {
+	f := func(keysRaw []int16) bool {
+		tr := New(6)
+		counts := make(map[float64]int)
+		for i, kr := range keysRaw {
+			k := float64(kr % 50)
+			tr.Insert(k, int64(i))
+			counts[k]++
+		}
+		if tr.Len() != len(keysRaw) {
+			return false
+		}
+		for k, n := range counts {
+			if len(tr.Range(k, k)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(32)
+	keys := make([]float64, 20000)
+	for i := range keys {
+		keys[i] = rng.Float64() * 1000
+		tr.Insert(keys[i], int64(i))
+	}
+	sort.Float64s(keys)
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*100
+		got := tr.Range(lo, hi)
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(got), want)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	tr := New(0)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, int64(i))
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(0)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(rng.Float64()*1e6, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 1e6
+		tr.Range(lo, lo+1000)
+	}
+}

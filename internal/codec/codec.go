@@ -1,0 +1,163 @@
+// Package codec defines the data objects that flow through the kNN-join
+// pipeline and their binary wire encoding.
+//
+// Every record that crosses the MapReduce shuffle is serialized with this
+// package, so the engine's shuffle-byte counters measure realistic sizes —
+// the quantity reported as "shuffling cost" in Figures 8–12 of the paper.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"knnjoin/internal/vector"
+)
+
+// Source tags which input dataset an object came from (the paper's "origin"
+// field emitted by the first MapReduce job's mappers, Figure 4).
+type Source byte
+
+const (
+	// FromR marks an object of the outer dataset R.
+	FromR Source = 'R'
+	// FromS marks an object of the inner dataset S.
+	FromS Source = 'S'
+)
+
+// String returns "R" or "S".
+func (s Source) String() string { return string(rune(s)) }
+
+// Object is a point with a dataset-unique identifier.
+type Object struct {
+	ID    int64
+	Point vector.Point
+}
+
+// Tagged is an object annotated by the first MapReduce job: its source
+// dataset, the Voronoi partition it belongs to (index of the closest
+// pivot), and its distance to that pivot. This mirrors the mapper output
+// of Figure 4 in the paper.
+type Tagged struct {
+	Object
+	Src       Source
+	Partition int32
+	PivotDist float64
+}
+
+// Neighbor is one entry of a kNN result list.
+type Neighbor struct {
+	ID   int64
+	Dist float64
+}
+
+// Result is the final output for one object r of R: its k nearest
+// neighbors in ascending distance order.
+type Result struct {
+	RID       int64
+	Neighbors []Neighbor
+}
+
+const (
+	objHeader    = 8 + 4 // id + dim
+	taggedHeader = objHeader + 1 + 4 + 8
+)
+
+// AppendObject appends the wire form of o to dst and returns the extended
+// slice.
+func AppendObject(dst []byte, o Object) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(o.ID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(o.Point)))
+	for _, v := range o.Point {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// EncodeObject returns the wire form of o.
+func EncodeObject(o Object) []byte {
+	return AppendObject(make([]byte, 0, objHeader+8*len(o.Point)), o)
+}
+
+// DecodeObject parses an object from the front of b, returning the object
+// and the number of bytes consumed.
+func DecodeObject(b []byte) (Object, int, error) {
+	if len(b) < objHeader {
+		return Object{}, 0, fmt.Errorf("codec: object truncated: %d bytes", len(b))
+	}
+	id := int64(binary.LittleEndian.Uint64(b))
+	dim := int(binary.LittleEndian.Uint32(b[8:]))
+	need := objHeader + 8*dim
+	if dim < 0 || len(b) < need {
+		return Object{}, 0, fmt.Errorf("codec: object truncated: dim=%d, have %d bytes", dim, len(b))
+	}
+	p := make(vector.Point, dim)
+	off := objHeader
+	for i := 0; i < dim; i++ {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return Object{ID: id, Point: p}, need, nil
+}
+
+// EncodeTagged returns the wire form of t.
+func EncodeTagged(t Tagged) []byte {
+	dst := make([]byte, 0, taggedHeader+8*len(t.Point))
+	dst = AppendObject(dst, t.Object)
+	dst = append(dst, byte(t.Src))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Partition))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.PivotDist))
+	return dst
+}
+
+// DecodeTagged parses a Tagged record produced by EncodeTagged.
+func DecodeTagged(b []byte) (Tagged, error) {
+	o, n, err := DecodeObject(b)
+	if err != nil {
+		return Tagged{}, err
+	}
+	rest := b[n:]
+	if len(rest) < 1+4+8 {
+		return Tagged{}, fmt.Errorf("codec: tagged record truncated: %d trailing bytes", len(rest))
+	}
+	t := Tagged{Object: o}
+	t.Src = Source(rest[0])
+	if t.Src != FromR && t.Src != FromS {
+		return Tagged{}, fmt.Errorf("codec: bad source tag %q", rest[0])
+	}
+	t.Partition = int32(binary.LittleEndian.Uint32(rest[1:]))
+	t.PivotDist = math.Float64frombits(binary.LittleEndian.Uint64(rest[5:]))
+	return t, nil
+}
+
+// EncodeResult returns the wire form of a kNN result list.
+func EncodeResult(r Result) []byte {
+	dst := make([]byte, 0, 8+4+16*len(r.Neighbors))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.RID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Neighbors)))
+	for _, nb := range r.Neighbors {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(nb.ID))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(nb.Dist))
+	}
+	return dst
+}
+
+// DecodeResult parses a Result produced by EncodeResult.
+func DecodeResult(b []byte) (Result, error) {
+	if len(b) < 12 {
+		return Result{}, fmt.Errorf("codec: result truncated: %d bytes", len(b))
+	}
+	r := Result{RID: int64(binary.LittleEndian.Uint64(b))}
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	if n < 0 || len(b) < 12+16*n {
+		return Result{}, fmt.Errorf("codec: result truncated: n=%d, have %d bytes", n, len(b))
+	}
+	r.Neighbors = make([]Neighbor, n)
+	off := 12
+	for i := 0; i < n; i++ {
+		r.Neighbors[i].ID = int64(binary.LittleEndian.Uint64(b[off:]))
+		r.Neighbors[i].Dist = math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
+		off += 16
+	}
+	return r, nil
+}

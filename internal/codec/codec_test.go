@@ -1,0 +1,203 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/vector"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	o := Object{ID: -42, Point: vector.Point{1.5, -2.25, 0, math.Pi}}
+	b := EncodeObject(o)
+	got, n, err := DecodeObject(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	if got.ID != o.ID || !got.Point.Equal(o.Point) {
+		t.Fatalf("round trip = %+v, want %+v", got, o)
+	}
+}
+
+func TestObjectZeroDim(t *testing.T) {
+	o := Object{ID: 7}
+	got, _, err := DecodeObject(EncodeObject(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Point.Dim() != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestObjectTruncated(t *testing.T) {
+	b := EncodeObject(Object{ID: 1, Point: vector.Point{1, 2, 3}})
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := DecodeObject(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeObject(nil); err == nil {
+		t.Fatal("nil buffer not detected")
+	}
+}
+
+func TestTaggedRoundTrip(t *testing.T) {
+	for _, src := range []Source{FromR, FromS} {
+		in := Tagged{
+			Object:    Object{ID: 99, Point: vector.Point{3, 4}},
+			Src:       src,
+			Partition: 17,
+			PivotDist: 5.5,
+		}
+		got, err := DecodeTagged(EncodeTagged(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != in.ID || !got.Point.Equal(in.Point) || got.Src != in.Src ||
+			got.Partition != in.Partition || got.PivotDist != in.PivotDist {
+			t.Fatalf("round trip = %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestTaggedBadSource(t *testing.T) {
+	b := EncodeTagged(Tagged{Object: Object{ID: 1}, Src: 'X'})
+	if _, err := DecodeTagged(b); err == nil {
+		t.Fatal("invalid source tag not rejected")
+	}
+}
+
+func TestTaggedTruncated(t *testing.T) {
+	b := EncodeTagged(Tagged{Object: Object{ID: 1, Point: vector.Point{9}}, Src: FromR})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeTagged(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := Result{
+		RID: 5,
+		Neighbors: []Neighbor{
+			{ID: 10, Dist: 0.5},
+			{ID: 11, Dist: 1.25},
+		},
+	}
+	got, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RID != in.RID || len(got.Neighbors) != len(in.Neighbors) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i := range in.Neighbors {
+		if got.Neighbors[i] != in.Neighbors[i] {
+			t.Fatalf("neighbor %d = %+v, want %+v", i, got.Neighbors[i], in.Neighbors[i])
+		}
+	}
+}
+
+func TestResultEmptyNeighbors(t *testing.T) {
+	got, err := DecodeResult(EncodeResult(Result{RID: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RID != 3 || len(got.Neighbors) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestResultTruncated(t *testing.T) {
+	b := EncodeResult(Result{RID: 1, Neighbors: []Neighbor{{2, 3}}})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeResult(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if FromR.String() != "R" || FromS.String() != "S" {
+		t.Fatal("unexpected source strings")
+	}
+}
+
+// Property: Tagged round-trips for arbitrary field values, including NaN
+// and infinite coordinates (bit-exact via Float64bits).
+func TestTaggedRoundTripQuick(t *testing.T) {
+	f := func(id int64, coords []float64, part int32, dist float64, srcBit bool) bool {
+		src := FromR
+		if srcBit {
+			src = FromS
+		}
+		in := Tagged{
+			Object:    Object{ID: id, Point: vector.Point(coords)},
+			Src:       src,
+			Partition: part,
+			PivotDist: dist,
+		}
+		got, err := DecodeTagged(EncodeTagged(in))
+		if err != nil {
+			return false
+		}
+		if got.ID != in.ID || got.Src != in.Src || got.Partition != in.Partition {
+			return false
+		}
+		if math.Float64bits(got.PivotDist) != math.Float64bits(in.PivotDist) {
+			return false
+		}
+		if got.Point.Dim() != len(coords) {
+			return false
+		}
+		for i, v := range coords {
+			if math.Float64bits(got.Point[i]) != math.Float64bits(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is prefix-decodable — DecodeObject consumes exactly
+// the bytes AppendObject produced even when followed by arbitrary garbage.
+func TestObjectPrefixDecodableQuick(t *testing.T) {
+	f := func(id int64, coords []float64, tail []byte) bool {
+		o := Object{ID: id, Point: vector.Point(coords)}
+		b := append(EncodeObject(o), tail...)
+		got, n, err := DecodeObject(b)
+		if err != nil || got.ID != id || got.Point.Dim() != len(coords) {
+			return false
+		}
+		return n == len(b)-len(tail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeTagged(b *testing.B) {
+	in := Tagged{Object: Object{ID: 1, Point: make(vector.Point, 10)}, Src: FromS, Partition: 3, PivotDist: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeTagged(in)
+	}
+}
+
+func BenchmarkDecodeTagged(b *testing.B) {
+	buf := EncodeTagged(Tagged{Object: Object{ID: 1, Point: make(vector.Point, 10)}, Src: FromS})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTagged(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

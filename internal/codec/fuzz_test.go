@@ -1,0 +1,68 @@
+package codec
+
+import (
+	"testing"
+
+	"knnjoin/internal/vector"
+)
+
+// Fuzz targets: every decoder must reject or correctly parse arbitrary
+// bytes without panicking — these records cross the shuffle, so a
+// malformed buffer must never take down a task.
+
+func FuzzDecodeObject(f *testing.F) {
+	f.Add(EncodeObject(Object{ID: 1, Point: vector.Point{1, 2, 3}}))
+	f.Add(EncodeObject(Object{ID: -9, Point: nil}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, n, err := DecodeObject(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Round trip must be stable.
+		again, n2, err := DecodeObject(EncodeObject(o))
+		if err != nil || n2 <= 0 {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.ID != o.ID || again.Point.Dim() != o.Point.Dim() {
+			t.Fatal("round trip changed the object")
+		}
+	})
+}
+
+func FuzzDecodeTagged(f *testing.F) {
+	f.Add(EncodeTagged(Tagged{Object: Object{ID: 5, Point: vector.Point{1}}, Src: FromR, Partition: 2, PivotDist: 3}))
+	f.Add(EncodeTagged(Tagged{Object: Object{ID: 0}, Src: FromS}))
+	f.Add([]byte("not a record"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tg, err := DecodeTagged(data)
+		if err != nil {
+			return
+		}
+		if tg.Src != FromR && tg.Src != FromS {
+			t.Fatalf("accepted invalid source %q", tg.Src)
+		}
+		if _, err := DecodeTagged(EncodeTagged(tg)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(Result{RID: 7, Neighbors: []Neighbor{{ID: 1, Dist: 2}}}))
+	f.Add(EncodeResult(Result{}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResult(EncodeResult(r)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+// covTypeLine renders one 55-column UCI record whose 10 quantitative
+// attributes are base+0 .. base+9.
+func covTypeLine(base int) string {
+	fields := make([]string, 55)
+	for i := range fields {
+		switch {
+		case i < 10:
+			fields[i] = itoa(base + i)
+		case i < 54:
+			fields[i] = "0" // binary indicator columns
+		default:
+			fields[i] = "2" // class label
+		}
+	}
+	return strings.Join(fields, ",")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func TestReadCovType(t *testing.T) {
+	in := covTypeLine(100) + "\n\n" + covTypeLine(200) + "\n" + covTypeLine(300) + "\n"
+	objs, err := ReadCovType(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("got %d objects, want 3", len(objs))
+	}
+	for i, o := range objs {
+		if o.ID != int64(i) {
+			t.Fatalf("object %d has ID %d", i, o.ID)
+		}
+		if o.Point.Dim() != 10 {
+			t.Fatalf("object %d has %d dims, want 10", i, o.Point.Dim())
+		}
+		want := float64((i+1)*100 + 9)
+		if o.Point[9] != want {
+			t.Fatalf("object %d dim 9 = %v, want %v", i, o.Point[9], want)
+		}
+	}
+}
+
+func TestReadCovTypeMaxRecords(t *testing.T) {
+	in := covTypeLine(1) + "\n" + covTypeLine(2) + "\n" + covTypeLine(3) + "\n"
+	objs, err := ReadCovType(strings.NewReader(in), 2)
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("got %d objects (%v), want 2", len(objs), err)
+	}
+}
+
+func TestReadCovTypeGzip(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(covTypeLine(7) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := ReadCovType(&buf, 0)
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("gzip read: %d objects, err %v", len(objs), err)
+	}
+	if objs[0].Point[0] != 7 {
+		t.Fatalf("dim 0 = %v, want 7", objs[0].Point[0])
+	}
+}
+
+func TestReadCovTypeErrors(t *testing.T) {
+	if _, err := ReadCovType(strings.NewReader(""), 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCovType(strings.NewReader("1,2,3\n"), 0); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := ReadCovType(strings.NewReader(strings.Repeat("x,", 54)+"x\n"), 0); err == nil {
+		t.Error("non-numeric record accepted")
+	}
+	bad := []byte{0x1f, 0x8b, 0xff, 0xff} // gzip magic, corrupt stream
+	if _, err := ReadCovType(bytes.NewReader(bad), 0); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

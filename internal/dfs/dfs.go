@@ -1,0 +1,152 @@
+// Package dfs is a minimal in-memory stand-in for HDFS.
+//
+// The paper's pipeline relies on HDFS for exactly one behaviour that
+// matters to the algorithms: imported data are split into equal-size
+// chunks, and each chunk becomes the input split of one map task (§2.2).
+// This package reproduces that behaviour — files are stored as ordered
+// record lists and split into fixed-record-count chunks that the MapReduce
+// engine consumes as input splits — without pretending to be a real
+// filesystem.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Record is one opaque record of a file. Files store bytes, not typed
+// objects, so that what a map task reads is exactly what a real system
+// would deserialize.
+type Record []byte
+
+// FS is an in-memory chunked file store, safe for concurrent use.
+type FS struct {
+	mu        sync.RWMutex
+	chunkSize int
+	files     map[string][]Record
+}
+
+// DefaultChunkRecords is the default number of records per chunk/split.
+const DefaultChunkRecords = 4096
+
+// New returns a filesystem whose files split into chunks of chunkRecords
+// records each. chunkRecords ≤ 0 selects DefaultChunkRecords.
+func New(chunkRecords int) *FS {
+	if chunkRecords <= 0 {
+		chunkRecords = DefaultChunkRecords
+	}
+	return &FS{chunkSize: chunkRecords, files: make(map[string][]Record)}
+}
+
+// ChunkRecords returns the configured records-per-chunk.
+func (fs *FS) ChunkRecords() int { return fs.chunkSize }
+
+// Write stores records under name, replacing any existing file. The
+// records are copied so callers may reuse their buffers.
+func (fs *FS) Write(name string, records []Record) {
+	cp := make([]Record, len(records))
+	for i, r := range records {
+		c := make(Record, len(r))
+		copy(c, r)
+		cp[i] = c
+	}
+	fs.mu.Lock()
+	fs.files[name] = cp
+	fs.mu.Unlock()
+}
+
+// Append adds records to an existing or new file.
+func (fs *FS) Append(name string, records []Record) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cur := fs.files[name]
+	for _, r := range records {
+		c := make(Record, len(r))
+		copy(c, r)
+		cur = append(cur, c)
+	}
+	fs.files[name] = cur
+}
+
+// Read returns all records of the named file in write order.
+func (fs *FS) Read(name string) ([]Record, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	recs, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	return out, nil
+}
+
+// Remove deletes the named file. Removing a missing file is not an error,
+// matching the idempotent semantics job drivers want during cleanup.
+func (fs *FS) Remove(name string) {
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+}
+
+// List returns the names of all files in lexicographic order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of records in the named file, or 0 if absent.
+func (fs *FS) Size(name string) int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files[name])
+}
+
+// Bytes returns the total payload bytes of the named file.
+func (fs *FS) Bytes(name string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var total int64
+	for _, r := range fs.files[name] {
+		total += int64(len(r))
+	}
+	return total
+}
+
+// Split is one input split: a contiguous chunk of a file's records that
+// feeds exactly one map task.
+type Split struct {
+	File    string
+	Index   int
+	Records []Record
+}
+
+// Splits chops the named files into input splits of at most ChunkRecords
+// records each, preserving record order within each file. Files are
+// processed in the order given, matching how a job lists its inputs.
+func (fs *FS) Splits(names ...string) ([]Split, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []Split
+	for _, name := range names {
+		recs, ok := fs.files[name]
+		if !ok {
+			return nil, fmt.Errorf("dfs: no such file %q", name)
+		}
+		for i := 0; i < len(recs); i += fs.chunkSize {
+			end := i + fs.chunkSize
+			if end > len(recs) {
+				end = len(recs)
+			}
+			out = append(out, Split{File: name, Index: i / fs.chunkSize, Records: recs[i:end]})
+		}
+	}
+	return out, nil
+}

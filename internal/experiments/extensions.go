@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/lsh"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/naive"
+	"knnjoin/internal/pgbj"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/rangejoin"
+	"knnjoin/internal/setsim"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/theta"
+	"knnjoin/internal/topk"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/zknn"
+)
+
+// newSelfJoinCluster builds a fresh cluster with objs loaded as both R
+// and S — the setup every extension experiment starts from.
+func (r *Runner) newSelfJoinCluster(objs []codec.Object, nodes int) *mapreduce.Cluster {
+	fs := dfs.New(0)
+	cluster := mapreduce.NewCluster(fs, nodes)
+	dataset.ToDFS(fs, "R", objs, codec.FromR)
+	dataset.ToDFS(fs, "S", objs, codec.FromS)
+	return cluster
+}
+
+// LSH is an extension experiment: the RankReduce-style LSH join (ref
+// [15]) versus exact PGBJ and the other approximate method, H-zkNNJ —
+// the recall/cost frontier of both families the paper excludes from its
+// exact comparison.
+func (r *Runner) LSH() (*ExpResult, error) {
+	objs := r.ForestX(2)
+	k := r.cfg.K
+	exact, _ := naive.BruteForce(objs, objs, k, vector.L2)
+
+	tb := &stats.Table{Header: []string{"algo", "recall", "time", "selectivity (‰)", "shuffle"}}
+	addRow := func(name string, rep *stats.Report, results []codec.Result) {
+		tb.AddRow(name, zknn.Recall(results, exact), rep.TotalWall(),
+			rep.Selectivity()*1000, stats.FormatBytes(rep.ShuffleBytes))
+	}
+
+	pgbjRep, err := r.runAlgo("PGBJ", objs, k, r.cfg.Nodes, r.DefaultPivots())
+	if err != nil {
+		return nil, err
+	}
+	addRow("PGBJ (exact)", pgbjRep, exact)
+
+	for _, tables := range []int{1, 2, 4, 8} {
+		cluster := r.newSelfJoinCluster(objs, r.cfg.Nodes)
+		rep, err := lsh.Run(cluster, "R", "S", "out", lsh.Options{K: k, Tables: tables, Seed: r.cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		results, err := naive.ReadResults(cluster.FS(), "out")
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("RankReduce L=%d", tables), rep, results)
+	}
+
+	cluster := r.newSelfJoinCluster(objs, r.cfg.Nodes)
+	zRep, err := zknn.Run(cluster, "R", "S", "out", zknn.Options{K: k, Shifts: 3, Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	zResults, err := naive.ReadResults(cluster.FS(), "out")
+	if err != nil {
+		return nil, err
+	}
+	addRow("H-zkNNJ α=3", zRep, zResults)
+
+	return &ExpResult{
+		Name:   "lsh",
+		Title:  fmt.Sprintf("Approximate LSH join vs exact PGBJ and H-zkNNJ (Forest×2, %d objects, k=%d)", len(objs), k),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: recall climbs with the table count L at proportional cost; " +
+				"on 10-d data random projections hold locality better than a 6-bit-per-dim z-order",
+		},
+	}, nil
+}
+
+// Baselines is an extension experiment realizing §3's shuffle-cost
+// discussion: every exact MapReduce framework in the repository on one
+// workload — the basic broadcast strategy (|R|+N·|S| shuffle), H-BRJ and
+// 1-Bucket-Theta (√N×√N cross-product tilings), PBJ (pruning without
+// grouping) and PGBJ (|R|+α·|S|).
+func (r *Runner) Baselines() (*ExpResult, error) {
+	objs := r.ForestX(5)
+	k, nodes := r.cfg.K, r.cfg.Nodes
+	tb := &stats.Table{Header: []string{"framework", "time", "sim Mdist", "selectivity (‰)", "shuffle", "avg repl of S"}}
+
+	type run struct {
+		name string
+		fn   func() (*stats.Report, error)
+	}
+	runs := []run{
+		{"basic (broadcast)", func() (*stats.Report, error) {
+			return naive.Broadcast(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", naive.BroadcastOptions{K: k})
+		}},
+		{"1-Bucket-Theta", func() (*stats.Report, error) {
+			return theta.Run(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+		}},
+		{"H-BRJ", func() (*stats.Report, error) {
+			return r.runAlgo("H-BRJ", objs, k, nodes, 0)
+		}},
+		{"PBJ", func() (*stats.Report, error) {
+			return r.runAlgo("PBJ", objs, k, nodes, r.DefaultPivots())
+		}},
+		{"PGBJ", func() (*stats.Report, error) {
+			return r.runAlgo("PGBJ", objs, k, nodes, r.DefaultPivots())
+		}},
+	}
+	for _, rn := range runs {
+		rep, err := rn.fn()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rn.name, err)
+		}
+		tb.AddRow(rn.name, rep.TotalWall(), float64(rep.SimMakespan)/1e6,
+			rep.Selectivity()*1000, stats.FormatBytes(rep.ShuffleBytes), rep.AvgReplication())
+	}
+	return &ExpResult{
+		Name:   "baselines",
+		Title:  fmt.Sprintf("Exact MapReduce frameworks side by side (Forest×5, %d objects, k=%d, %d nodes)", len(objs), k, nodes),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: §3's cost hierarchy realized — broadcast replicates S N times, " +
+				"the cross-product tilings √N times, PGBJ only α times; " +
+				"1-Bucket-Theta matches H-BRJ's costs but survives adversarial ID distributions",
+		},
+	}, nil
+}
+
+// SetSim is an extension experiment running the set-similarity join of
+// Vernica et al. (ref [16]) — the §7 related work whose techniques the
+// paper notes cannot be transferred to the kNN join. Implementing it on
+// the same MapReduce engine makes that comparison concrete: a different
+// join predicate (Jaccard threshold over token sets), a different
+// pruning idea (frequency-ordered prefix filtering), same runtime.
+func (r *Runner) SetSim() (*ExpResult, error) {
+	n := int(10000 * r.cfg.Scale)
+	if n < 300 {
+		n = 300
+	}
+	records := setsim.Baskets(n, n/4+50, 5, 15, 0.2, r.cfg.Seed)
+	cross := float64(n) * float64(n-1) / 2
+	tb := &stats.Table{Header: []string{"threshold", "time", "verified (‰ of cross)", "output pairs", "join skew", "exact"}}
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		fs := dfs.New(0)
+		cluster := mapreduce.NewCluster(fs, r.cfg.Nodes)
+		setsim.ToDFS(fs, "in", records)
+		got, rep, err := setsim.Run(cluster, "in", "out", setsim.Options{Threshold: th})
+		if err != nil {
+			return nil, err
+		}
+		want := setsim.BruteForce(records, th)
+		exact := len(got) == len(want)
+		for i := 0; exact && i < len(want); i++ {
+			exact = got[i].A == want[i].A && got[i].B == want[i].B
+		}
+		tb.AddRow(fmt.Sprintf("%.1f", th), rep.TotalWall(), float64(rep.Pairs)/cross*1000,
+			rep.OutputPairs, rep.JoinSkew, exact)
+	}
+	return &ExpResult{
+		Name:   "setsim",
+		Title:  fmt.Sprintf("Set-similarity join (ref [16], %d basket records, %d nodes)", n, r.cfg.Nodes),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: the §7 technique that does NOT transfer to kNN joins, " +
+				"runnable on the same engine; prefix filtering verifies a shrinking sliver of the " +
+				"cross product as the threshold rises",
+		},
+	}, nil
+}
+
+// Skew is an extension experiment quantifying reducer load balance —
+// the §6.1.1 "unbalanced workload" discussion made measurable. The
+// paper drops farthest selection from Figure 6 because its runs blew
+// past 10,000s; this table shows *why* with one number: the max-over-
+// mean reduce-task input of the join job, which is the factor by which
+// the slowest reducer (the job's critical path) exceeds its fair share.
+func (r *Runner) Skew() (*ExpResult, error) {
+	objs := r.ForestX(2)
+	k, nodes := r.cfg.K, r.cfg.Nodes
+	tb := &stats.Table{Header: []string{"method", "join skew (max/mean)", "join phase", "sim Mdist"}}
+
+	for _, ps := range []pivot.Strategy{pivot.Random, pivot.KMeans, pivot.Farthest} {
+		rep, err := r.runPGBJ(objs, k, nodes, r.DefaultPivots(), ps, pgbj.Geometric, false, false)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("PGBJ + "+ps.String()+" pivots", rep.JoinSkew,
+			rep.PhaseWall("KNN Join"), float64(rep.SimMakespan)/1e6)
+	}
+	for _, base := range []string{"H-BRJ", "basic"} {
+		rep, err := r.runAlgo(base, objs, k, nodes, r.DefaultPivots())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(base, rep.JoinSkew, rep.Phases[0].Wall, float64(rep.SimMakespan)/1e6)
+	}
+	thetaRep, err := theta.Run(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("1-Bucket-Theta", thetaRep.JoinSkew, thetaRep.PhaseWall("Region Join"),
+		float64(thetaRep.SimMakespan)/1e6)
+
+	return &ExpResult{
+		Name:   "skew",
+		Title:  fmt.Sprintf("Reducer load balance (Forest×2, %d objects, k=%d, %d nodes)", len(objs), k, nodes),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: skew 1.0 is perfect balance; the join's critical path " +
+				"scales with it — farthest selection's partition pathology (Tables 2–3) lands here, " +
+				"which is why Figure 6 omits that strategy",
+		},
+	}, nil
+}
+
+// RangeJoinExp is an extension experiment: the θ-range join built from
+// PGBJ's machinery with the fixed radius standing in for the derived
+// bound θ_i — Definition 3 made distributed. It sweeps the radius and
+// reports how selectivity, replication and output size scale, against
+// the centralized scan's constant cross-product cost.
+func (r *Runner) RangeJoinExp() (*ExpResult, error) {
+	objs := r.OSM()
+	if len(objs) > 40000 {
+		objs = objs[:40000] // radius sweep outputs grow quadratically
+	}
+	nodes := r.cfg.Nodes
+	tb := &stats.Table{Header: []string{"radius", "time", "selectivity (‰)", "avg repl of S", "output pairs", "exact"}}
+	for _, radius := range []float64{0.05, 0.1, 0.2, 0.4} {
+		cluster := r.newSelfJoinCluster(objs, nodes)
+		rep, err := rangejoin.Run(cluster, "R", "S", "out", rangejoin.Options{
+			Radius: radius, NumPivots: r.DefaultPivots(), Seed: r.cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		got, err := naive.ReadResults(cluster.FS(), "out")
+		if err != nil {
+			return nil, err
+		}
+		want := rangejoin.BruteForce(objs, objs, radius, vector.L2)
+		exact := len(got) == len(want)
+		var wantPairs int64
+		for i := range want {
+			wantPairs += int64(len(want[i].Neighbors))
+			exact = exact && len(got[i].Neighbors) == len(want[i].Neighbors)
+		}
+		exact = exact && rep.OutputPairs == wantPairs
+		tb.AddRow(fmt.Sprintf("%.2f", radius), rep.TotalWall(), rep.Selectivity()*1000,
+			rep.AvgReplication(), rep.OutputPairs, exact)
+	}
+	return &ExpResult{
+		Name:   "range",
+		Title:  fmt.Sprintf("θ-range join via the PGBJ pipeline (OSM, %d objects, %d nodes)", len(objs), nodes),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: Corollary-2 routing with the radius as the bound; " +
+				"replication and selectivity grow with θ while correctness is gated against brute force",
+		},
+	}, nil
+}
+
+// TopKPairs is an extension experiment: the top-k closest-pairs join of
+// ref [11] — threshold-pruned MapReduce versus the centralized scan, with
+// the exactness gate the paper's own comparisons use.
+func (r *Runner) TopKPairs() (*ExpResult, error) {
+	objs := r.ForestX(2)
+	nodes := r.cfg.Nodes
+	tb := &stats.Table{Header: []string{"k pairs", "method", "time", "computed pairs", "of cross (‰)", "exact"}}
+	cross := float64(len(objs)) * float64(len(objs))
+
+	for _, k := range []int{1, 10, 100, 1000} {
+		opts := topk.Options{K: k, ExcludeSelf: true, Unordered: true, Seed: r.cfg.Seed}
+
+		start := time.Now()
+		want, bfPairs, err := topk.BruteForce(objs, objs, opts)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(k, "nested loop", time.Since(start), bfPairs, float64(bfPairs)/cross*1000, true)
+
+		cluster := r.newSelfJoinCluster(objs, nodes)
+		start = time.Now()
+		got, rep, err := topk.Run(cluster, "R", "S", "out", opts)
+		if err != nil {
+			return nil, err
+		}
+		exact := len(got) == len(want)
+		for i := 0; exact && i < len(want); i++ {
+			exact = math.Abs(got[i].Dist-want[i].Dist) <= 1e-9
+		}
+		tb.AddRow(k, "MR top-k join", time.Since(start), rep.Pairs, float64(rep.Pairs)/cross*1000, exact)
+	}
+	return &ExpResult{
+		Name:   "topk",
+		Title:  fmt.Sprintf("Top-k closest pairs (ref [11], Forest×2, %d objects, %d nodes)", len(objs), nodes),
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"extension beyond the paper: the sampled threshold prunes the cross product by orders of " +
+				"magnitude; the pruning weakens as k grows and the threshold admits more of the space",
+		},
+	}, nil
+}

@@ -1,0 +1,399 @@
+// Package gorder implements the Gorder kNN join of Xia, Lu, Ooi and Hu
+// (VLDB 2004) — reference [17] of the reproduced paper and the
+// grid-partitioning member of its §7 centralized lineage.
+//
+// Gorder (G-ordering + scheduled block nested loop join):
+//
+//  1. PCA-rotate the data so the leading dimensions carry the most
+//     variance (a pure rotation: L2 distances are exactly preserved, so
+//     the join stays exact).
+//  2. Impose a grid over the rotated space and sort objects in "grid
+//     order" — lexicographic cell order — so physically close objects
+//     become close on disk; cut the sorted sequence into fixed-size
+//     blocks.
+//  3. Join with a scheduled block nested loop: for each R block, visit S
+//     blocks in ascending block-MBR MinDist order and stop as soon as
+//     that bound exceeds every pending r's current kNN radius; within a
+//     surviving block pair, skip s objects per-r via the same MinDist
+//     test on r itself.
+package gorder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
+)
+
+// Options configures a Gorder join.
+type Options struct {
+	// BlockSize is the number of objects per data block (the paper's
+	// page). Zero picks 256.
+	BlockSize int
+	// GridSegments is ℓ, the number of segments per (rotated) dimension.
+	// Zero picks 16.
+	GridSegments int
+	// PCAIters bounds the power-iteration sweeps per component. Zero
+	// picks 30.
+	PCAIters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 256
+	}
+	if o.GridSegments <= 0 {
+		o.GridSegments = 16
+	}
+	if o.PCAIters <= 0 {
+		o.PCAIters = 30
+	}
+	return o
+}
+
+// Join computes the exact kNN join R ⋉ S under L2 with the Gorder
+// method. It returns results ordered by R object ID and the number of
+// object-object distance computations performed.
+func Join(rObjs, sObjs []codec.Object, k int, opts Options) ([]codec.Result, int64, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("gorder: k must be positive, got %d", k)
+	}
+	if len(rObjs) == 0 {
+		return nil, 0, nil
+	}
+	if len(sObjs) == 0 {
+		return nil, 0, fmt.Errorf("gorder: empty S")
+	}
+	opts = opts.withDefaults()
+	dim := rObjs[0].Point.Dim()
+
+	// PCA rotation fitted on a union view of both datasets.
+	basis := pcaBasis(append(append([]codec.Object{}, rObjs...), sObjs...), dim, opts.PCAIters)
+	rRot := rotateAll(rObjs, basis)
+	sRot := rotateAll(sObjs, basis)
+
+	// Grid order: sort both datasets by cell, then by first coordinate
+	// within the cell (a cheap refinement the paper also applies).
+	lo, hi := bounds(append(append([]rotated{}, rRot...), sRot...), dim)
+	sortGridOrder(rRot, lo, hi, opts.GridSegments)
+	sortGridOrder(sRot, lo, hi, opts.GridSegments)
+
+	rBlocks := cut(rRot, opts.BlockSize)
+	sBlocks := cut(sRot, opts.BlockSize)
+
+	var pairs int64
+	out := make([]codec.Result, 0, len(rObjs))
+	heaps := make([]*nnheap.KHeap, 0, opts.BlockSize)
+	for _, rb := range rBlocks {
+		// Fresh heaps per R block.
+		heaps = heaps[:0]
+		for range rb.objs {
+			heaps = append(heaps, nnheap.NewKHeap(k))
+		}
+		// Schedule S blocks by ascending MinDist to this R block.
+		type sched struct {
+			idx int
+			md  float64
+		}
+		order := make([]sched, len(sBlocks))
+		for i, sb := range sBlocks {
+			order[i] = sched{i, mbrMinDist(rb.mbrLo, rb.mbrHi, sb.mbrLo, sb.mbrHi)}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].md != order[b].md {
+				return order[a].md < order[b].md
+			}
+			return order[a].idx < order[b].idx
+		})
+		for _, sc := range order {
+			// Block-level pruning: the worst pending radius gates the pair.
+			worst := 0.0
+			for _, h := range heaps {
+				if !h.Full() {
+					worst = math.Inf(1)
+					break
+				}
+				if t := h.Top().Dist; t > worst {
+					worst = t
+				}
+			}
+			if sc.md > worst {
+				break // every later block is at least this far
+			}
+			sb := sBlocks[sc.idx]
+			for x, r := range rb.objs {
+				h := heaps[x]
+				// Per-object pruning against the S block's MBR.
+				if h.Full() && pointMBRMinDist(r.pt, sb.mbrLo, sb.mbrHi) > h.Top().Dist {
+					continue
+				}
+				for _, s := range sb.objs {
+					d := vector.Dist(r.pt, s.pt)
+					pairs++
+					h.Push(nnheap.Candidate{ID: s.id, Dist: d})
+				}
+			}
+		}
+		for x, r := range rb.objs {
+			cands := heaps[x].Sorted()
+			nbs := make([]codec.Neighbor, len(cands))
+			for j, c := range cands {
+				nbs[j] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+			}
+			out = append(out, codec.Result{RID: r.id, Neighbors: nbs})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].RID < out[b].RID })
+	return out, pairs, nil
+}
+
+// rotated is an object in PCA space.
+type rotated struct {
+	id int64
+	pt vector.Point
+}
+
+// block is a run of grid-ordered objects with its MBR.
+type block struct {
+	objs         []rotated
+	mbrLo, mbrHi vector.Point
+}
+
+// pcaBasis returns an orthonormal basis (rows) whose leading vectors are
+// the principal components of the data, computed by power iteration with
+// deflation. All dim components are kept: the transform is a rotation and
+// preserves L2 exactly.
+func pcaBasis(objs []codec.Object, dim, iters int) []vector.Point {
+	// Covariance matrix.
+	mean := make([]float64, dim)
+	for _, o := range objs {
+		for d, v := range o.Point {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(objs))
+	}
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, o := range objs {
+		for i := 0; i < dim; i++ {
+			di := o.Point[i] - mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (o.Point[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < i; j++ {
+			cov[i][j] = cov[j][i]
+		}
+	}
+
+	basis := make([]vector.Point, 0, dim)
+	work := make(vector.Point, dim)
+	for c := 0; c < dim; c++ {
+		// Deterministic start vector, orthogonalized against found basis.
+		v := make(vector.Point, dim)
+		v[c%dim] = 1
+		for i := range v {
+			v[i] += 1e-3 * float64(i+1)
+		}
+		orthonormalize(v, basis)
+		for it := 0; it < iters; it++ {
+			// work = cov · v
+			for i := 0; i < dim; i++ {
+				var s float64
+				for j := 0; j < dim; j++ {
+					s += cov[i][j] * v[j]
+				}
+				work[i] = s
+			}
+			copy(v, work)
+			if !orthonormalize(v, basis) {
+				// Degenerate direction (zero variance): fall back to a unit
+				// vector orthogonal to the basis.
+				v = make(vector.Point, dim)
+				v[c%dim] = 1
+				if !orthonormalize(v, basis) {
+					for d := 0; d < dim; d++ {
+						v = make(vector.Point, dim)
+						v[d] = 1
+						if orthonormalize(v, basis) {
+							break
+						}
+					}
+				}
+				break
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// orthonormalize makes v orthogonal to basis and unit length; reports
+// false when v collapses to ~zero.
+func orthonormalize(v vector.Point, basis []vector.Point) bool {
+	for _, b := range basis {
+		var dot float64
+		for i := range v {
+			dot += v[i] * b[i]
+		}
+		for i := range v {
+			v[i] -= dot * b[i]
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return false
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+	return true
+}
+
+// rotateAll projects objects onto the basis.
+func rotateAll(objs []codec.Object, basis []vector.Point) []rotated {
+	out := make([]rotated, len(objs))
+	for x, o := range objs {
+		p := make(vector.Point, len(basis))
+		for c, b := range basis {
+			var dot float64
+			for i := range b {
+				dot += o.Point[i] * b[i]
+			}
+			p[c] = dot
+		}
+		out[x] = rotated{id: o.ID, pt: p}
+	}
+	return out
+}
+
+func bounds(objs []rotated, dim int) (lo, hi vector.Point) {
+	lo = make(vector.Point, dim)
+	hi = make(vector.Point, dim)
+	copy(lo, objs[0].pt)
+	copy(hi, objs[0].pt)
+	for _, o := range objs {
+		for d, v := range o.pt {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// sortGridOrder orders objects by their grid cell (lexicographic over
+// dimensions), refining within a cell by the first rotated coordinate.
+func sortGridOrder(objs []rotated, lo, hi vector.Point, segments int) {
+	cellOf := func(p vector.Point) []int {
+		cells := make([]int, len(p))
+		for d, v := range p {
+			span := hi[d] - lo[d]
+			if span <= 0 {
+				continue
+			}
+			c := int((v - lo[d]) / span * float64(segments))
+			if c >= segments {
+				c = segments - 1
+			}
+			cells[d] = c
+		}
+		return cells
+	}
+	// Sort a permutation: the keys are indexed by original position, so
+	// the comparator must not index them through the permuted slice.
+	perm := make([]int, len(objs))
+	keys := make([][]int, len(objs))
+	for i := range objs {
+		perm[i] = i
+		keys[i] = cellOf(objs[i].pt)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka, kb := keys[perm[a]], keys[perm[b]]
+		for d := range ka {
+			if ka[d] != kb[d] {
+				return ka[d] < kb[d]
+			}
+		}
+		return objs[perm[a]].pt[0] < objs[perm[b]].pt[0]
+	})
+	sorted := make([]rotated, len(objs))
+	for i, p := range perm {
+		sorted[i] = objs[p]
+	}
+	copy(objs, sorted)
+}
+
+// cut slices the ordered sequence into blocks and computes MBRs.
+func cut(objs []rotated, size int) []block {
+	var out []block
+	for i := 0; i < len(objs); i += size {
+		end := i + size
+		if end > len(objs) {
+			end = len(objs)
+		}
+		b := block{objs: objs[i:end]}
+		b.mbrLo = objs[i].pt.Clone()
+		b.mbrHi = objs[i].pt.Clone()
+		for _, o := range objs[i:end] {
+			for d, v := range o.pt {
+				if v < b.mbrLo[d] {
+					b.mbrLo[d] = v
+				}
+				if v > b.mbrHi[d] {
+					b.mbrHi[d] = v
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// mbrMinDist is the minimum L2 distance between two boxes.
+func mbrMinDist(aLo, aHi, bLo, bHi vector.Point) float64 {
+	var s float64
+	for d := range aLo {
+		switch {
+		case aHi[d] < bLo[d]:
+			g := bLo[d] - aHi[d]
+			s += g * g
+		case bHi[d] < aLo[d]:
+			g := aLo[d] - bHi[d]
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// pointMBRMinDist is the minimum L2 distance from a point to a box.
+func pointMBRMinDist(p, lo, hi vector.Point) float64 {
+	var s float64
+	for d := range p {
+		switch {
+		case p[d] < lo[d]:
+			g := lo[d] - p[d]
+			s += g * g
+		case p[d] > hi[d]:
+			g := p[d] - hi[d]
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,245 @@
+package gorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/naive"
+	"knnjoin/internal/vector"
+)
+
+func assertExact(t *testing.T, got []codec.Result, rObjs, sObjs []codec.Object, k int) {
+	t.Helper()
+	want, _ := naive.BruteForce(rObjs, sObjs, k, vector.L2)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID {
+			t.Fatalf("row %d RID %d, want %d", i, got[i].RID, want[i].RID)
+		}
+		if len(got[i].Neighbors) != len(want[i].Neighbors) {
+			t.Fatalf("r %d: %d neighbors, want %d", got[i].RID, len(got[i].Neighbors), len(want[i].Neighbors))
+		}
+		for j := range want[i].Neighbors {
+			// The rotation introduces ~1e-12 relative float noise.
+			if math.Abs(got[i].Neighbors[j].Dist-want[i].Neighbors[j].Dist) > 1e-6 {
+				t.Fatalf("r %d nb %d: %v, want %v", got[i].RID, j,
+					got[i].Neighbors[j].Dist, want[i].Neighbors[j].Dist)
+			}
+		}
+	}
+}
+
+func TestJoinMatchesBruteForceUniform(t *testing.T) {
+	r := dataset.Uniform(400, 4, 100, 51)
+	s := dataset.Uniform(500, 4, 100, 52)
+	got, pairs, err := Join(r, s, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs <= 0 {
+		t.Fatal("no pairs counted")
+	}
+	assertExact(t, got, r, s, 5)
+}
+
+func TestJoinForestSelfJoin(t *testing.T) {
+	objs := dataset.Forest(1000, 53)
+	got, _, err := Join(objs, objs, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, got, objs, objs, 8)
+}
+
+func TestJoinSkewedOSM(t *testing.T) {
+	objs := dataset.OSM(900, 54)
+	got, _, err := Join(objs, objs, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, got, objs, objs, 4)
+}
+
+func TestJoinKLargerThanS(t *testing.T) {
+	r := dataset.Uniform(50, 3, 100, 55)
+	s := dataset.Uniform(6, 3, 100, 56)
+	got, _, err := Join(r, s, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range got {
+		if len(res.Neighbors) != 6 {
+			t.Fatalf("r %d: %d neighbors, want all 6", res.RID, len(res.Neighbors))
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	objs := dataset.Uniform(10, 2, 10, 57)
+	if _, _, err := Join(objs, objs, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Join(objs, nil, 3, Options{}); err == nil {
+		t.Error("empty S accepted")
+	}
+	if got, _, err := Join(nil, objs, 3, Options{}); err != nil || got != nil {
+		t.Error("empty R should be empty success")
+	}
+}
+
+func TestJoinSmallBlocks(t *testing.T) {
+	// Pathological block size 1 exercises scheduling heavily.
+	objs := dataset.Uniform(120, 3, 100, 58)
+	got, _, err := Join(objs, objs, 3, Options{BlockSize: 1, GridSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, got, objs, objs, 3)
+}
+
+// The scheduled block join must prune: far fewer pairs than the cross
+// product on clustered data.
+func TestJoinPrunes(t *testing.T) {
+	objs := dataset.OSM(5000, 59)
+	_, pairs, err := Join(objs, objs, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := int64(len(objs)) * int64(len(objs))
+	if pairs > cross/3 {
+		t.Fatalf("gorder computed %d of %d pairs — pruning ineffective", pairs, cross)
+	}
+}
+
+// PCA basis must be orthonormal — the property that makes the join exact.
+func TestPCABasisOrthonormal(t *testing.T) {
+	for _, seed := range []int64{60, 61, 62} {
+		objs := dataset.Forest(500, seed)
+		basis := pcaBasis(objs, 10, 30)
+		if len(basis) != 10 {
+			t.Fatalf("basis size %d", len(basis))
+		}
+		for i := range basis {
+			for j := range basis {
+				var dot float64
+				for d := range basis[i] {
+					dot += basis[i][d] * basis[j][d]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-6 {
+					t.Fatalf("basis[%d]·basis[%d] = %v, want %v", i, j, dot, want)
+				}
+			}
+		}
+	}
+}
+
+// Rotation preserves pairwise distances (exactness foundation).
+func TestRotationPreservesDistances(t *testing.T) {
+	objs := dataset.Uniform(200, 5, 100, 63)
+	basis := pcaBasis(objs, 5, 30)
+	rot := rotateAll(objs, basis)
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(len(objs)), rng.Intn(len(objs))
+		orig := vector.Dist(objs[a].Point, objs[b].Point)
+		rotd := vector.Dist(rot[a].pt, rot[b].pt)
+		if math.Abs(orig-rotd) > 1e-9*(1+orig) {
+			t.Fatalf("distance changed under rotation: %v vs %v", orig, rotd)
+		}
+	}
+}
+
+// PCA's job: the first component carries the most variance on stretched
+// data.
+func TestPCAFindsStretchDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	objs := make([]codec.Object, 2000)
+	for i := range objs {
+		// Variance 10000 along an oblique direction, 1 elsewhere.
+		tval := rng.NormFloat64() * 100
+		objs[i] = codec.Object{ID: int64(i), Point: vector.Point{
+			tval + rng.NormFloat64(),
+			tval + rng.NormFloat64(),
+			rng.NormFloat64(),
+		}}
+	}
+	basis := pcaBasis(objs, 3, 50)
+	// First component should be ≈ (1,1,0)/√2 up to sign.
+	c := basis[0]
+	if math.Abs(math.Abs(c[0])-math.Sqrt2/2) > 0.05 ||
+		math.Abs(math.Abs(c[1])-math.Sqrt2/2) > 0.05 ||
+		math.Abs(c[2]) > 0.05 {
+		t.Fatalf("first component %v, want ±(0.707,0.707,0)", c)
+	}
+}
+
+func TestMBRDistances(t *testing.T) {
+	aLo, aHi := vector.Point{0, 0}, vector.Point{1, 1}
+	bLo, bHi := vector.Point{4, 5}, vector.Point{6, 7}
+	if got := mbrMinDist(aLo, aHi, bLo, bHi); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mbrMinDist = %v, want 5 (3-4-5)", got)
+	}
+	if got := mbrMinDist(aLo, aHi, vector.Point{0.5, 0.5}, vector.Point{2, 2}); got != 0 {
+		t.Fatalf("overlapping boxes dist = %v", got)
+	}
+	if got := pointMBRMinDist(vector.Point{4, 5}, aLo, aHi); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("pointMBRMinDist = %v, want 5", got)
+	}
+	if got := pointMBRMinDist(vector.Point{0.5, 0.5}, aLo, aHi); got != 0 {
+		t.Fatalf("inside point dist = %v", got)
+	}
+}
+
+// Property: exactness for arbitrary shapes, block sizes and grids.
+func TestJoinCorrectQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, blockRaw, segRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		k := int(kRaw)%6 + 1
+		objs := dataset.Uniform(n, 3, 100, seed)
+		got, _, err := Join(objs, objs, k, Options{
+			BlockSize:    int(blockRaw)%32 + 1,
+			GridSegments: int(segRaw)%12 + 1,
+		})
+		if err != nil {
+			return false
+		}
+		want, _ := naive.BruteForce(objs, objs, k, vector.L2)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].RID != want[i].RID || len(got[i].Neighbors) != len(want[i].Neighbors) {
+				return false
+			}
+			for j := range want[i].Neighbors {
+				if math.Abs(got[i].Neighbors[j].Dist-want[i].Neighbors[j].Dist) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	objs := dataset.Forest(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Join(objs, objs, 10, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package grouping implements §5 of the paper: clustering the Voronoi
+// partitions of R into N reducer groups so that a large pivot count (good
+// bounds) can coexist with a small reducer count (practical cluster), and
+// the replication RP(S) of Theorem 7 stays low.
+//
+// Two strategies are provided, matching §5.2: geometric grouping
+// (Algorithm 4, pivot-distance driven, load balanced) and greedy grouping
+// (cost-model driven via the approximation of Equation 12).
+package grouping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"knnjoin/internal/voronoi"
+)
+
+// Result is a disjoint cover of the R-partitions by N groups.
+type Result struct {
+	Groups  [][]int // Groups[g] lists the partition indices of group g
+	GroupOf []int   // GroupOf[i] is the group of partition i
+}
+
+// NumGroups returns N.
+func (r *Result) NumGroups() int { return len(r.Groups) }
+
+// GroupSizes returns the number of R objects per group — the quantity
+// whose balance Table 3 reports.
+func (r *Result) GroupSizes(sum *voronoi.Summary) []int {
+	sizes := make([]int, len(r.Groups))
+	for g, parts := range r.Groups {
+		for _, i := range parts {
+			sizes[g] += sum.R[i].Count
+		}
+	}
+	return sizes
+}
+
+// validate checks the shared preconditions of both strategies.
+func validate(pp *voronoi.Partitioner, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("grouping: need a positive group count, got %d", n)
+	}
+	if n > pp.NumPartitions() {
+		return fmt.Errorf("grouping: %d groups exceed %d partitions", n, pp.NumPartitions())
+	}
+	return nil
+}
+
+// Thetas computes θ_i (Algorithm 1) for every R-partition. Both grouping
+// strategies and the second MapReduce job consume this vector.
+func Thetas(sum *voronoi.Summary, pp *voronoi.Partitioner) []float64 {
+	out := make([]float64, pp.NumPartitions())
+	for i := range out {
+		out[i] = sum.BoundKNN(i, pp)
+	}
+	return out
+}
+
+// Geometric implements Algorithm 4. Groups are seeded with mutually far
+// pivots (farthest-first), then each remaining partition joins the
+// currently smallest group among which its pivot is nearest, keeping the
+// per-group object counts nearly equal.
+func Geometric(pp *voronoi.Partitioner, sum *voronoi.Summary, n int) (*Result, error) {
+	if err := validate(pp, n); err != nil {
+		return nil, err
+	}
+	m := pp.NumPartitions()
+	res := &Result{Groups: make([][]int, n), GroupOf: make([]int, m)}
+	for i := range res.GroupOf {
+		res.GroupOf[i] = -1
+	}
+	remaining := make(map[int]bool, m)
+	for i := 0; i < m; i++ {
+		remaining[i] = true
+	}
+
+	// Line 1: the first seed maximizes total distance to all other pivots.
+	first, bestSum := -1, math.Inf(-1)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += pp.PivotDist(i, j)
+		}
+		if s > bestSum {
+			first, bestSum = i, s
+		}
+	}
+	assign := func(g, part int) {
+		res.Groups[g] = append(res.Groups[g], part)
+		res.GroupOf[part] = g
+		delete(remaining, part)
+	}
+	assign(0, first)
+	seeds := []int{first}
+
+	// Lines 3–5: remaining seeds maximize distance to already-picked seeds.
+	for g := 1; g < n; g++ {
+		best, bestSum := -1, math.Inf(-1)
+		for i := range remaining {
+			var s float64
+			for _, sd := range seeds {
+				s += pp.PivotDist(i, sd)
+			}
+			if s > bestSum || (s == bestSum && (best == -1 || i < best)) {
+				best, bestSum = i, s
+			}
+		}
+		assign(g, best)
+		seeds = append(seeds, best)
+	}
+
+	// Lines 6–9: grow the smallest group by its nearest remaining pivot.
+	sizes := make([]int, n)
+	for g, parts := range res.Groups {
+		for _, i := range parts {
+			sizes[g] += sum.R[i].Count
+		}
+	}
+	for len(remaining) > 0 {
+		g := 0
+		for x := 1; x < n; x++ {
+			if sizes[x] < sizes[g] {
+				g = x
+			}
+		}
+		best, bestSum := -1, math.Inf(1)
+		for i := range remaining {
+			var s float64
+			for _, j := range res.Groups[g] {
+				s += pp.PivotDist(i, j)
+			}
+			if s < bestSum || (s == bestSum && (best == -1 || i < best)) {
+				best, bestSum = i, s
+			}
+		}
+		assign(g, best)
+		sizes[g] += sum.R[best].Count
+	}
+	sortGroups(res)
+	return res, nil
+}
+
+// Greedy implements §5.2.2: groups are seeded exactly as in Algorithm 4,
+// but each growth step picks the partition that minimizes the increase of
+// the approximated replica set RP(S, G_i) of Equation 12 — whole
+// S-partitions count as replicated as soon as their group lower bound
+// LB(P_j^S, G_i) falls to or below U(P_j^S).
+func Greedy(pp *voronoi.Partitioner, sum *voronoi.Summary, n int, thetas []float64) (*Result, error) {
+	if err := validate(pp, n); err != nil {
+		return nil, err
+	}
+	if len(thetas) != pp.NumPartitions() {
+		return nil, fmt.Errorf("grouping: %d thetas for %d partitions", len(thetas), pp.NumPartitions())
+	}
+	m := pp.NumPartitions()
+	res := &Result{Groups: make([][]int, n), GroupOf: make([]int, m)}
+	for i := range res.GroupOf {
+		res.GroupOf[i] = -1
+	}
+	remaining := make(map[int]bool, m)
+	for i := 0; i < m; i++ {
+		remaining[i] = true
+	}
+
+	// lb(P_l^S, P_i^R) per Corollary 2; +Inf when partition i holds no R
+	// objects (U = −Inf would otherwise poison the arithmetic).
+	lb := func(l, i int) float64 {
+		if sum.R[i].Count == 0 {
+			return math.Inf(1)
+		}
+		return voronoi.LBReplica(pp.PivotDist(i, l), sum.R[i].U, thetas[i])
+	}
+
+	// Per-group state: current LB(P_l^S, G) per S-partition l, current
+	// approximate replica count, and current object count for balancing.
+	groupLB := make([][]float64, n)
+	sizes := make([]int, n)
+	for g := range groupLB {
+		groupLB[g] = make([]float64, m)
+		for l := range groupLB[g] {
+			groupLB[g][l] = math.Inf(1)
+		}
+	}
+	replicated := make([][]bool, n)
+	for g := range replicated {
+		replicated[g] = make([]bool, m)
+	}
+
+	assign := func(g, part int) {
+		res.Groups[g] = append(res.Groups[g], part)
+		res.GroupOf[part] = g
+		delete(remaining, part)
+		sizes[g] += sum.R[part].Count
+		for l := 0; l < m; l++ {
+			if v := lb(l, part); v < groupLB[g][l] {
+				groupLB[g][l] = v
+			}
+			if !replicated[g][l] && sum.S[l].Count > 0 && groupLB[g][l] <= sum.S[l].U {
+				replicated[g][l] = true
+			}
+		}
+	}
+
+	// Seeding identical to Algorithm 4 (the paper reuses the framework).
+	first, bestSum := -1, math.Inf(-1)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += pp.PivotDist(i, j)
+		}
+		if s > bestSum {
+			first, bestSum = i, s
+		}
+	}
+	assign(0, first)
+	seeds := []int{first}
+	for g := 1; g < n; g++ {
+		best, bestSum := -1, math.Inf(-1)
+		for i := range remaining {
+			var s float64
+			for _, sd := range seeds {
+				s += pp.PivotDist(i, sd)
+			}
+			if s > bestSum || (s == bestSum && (best == -1 || i < best)) {
+				best, bestSum = i, s
+			}
+		}
+		assign(g, best)
+		seeds = append(seeds, best)
+	}
+
+	// Growth: smallest group first; candidate minimizing ΔRP(S, G_g).
+	for len(remaining) > 0 {
+		g := 0
+		for x := 1; x < n; x++ {
+			if sizes[x] < sizes[g] {
+				g = x
+			}
+		}
+		best, bestDelta := -1, math.Inf(1)
+		for i := range remaining {
+			var delta float64
+			for l := 0; l < m; l++ {
+				if replicated[g][l] || sum.S[l].Count == 0 {
+					continue
+				}
+				if lb(l, i) <= sum.S[l].U {
+					delta += float64(sum.S[l].Count)
+				}
+			}
+			if delta < bestDelta || (delta == bestDelta && (best == -1 || i < best)) {
+				best, bestDelta = i, delta
+			}
+		}
+		assign(g, best)
+	}
+	sortGroups(res)
+	return res, nil
+}
+
+// sortGroups orders each group's member list; group identity and content
+// are unchanged. Deterministic member order makes results reproducible.
+func sortGroups(res *Result) {
+	for _, g := range res.Groups {
+		sort.Ints(g)
+	}
+}
+
+// GroupLBs computes LB(P_j^S, G_g) of Theorem 6 for every S-partition and
+// group: the minimum of Corollary 2's per-partition thresholds over the
+// group's members. The second MapReduce job's mappers route replicas with
+// exactly this table.
+func GroupLBs(pp *voronoi.Partitioner, sum *voronoi.Summary, thetas []float64, res *Result) [][]float64 {
+	m := pp.NumPartitions()
+	out := make([][]float64, m) // out[sPartition][group]
+	for l := 0; l < m; l++ {
+		row := make([]float64, res.NumGroups())
+		for g := range row {
+			row[g] = math.Inf(1)
+		}
+		out[l] = row
+	}
+	for g, parts := range res.Groups {
+		for _, i := range parts {
+			if sum.R[i].Count == 0 {
+				continue
+			}
+			for l := 0; l < m; l++ {
+				v := voronoi.LBReplica(pp.PivotDist(i, l), sum.R[i].U, thetas[i])
+				if v < out[l][g] {
+					out[l][g] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExactReplication evaluates Theorem 7 exactly: given each S-partition's
+// full ascending pivot-distance list, it counts how many (object, group)
+// replicas the routing rule of Theorem 6 produces.
+func ExactReplication(groupLBs [][]float64, sDists [][]float64) int64 {
+	var total int64
+	for l, row := range groupLBs {
+		ds := sDists[l]
+		for _, lbv := range row {
+			// Objects with |s,p_l| ≥ lbv replicate; ds is ascending.
+			idx := sort.SearchFloat64s(ds, lbv)
+			total += int64(len(ds) - idx)
+		}
+	}
+	return total
+}
+
+// ApproxReplication evaluates Equation 12's coarse estimate: an entire
+// S-partition counts as replicated to a group as soon as any of its
+// objects would be. Greedy grouping optimizes this quantity.
+func ApproxReplication(groupLBs [][]float64, sum *voronoi.Summary) int64 {
+	var total int64
+	for l, row := range groupLBs {
+		if sum.S[l].Count == 0 {
+			continue
+		}
+		for _, lbv := range row {
+			if lbv <= sum.S[l].U {
+				total += int64(sum.S[l].Count)
+			}
+		}
+	}
+	return total
+}

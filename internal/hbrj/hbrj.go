@@ -1,0 +1,209 @@
+// Package hbrj implements H-BRJ, the comparison system of the paper's
+// evaluation (Zhang et al., EDBT'12, as described in §3 and §6): R and S
+// are split into √N random blocks each; every (R-block, S-block) pair is
+// joined by one of N reducers, which bulk-loads an R-tree over its S-block
+// and probes it for each r; a second MapReduce job merges the √N partial
+// kNN lists per object into the final result.
+//
+// Its shuffle cost is √N·(|R|+|S|) for the block job plus √N·k·|R| for the
+// merge job, and its per-reducer work has no pivot-based pruning — the two
+// costs PGBJ is designed to beat.
+package hbrj
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/rtree"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+)
+
+// Options configures an H-BRJ run.
+type Options struct {
+	K      int
+	Metric vector.Metric
+	// Fanout is the per-node capacity of the reducers' R-trees; zero
+	// selects rtree.DefaultFanout.
+	Fanout int
+}
+
+// Blocks returns √N rounded down (at least 1): the number of blocks per
+// dataset for a cluster of n nodes, as the paper prescribes.
+func Blocks(n int) int {
+	b := 1
+	for (b+1)*(b+1) <= n {
+		b++
+	}
+	return b
+}
+
+// blockOf maps an object ID to one of b random blocks; IDs may be
+// negative, so the remainder is normalized.
+func blockOf(id int64, b int) int {
+	return int(((id % int64(b)) + int64(b))) % b
+}
+
+// Run executes H-BRJ: the block join job followed by the merge job.
+// rFile and sFile must contain Tagged records; outFile receives one
+// codec.Result per R object.
+func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("hbrj: k must be positive, got %d", opts.K)
+	}
+	b := Blocks(cluster.Nodes())
+	report := &stats.Report{
+		Algorithm: "H-BRJ",
+		K:         opts.K,
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	partialFile := outFile + ".partial"
+	job := &mapreduce.Job{
+		Name:        "hbrj-block-join",
+		Input:       []string{rFile, sFile},
+		Output:      partialFile,
+		NumReducers: b * b,
+		Partition: func(key string, n int) int {
+			id, _ := strconv.Atoi(key)
+			return id % n
+		},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			switch t.Src {
+			case codec.FromR:
+				// R-block a joins every S-block: reducers (a, 0..b-1).
+				a := blockOf(t.ID, b)
+				for col := 0; col < b; col++ {
+					emit(strconv.Itoa(a*b+col), rec)
+				}
+			case codec.FromS:
+				col := blockOf(t.ID, b)
+				ctx.Counter("replicas_s", int64(b))
+				for a := 0; a < b; a++ {
+					emit(strconv.Itoa(a*b+col), rec)
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+			var rs, ss []codec.Object
+			for _, v := range values {
+				t, err := codec.DecodeTagged(v)
+				if err != nil {
+					return err
+				}
+				if t.Src == codec.FromR {
+					rs = append(rs, t.Object)
+				} else {
+					ss = append(ss, t.Object)
+				}
+			}
+			tree := rtree.Bulk(ss, rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
+			for _, r := range rs {
+				cands := tree.KNN(r.Point, opts.K)
+				nbs := make([]codec.Neighbor, len(cands))
+				for i, c := range cands {
+					nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+				}
+				emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+			}
+			ctx.Counter("pairs", tree.DistCount)
+			ctx.AddWork(tree.DistCount)
+			return nil
+		},
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Block Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+
+	ms, err := MergeResults(cluster, partialFile, outFile, opts.K)
+	cluster.FS().Remove(partialFile)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Result Merging", ms.Wall())
+	report.ShuffleBytes += ms.ShuffleBytes
+	report.ShuffleRecords += ms.ShuffleRecords
+	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
+	report.OutputPairs = ms.Counters["result_pairs"]
+	return report, nil
+}
+
+// MergeResults is the second MapReduce job shared by H-BRJ and PBJ: it
+// groups partial kNN lists by R object and keeps the k global best. The
+// input file holds codec.Result records; so does the output.
+func MergeResults(cluster *mapreduce.Cluster, inFile, outFile string, k int) (*mapreduce.JobStats, error) {
+	job := &mapreduce.Job{
+		Name:   "knn-merge",
+		Input:  []string{inFile},
+		Output: outFile,
+		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			res, err := codec.DecodeResult(rec)
+			if err != nil {
+				return err
+			}
+			emit(strconv.FormatInt(res.RID, 10), rec)
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emit) error {
+			rid, err := strconv.ParseInt(key, 10, 64)
+			if err != nil {
+				return err
+			}
+			// Partial lists may overlap (e.g. H-zkNNJ finds the same s
+			// under several shifts); a kNN list is a set, so dedupe by
+			// neighbor ID before ranking.
+			best := make(map[int64]float64)
+			for _, v := range values {
+				res, err := codec.DecodeResult(v)
+				if err != nil {
+					return err
+				}
+				for _, nb := range res.Neighbors {
+					if d, ok := best[nb.ID]; !ok || nb.Dist < d {
+						best[nb.ID] = nb.Dist
+					}
+				}
+			}
+			ids := make([]int64, 0, len(best))
+			for id := range best {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			heap := nnheap.NewKHeap(k)
+			for _, id := range ids {
+				heap.Push(nnheap.Candidate{ID: id, Dist: best[id]})
+			}
+			cands := heap.Sorted()
+			nbs := make([]codec.Neighbor, len(cands))
+			for i, c := range cands {
+				nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+			}
+			ctx.Counter("result_pairs", int64(len(nbs)))
+			emit("", codec.EncodeResult(codec.Result{RID: rid, Neighbors: nbs}))
+			return nil
+		},
+	}
+	return cluster.Run(job)
+}

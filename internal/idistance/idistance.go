@@ -1,0 +1,293 @@
+// Package idistance implements the iDistance index of Jagadish, Ooi, Tan,
+// Yu and Zhang (refs [9] and [20] of the paper) and the centralized kNN
+// join built on it, IJoin-style (ref [19]).
+//
+// iDistance is the single-machine ancestor of the paper's partitioning:
+// objects are assigned to their closest reference point (pivot), mapped
+// onto the one-dimensional key i·c + |o, p_i|, and stored in a B+-tree.
+// A kNN query runs an expanding ring search: for radius r, each partition
+// whose annulus intersects the query sphere contributes the key range
+// [i·c + max(L_i, |q,p_i| − r), i·c + min(U_i, |q,p_i| + r)] — exactly the
+// window the paper generalizes as Theorem 2.
+//
+// The package exists both as a working index and as executable provenance
+// for the paper's §2.3 bounds.
+package idistance
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"knnjoin/internal/bptree"
+	"knnjoin/internal/codec"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/vector"
+)
+
+// Options configures index construction.
+type Options struct {
+	// Metric is the distance measure; zero value is L2.
+	Metric vector.Metric
+	// NumPivots is the number of reference points; zero picks ≈ 2·√n
+	// (the iDistance paper suggests a few dozen to a few hundred).
+	NumPivots int
+	// PivotStrategy defaults to k-means, the iDistance paper's
+	// recommendation (cluster centers as reference points).
+	PivotStrategy pivot.Strategy
+	// Seed fixes pivot selection.
+	Seed int64
+	// Order is the B+-tree node capacity; zero picks the default.
+	Order int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.NumPivots <= 0 {
+		o.NumPivots = 2 * intSqrt(n)
+	}
+	if o.NumPivots < 1 {
+		o.NumPivots = 1
+	}
+	if o.NumPivots > n {
+		o.NumPivots = n
+	}
+	return o
+}
+
+func intSqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// Index is an iDistance index over a dataset.
+type Index struct {
+	metric vector.Metric
+	pivots []vector.Point
+	c      float64 // partition key stride, > max partition radius
+	lo, hi []float64
+	tree   *bptree.Tree
+	objs   []codec.Object // tree values are indexes into objs
+
+	// DistCount accrues distance computations across queries.
+	DistCount int64
+}
+
+// Build constructs the index. Objects are copied; objs may be reused.
+func Build(objs []codec.Object, opts Options) (*Index, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("idistance: cannot build over an empty dataset")
+	}
+	opts = opts.withDefaults(len(objs))
+	strategy := opts.PivotStrategy
+	if strategy == pivot.Random && opts.NumPivots > 1 {
+		strategy = pivot.KMeans
+	}
+	pivots, err := pivot.Select(strategy, objs, opts.NumPivots, pivot.Options{
+		Metric: opts.Metric,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		metric: opts.Metric,
+		pivots: pivots,
+		lo:     make([]float64, len(pivots)),
+		hi:     make([]float64, len(pivots)),
+		objs:   append([]codec.Object(nil), objs...),
+	}
+	for i := range ix.lo {
+		ix.lo[i] = math.Inf(1)
+		ix.hi[i] = math.Inf(-1)
+	}
+	// First pass: assignments and per-partition radii, to fix the stride.
+	parts := make([]int, len(objs))
+	dists := make([]float64, len(objs))
+	for x, o := range objs {
+		best, bestD := 0, opts.Metric.Dist(o.Point, pivots[0])
+		for i := 1; i < len(pivots); i++ {
+			if d := opts.Metric.Dist(o.Point, pivots[i]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		parts[x], dists[x] = best, bestD
+		if bestD < ix.lo[best] {
+			ix.lo[best] = bestD
+		}
+		if bestD > ix.hi[best] {
+			ix.hi[best] = bestD
+		}
+	}
+	maxRad := 0.0
+	for i := range ix.hi {
+		if !math.IsInf(ix.hi[i], -1) && ix.hi[i] > maxRad {
+			maxRad = ix.hi[i]
+		}
+	}
+	ix.c = maxRad*1.0625 + 1 // strictly larger than any radius
+	ix.tree = bptree.New(opts.Order)
+	for x := range objs {
+		ix.tree.Insert(float64(parts[x])*ix.c+dists[x], int64(x))
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return len(ix.objs) }
+
+// NumPartitions returns the reference-point count.
+func (ix *Index) NumPartitions() int { return len(ix.pivots) }
+
+// KNN returns the k nearest objects to q, ascending by distance (ties by
+// ID), via the iDistance expanding ring search.
+func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
+	if k <= 0 || len(ix.objs) == 0 {
+		return nil
+	}
+	qDist := make([]float64, len(ix.pivots))
+	for i, p := range ix.pivots {
+		qDist[i] = ix.metric.Dist(q, p)
+		ix.DistCount++
+	}
+
+	heap := nnheap.NewKHeap(k)
+	// visited guards against re-verifying an object when ring growth
+	// re-opens an already-scanned window.
+	visited := make([]bool, len(ix.objs))
+
+	r := ix.c / 16
+	if r <= 0 {
+		r = 1
+	}
+	maxR := 0.0
+	for i := range ix.pivots {
+		if !math.IsInf(ix.hi[i], -1) && qDist[i]+ix.hi[i] > maxR {
+			maxR = qDist[i] + ix.hi[i]
+		}
+	}
+	for {
+		for i := range ix.pivots {
+			if math.IsInf(ix.hi[i], -1) {
+				continue // empty partition
+			}
+			// Theorem-2 window for radius r.
+			lo := math.Max(ix.lo[i], qDist[i]-r)
+			hi := math.Min(ix.hi[i], qDist[i]+r)
+			if lo > hi {
+				continue
+			}
+			ix.scan(q, i, lo, hi, heap, visited)
+		}
+		if heap.Full() && heap.Top().Dist <= r {
+			break // the k-th candidate is inside the verified radius
+		}
+		if r > maxR {
+			break // the whole dataset has been covered
+		}
+		r *= 2
+	}
+	return heap.Sorted()
+}
+
+// scan verifies all not-yet-visited objects of partition i whose pivot
+// distance lies in [lo, hi].
+func (ix *Index) scan(q vector.Point, i int, lo, hi float64, heap *nnheap.KHeap, visited []bool) {
+	base := float64(i) * ix.c
+	for _, it := range ix.tree.Range(base+lo, base+hi) {
+		if visited[it.Value] {
+			continue
+		}
+		visited[it.Value] = true
+		o := ix.objs[it.Value]
+		d := ix.metric.Dist(q, o.Point)
+		ix.DistCount++
+		heap.Push(nnheap.Candidate{ID: o.ID, Dist: d})
+	}
+}
+
+// Range returns all objects within radius of q in ID order — Definition 3
+// answered through the B+-tree windows.
+func (ix *Index) Range(q vector.Point, radius float64) []codec.Object {
+	var out []codec.Object
+	for i := range ix.pivots {
+		if math.IsInf(ix.hi[i], -1) {
+			continue
+		}
+		qd := ix.metric.Dist(q, ix.pivots[i])
+		ix.DistCount++
+		lo := math.Max(ix.lo[i], qd-radius)
+		hi := math.Min(ix.hi[i], qd+radius)
+		if lo > hi {
+			continue
+		}
+		base := float64(i) * ix.c
+		for _, it := range ix.tree.Range(base+lo, base+hi) {
+			o := ix.objs[it.Value]
+			ix.DistCount++
+			if ix.metric.Dist(q, o.Point) <= radius {
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Join computes the exact centralized kNN join R ⋉ S in the manner of
+// IJoin [19]: build one iDistance index over S and probe it for every r,
+// parallelized over the available cores. Results are ordered by R object
+// ID.
+func Join(rObjs, sObjs []codec.Object, k int, opts Options) ([]codec.Result, *Index, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("idistance: k must be positive, got %d", k)
+	}
+	ix, err := Build(sObjs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]codec.Result, len(rObjs))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	var distMu sync.Mutex
+	var totalDist int64
+	chunk := (len(rObjs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(rObjs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(rObjs) {
+			hi = len(rObjs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Shadow index shares storage but keeps a private DistCount so
+			// workers don't race on the counter.
+			shadow := *ix
+			shadow.DistCount = 0
+			for x := lo; x < hi; x++ {
+				cands := shadow.KNN(rObjs[x].Point, k)
+				nbs := make([]codec.Neighbor, len(cands))
+				for j, c := range cands {
+					nbs[j] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+				}
+				out[x] = codec.Result{RID: rObjs[x].ID, Neighbors: nbs}
+			}
+			distMu.Lock()
+			totalDist += shadow.DistCount
+			distMu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	ix.DistCount += totalDist
+	sort.Slice(out, func(a, b int) bool { return out[a].RID < out[b].RID })
+	return out, ix, nil
+}

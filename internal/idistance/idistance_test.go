@@ -1,0 +1,261 @@
+package idistance
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/naive"
+	"knnjoin/internal/vector"
+)
+
+func bruteDists(objs []codec.Object, q vector.Point, k int, m vector.Metric) []float64 {
+	ds := make([]float64, len(objs))
+	for i, o := range objs {
+		ds[i] = m.Dist(q, o.Point)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty build accepted")
+	}
+	if _, _, err := Join(nil, nil, 0, Options{}); err == nil {
+		t.Fatal("k=0 join accepted")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	objs := dataset.Forest(3000, 31)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		q := objs[rng.Intn(len(objs))].Point.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * 20
+		}
+		k := rng.Intn(12) + 1
+		got := ix.KNN(q, k)
+		want := bruteDists(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNSkewedData(t *testing.T) {
+	objs := dataset.OSM(4000, 33)
+	ix, err := Build(objs, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 30; trial++ {
+		q := vector.Point{rng.Float64()*360 - 180, rng.Float64()*170 - 85}
+		got := ix.KNN(q, 6)
+		want := bruteDists(objs, q, 6, vector.L2)
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNNoDuplicateNeighbors(t *testing.T) {
+	objs := dataset.Uniform(500, 3, 100, 35)
+	ix, err := Build(objs, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 40; trial++ {
+		q := dataset.Uniform(1, 3, 100, rng.Int63())[0].Point
+		got := ix.KNN(q, 20)
+		seen := make(map[int64]bool)
+		for _, c := range got {
+			if seen[c.ID] {
+				t.Fatalf("duplicate neighbor %d (ring-growth double count)", c.ID)
+			}
+			seen[c.ID] = true
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	objs := dataset.Uniform(15, 2, 10, 37)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.KNN(vector.Point{5, 5}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := ix.KNN(vector.Point{5, 5}, 50); len(got) != 15 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	// A query far outside the dataset still terminates and is exact.
+	far := vector.Point{1e6, -1e6}
+	got := ix.KNN(far, 3)
+	want := bruteDists(objs, far, 3, vector.L2)
+	for i := range want {
+		if math.Abs(got[i].Dist-want[i]) > 1e-6 {
+			t.Fatalf("far query pos %d: %v, want %v", i, got[i].Dist, want[i])
+		}
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	objs := dataset.Uniform(2000, 3, 100, 38)
+	ix, err := Build(objs, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(39))
+	for trial := 0; trial < 40; trial++ {
+		q := dataset.Uniform(1, 3, 100, rng.Int63())[0].Point
+		radius := rng.Float64() * 30
+		got := ix.Range(q, radius)
+		var want []int64
+		for _, o := range objs {
+			if vector.Dist(q, o.Point) <= radius {
+				want = append(want, o.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i] {
+				t.Fatalf("trial %d pos %d: %d, want %d", trial, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNPrunes(t *testing.T) {
+	objs := dataset.OSM(20000, 40)
+	ix, err := Build(objs, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.DistCount = 0
+	rng := rand.New(rand.NewSource(41))
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		ix.KNN(objs[rng.Intn(len(objs))].Point, 10)
+	}
+	if perQuery := ix.DistCount / queries; perQuery > int64(len(objs))/2 {
+		t.Fatalf("avg %d distances per query — iDistance pruning ineffective", perQuery)
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rObjs := dataset.Uniform(300, 4, 100, 42)
+	sObjs := dataset.Uniform(400, 4, 100, 43)
+	got, ix, err := Join(rObjs, sObjs, 5, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.DistCount <= 0 {
+		t.Fatal("join recorded no distance computations")
+	}
+	want, _ := naive.BruteForce(rObjs, sObjs, 5, vector.L2)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID {
+			t.Fatalf("row %d RID %d, want %d", i, got[i].RID, want[i].RID)
+		}
+		for j := range want[i].Neighbors {
+			if math.Abs(got[i].Neighbors[j].Dist-want[i].Neighbors[j].Dist) > 1e-9 {
+				t.Fatalf("r %d nb %d: %v, want %v", got[i].RID, j,
+					got[i].Neighbors[j].Dist, want[i].Neighbors[j].Dist)
+			}
+		}
+	}
+}
+
+func TestJoinSelfJoinForest(t *testing.T) {
+	objs := dataset.Forest(800, 44)
+	got, _, err := Join(objs, objs, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range got {
+		if res.Neighbors[0].Dist != 0 {
+			t.Fatalf("r %d nearest dist %v, want 0 (self)", res.RID, res.Neighbors[0].Dist)
+		}
+	}
+}
+
+// Property: exactness holds for arbitrary shapes and pivot counts.
+func TestKNNCorrectQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, pRaw uint8) bool {
+		n := int(nRaw)%120 + 1
+		k := int(kRaw)%8 + 1
+		objs := dataset.Uniform(n, 3, 100, seed)
+		ix, err := Build(objs, Options{Seed: seed, NumPivots: int(pRaw)%n + 1})
+		if err != nil {
+			return false
+		}
+		q := dataset.Uniform(1, 3, 100, seed+1)[0].Point
+		got := ix.KNN(q, k)
+		want := bruteDists(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(objs, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := objs[3].Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.KNN(q, 10)
+	}
+}

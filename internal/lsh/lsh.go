@@ -1,0 +1,312 @@
+// Package lsh implements an LSH-based approximate kNN join on MapReduce
+// in the style of RankReduce (Stupar, Michel, Schenkel — LSDS-IR'10),
+// the method the paper cites as reference [15] and excludes from its
+// exact comparison (§7).
+//
+// The hash family is the p-stable scheme for the Euclidean metric
+// (Gionis et al. [7]; Datar et al.): h(v) = ⌊(a·v + b)/w⌋ with a drawn
+// from a Gaussian and b uniform in [0, w). Each of L tables concatenates
+// m such hashes into a bucket signature, so near objects collide in at
+// least one table with high probability. The join hashes R ∪ S into
+// buckets (the map), computes in-bucket candidates (the reduce), and
+// merges the L per-table candidate lists per object with the shared
+// merge job.
+//
+// Like H-zkNNJ the result is approximate: every reported neighbor is a
+// real S object at its true distance, but a true neighbor that hashes
+// into a different bucket than r in every table is missed. Recall rises
+// with the table count L and falls with stricter signatures (more
+// hashes per table), both at proportional shuffle and computation cost.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/hbrj"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+)
+
+// Options configures a RankReduce-style LSH join.
+type Options struct {
+	// K is the number of neighbors. Required, positive.
+	K int
+	// Tables is L, the number of independent hash tables. Default 4.
+	Tables int
+	// Hashes is m, the number of concatenated hash functions per table.
+	// Larger m makes buckets stricter (higher precision, lower recall).
+	// Default 4.
+	Hashes int
+	// BucketWidth is w of the p-stable family. Zero selects an automatic
+	// width: twice the mean k-th-neighbor distance estimated on a sample,
+	// so a bucket tends to span one k-neighborhood.
+	BucketWidth float64
+	// SampleSize bounds the driver-side sample used to estimate the
+	// automatic bucket width. Default 2048.
+	SampleSize int
+	// Seed fixes the hash functions and the sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.K <= 0 {
+		return o, fmt.Errorf("lsh: k must be positive, got %d", o.K)
+	}
+	if o.Tables <= 0 {
+		o.Tables = 4
+	}
+	if o.Hashes <= 0 {
+		o.Hashes = 4
+	}
+	if o.BucketWidth < 0 {
+		return o, fmt.Errorf("lsh: bucket width must not be negative, got %g", o.BucketWidth)
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 2048
+	}
+	return o, nil
+}
+
+// table is one p-stable hash table: m Gaussian projection vectors and
+// their uniform offsets. Signatures are ⌊(a_i·v + b_i)/w⌋ for each i.
+type table struct {
+	a [][]float64
+	b []float64
+}
+
+// signature writes v's bucket signature under t into dst (reused across
+// calls) and returns it.
+func (t *table) signature(dst []int64, v vector.Point, w float64) []int64 {
+	dst = dst[:0]
+	for i, a := range t.a {
+		var dot float64
+		for d, x := range v {
+			dot += a[d] * x
+		}
+		dst = append(dst, int64(math.Floor((dot+t.b[i])/w)))
+	}
+	return dst
+}
+
+// newTables draws L tables of m Gaussian projections over dim dimensions.
+func newTables(rng *rand.Rand, l, m, dim int, w float64) []table {
+	ts := make([]table, l)
+	for t := range ts {
+		ts[t].a = make([][]float64, m)
+		ts[t].b = make([]float64, m)
+		for i := 0; i < m; i++ {
+			a := make([]float64, dim)
+			for d := range a {
+				a[d] = rng.NormFloat64()
+			}
+			ts[t].a[i] = a
+			ts[t].b[i] = rng.Float64() * w
+		}
+	}
+	return ts
+}
+
+// bucketKey renders a table index and signature as a shuffle key.
+func bucketKey(t int, sig []int64) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(t))
+	for _, v := range sig {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return b.String()
+}
+
+// Run executes the approximate join. rFile and sFile must contain Tagged
+// records; outFile receives one codec.Result per R object holding its
+// approximate k nearest neighbors. The L2 metric is assumed — the
+// p-stable hash family is Euclidean.
+func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	report := &stats.Report{
+		Algorithm: "RankReduce",
+		K:         opts.K,
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	// ---- Driver: sample, estimate bucket width, draw hash tables -------
+	prepStart := time.Now()
+	sample, dims, err := sampleTagged(cluster.FS(), opts.SampleSize, opts.Seed, rFile, sFile)
+	if err != nil {
+		return nil, err
+	}
+	w := opts.BucketWidth
+	if w == 0 {
+		w = estimateWidth(sample, opts.K)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tables := newTables(rng, opts.Tables, opts.Hashes, dims, w)
+	report.AddPhase("LSH Preprocessing", time.Since(prepStart))
+
+	// ---- Job 1: hash into buckets, join within buckets -----------------
+	partialFile := outFile + ".partial"
+	job := &mapreduce.Job{
+		Name:   "lsh-bucket-join",
+		Input:  []string{rFile, sFile},
+		Output: partialFile,
+		Side:   map[string]any{"tables": tables, "w": w, "opts": opts},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			tables := ctx.Side("tables").([]table)
+			w := ctx.Side("w").(float64)
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			sig := make([]int64, 0, opts.Hashes)
+			for ti := range tables {
+				sig = tables[ti].signature(sig, t.Point, w)
+				emit(bucketKey(ti, sig), rec)
+				if t.Src == codec.FromS {
+					ctx.Counter("replicas_s", 1)
+				}
+			}
+			return nil
+		},
+		Reduce: bucketReduce,
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Bucket Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+
+	// ---- Job 2: merge the L candidate lists per object ------------------
+	ms, err := hbrj.MergeResults(cluster, partialFile, outFile, opts.K)
+	cluster.FS().Remove(partialFile)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Result Merging", ms.Wall())
+	report.ShuffleBytes += ms.ShuffleBytes
+	report.ShuffleRecords += ms.ShuffleRecords
+	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
+	report.OutputPairs = ms.Counters["result_pairs"]
+	return report, nil
+}
+
+// bucketReduce joins one bucket: every R object in it is paired with
+// every S object in it. Each r gets a partial Result — empty when the
+// bucket holds no S objects, so the merge job still emits a line for it.
+func bucketReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+	opts := ctx.Side("opts").(Options)
+	var rs, ss []codec.Object
+	for _, v := range values {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return err
+		}
+		if t.Src == codec.FromR {
+			rs = append(rs, t.Object)
+		} else {
+			ss = append(ss, t.Object)
+		}
+	}
+	heap := nnheap.NewKHeap(opts.K)
+	for _, r := range rs {
+		heap.Reset()
+		for _, s := range ss {
+			heap.Push(nnheap.Candidate{ID: s.ID, Dist: vector.Dist(r.Point, s.Point)})
+		}
+		cands := heap.Sorted()
+		nbs := make([]codec.Neighbor, len(cands))
+		for i, c := range cands {
+			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+		}
+		emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+	}
+	pairs := int64(len(rs)) * int64(len(ss))
+	ctx.Counter("pairs", pairs)
+	ctx.AddWork(pairs)
+	return nil
+}
+
+// sampleTagged draws up to n objects uniformly from the named Tagged
+// files and reports the dimensionality.
+func sampleTagged(fs *dfs.FS, n int, seed int64, names ...string) ([]codec.Object, int, error) {
+	var all []codec.Object
+	for _, name := range names {
+		recs, err := fs.Read(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, rec := range recs {
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return nil, 0, err
+			}
+			all = append(all, t.Object)
+		}
+	}
+	if len(all) == 0 {
+		return nil, 0, fmt.Errorf("lsh: empty input")
+	}
+	dims := all[0].Point.Dim()
+	if n >= len(all) {
+		return all, dims, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(all))[:n]
+	out := make([]codec.Object, n)
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out, dims, nil
+}
+
+// estimateWidth returns twice the mean k-th-neighbor distance over up to
+// 64 sample points, measured within the sample — a bucket width at which
+// one bucket tends to cover one k-neighborhood. Falls back to 1 when the
+// sample is degenerate (all points coincide).
+func estimateWidth(sample []codec.Object, k int) float64 {
+	probes := len(sample)
+	if probes > 64 {
+		probes = 64
+	}
+	heap := nnheap.NewKHeap(k)
+	var sum float64
+	var cnt int
+	for i := 0; i < probes; i++ {
+		heap.Reset()
+		for j, o := range sample {
+			if j == i {
+				continue
+			}
+			heap.Push(nnheap.Candidate{ID: o.ID, Dist: vector.Dist(sample[i].Point, o.Point)})
+		}
+		if heap.Len() == 0 {
+			continue
+		}
+		sum += heap.Top().Dist // k-th smallest (max of the heap)
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 1
+	}
+	return 2 * sum / float64(cnt)
+}

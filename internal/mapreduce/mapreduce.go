@@ -1,0 +1,526 @@
+// Package mapreduce is an in-process MapReduce runtime with Hadoop-like
+// semantics, built to host the paper's two-job kNN-join pipeline.
+//
+// It reproduces the properties the paper's algorithms and measurements
+// depend on:
+//
+//   - map tasks consume DFS input splits (one task per split, §2.2);
+//   - intermediate key-value pairs are hash-partitioned across N reducers,
+//     grouped by key, and keys are processed in sorted order;
+//   - every byte crossing the shuffle is counted, which is exactly the
+//     "shuffling cost" series of Figures 8–12;
+//   - the simulated cluster has a fixed number of nodes, each running one
+//     map and one reduce slot (the paper's Hadoop configuration), and the
+//     engine reports both wall-clock phase times and a deterministic
+//     simulated makespan based on user-reported work units;
+//   - tasks can fail and are retried, so the fault-tolerance path the
+//     paper credits MapReduce for is present and testable.
+//
+// Jobs are expressed with plain functions rather than an interface zoo:
+// a Map function, an optional Reduce function (nil makes a map-only job,
+// as the paper's first job is), and optional Combine/Setup hooks.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"knnjoin/internal/dfs"
+)
+
+// KV is an intermediate key-value pair.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Emit is the output callback handed to map, combine and reduce functions.
+type Emit func(key string, value []byte)
+
+// MapFunc processes one input record. ctx carries side data and counters.
+type MapFunc func(ctx *TaskContext, record dfs.Record, emit Emit) error
+
+// ReduceFunc processes one key group. values holds every value emitted for
+// key, in map-task order. The same signature serves combiners.
+type ReduceFunc func(ctx *TaskContext, key string, values [][]byte, emit Emit) error
+
+// SetupFunc runs once per task before any record is processed — the
+// paper's "map-setup" hook of Algorithm 3, used there to precompute the
+// LB(P_j^S, G_i) table.
+type SetupFunc func(ctx *TaskContext) error
+
+// PartitionFunc routes a key to one of n reducers.
+type PartitionFunc func(key string, n int) int
+
+// DefaultPartition hashes the key with FNV-1a, Hadoop-style.
+func DefaultPartition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name   string
+	Input  []string // DFS input files
+	Output string   // DFS output file; reduce (or map-only) emissions land here
+
+	Map         MapFunc
+	MapSetup    SetupFunc
+	Reduce      ReduceFunc // nil ⇒ map-only job
+	ReduceSetup SetupFunc
+	Combine     ReduceFunc // optional map-side combiner
+	Partition   PartitionFunc
+
+	NumReducers int // defaults to the cluster's node count
+
+	// Side is read-only data shipped to every task, the equivalent of
+	// Hadoop's distributed cache (the paper ships the pivot set this way).
+	Side map[string]any
+
+	// MaxAttempts bounds task retries. Zero means 1 attempt.
+	MaxAttempts int
+
+	// FailTask, when non-nil, is consulted before each task attempt and
+	// may return an injected error — used by tests to exercise retries.
+	FailTask func(taskID string, attempt int) error
+}
+
+// TaskContext is the per-task environment passed to user functions.
+type TaskContext struct {
+	// JobName and TaskID identify the running task, e.g. "knn/map/3".
+	JobName string
+	TaskID  string
+
+	side     map[string]any
+	counters *CounterSet
+	work     int64
+}
+
+// Side returns the named side-data value, or nil when absent.
+func (c *TaskContext) Side(name string) any { return c.side[name] }
+
+// Counter adds delta to the named user counter.
+func (c *TaskContext) Counter(name string, delta int64) { c.counters.Add(name, delta) }
+
+// AddWork reports abstract work units (the repo uses distance
+// computations) consumed by this task. The scheduler turns per-task work
+// into the simulated makespans reported in JobStats.
+func (c *TaskContext) AddWork(units int64) { c.work += units }
+
+// CounterSet is a concurrency-safe named-counter bag.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (s *CounterSet) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.m[name] += delta
+	s.mu.Unlock()
+}
+
+// Get returns the named counter's value.
+func (s *CounterSet) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// JobStats reports what one job did and what it cost.
+type JobStats struct {
+	Job               string
+	MapTasks          int
+	ReduceTasks       int
+	MapInputRecords   int64
+	ShuffleRecords    int64 // records crossing the shuffle (post-combine)
+	ShuffleBytes      int64 // key+value bytes crossing the shuffle
+	ReduceGroups      int64
+	OutputRecords     int64
+	MapWall           time.Duration
+	ReduceWall        time.Duration
+	SimMapMakespan    int64 // greedy-scheduled max work per node, map phase
+	SimReduceMakespan int64
+	// ReduceInputRecords holds each reduce task's input record count —
+	// the raw material of load-balance analysis (the paper's §6.1.1
+	// "unbalanced workload" discussion made measurable).
+	ReduceInputRecords []int64
+	Counters           map[string]int64
+}
+
+// ReduceSkew returns the max-over-mean ratio of reduce-task input sizes:
+// 1 is perfect balance; the job's critical path grows with this factor.
+// Jobs with no reduce input report 0.
+func (s JobStats) ReduceSkew() float64 {
+	var total, max int64
+	for _, n := range s.ReduceInputRecords {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(s.ReduceInputRecords))
+	return float64(max) / mean
+}
+
+// Total wall time of the job's compute phases.
+func (s JobStats) Wall() time.Duration { return s.MapWall + s.ReduceWall }
+
+// Cluster is a simulated shared-nothing cluster: a DFS plus a fixed number
+// of nodes, each contributing one map slot and one reduce slot.
+type Cluster struct {
+	fs    *dfs.FS
+	nodes int
+}
+
+// NewCluster creates a cluster of n nodes over fs. n must be positive.
+func NewCluster(fs *dfs.FS, n int) *Cluster {
+	if n <= 0 {
+		panic("mapreduce: cluster needs at least one node")
+	}
+	return &Cluster{fs: fs, nodes: n}
+}
+
+// FS returns the cluster's filesystem.
+func (c *Cluster) FS() *dfs.FS { return c.fs }
+
+// Nodes returns the number of simulated nodes.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// taskResult carries one finished map task's bucketed output.
+type taskResult struct {
+	index   int
+	buckets [][]KV // one slice per reducer
+	work    int64
+}
+
+// Run executes the job and returns its statistics. On any task error
+// (after retries) the job aborts with that error.
+func (c *Cluster) Run(job *Job) (*JobStats, error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no Map function", job.Name)
+	}
+	if job.Output == "" {
+		return nil, fmt.Errorf("mapreduce: job %q has no Output file", job.Name)
+	}
+	nReduce := job.NumReducers
+	if nReduce <= 0 {
+		nReduce = c.nodes
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = DefaultPartition
+	}
+	maxAttempts := job.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+
+	splits, err := c.fs.Splits(job.Input...)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+
+	counters := NewCounterSet()
+	stats := &JobStats{Job: job.Name, MapTasks: len(splits), ReduceTasks: nReduce}
+
+	// ---- Map phase ----------------------------------------------------
+	mapStart := time.Now()
+	results := make([]*taskResult, len(splits))
+	mapWork := make([]int64, len(splits))
+	err = c.runParallel(len(splits), func(i int) error {
+		res, werr := c.runMapTask(job, splits[i], i, nReduce, partition, counters, maxAttempts)
+		if werr != nil {
+			return werr
+		}
+		results[i] = res
+		mapWork[i] = res.work
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.MapWall = time.Since(mapStart)
+	for _, sp := range splits {
+		stats.MapInputRecords += int64(len(sp.Records))
+	}
+	stats.SimMapMakespan = makespan(mapWork, c.nodes)
+
+	if job.Reduce == nil {
+		// Map-only job: emissions of every task land in the output file in
+		// task order, values only (the key is advisory for map-only jobs).
+		var out []dfs.Record
+		for _, res := range results {
+			for _, bucket := range res.buckets {
+				for _, kv := range bucket {
+					out = append(out, dfs.Record(kv.Value))
+				}
+			}
+		}
+		c.fs.Write(job.Output, out)
+		stats.OutputRecords = int64(len(out))
+		stats.Counters = counters.Snapshot()
+		return stats, nil
+	}
+
+	// ---- Shuffle --------------------------------------------------------
+	// Deliver each map task's buckets to the reducers, counting bytes, then
+	// group by key with keys in sorted order (Hadoop's sort phase).
+	perReducer := make([][]KV, nReduce)
+	for _, res := range results {
+		for r, bucket := range res.buckets {
+			for _, kv := range bucket {
+				stats.ShuffleRecords++
+				stats.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+			perReducer[r] = append(perReducer[r], bucket...)
+		}
+	}
+	stats.ReduceInputRecords = make([]int64, nReduce)
+	for r := range perReducer {
+		stats.ReduceInputRecords[r] = int64(len(perReducer[r]))
+	}
+
+	// ---- Reduce phase ---------------------------------------------------
+	reduceStart := time.Now()
+	outputs := make([][]dfs.Record, nReduce)
+	reduceWork := make([]int64, nReduce)
+	var groupCount int64
+	var groupMu sync.Mutex
+	err = c.runParallel(nReduce, func(r int) error {
+		recs, groups, work, rerr := c.runReduceTask(job, r, perReducer[r], counters, maxAttempts)
+		if rerr != nil {
+			return rerr
+		}
+		outputs[r] = recs
+		reduceWork[r] = work
+		groupMu.Lock()
+		groupCount += groups
+		groupMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.ReduceWall = time.Since(reduceStart)
+	stats.ReduceGroups = groupCount
+	stats.SimReduceMakespan = makespan(reduceWork, c.nodes)
+
+	var out []dfs.Record
+	for _, recs := range outputs {
+		out = append(out, recs...)
+	}
+	c.fs.Write(job.Output, out)
+	stats.OutputRecords = int64(len(out))
+	stats.Counters = counters.Snapshot()
+	return stats, nil
+}
+
+func (c *Cluster) runMapTask(job *Job, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, maxAttempts int) (*taskResult, error) {
+	taskID := fmt.Sprintf("%s/map/%d", job.Name, index)
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		res, err := c.attemptMapTask(job, split, index, nReduce, partition, counters, taskID, attempt)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, maxAttempts, lastErr)
+}
+
+func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, taskID string, attempt int) (*taskResult, error) {
+	if job.FailTask != nil {
+		if err := job.FailTask(taskID, attempt); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, side: job.Side, counters: counters}
+	if job.MapSetup != nil {
+		if err := job.MapSetup(ctx); err != nil {
+			return nil, fmt.Errorf("map setup: %w", err)
+		}
+	}
+	res := &taskResult{index: index, buckets: make([][]KV, nReduce)}
+	emit := func(key string, value []byte) {
+		r := 0
+		if nReduce > 1 {
+			r = partition(key, nReduce)
+			if r < 0 || r >= nReduce {
+				panic(fmt.Sprintf("mapreduce: partition function returned %d for %d reducers", r, nReduce))
+			}
+		}
+		res.buckets[r] = append(res.buckets[r], KV{Key: key, Value: value})
+	}
+	for _, rec := range split.Records {
+		if err := job.Map(ctx, rec, emit); err != nil {
+			return nil, fmt.Errorf("map record: %w", err)
+		}
+	}
+	if job.Combine != nil {
+		for r := range res.buckets {
+			combined, err := combineBucket(ctx, job.Combine, res.buckets[r])
+			if err != nil {
+				return nil, fmt.Errorf("combine: %w", err)
+			}
+			res.buckets[r] = combined
+		}
+	}
+	res.work = ctx.work
+	return res, nil
+}
+
+func combineBucket(ctx *TaskContext, combine ReduceFunc, bucket []KV) ([]KV, error) {
+	if len(bucket) == 0 {
+		return bucket, nil
+	}
+	groups, keys := groupByKey(bucket)
+	out := make([]KV, 0, len(keys))
+	emit := func(key string, value []byte) {
+		out = append(out, KV{Key: key, Value: value})
+	}
+	for _, k := range keys {
+		if err := combine(ctx, k, groups[k], emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Cluster) runReduceTask(job *Job, index int, input []KV, counters *CounterSet, maxAttempts int) ([]dfs.Record, int64, int64, error) {
+	taskID := fmt.Sprintf("%s/reduce/%d", job.Name, index)
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		recs, groups, work, err := c.attemptReduceTask(job, input, counters, taskID, attempt)
+		if err == nil {
+			return recs, groups, work, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, 0, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, maxAttempts, lastErr)
+}
+
+func (c *Cluster) attemptReduceTask(job *Job, input []KV, counters *CounterSet, taskID string, attempt int) ([]dfs.Record, int64, int64, error) {
+	if job.FailTask != nil {
+		if err := job.FailTask(taskID, attempt); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, side: job.Side, counters: counters}
+	if job.ReduceSetup != nil {
+		if err := job.ReduceSetup(ctx); err != nil {
+			return nil, 0, 0, fmt.Errorf("reduce setup: %w", err)
+		}
+	}
+	groups, keys := groupByKey(input)
+	var out []dfs.Record
+	emit := func(_ string, value []byte) {
+		out = append(out, dfs.Record(value))
+	}
+	for _, k := range keys {
+		if err := job.Reduce(ctx, k, groups[k], emit); err != nil {
+			return nil, 0, 0, fmt.Errorf("reduce key %q: %w", k, err)
+		}
+	}
+	return out, int64(len(keys)), ctx.work, nil
+}
+
+// groupByKey groups values by key preserving arrival order within a key,
+// and returns the keys in sorted order.
+func groupByKey(kvs []KV) (map[string][][]byte, []string) {
+	groups := make(map[string][][]byte)
+	for _, kv := range kvs {
+		groups[kv.Key] = append(groups[kv.Key], kv.Value)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return groups, keys
+}
+
+// runParallel executes fn(0..n-1) on at most c.nodes workers, returning the
+// first error encountered (all started work is drained first).
+func (c *Cluster) runParallel(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := c.nodes
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	return firstErr
+}
+
+// makespan greedily schedules tasks (in index order) onto the least-loaded
+// of `nodes` slots and returns the resulting maximum slot load. This is the
+// deterministic "simulated parallel time" used by the speedup experiments.
+func makespan(work []int64, nodes int) int64 {
+	if len(work) == 0 {
+		return 0
+	}
+	if nodes > len(work) {
+		nodes = len(work)
+	}
+	slots := make([]int64, nodes)
+	for _, w := range work {
+		min := 0
+		for s := 1; s < nodes; s++ {
+			if slots[s] < slots[min] {
+				min = s
+			}
+		}
+		slots[min] += w
+	}
+	var max int64
+	for _, s := range slots {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

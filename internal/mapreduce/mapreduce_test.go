@@ -1,0 +1,718 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/dfs"
+)
+
+func newTestCluster(nodes, chunk int) *Cluster {
+	return NewCluster(dfs.New(chunk), nodes)
+}
+
+func writeLines(fs *dfs.FS, name string, lines ...string) {
+	recs := make([]dfs.Record, len(lines))
+	for i, l := range lines {
+		recs[i] = dfs.Record(l)
+	}
+	fs.Write(name, recs)
+}
+
+// wordCountJob is the canonical end-to-end smoke test of the engine.
+func wordCountJob(input, output string, combine bool) *Job {
+	j := &Job{
+		Name:   "wordcount",
+		Input:  []string{input},
+		Output: output,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit(w, []byte("1"))
+			}
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(string(v))
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			emit(key, []byte(fmt.Sprintf("%s=%d", key, total)))
+			return nil
+		},
+	}
+	if combine {
+		j.Combine = func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+			total := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(string(v))
+				total += n
+			}
+			emit(key, []byte(strconv.Itoa(total)))
+			return nil
+		}
+	}
+	return j
+}
+
+func readCounts(t *testing.T, fs *dfs.FS, name string) map[string]int {
+	t.Helper()
+	recs, err := fs.Read(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int)
+	for _, r := range recs {
+		parts := strings.SplitN(string(r), "=", 2)
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[parts[0]] = n
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	c := newTestCluster(4, 2)
+	writeLines(c.FS(), "in", "a b a", "b c", "a", "c c c")
+	stats, err := c.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readCounts(t, c.FS(), "out")
+	want := map[string]int{"a": 3, "b": 2, "c": 4}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	if stats.MapTasks != 2 { // 4 records, chunk=2
+		t.Errorf("MapTasks = %d, want 2", stats.MapTasks)
+	}
+	if stats.MapInputRecords != 4 {
+		t.Errorf("MapInputRecords = %d, want 4", stats.MapInputRecords)
+	}
+	if stats.ShuffleRecords != 9 { // 9 words emitted
+		t.Errorf("ShuffleRecords = %d, want 9", stats.ShuffleRecords)
+	}
+	if stats.ReduceGroups != 3 {
+		t.Errorf("ReduceGroups = %d, want 3", stats.ReduceGroups)
+	}
+	if stats.OutputRecords != 3 {
+		t.Errorf("OutputRecords = %d, want 3", stats.OutputRecords)
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	lines := []string{"x x x x", "x x x x", "y y y y", "y y y y"}
+	run := func(combine bool) (*JobStats, map[string]int) {
+		c := newTestCluster(2, 2)
+		writeLines(c.FS(), "in", lines...)
+		stats, err := c.Run(wordCountJob("in", "out", combine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, readCounts(t, c.FS(), "out")
+	}
+	plain, gotPlain := run(false)
+	combined, gotCombined := run(true)
+	for k, v := range gotPlain {
+		if gotCombined[k] != v {
+			t.Errorf("combiner changed result for %s: %d vs %d", k, gotCombined[k], v)
+		}
+	}
+	if combined.ShuffleRecords >= plain.ShuffleRecords {
+		t.Errorf("combiner did not reduce shuffle records: %d vs %d",
+			combined.ShuffleRecords, plain.ShuffleRecords)
+	}
+	if combined.ShuffleBytes >= plain.ShuffleBytes {
+		t.Errorf("combiner did not reduce shuffle bytes: %d vs %d",
+			combined.ShuffleBytes, plain.ShuffleBytes)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	c := newTestCluster(3, 2)
+	writeLines(c.FS(), "in", "1", "2", "3", "4", "5")
+	job := &Job{
+		Name:   "double",
+		Input:  []string{"in"},
+		Output: "out",
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			n, _ := strconv.Atoi(string(rec))
+			emit("", []byte(strconv.Itoa(2*n)))
+			return nil
+		},
+	}
+	stats, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShuffleRecords != 0 || stats.ShuffleBytes != 0 {
+		t.Error("map-only job should not shuffle")
+	}
+	recs, _ := c.FS().Read("out")
+	if len(recs) != 5 {
+		t.Fatalf("got %d output records", len(recs))
+	}
+	// Map-only output preserves split order.
+	for i, want := range []string{"2", "4", "6", "8", "10"} {
+		if string(recs[i]) != want {
+			t.Fatalf("out[%d] = %s, want %s", i, recs[i], want)
+		}
+	}
+}
+
+func TestReduceKeysSorted(t *testing.T) {
+	c := newTestCluster(1, 100)
+	writeLines(c.FS(), "in", "b", "a", "c", "a")
+	var mu sync.Mutex
+	var order []string
+	job := &Job{
+		Name:        "order",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 1,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			emit(string(rec), rec)
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+			emit(key, []byte(key))
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("reduce key order = %v, want sorted", order)
+	}
+}
+
+func TestSetupHooksRunPerTask(t *testing.T) {
+	c := newTestCluster(2, 1) // 4 records, chunk=1 → 4 map tasks
+	writeLines(c.FS(), "in", "1", "2", "3", "4")
+	var mapSetups, reduceSetups int64
+	var mu sync.Mutex
+	job := &Job{
+		Name:        "setup",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 3,
+		MapSetup: func(ctx *TaskContext) error {
+			mu.Lock()
+			mapSetups++
+			mu.Unlock()
+			if !strings.Contains(ctx.TaskID, "/map/") {
+				t.Errorf("bad map TaskID %s", ctx.TaskID)
+			}
+			return nil
+		},
+		ReduceSetup: func(ctx *TaskContext) error {
+			mu.Lock()
+			reduceSetups++
+			mu.Unlock()
+			return nil
+		},
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			emit(string(rec), rec)
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key string, _ [][]byte, emit Emit) error {
+			emit(key, []byte(key))
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if mapSetups != 4 {
+		t.Errorf("map setups = %d, want 4", mapSetups)
+	}
+	if reduceSetups != 3 {
+		t.Errorf("reduce setups = %d, want 3", reduceSetups)
+	}
+}
+
+func TestSideData(t *testing.T) {
+	c := newTestCluster(2, 10)
+	writeLines(c.FS(), "in", "x")
+	job := &Job{
+		Name:   "side",
+		Input:  []string{"in"},
+		Output: "out",
+		Side:   map[string]any{"factor": 7},
+		Map: func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
+			f := ctx.Side("factor").(int)
+			emit("", []byte(strconv.Itoa(f)))
+			if ctx.Side("missing") != nil {
+				t.Error("missing side data should be nil")
+			}
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := c.FS().Read("out")
+	if string(recs[0]) != "7" {
+		t.Fatalf("side data not delivered: %s", recs[0])
+	}
+}
+
+func TestUserCounters(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a", "b", "c")
+	job := &Job{
+		Name:   "counters",
+		Input:  []string{"in"},
+		Output: "out",
+		Map: func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
+			ctx.Counter("records", 1)
+			ctx.AddWork(10)
+			emit("", rec)
+			return nil
+		},
+	}
+	stats, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["records"] != 3 {
+		t.Errorf("records counter = %d, want 3", stats.Counters["records"])
+	}
+	if stats.SimMapMakespan <= 0 {
+		t.Error("expected positive simulated makespan")
+	}
+}
+
+func TestTaskRetrySucceeds(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a", "b", "c", "d")
+	var mu sync.Mutex
+	failed := make(map[string]bool)
+	job := wordCountJob("in", "out", false)
+	job.MaxAttempts = 3
+	job.FailTask = func(taskID string, attempt int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if attempt == 1 && !failed[taskID] {
+			failed[taskID] = true
+			return errors.New("injected fault")
+		}
+		return nil
+	}
+	stats, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) == 0 {
+		t.Fatal("fault injector never fired")
+	}
+	got := readCounts(t, c.FS(), "out")
+	if got["a"]+got["b"]+got["c"]+got["d"] != 4 {
+		t.Fatalf("wrong result after retries: %v", got)
+	}
+	if stats.MapInputRecords != 4 {
+		t.Errorf("MapInputRecords = %d", stats.MapInputRecords)
+	}
+}
+
+func TestTaskFailsAfterMaxAttempts(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a")
+	job := wordCountJob("in", "out", false)
+	job.MaxAttempts = 2
+	job.FailTask = func(taskID string, attempt int) error {
+		if strings.Contains(taskID, "/map/") {
+			return errors.New("persistent fault")
+		}
+		return nil
+	}
+	if _, err := c.Run(job); err == nil {
+		t.Fatal("expected job failure")
+	} else if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMapErrorAborts(t *testing.T) {
+	c := newTestCluster(1, 10)
+	writeLines(c.FS(), "in", "boom")
+	job := &Job{
+		Name:   "err",
+		Input:  []string{"in"},
+		Output: "out",
+		Map: func(_ *TaskContext, _ dfs.Record, _ Emit) error {
+			return errors.New("map exploded")
+		},
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceErrorAborts(t *testing.T) {
+	c := newTestCluster(1, 10)
+	writeLines(c.FS(), "in", "x")
+	job := wordCountJob("in", "out", false)
+	job.Reduce = func(_ *TaskContext, _ string, _ [][]byte, _ Emit) error {
+		return errors.New("reduce exploded")
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	c := newTestCluster(1, 10)
+	if _, err := c.Run(&Job{Name: "nomap", Output: "o"}); err == nil {
+		t.Error("job without Map accepted")
+	}
+	if _, err := c.Run(&Job{Name: "noout", Map: func(*TaskContext, dfs.Record, Emit) error { return nil }}); err == nil {
+		t.Error("job without Output accepted")
+	}
+	job := wordCountJob("missing", "out", false)
+	if _, err := c.Run(job); err == nil {
+		t.Error("job with missing input accepted")
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	c := newTestCluster(4, 100)
+	writeLines(c.FS(), "in", "0", "1", "2", "3", "4", "5")
+	var mu sync.Mutex
+	seen := make(map[string]string) // key -> taskID
+	job := &Job{
+		Name:        "part",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 3,
+		Partition: func(key string, n int) int {
+			v, _ := strconv.Atoi(key)
+			return v % n
+		},
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			emit(string(rec), rec)
+			return nil
+		},
+		Reduce: func(ctx *TaskContext, key string, _ [][]byte, emit Emit) error {
+			mu.Lock()
+			seen[key] = ctx.TaskID
+			mu.Unlock()
+			emit(key, []byte(key))
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for key, task := range seen {
+		v, _ := strconv.Atoi(key)
+		want := fmt.Sprintf("part/reduce/%d", v%3)
+		if task != want {
+			t.Errorf("key %s reduced on %s, want %s", key, task, want)
+		}
+	}
+}
+
+func TestDefaultPartitionInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := strconv.Itoa(i)
+		for _, n := range []int{1, 2, 7, 16} {
+			if p := DefaultPartition(k, n); p < 0 || p >= n {
+				t.Fatalf("DefaultPartition(%q,%d) = %d", k, n, p)
+			}
+		}
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	tests := []struct {
+		work  []int64
+		nodes int
+		want  int64
+	}{
+		{nil, 4, 0},
+		{[]int64{10}, 4, 10},
+		{[]int64{5, 5, 5, 5}, 2, 10},
+		{[]int64{8, 1, 1, 1, 1}, 2, 8},
+		{[]int64{3, 3, 3}, 1, 9},
+	}
+	for _, tc := range tests {
+		if got := makespan(tc.work, tc.nodes); got != tc.want {
+			t.Errorf("makespan(%v,%d) = %d, want %d", tc.work, tc.nodes, got, tc.want)
+		}
+	}
+}
+
+// Property: the shuffle delivers every emitted record to exactly one
+// reducer, for arbitrary inputs, cluster sizes and reducer counts.
+func TestExactlyOnceDeliveryQuick(t *testing.T) {
+	f := func(words []string, nodesRaw, reducersRaw, chunkRaw uint8) bool {
+		nodes := int(nodesRaw)%8 + 1
+		reducers := int(reducersRaw)%8 + 1
+		chunk := int(chunkRaw)%5 + 1
+		c := NewCluster(dfs.New(chunk), nodes)
+		lines := make([]dfs.Record, 0, len(words))
+		expected := make(map[string]int)
+		for i, w := range words {
+			// Sanitize into a deterministic, printable key.
+			key := fmt.Sprintf("w%d_%d", len(w), i%7)
+			lines = append(lines, dfs.Record(key))
+			expected[key]++
+		}
+		c.FS().Write("in", lines)
+		var mu sync.Mutex
+		delivered := make(map[string]int)
+		job := &Job{
+			Name:        "once",
+			Input:       []string{"in"},
+			Output:      "out",
+			NumReducers: reducers,
+			Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+				emit(string(rec), rec)
+				return nil
+			},
+			Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+				mu.Lock()
+				delivered[key] += len(values)
+				mu.Unlock()
+				return nil
+			},
+		}
+		if _, err := c.Run(job); err != nil {
+			return false
+		}
+		if len(delivered) != len(expected) {
+			return false
+		}
+		for k, v := range expected {
+			if delivered[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results are independent of cluster size and chunk size —
+// parallelism must never change the answer.
+func TestDeterminismAcrossClusterShapes(t *testing.T) {
+	lines := make([]string, 100)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("k%d v", i%13)
+	}
+	var baseline map[string]int
+	for _, shape := range []struct{ nodes, chunk int }{{1, 1000}, {2, 7}, {8, 3}, {16, 1}} {
+		c := newTestCluster(shape.nodes, shape.chunk)
+		writeLines(c.FS(), "in", lines...)
+		if _, err := c.Run(wordCountJob("in", "out", true)); err != nil {
+			t.Fatal(err)
+		}
+		got := readCounts(t, c.FS(), "out")
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("shape %+v changed result size", shape)
+		}
+		for k, v := range baseline {
+			if got[k] != v {
+				t.Fatalf("shape %+v: count[%s] = %d, want %d", shape, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestEmptyInputFile(t *testing.T) {
+	c := newTestCluster(2, 4)
+	c.FS().Write("in", nil)
+	stats, err := c.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapTasks != 0 || stats.OutputRecords != 0 {
+		t.Fatalf("empty input stats = %+v", stats)
+	}
+	recs, err := c.FS().Read("out")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("output = %v, %v", recs, err)
+	}
+}
+
+func TestReduceTaskRetry(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a", "b")
+	var mu sync.Mutex
+	failed := make(map[string]bool)
+	job := wordCountJob("in", "out", false)
+	job.MaxAttempts = 2
+	job.FailTask = func(taskID string, attempt int) error {
+		if !strings.Contains(taskID, "/reduce/") {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed[taskID] {
+			failed[taskID] = true
+			return errors.New("injected reduce fault")
+		}
+		return nil
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) == 0 {
+		t.Fatal("reduce fault injector never fired")
+	}
+	got := readCounts(t, c.FS(), "out")
+	if got["a"] != 1 || got["b"] != 1 {
+		t.Fatalf("wrong result after reduce retries: %v", got)
+	}
+}
+
+func TestMoreReducersThanNodes(t *testing.T) {
+	c := newTestCluster(2, 10)
+	writeLines(c.FS(), "in", "a b c d e f g h")
+	job := wordCountJob("in", "out", false)
+	job.NumReducers = 16
+	stats, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReduceTasks != 16 {
+		t.Fatalf("ReduceTasks = %d", stats.ReduceTasks)
+	}
+	if got := readCounts(t, c.FS(), "out"); len(got) != 8 {
+		t.Fatalf("got %d words", len(got))
+	}
+}
+
+func TestNewClusterPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(dfs.New(0), 0)
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	lines := make([]string, 2000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("alpha beta g%d delta", i%97)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := newTestCluster(8, 256)
+		writeLines(c.FS(), "in", lines...)
+		if _, err := c.Run(wordCountJob("in", "out", true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Properties of the simulated scheduler: the makespan of any task set on
+// n nodes is at least the largest task and at most the serial total, and
+// adding nodes never hurts.
+func TestMakespanBoundsQuick(t *testing.T) {
+	f := func(workRaw []uint16, nRaw uint8) bool {
+		n := int(nRaw)%16 + 1
+		work := make([]int64, len(workRaw))
+		var total, max int64
+		for i, w := range workRaw {
+			work[i] = int64(w)
+			total += int64(w)
+			if int64(w) > max {
+				max = int64(w)
+			}
+		}
+		m := makespan(work, n)
+		if len(work) == 0 {
+			return m == 0
+		}
+		if m < max || m > total {
+			return false
+		}
+		return makespan(work, n+1) <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceSkewAccounting(t *testing.T) {
+	c := newTestCluster(4, 2)
+	writeLines(c.FS(), "in", "a b c d e f g h", "a a a a a a a a")
+	job := &Job{
+		Name:   "skew",
+		Input:  []string{"in"},
+		Output: "out",
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit(w, []byte("1"))
+			}
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+			emit(key, []byte(key))
+			return nil
+		},
+		NumReducers: 4,
+	}
+	js, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js.ReduceInputRecords) != 4 {
+		t.Fatalf("per-reducer records = %v, want 4 entries", js.ReduceInputRecords)
+	}
+	var total int64
+	for _, n := range js.ReduceInputRecords {
+		total += n
+	}
+	if total != js.ShuffleRecords {
+		t.Fatalf("per-reducer sum %d != shuffle records %d", total, js.ShuffleRecords)
+	}
+	// The duplicated word lands on one reducer: skew must exceed 1; and it
+	// can never exceed the reducer count.
+	skew := js.ReduceSkew()
+	if skew <= 1 || skew > 4 {
+		t.Fatalf("skew = %v, want in (1, 4]", skew)
+	}
+}
+
+func TestReduceSkewPerfectBalance(t *testing.T) {
+	js := JobStats{ReduceInputRecords: []int64{5, 5, 5, 5}}
+	if s := js.ReduceSkew(); s != 1 {
+		t.Fatalf("balanced skew = %v, want 1", s)
+	}
+	empty := JobStats{ReduceInputRecords: []int64{0, 0}}
+	if s := empty.ReduceSkew(); s != 0 {
+		t.Fatalf("empty skew = %v, want 0", s)
+	}
+	none := JobStats{}
+	if s := none.ReduceSkew(); s != 0 {
+		t.Fatalf("no-reduce skew = %v, want 0", s)
+	}
+}

@@ -1,0 +1,274 @@
+package mux
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/naive"
+	"knnjoin/internal/vector"
+)
+
+// sameResults asserts got matches want by RID and neighbor distances
+// (tied neighbors may legally swap IDs).
+func sameResults(t *testing.T, got, want []codec.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID {
+			t.Fatalf("row %d: RID %d, want %d", i, got[i].RID, want[i].RID)
+		}
+		if len(got[i].Neighbors) != len(want[i].Neighbors) {
+			t.Fatalf("r %d: %d neighbors, want %d", want[i].RID, len(got[i].Neighbors), len(want[i].Neighbors))
+		}
+		for j := range want[i].Neighbors {
+			if math.Abs(got[i].Neighbors[j].Dist-want[i].Neighbors[j].Dist) > 1e-9 {
+				t.Fatalf("r %d neighbor %d: dist %v, want %v",
+					want[i].RID, j, got[i].Neighbors[j].Dist, want[i].Neighbors[j].Dist)
+			}
+		}
+	}
+}
+
+func TestExactVsBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		objs []codec.Object
+		k    int
+	}{
+		{"uniform-3d", dataset.Uniform(1500, 3, 100, 1), 10},
+		{"forest-10d", dataset.Forest(1200, 2), 5},
+		{"osm-2d", dataset.OSM(1500, 3), 15},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, _ := naive.BruteForce(tc.objs, tc.objs, tc.k, vector.L2)
+			got, _, err := Join(tc.objs, tc.objs, tc.k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, got, want)
+		})
+	}
+}
+
+func TestExactDistinctRAndS(t *testing.T) {
+	rObjs := dataset.Uniform(700, 4, 100, 4)
+	sObjs := dataset.Uniform(900, 4, 100, 5)
+	want, _ := naive.BruteForce(rObjs, sObjs, 7, vector.L2)
+	got, _, err := Join(rObjs, sObjs, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+}
+
+func TestExactOtherMetrics(t *testing.T) {
+	objs := dataset.Uniform(800, 3, 100, 6)
+	for _, m := range []vector.Metric{vector.L1, vector.LInf} {
+		want, _ := naive.BruteForce(objs, objs, 6, m)
+		got, _, err := Join(objs, objs, 6, Options{Metric: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, got, want)
+	}
+}
+
+func TestPruningCutsWork(t *testing.T) {
+	// Clustered data is where MBR pruning shines: most page pairs are far
+	// apart and never touched.
+	objs := dataset.OSM(4000, 7)
+	_, pairs, err := Join(objs, objs, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := int64(len(objs)) * int64(len(objs))
+	if pairs >= cross/2 {
+		t.Fatalf("MuX computed %d of %d pairs — pruning ineffective", pairs, cross)
+	}
+}
+
+func TestGeometryOptions(t *testing.T) {
+	objs := dataset.Uniform(1000, 3, 100, 8)
+	want, _ := naive.BruteForce(objs, objs, 5, vector.L2)
+	for _, opt := range []Options{
+		{BucketSize: 1, PageBuckets: 1},
+		{BucketSize: 7, PageBuckets: 3},
+		{BucketSize: 500, PageBuckets: 500},
+	} {
+		got, _, err := Join(objs, objs, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, got, want)
+	}
+	if _, err := Build(objs, Options{BucketSize: -1}); err == nil {
+		t.Error("negative bucket size accepted")
+	}
+}
+
+func TestKLargerThanS(t *testing.T) {
+	rObjs := dataset.Uniform(60, 2, 100, 9)
+	sObjs := dataset.Uniform(4, 2, 100, 10)
+	got, _, err := Join(rObjs, sObjs, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rObjs) {
+		t.Fatalf("got %d results, want %d", len(got), len(rObjs))
+	}
+	for _, res := range got {
+		if len(res.Neighbors) != len(sObjs) {
+			t.Fatalf("r %d: %d neighbors, want all %d", res.RID, len(res.Neighbors), len(sObjs))
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if _, _, err := Join(nil, nil, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	got, pairs, err := Join(nil, dataset.Uniform(5, 2, 10, 1), 3, Options{})
+	if err != nil || got != nil || pairs != 0 {
+		t.Errorf("empty R: got=%v pairs=%d err=%v", got, pairs, err)
+	}
+	got, pairs, err = Join(dataset.Uniform(5, 2, 10, 1), nil, 3, Options{})
+	if err != nil || got != nil || pairs != 0 {
+		t.Errorf("empty S: got=%v pairs=%d err=%v", got, pairs, err)
+	}
+	single := []codec.Object{{ID: 42, Point: vector.Point{1, 2}}}
+	got, _, err = Join(single, single, 1, Options{})
+	if err != nil || len(got) != 1 || got[0].Neighbors[0].ID != 42 || got[0].Neighbors[0].Dist != 0 {
+		t.Errorf("singleton self-join: %+v err=%v", got, err)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	objs := dataset.Uniform(1000, 3, 100, 11)
+	ix, err := Build(objs, Options{BucketSize: 10, PageBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(objs) {
+		t.Fatalf("index size %d, want %d", ix.Len(), len(objs))
+	}
+	if want := (len(objs) + 39) / 40; ix.Pages() != want {
+		t.Fatalf("pages = %d, want %d", ix.Pages(), want)
+	}
+	// Every object lands in exactly one bucket, every bucket MBR contains
+	// its objects, every page MBR contains its buckets.
+	seen := make(map[int64]bool)
+	for _, pg := range ix.pages {
+		for _, b := range pg.buckets {
+			for _, o := range b.objs {
+				if seen[o.ID] {
+					t.Fatalf("object %d packed twice", o.ID)
+				}
+				seen[o.ID] = true
+				for d, v := range o.Point {
+					if v < b.mbr.min[d]-1e-12 || v > b.mbr.max[d]+1e-12 {
+						t.Fatalf("object %d escapes its bucket MBR on dim %d", o.ID, d)
+					}
+					if v < pg.mbr.min[d]-1e-12 || v > pg.mbr.max[d]+1e-12 {
+						t.Fatalf("object %d escapes its page MBR on dim %d", o.ID, d)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != len(objs) {
+		t.Fatalf("packed %d objects, want %d", len(seen), len(objs))
+	}
+
+	empty, err := Build(nil, Options{})
+	if err != nil || empty.Len() != 0 || empty.Pages() != 0 {
+		t.Fatalf("empty build: %+v err=%v", empty, err)
+	}
+}
+
+// Property: the rect-to-point gap norm never exceeds the distance from
+// the point to any object inside the rectangle — the inequality all MuX
+// pruning rests on.
+func TestMinDistLowerBoundQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		for _, v := range []*float64{&ax, &ay, &bx, &by, &px, &py} {
+			if math.IsNaN(*v) || math.IsInf(*v, 0) {
+				*v = 0
+			}
+			*v = math.Mod(*v, 1e6)
+		}
+		in := []codec.Object{
+			{ID: 0, Point: vector.Point{ax, ay}},
+			{ID: 1, Point: vector.Point{bx, by}},
+		}
+		box := mbrOf(in)
+		p := vector.Point{px, py}
+		for _, m := range []vector.Metric{vector.L2, vector.L1, vector.LInf} {
+			bound := m.Dist(box.gapTo(nil, p), vector.Point{0, 0})
+			for _, o := range in {
+				if bound > m.Dist(p, o.Point)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the rect-to-rect gap norm lower-bounds the distance between
+// any two objects drawn from the two rectangles.
+func TestRectRectLowerBoundQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		for _, v := range []*float64{&ax, &ay, &bx, &by, &cx, &cy, &dx, &dy} {
+			if math.IsNaN(*v) || math.IsInf(*v, 0) {
+				*v = 0
+			}
+			*v = math.Mod(*v, 1e6)
+		}
+		left := []codec.Object{{ID: 0, Point: vector.Point{ax, ay}}, {ID: 1, Point: vector.Point{bx, by}}}
+		right := []codec.Object{{ID: 2, Point: vector.Point{cx, cy}}, {ID: 3, Point: vector.Point{dx, dy}}}
+		lb, rb := mbrOf(left), mbrOf(right)
+		for _, m := range []vector.Metric{vector.L2, vector.L1, vector.LInf} {
+			bound := m.Dist(lb.gapToRect(nil, rb), vector.Point{0, 0})
+			for _, a := range left {
+				for _, b := range right {
+					if bound > m.Dist(a.Point, b.Point)+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoot(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 3, 1}, {8, 3, 2}, {9, 2, 3}, {10, 2, 4}, {27, 3, 3}, {28, 3, 4}, {5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := intRoot(c.n, c.k); got != c.want {
+			t.Errorf("intRoot(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMuXJoin(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Join(objs, objs, 10, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package naive provides the two reference join implementations the paper
+// measures everything against conceptually:
+//
+//   - BruteForce: the centralized O(|R|·|S|) nested-loop kNN join. Every
+//     distributed algorithm in this repository is verified against it.
+//   - Broadcast: the "basic strategy" of §3 — R is split into N disjoint
+//     subsets, the entire S is shipped to every reducer, shuffle cost
+//     |R| + N·|S|. It is correct but expensive, which is the paper's
+//     motivation for PGBJ.
+package naive
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+)
+
+// BruteForce computes the exact kNN join of R and S on one machine with a
+// parallel nested loop. It returns results ordered by R object ID and the
+// number of distance computations performed.
+func BruteForce(rObjs, sObjs []codec.Object, k int, m vector.Metric) ([]codec.Result, int64) {
+	if k <= 0 || len(sObjs) == 0 {
+		return nil, 0
+	}
+	out := make([]codec.Result, len(rObjs))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(rObjs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(rObjs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(rObjs) {
+			hi = len(rObjs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			heap := nnheap.NewKHeap(k)
+			for i := lo; i < hi; i++ {
+				heap.Reset()
+				r := rObjs[i]
+				for _, s := range sObjs {
+					heap.Push(nnheap.Candidate{ID: s.ID, Dist: m.Dist(r.Point, s.Point)})
+				}
+				out[i] = codec.Result{RID: r.ID, Neighbors: toNeighbors(heap.Sorted())}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	SortResults(out)
+	return out, int64(len(rObjs)) * int64(len(sObjs))
+}
+
+// toNeighbors converts heap candidates into result neighbors.
+func toNeighbors(cands []nnheap.Candidate) []codec.Neighbor {
+	nbs := make([]codec.Neighbor, len(cands))
+	for i, c := range cands {
+		nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+	}
+	return nbs
+}
+
+// SortResults orders results by R object ID in place.
+func SortResults(rs []codec.Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].RID < rs[j].RID })
+}
+
+// BroadcastOptions configures the basic strategy.
+type BroadcastOptions struct {
+	K      int
+	Metric vector.Metric
+}
+
+// Broadcast runs the §3 basic strategy on the cluster: one MapReduce job
+// where each r is routed to one of N reducers and every s is replicated to
+// all N. Input files must contain Tagged records (see dataset.ToDFS); the
+// output file holds codec.Result records.
+func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts BroadcastOptions) (*stats.Report, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("naive: k must be positive, got %d", opts.K)
+	}
+	n := cluster.Nodes()
+	report := &stats.Report{
+		Algorithm: "basic",
+		K:         opts.K,
+		Nodes:     n,
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	job := &mapreduce.Job{
+		Name:        "broadcast-join",
+		Input:       []string{rFile, sFile},
+		Output:      outFile,
+		NumReducers: n,
+		Partition: func(key string, nr int) int {
+			id, _ := strconv.Atoi(key)
+			return id % nr
+		},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			switch t.Src {
+			case codec.FromR:
+				emit(strconv.Itoa(int(t.ID)%n), rec)
+			case codec.FromS:
+				ctx.Counter("replicas_s", int64(n))
+				for i := 0; i < n; i++ {
+					emit(strconv.Itoa(i), rec)
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+			var rs, ss []codec.Object
+			for _, v := range values {
+				t, err := codec.DecodeTagged(v)
+				if err != nil {
+					return err
+				}
+				if t.Src == codec.FromR {
+					rs = append(rs, t.Object)
+				} else {
+					ss = append(ss, t.Object)
+				}
+			}
+			heap := nnheap.NewKHeap(opts.K)
+			for _, r := range rs {
+				heap.Reset()
+				for _, s := range ss {
+					heap.Push(nnheap.Candidate{ID: s.ID, Dist: opts.Metric.Dist(r.Point, s.Point)})
+				}
+				ctx.Counter("pairs", int64(len(ss)))
+				ctx.AddWork(int64(len(ss)))
+				emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: toNeighbors(heap.Sorted())}))
+			}
+			return nil
+		},
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("KNN Join", time.Since(start))
+	report.Pairs = js.Counters["pairs"]
+	report.ShuffleBytes = js.ShuffleBytes
+	report.ShuffleRecords = js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan = js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+	report.OutputPairs = js.OutputRecords * int64(opts.K)
+	return report, nil
+}
+
+// ReadResults decodes a result file produced by any join job in this
+// repository and returns the results sorted by R object ID.
+func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
+	recs, err := fs.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]codec.Result, len(recs))
+	for i, r := range recs {
+		res, err := codec.DecodeResult(r)
+		if err != nil {
+			return nil, fmt.Errorf("naive: result record %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	SortResults(out)
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package pgbj
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/hbrj"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/voronoi"
+)
+
+// RunPBJ executes PBJ (§6): pivot-based partitioning and pruning inside
+// the √N×√N block framework of H-BRJ. Compared to PGBJ it skips the
+// grouping phase; each reducer joins one (R-block, S-block) pair with a
+// bound θ derived only from the S objects it received, and an extra
+// MapReduce job merges the per-block partial results.
+func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	opts, err := opts.validate(cluster)
+	if err != nil {
+		return nil, err
+	}
+	report := &stats.Report{
+		Algorithm: "PBJ",
+		K:         opts.K,
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	// Phases 1–3 are identical to PGBJ: pivots, partitioning, summary.
+	pivots, err := selectPivots(cluster.FS(), rFile, opts, report)
+	if err != nil {
+		return nil, err
+	}
+	pp := voronoi.NewPartitioner(pivots, opts.Metric)
+
+	partFile := outFile + ".partitioned"
+	if err := runPartitionJob(cluster, pp, []string{rFile, sFile}, partFile, report); err != nil {
+		return nil, err
+	}
+	defer cluster.FS().Remove(partFile)
+
+	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, report)
+	if err != nil {
+		return nil, err
+	}
+
+	// Block join: Voronoi partitions are hashed into √N blocks per
+	// dataset; reducer (a,b) joins R-block a against S-block b with the
+	// pivot-based pruning of Algorithm 3 under a locally derived θ.
+	b := hbrj.Blocks(cluster.Nodes())
+	partialFile := outFile + ".partial"
+	job := &mapreduce.Job{
+		Name:        "pbj-block-join",
+		Input:       []string{partFile},
+		Output:      partialFile,
+		NumReducers: b * b,
+		Partition: func(key string, n int) int {
+			id, _ := strconv.Atoi(key)
+			return id % n
+		},
+		Side: map[string]any{
+			sidePivots:  pp,
+			sideSummary: sum,
+			sideOpts:    opts,
+			"blocks":    b,
+		},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			b := ctx.Side("blocks").(int)
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			blk := int(t.Partition) % b
+			switch t.Src {
+			case codec.FromR:
+				for col := 0; col < b; col++ {
+					emit(strconv.Itoa(blk*b+col), rec)
+				}
+			case codec.FromS:
+				ctx.Counter("replicas_s", int64(b))
+				for a := 0; a < b; a++ {
+					emit(strconv.Itoa(a*b+blk), rec)
+				}
+			}
+			return nil
+		},
+		Reduce: pbjJoinReduce,
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("KNN Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+
+	ms, err := hbrj.MergeResults(cluster, partialFile, outFile, opts.K)
+	cluster.FS().Remove(partialFile)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Result Merging", ms.Wall())
+	report.ShuffleBytes += ms.ShuffleBytes
+	report.ShuffleRecords += ms.ShuffleRecords
+	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
+	report.OutputPairs = ms.Counters["result_pairs"]
+	return report, nil
+}
+
+// pbjJoinReduce joins one (R-block, S-block) pair. The bound θ for each
+// R-partition is derived with Algorithm 1 restricted to the S-partitions
+// this reducer received — the paper's "loose distance bound" that makes
+// PBJ slower than PGBJ (§6.2).
+func pbjJoinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+	sum := ctx.Side(sideSummary).(*voronoi.Summary)
+	opts := ctx.Side(sideOpts).(Options)
+
+	rParts := make(map[int32][]codec.Tagged)
+	sParts := make(map[int32][]codec.Tagged)
+	for _, v := range values {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return err
+		}
+		if t.Src == codec.FromR {
+			rParts[t.Partition] = append(rParts[t.Partition], t)
+		} else {
+			sParts[t.Partition] = append(sParts[t.Partition], t)
+		}
+	}
+	for id := range sParts {
+		voronoi.SortByPivotDist(sParts[id])
+	}
+	thetas := localThetas(pp, sum, opts.K, rParts, sParts)
+	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, emit)
+	return nil
+}
+
+// localThetas runs Algorithm 1 against only the received S-partitions:
+// for R-partition i, θ_i is the k-th smallest upper bound
+// U(P_i^R) + |p_i,p_j| + |s,p_j| over the first k objects of each local
+// S-partition (already sorted by pivot distance).
+func localThetas(pp *voronoi.Partitioner, sum *voronoi.Summary, k int,
+	rParts, sParts map[int32][]codec.Tagged) []float64 {
+
+	sIDs := make([]int32, 0, len(sParts))
+	for id := range sParts {
+		sIDs = append(sIDs, id)
+	}
+	sort.Slice(sIDs, func(a, b int) bool { return sIDs[a] < sIDs[b] })
+
+	thetas := make([]float64, pp.NumPartitions())
+	for i := range thetas {
+		thetas[i] = math.Inf(1)
+	}
+	for ri := range rParts {
+		uR := sum.R[ri].U
+		pq := nnheap.NewKHeap(k)
+		for _, sj := range sIDs {
+			gap := pp.PivotDist(int(ri), int(sj))
+			spart := sParts[sj]
+			limit := k
+			if limit > len(spart) {
+				limit = len(spart)
+			}
+			for x := 0; x < limit; x++ {
+				ub := voronoi.UpperBound(uR, gap, spart[x].PivotDist)
+				if pq.Full() && ub >= pq.Top().Dist {
+					break
+				}
+				pq.Push(nnheap.Candidate{Dist: ub})
+			}
+		}
+		if pq.Full() {
+			thetas[ri] = pq.Top().Dist
+		}
+	}
+	return thetas
+}

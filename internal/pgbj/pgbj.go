@@ -1,0 +1,487 @@
+// Package pgbj implements the paper's proposed kNN-join algorithms:
+//
+//   - PGBJ (§4–§5): the Partitioning-and-Grouping-Based Join. A
+//     preprocessing step selects pivots from R; MapReduce job 1 Voronoi-
+//     partitions R ∪ S and collects the summary tables TR/TS; the driver
+//     groups R-partitions into one group per reducer (geometric or greedy
+//     grouping); MapReduce job 2 routes each group's R objects and the
+//     S replicas chosen by Theorem 6 to one reducer, which runs the
+//     pruned join of Algorithm 3.
+//   - PBJ (§6): the same pivot-based pruning without grouping, dropped
+//     into the √N×√N block framework of H-BRJ, requiring a second
+//     merge job.
+//
+// The phases are timed under the names Figure 6 uses: Pivot Selection,
+// Data Partitioning, Index Merging, Partition Grouping, KNN Join.
+package pgbj
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/grouping"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// GroupStrategy selects how R-partitions are clustered into reducer
+// groups (§5.2).
+type GroupStrategy int
+
+const (
+	// Geometric is Algorithm 4 (pivot-distance based, load balanced).
+	Geometric GroupStrategy = iota
+	// Greedy minimizes the Equation-12 replication estimate.
+	Greedy
+)
+
+// String returns "geometric" or "greedy".
+func (g GroupStrategy) String() string {
+	switch g {
+	case Geometric:
+		return "geometric"
+	case Greedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("GroupStrategy(%d)", int(g))
+}
+
+// ParseGroupStrategy converts a name into a GroupStrategy.
+func ParseGroupStrategy(s string) (GroupStrategy, error) {
+	switch s {
+	case "geometric", "geo", "":
+		return Geometric, nil
+	case "greedy", "gr":
+		return Greedy, nil
+	}
+	return Geometric, fmt.Errorf("pgbj: unknown grouping strategy %q", s)
+}
+
+// Options configures a PGBJ or PBJ run.
+type Options struct {
+	K             int
+	Metric        vector.Metric
+	NumPivots     int
+	PivotStrategy pivot.Strategy
+	GroupStrategy GroupStrategy
+	Seed          int64
+
+	// NumGroups is the number of reducer groups; zero means the cluster's
+	// node count (the paper's one-reducer-per-node configuration).
+	NumGroups int
+
+	// Ablation switches (not in the paper's interface; used by the
+	// ablation benchmarks to quantify each pruning rule's contribution).
+	DisableHyperplanePruning bool // skip Corollary 1 in the reducer
+	DisableWindowPruning     bool // skip Theorem 2 in the reducer
+	// DisableNearestFirstOrder visits S-partitions in partition-id order
+	// instead of ascending pivot gap — ablating Algorithm 3's line-14
+	// heuristic ("if a pivot is near to p_i, then its partition often
+	// has higher probability of containing objects closer to r"), which
+	// tightens θ early and powers the other two rules.
+	DisableNearestFirstOrder bool
+}
+
+func (o Options) validate(cluster *mapreduce.Cluster) (Options, error) {
+	if o.K <= 0 {
+		return o, fmt.Errorf("pgbj: k must be positive, got %d", o.K)
+	}
+	if o.NumPivots <= 0 {
+		return o, fmt.Errorf("pgbj: NumPivots must be positive, got %d", o.NumPivots)
+	}
+	if o.NumGroups <= 0 {
+		// One group per node, but never more groups than partitions —
+		// tiny inputs would otherwise fail in the grouping phase. An
+		// explicitly set NumGroups is honored verbatim (and grouping
+		// reports the error if it exceeds NumPivots).
+		o.NumGroups = cluster.Nodes()
+		if o.NumGroups > o.NumPivots {
+			o.NumGroups = o.NumPivots
+		}
+	}
+	return o, nil
+}
+
+// side-data keys for the MapReduce jobs.
+const (
+	sidePivots   = "pivots"
+	sideSummary  = "summary"
+	sideThetas   = "thetas"
+	sideGroupOf  = "groupOf"
+	sideGroupLBs = "groupLBs"
+	sideOpts     = "opts"
+)
+
+// Run executes the full PGBJ pipeline on the cluster. rFile and sFile must
+// contain Tagged records (dataset.ToDFS); outFile receives codec.Result
+// records, one per object of R.
+func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	opts, err := opts.validate(cluster)
+	if err != nil {
+		return nil, err
+	}
+	report := &stats.Report{
+		Algorithm: "PGBJ-" + string(opts.PivotStrategy.String()[0]) + string(opts.GroupStrategy.String()[0]),
+		K:         opts.K,
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	// ---- Phase 1: pivot selection (preprocessing on the master) --------
+	pivots, err := selectPivots(cluster.FS(), rFile, opts, report)
+	if err != nil {
+		return nil, err
+	}
+	pp := voronoi.NewPartitioner(pivots, opts.Metric)
+
+	// ---- Phase 2: MapReduce job 1 — data partitioning -------------------
+	partFile := outFile + ".partitioned"
+	if err := runPartitionJob(cluster, pp, []string{rFile, sFile}, partFile, report); err != nil {
+		return nil, err
+	}
+	defer cluster.FS().Remove(partFile)
+
+	// ---- Phase 3: index merging — build TR/TS from job-1 output ---------
+	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, report)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 4: partition grouping ------------------------------------
+	start := time.Now()
+	thetas := grouping.Thetas(sum, pp)
+	var groups *grouping.Result
+	switch opts.GroupStrategy {
+	case Geometric:
+		groups, err = grouping.Geometric(pp, sum, opts.NumGroups)
+	case Greedy:
+		groups, err = grouping.Greedy(pp, sum, opts.NumGroups, thetas)
+	default:
+		err = fmt.Errorf("pgbj: unknown group strategy %v", opts.GroupStrategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	groupLBs := grouping.GroupLBs(pp, sum, thetas, groups)
+	report.AddPhase("Partition Grouping", time.Since(start))
+
+	// ---- Phase 5: MapReduce job 2 — the kNN join -------------------------
+	job := &mapreduce.Job{
+		Name:        "pgbj-join",
+		Input:       []string{partFile},
+		Output:      outFile,
+		NumReducers: opts.NumGroups,
+		Partition: func(key string, n int) int {
+			g, _ := strconv.Atoi(key)
+			return g % n
+		},
+		Side: map[string]any{
+			sidePivots:   pp,
+			sideSummary:  sum,
+			sideThetas:   thetas,
+			sideGroupOf:  groups.GroupOf,
+			sideGroupLBs: groupLBs,
+			sideOpts:     opts,
+		},
+		Map:    pgbjRouteMap,
+		Reduce: pgbjJoinReduce,
+	}
+	start = time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("KNN Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+	report.OutputPairs = sumNeighborCount(js)
+	return report, nil
+}
+
+func sumNeighborCount(js *mapreduce.JobStats) int64 {
+	return js.Counters["result_pairs"]
+}
+
+// selectPivots reads R and runs the configured pivot-selection strategy,
+// charging its time and distance computations to the report.
+func selectPivots(fs *dfs.FS, rFile string, opts Options, report *stats.Report) ([]vector.Point, error) {
+	start := time.Now()
+	tagged, err := fromDFS(fs, rFile)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]codec.Object, len(tagged))
+	for i, t := range tagged {
+		objs[i] = t.Object
+	}
+	var distCount int64
+	pivots, err := pivot.Select(opts.PivotStrategy, objs, opts.NumPivots, pivot.Options{
+		Metric:    opts.Metric,
+		Seed:      opts.Seed,
+		DistCount: &distCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Pairs += distCount
+	report.AddPhase("Pivot Selection", time.Since(start))
+	return pivots, nil
+}
+
+// runPartitionJob is MapReduce job 1: a map-only job that tags every
+// object of R and S with its nearest pivot (Figure 4).
+func runPartitionJob(cluster *mapreduce.Cluster, pp *voronoi.Partitioner, inputs []string, outFile string, report *stats.Report) error {
+	job := &mapreduce.Job{
+		Name:   "pgbj-partition",
+		Input:  inputs,
+		Output: outFile,
+		Side:   map[string]any{sidePivots: pp},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			var n int64
+			part, d := pp.Assign(t.Point, &n)
+			ctx.Counter("pairs", n)
+			ctx.AddWork(n)
+			t.Partition = int32(part)
+			t.PivotDist = d
+			emit("", codec.EncodeTagged(t))
+			return nil
+		},
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return err
+	}
+	report.AddPhase("Data Partitioning", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.SimMakespan += js.SimMapMakespan
+	return nil
+}
+
+// buildSummary is the index-merging phase: it folds the partitioned file
+// into the TR/TS summary tables, processing DFS chunks on parallel workers
+// and merging the partial builders, exactly as the paper merges per-split
+// statistics when job 1 completes.
+func buildSummary(fs *dfs.FS, partFile string, pp *voronoi.Partitioner, k int, report *stats.Report) (*voronoi.Summary, error) {
+	start := time.Now()
+	splits, err := fs.Splits(partFile)
+	if err != nil {
+		return nil, err
+	}
+	builders := make([]*voronoi.SummaryBuilder, len(splits))
+	errs := make([]error, len(splits))
+	var wg sync.WaitGroup
+	for i := range splits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := voronoi.NewSummaryBuilder(pp.NumPartitions(), k)
+			for _, rec := range splits[i].Records {
+				t, err := codec.DecodeTagged(rec)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				b.Add(t)
+			}
+			builders[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(builders) == 0 {
+		return nil, fmt.Errorf("pgbj: partitioned file %q is empty", partFile)
+	}
+	root := builders[0]
+	for _, b := range builders[1:] {
+		root.Merge(b)
+	}
+	sum := root.Finalize()
+	report.AddPhase("Index Merging", time.Since(start))
+	return sum, nil
+}
+
+// pgbjRouteMap is the map function of job 2 (Algorithm 3 lines 3–11 plus
+// the Theorem-6 group routing): R objects go to their group; S objects
+// replicate to every group whose LB admits them.
+func pgbjRouteMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	groupOf := ctx.Side(sideGroupOf).([]int)
+	groupLBs := ctx.Side(sideGroupLBs).([][]float64)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	switch t.Src {
+	case codec.FromR:
+		emit(strconv.Itoa(groupOf[t.Partition]), rec)
+	case codec.FromS:
+		row := groupLBs[t.Partition]
+		for g, lb := range row {
+			if t.PivotDist >= lb {
+				ctx.Counter("replicas_s", 1)
+				emit(strconv.Itoa(g), rec)
+			}
+		}
+	}
+	return nil
+}
+
+// pgbjJoinReduce is the reduce function of job 2: Algorithm 3 lines 12–25
+// over one group of R-partitions and its replica set S_i.
+func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+	sum := ctx.Side(sideSummary).(*voronoi.Summary)
+	thetas := ctx.Side(sideThetas).([]float64)
+	opts := ctx.Side(sideOpts).(Options)
+
+	rParts := make(map[int32][]codec.Tagged)
+	sParts := make(map[int32][]codec.Tagged)
+	for _, v := range values {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return err
+		}
+		if t.Src == codec.FromR {
+			rParts[t.Partition] = append(rParts[t.Partition], t)
+		} else {
+			sParts[t.Partition] = append(sParts[t.Partition], t)
+		}
+	}
+	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, emit)
+	return nil
+}
+
+// joinPartitions runs Algorithm 3's per-reducer join: every R object in
+// rParts is joined against the S partitions in sParts using the θ bound,
+// Corollary-1 hyperplane pruning and Theorem-2 windows. It is shared by
+// PGBJ (full S_i replica sets) and PBJ (block subsets of S).
+func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *voronoi.Summary,
+	thetas []float64, opts Options, rParts, sParts map[int32][]codec.Tagged, emit mapreduce.Emit) {
+
+	// Sort S-partitions once: by pivot distance within each (Theorem 2
+	// windows become binary searches)...
+	sPartIDs := make([]int32, 0, len(sParts))
+	for id := range sParts {
+		voronoi.SortByPivotDist(sParts[id])
+		sPartIDs = append(sPartIDs, id)
+	}
+	// ...and stabilize R-partition iteration for determinism.
+	rPartIDs := make([]int32, 0, len(rParts))
+	for id := range rParts {
+		rPartIDs = append(rPartIDs, id)
+	}
+	sort.Slice(rPartIDs, func(a, b int) bool { return rPartIDs[a] < rPartIDs[b] })
+
+	heap := nnheap.NewKHeap(opts.K)
+	var pairs, resultPairs int64
+	for _, ri := range rPartIDs {
+		// Line 14: order S-partitions by ascending pivot gap to p_i, so
+		// near partitions refine θ early. The ablation switch falls back
+		// to plain partition-id order.
+		order := append([]int32(nil), sPartIDs...)
+		if opts.DisableNearestFirstOrder {
+			sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+		} else {
+			sort.Slice(order, func(a, b int) bool {
+				ga, gb := pp.PivotDist(int(ri), int(order[a])), pp.PivotDist(int(ri), int(order[b]))
+				if ga != gb {
+					return ga < gb
+				}
+				return order[a] < order[b]
+			})
+		}
+		thetaI := thetas[ri]
+		for _, r := range rParts[ri] {
+			heap.Reset()
+			theta := thetaI
+			for _, sj := range order {
+				spart := sParts[sj]
+				gap := pp.PivotDist(int(ri), int(sj))
+				// |r, p_j| serves both Corollary 1 and Theorem 2; it is an
+				// object–pivot distance, counted per the paper's Eq. 13 note.
+				rToPj := opts.Metric.Dist(r.Point, pp.Pivots[sj])
+				pairs++
+				if !opts.DisableHyperplanePruning && int(sj) != int(ri) {
+					if voronoi.HyperplaneDist(rToPj, r.PivotDist, gap, opts.Metric) > theta {
+						continue // line 19–20: the whole partition is out
+					}
+				}
+				lo, hi := 0, len(spart)
+				if !opts.DisableWindowPruning {
+					wlo, whi, ok := voronoi.Theorem2Window(sum.S[sj], rToPj, theta)
+					if !ok {
+						continue
+					}
+					lo, hi = voronoi.WindowIndices(spart, wlo, whi)
+				}
+				for x := lo; x < hi; x++ {
+					s := spart[x]
+					d := opts.Metric.Dist(r.Point, s.Point)
+					pairs++
+					heap.Push(nnheap.Candidate{ID: s.ID, Dist: d})
+					// Line 24: θ tightens to the running k-th best, but the
+					// window may admit candidates beyond θ_i, so never let θ
+					// grow past the partition bound.
+					if t := heap.Threshold(thetaI); t < theta {
+						theta = t
+					}
+				}
+			}
+			nbs := toNeighbors(heap.Sorted())
+			resultPairs += int64(len(nbs))
+			emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		}
+	}
+	ctx.Counter("pairs", pairs)
+	ctx.Counter("result_pairs", resultPairs)
+	ctx.AddWork(pairs)
+}
+
+// toNeighbors converts heap candidates into result neighbors.
+func toNeighbors(cands []nnheap.Candidate) []codec.Neighbor {
+	nbs := make([]codec.Neighbor, len(cands))
+	for i, c := range cands {
+		nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+	}
+	return nbs
+}
+
+// fromDFS decodes a file of Tagged records.
+func fromDFS(fs *dfs.FS, name string) ([]codec.Tagged, error) {
+	recs, err := fs.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]codec.Tagged, len(recs))
+	for i, r := range recs {
+		t, err := codec.DecodeTagged(r)
+		if err != nil {
+			return nil, fmt.Errorf("pgbj: record %d of %q: %w", i, name, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

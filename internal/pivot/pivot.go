@@ -1,0 +1,279 @@
+// Package pivot implements the three pivot-selection strategies of §4.1 of
+// the paper: random selection, farthest selection, and k-means selection.
+//
+// Pivot selection is the preprocessing step executed on the master node
+// before either MapReduce job runs. The chosen pivots define the Voronoi
+// diagram that partitions both R and S, so selection quality directly
+// drives partition balance (Table 2), group balance (Table 3) and the
+// pruning power of every later bound.
+package pivot
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/vector"
+)
+
+// Strategy identifies a pivot-selection strategy.
+type Strategy int
+
+const (
+	// Random draws T candidate sets and keeps the one with the largest
+	// total pairwise distance (§4.1, "Random Selection").
+	Random Strategy = iota
+	// Farthest grows the pivot set greedily, each new pivot maximizing the
+	// sum of distances to those already chosen (§4.1, "Farthest Selection").
+	Farthest
+	// KMeans clusters a sample with Lloyd's algorithm and uses the cluster
+	// centers as pivots (§4.1, "k-means Selection").
+	KMeans
+)
+
+// String returns the strategy's conventional name.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case Farthest:
+		return "farthest"
+	case KMeans:
+		return "kmeans"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a strategy name into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "random", "r", "":
+		return Random, nil
+	case "farthest", "f":
+		return Farthest, nil
+	case "kmeans", "k-means", "k":
+		return KMeans, nil
+	}
+	return Random, fmt.Errorf("pivot: unknown strategy %q", s)
+}
+
+// Options tunes selection.
+type Options struct {
+	// Metric is the distance measure; the zero value is L2.
+	Metric vector.Metric
+	// CandidateSets is the paper's T for Random selection. Zero means 3.
+	CandidateSets int
+	// SampleSize bounds how many objects Farthest and KMeans consider
+	// (the paper samples because preprocessing runs on one master node).
+	// Zero means min(len(data), 20·numPivots).
+	SampleSize int
+	// KMeansIters bounds Lloyd iterations. Zero means 8.
+	KMeansIters int
+	// Seed makes selection deterministic.
+	Seed int64
+
+	// DistCount, when non-nil, accumulates the number of distance
+	// computations the selection performed; the paper charges pivot
+	// selection to the "Pivot Selection" phase of Figure 6.
+	DistCount *int64
+}
+
+func (o Options) withDefaults(numPivots, dataLen int) Options {
+	if o.CandidateSets <= 0 {
+		o.CandidateSets = 3
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 20 * numPivots
+	}
+	if o.SampleSize > dataLen {
+		o.SampleSize = dataLen
+	}
+	if o.KMeansIters <= 0 {
+		o.KMeansIters = 8
+	}
+	return o
+}
+
+func (o Options) count(n int64) {
+	if o.DistCount != nil {
+		*o.DistCount += n
+	}
+}
+
+// Select picks numPivots pivots from data using the given strategy. The
+// returned points are copies; data is not modified. Select fails if fewer
+// objects than pivots are available.
+func Select(strategy Strategy, data []codec.Object, numPivots int, opts Options) ([]vector.Point, error) {
+	if numPivots <= 0 {
+		return nil, fmt.Errorf("pivot: numPivots must be positive, got %d", numPivots)
+	}
+	if len(data) < numPivots {
+		return nil, fmt.Errorf("pivot: need at least %d objects, have %d", numPivots, len(data))
+	}
+	opts = opts.withDefaults(numPivots, len(data))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	switch strategy {
+	case Random:
+		return selectRandom(data, numPivots, opts, rng), nil
+	case Farthest:
+		return selectFarthest(data, numPivots, opts, rng), nil
+	case KMeans:
+		return selectKMeans(data, numPivots, opts, rng), nil
+	}
+	return nil, fmt.Errorf("pivot: unknown strategy %v", strategy)
+}
+
+// selectRandom draws T random candidate sets of numPivots objects each and
+// returns the set with the maximum total pairwise distance. For large sets
+// the pairwise sum is estimated on a bounded subsample of pairs — the
+// selection only needs a relative ranking of the T candidate sets.
+func selectRandom(data []codec.Object, numPivots int, opts Options, rng *rand.Rand) []vector.Point {
+	const maxExactPairs = 1 << 17
+	bestScore := -1.0
+	var best []vector.Point
+	for t := 0; t < opts.CandidateSets; t++ {
+		set := samplePoints(data, numPivots, rng)
+		var score float64
+		totalPairs := numPivots * (numPivots - 1) / 2
+		if totalPairs <= maxExactPairs {
+			for i := 0; i < len(set); i++ {
+				for j := i + 1; j < len(set); j++ {
+					score += opts.Metric.Dist(set[i], set[j])
+				}
+			}
+			opts.count(int64(totalPairs))
+		} else {
+			for p := 0; p < maxExactPairs; p++ {
+				i, j := rng.Intn(len(set)), rng.Intn(len(set))
+				if i != j {
+					score += opts.Metric.Dist(set[i], set[j])
+				}
+			}
+			opts.count(maxExactPairs)
+		}
+		if score > bestScore {
+			bestScore, best = score, set
+		}
+	}
+	return best
+}
+
+// selectFarthest implements farthest-first traversal over a sample: the
+// i-th pivot maximizes the sum of its distances to the first i−1 pivots.
+func selectFarthest(data []codec.Object, numPivots int, opts Options, rng *rand.Rand) []vector.Point {
+	sample := samplePoints(data, opts.SampleSize, rng)
+	pivots := make([]vector.Point, 0, numPivots)
+	first := rng.Intn(len(sample))
+	pivots = append(pivots, sample[first])
+
+	// sumDist[i] accumulates Σ_p |sample[i], p| over chosen pivots, so each
+	// iteration costs one new distance per sample object.
+	sumDist := make([]float64, len(sample))
+	chosen := make([]bool, len(sample))
+	chosen[first] = true
+	last := sample[first]
+	for len(pivots) < numPivots {
+		bestIdx, bestSum := -1, -1.0
+		for i := range sample {
+			if chosen[i] {
+				continue
+			}
+			sumDist[i] += opts.Metric.Dist(sample[i], last)
+			if sumDist[i] > bestSum {
+				bestIdx, bestSum = i, sumDist[i]
+			}
+		}
+		opts.count(int64(len(sample)))
+		chosen[bestIdx] = true
+		last = sample[bestIdx]
+		pivots = append(pivots, last)
+	}
+	return pivots
+}
+
+// selectKMeans runs Lloyd's k-means on a sample and returns the centroids.
+// Empty clusters are re-seeded from the farthest sample point, a standard
+// Lloyd repair that keeps exactly numPivots pivots.
+func selectKMeans(data []codec.Object, numPivots int, opts Options, rng *rand.Rand) []vector.Point {
+	sample := samplePoints(data, opts.SampleSize, rng)
+	centers := samplePoints(data, numPivots, rng)
+	assign := make([]int, len(sample))
+	for iter := 0; iter < opts.KMeansIters; iter++ {
+		changed := false
+		for i, p := range sample {
+			best, bestD := 0, opts.Metric.Dist(p, centers[0])
+			for c := 1; c < len(centers); c++ {
+				if d := opts.Metric.Dist(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i], changed = best, true
+			}
+		}
+		opts.count(int64(len(sample) * len(centers)))
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		sums := make([]vector.Point, len(centers))
+		counts := make([]int, len(centers))
+		dim := sample[0].Dim()
+		for c := range sums {
+			sums[c] = make(vector.Point, dim)
+		}
+		for i, p := range sample {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = reseedEmptyCluster(sample, centers, opts, rng)
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range sums[c] {
+				sums[c][d] *= inv
+			}
+			centers[c] = sums[c]
+		}
+	}
+	return centers
+}
+
+// reseedEmptyCluster returns the sample point farthest from its nearest
+// center, the usual fix for a cluster that lost all members.
+func reseedEmptyCluster(sample, centers []vector.Point, opts Options, rng *rand.Rand) vector.Point {
+	bestIdx, bestD := rng.Intn(len(sample)), -1.0
+	for i, p := range sample {
+		nearest := opts.Metric.Dist(p, centers[0])
+		for c := 1; c < len(centers); c++ {
+			if d := opts.Metric.Dist(p, centers[c]); d < nearest {
+				nearest = d
+			}
+		}
+		if nearest > bestD {
+			bestIdx, bestD = i, nearest
+		}
+	}
+	opts.count(int64(len(sample) * len(centers)))
+	return sample[bestIdx].Clone()
+}
+
+// samplePoints draws n distinct objects uniformly without replacement and
+// returns copies of their points.
+func samplePoints(data []codec.Object, n int, rng *rand.Rand) []vector.Point {
+	if n > len(data) {
+		n = len(data)
+	}
+	idx := rng.Perm(len(data))[:n]
+	out := make([]vector.Point, n)
+	for i, j := range idx {
+		out[i] = data[j].Point.Clone()
+	}
+	return out
+}

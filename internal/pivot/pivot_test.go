@@ -1,0 +1,284 @@
+package pivot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/vector"
+)
+
+func uniformObjects(n, dim int, seed int64) []codec.Object {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]codec.Object, n)
+	for i := range out {
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		out[i] = codec.Object{ID: int64(i), Point: p}
+	}
+	return out
+}
+
+// clusteredObjects puts points into tight, well-separated clusters plus a
+// handful of extreme outliers — the shape that distinguishes the three
+// strategies in Table 2.
+func clusteredObjects(n, dim int, seed int64) []codec.Object {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]vector.Point, 8)
+	for c := range centers {
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 1000
+		}
+		centers[c] = p
+	}
+	out := make([]codec.Object, n)
+	for i := range out {
+		p := make(vector.Point, dim)
+		if i < 5 { // outliers far outside all clusters
+			for d := range p {
+				p[d] = 1e5 + rng.Float64()*1e4
+			}
+		} else {
+			c := centers[rng.Intn(len(centers))]
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*5
+			}
+		}
+		out[i] = codec.Object{ID: int64(i), Point: p}
+	}
+	return out
+}
+
+func TestSelectBasicContract(t *testing.T) {
+	data := uniformObjects(500, 4, 1)
+	for _, s := range []Strategy{Random, Farthest, KMeans} {
+		got, err := Select(s, data, 20, Options{Seed: 42})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("%v: got %d pivots, want 20", s, len(got))
+		}
+		for i, p := range got {
+			if p.Dim() != 4 {
+				t.Fatalf("%v: pivot %d has dim %d", s, i, p.Dim())
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%v: pivot %d has bad coordinate %v", s, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	data := uniformObjects(5, 2, 1)
+	if _, err := Select(Random, data, 0, Options{}); err == nil {
+		t.Error("numPivots=0 accepted")
+	}
+	if _, err := Select(Random, data, -1, Options{}); err == nil {
+		t.Error("negative numPivots accepted")
+	}
+	if _, err := Select(Random, data, 6, Options{}); err == nil {
+		t.Error("more pivots than data accepted")
+	}
+	if _, err := Select(Strategy(99), data, 2, Options{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestSelectDeterministicForSeed(t *testing.T) {
+	data := uniformObjects(300, 3, 2)
+	for _, s := range []Strategy{Random, Farthest, KMeans} {
+		a, _ := Select(s, data, 10, Options{Seed: 7})
+		b, _ := Select(s, data, 10, Options{Seed: 7})
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%v: selection not deterministic", s)
+			}
+		}
+		c, _ := Select(s, data, 10, Options{Seed: 8})
+		same := true
+		for i := range a {
+			if !a[i].Equal(c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical pivots (suspicious)", s)
+		}
+	}
+}
+
+func TestRandomPivotsComeFromData(t *testing.T) {
+	data := uniformObjects(100, 2, 3)
+	got, _ := Select(Random, data, 5, Options{Seed: 1})
+	for _, p := range got {
+		found := false
+		for _, o := range data {
+			if o.Point.Equal(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("random pivot %v is not a data point", p)
+		}
+	}
+}
+
+// Farthest selection must pick up extreme outliers as pivots — this is the
+// paper's explanation for its pathological partition skew (§6.1.1).
+func TestFarthestPrefersOutliers(t *testing.T) {
+	data := clusteredObjects(2000, 3, 4)
+	got, _ := Select(Farthest, data, 10, Options{Seed: 1, SampleSize: 2000})
+	outlierPivots := 0
+	for _, p := range got {
+		if p[0] > 5e4 {
+			outlierPivots++
+		}
+	}
+	if outlierPivots == 0 {
+		t.Fatal("farthest selection chose no outliers on heavily skewed data")
+	}
+}
+
+// k-means pivots should track the true cluster centers far better than the
+// same number of random pivots on clustered data.
+func TestKMeansTracksClusters(t *testing.T) {
+	data := clusteredObjects(2000, 3, 5)
+	// Strip outliers so the comparison is about cluster structure.
+	data = data[5:]
+	kmeans, _ := Select(KMeans, data, 8, Options{Seed: 1, SampleSize: 1500, KMeansIters: 15})
+
+	// Quantization error: mean distance from each object to nearest pivot.
+	quantErr := func(pivots []vector.Point) float64 {
+		var sum float64
+		for _, o := range data {
+			best := math.Inf(1)
+			for _, p := range pivots {
+				if d := vector.Dist(o.Point, p); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(data))
+	}
+	random, _ := Select(Random, data, 8, Options{Seed: 1})
+	if ke, re := quantErr(kmeans), quantErr(random); ke >= re {
+		t.Fatalf("k-means quantization error %.2f not better than random %.2f", ke, re)
+	}
+}
+
+func TestSampleSizeClamped(t *testing.T) {
+	data := uniformObjects(50, 2, 6)
+	// SampleSize larger than the dataset must not panic or loop.
+	got, err := Select(Farthest, data, 10, Options{Seed: 1, SampleSize: 10_000})
+	if err != nil || len(got) != 10 {
+		t.Fatalf("got %d pivots, err=%v", len(got), err)
+	}
+}
+
+func TestDistCountAccumulates(t *testing.T) {
+	data := uniformObjects(400, 3, 7)
+	for _, s := range []Strategy{Random, Farthest, KMeans} {
+		var n int64
+		if _, err := Select(s, data, 10, Options{Seed: 1, DistCount: &n}); err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Errorf("%v: DistCount = %d, want > 0", s, n)
+		}
+	}
+}
+
+func TestSelectWithAlternateMetrics(t *testing.T) {
+	data := uniformObjects(200, 4, 8)
+	for _, m := range []vector.Metric{vector.L1, vector.LInf} {
+		for _, s := range []Strategy{Random, Farthest, KMeans} {
+			got, err := Select(s, data, 6, Options{Seed: 1, Metric: m})
+			if err != nil || len(got) != 6 {
+				t.Fatalf("%v/%v: %v", s, m, err)
+			}
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for s, want := range map[string]Strategy{
+		"random": Random, "r": Random, "": Random,
+		"farthest": Farthest, "f": Farthest,
+		"kmeans": KMeans, "k-means": KMeans, "k": KMeans,
+	} {
+		got, err := ParseStrategy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("voronoi"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Random.String() != "random" || Farthest.String() != "farthest" || KMeans.String() != "kmeans" {
+		t.Error("unexpected names")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unexpected fallback")
+	}
+}
+
+func TestPivotsAreCopies(t *testing.T) {
+	data := uniformObjects(50, 2, 9)
+	got, _ := Select(Random, data, 5, Options{Seed: 1})
+	got[0][0] = 1e9
+	for _, o := range data {
+		if o.Point[0] == 1e9 {
+			t.Fatal("pivot aliases dataset storage")
+		}
+	}
+}
+
+func BenchmarkSelectRandom(b *testing.B)   { benchSelect(b, Random) }
+func BenchmarkSelectFarthest(b *testing.B) { benchSelect(b, Farthest) }
+func BenchmarkSelectKMeans(b *testing.B)   { benchSelect(b, KMeans) }
+
+func benchSelect(b *testing.B, s Strategy) {
+	data := uniformObjects(5000, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Select(s, data, 100, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A k-means run where clusters inevitably empty (far more centers than
+// distinct values) must recover via reseeding, never return fewer pivots.
+func TestKMeansEmptyClusterReseed(t *testing.T) {
+	objs := make([]codec.Object, 64)
+	for i := range objs {
+		objs[i] = codec.Object{ID: int64(i), Point: vector.Point{1, 1}}
+	}
+	// Two distinct stragglers so not everything is one point.
+	objs[62].Point = vector.Point{9, 9}
+	objs[63].Point = vector.Point{-7, 2}
+	for seed := int64(0); seed < 5; seed++ {
+		pivots, err := Select(KMeans, objs, 8, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(pivots) != 8 {
+			t.Fatalf("seed %d: got %d pivots, want 8", seed, len(pivots))
+		}
+	}
+}

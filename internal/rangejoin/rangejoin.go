@@ -1,0 +1,357 @@
+// Package rangejoin extends the paper's machinery from the kNN predicate
+// to the range predicate of its Definition 3: the θ-range join
+// R ⋈_θ S = {(r, s) | r ∈ R, s ∈ S, |r,s| ≤ θ}.
+//
+// The pipeline is PGBJ's with one substitution: where PGBJ derives a
+// per-partition distance bound θ_i (Equation 6) before routing replicas,
+// the range join's bound is the query radius θ itself, identical for
+// every partition. Everything else carries over verbatim — Voronoi
+// partitioning with summary tables (MapReduce job 1), geometric grouping
+// of R-partitions, Theorem-6/Corollary-2 replica routing of S, and a
+// reducer that prunes with Corollary 1 hyperplane tests and Theorem-2
+// windows. The package exists to demonstrate that claim of the paper's
+// §2.3 ("we can answer range selection queries based on the following
+// theorem") at full join scale, and because a distributed ε-range join
+// is the building block of DBSCAN-style clustering.
+package rangejoin
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/grouping"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// Options configures a range join.
+type Options struct {
+	// Radius is θ, the inclusive distance threshold. Required, ≥ 0.
+	Radius float64
+	// Metric is the distance measure; default L2.
+	Metric vector.Metric
+	// NumPivots is |P|. Required, positive.
+	NumPivots int
+	// PivotStrategy is the §4.1 selection strategy; default random.
+	PivotStrategy pivot.Strategy
+	// NumGroups is the number of reducer groups; zero means the cluster's
+	// node count.
+	NumGroups int
+	// Seed fixes pivot selection.
+	Seed int64
+}
+
+func (o Options) validate(cluster *mapreduce.Cluster) (Options, error) {
+	if o.Radius < 0 {
+		return o, fmt.Errorf("rangejoin: radius must not be negative, got %g", o.Radius)
+	}
+	if o.NumPivots <= 0 {
+		return o, fmt.Errorf("rangejoin: NumPivots must be positive, got %d", o.NumPivots)
+	}
+	if o.NumGroups <= 0 {
+		o.NumGroups = cluster.Nodes()
+		if o.NumGroups > o.NumPivots {
+			o.NumGroups = o.NumPivots
+		}
+	}
+	return o, nil
+}
+
+// side-data keys for the join job.
+const (
+	sidePivots   = "pivots"
+	sideSummary  = "summary"
+	sideGroupOf  = "groupOf"
+	sideGroupLBs = "groupLBs"
+	sideOpts     = "opts"
+)
+
+// Run executes the range join on the cluster. rFile and sFile must
+// contain Tagged records (dataset.ToDFS); outFile receives one
+// codec.Result per R object that has at least one in-range partner,
+// neighbors ascending by distance.
+func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	opts, err := opts.validate(cluster)
+	if err != nil {
+		return nil, err
+	}
+	report := &stats.Report{
+		Algorithm: "range-join",
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	// ---- Pivot selection on R -------------------------------------------
+	start := time.Now()
+	rTagged, err := readTagged(cluster.FS(), rFile)
+	if err != nil {
+		return nil, err
+	}
+	if len(rTagged) == 0 {
+		return nil, fmt.Errorf("rangejoin: empty R input %q", rFile)
+	}
+	objs := make([]codec.Object, len(rTagged))
+	for i, t := range rTagged {
+		objs[i] = t.Object
+	}
+	var distCount int64
+	pivots, err := pivot.Select(opts.PivotStrategy, objs, opts.NumPivots, pivot.Options{
+		Metric: opts.Metric, Seed: opts.Seed, DistCount: &distCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Pairs += distCount
+	pp := voronoi.NewPartitioner(pivots, opts.Metric)
+	report.AddPhase("Pivot Selection", time.Since(start))
+
+	// ---- Job 1: Voronoi partitioning (map-only) --------------------------
+	partFile := outFile + ".partitioned"
+	partJob := &mapreduce.Job{
+		Name:   "range-partition",
+		Input:  []string{rFile, sFile},
+		Output: partFile,
+		Side:   map[string]any{sidePivots: pp},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			var n int64
+			part, d := pp.Assign(t.Point, &n)
+			ctx.Counter("pairs", n)
+			ctx.AddWork(n)
+			t.Partition = int32(part)
+			t.PivotDist = d
+			emit("", codec.EncodeTagged(t))
+			return nil
+		},
+	}
+	start = time.Now()
+	js, err := cluster.Run(partJob)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.FS().Remove(partFile)
+	report.AddPhase("Data Partitioning", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.SimMakespan += js.SimMapMakespan
+
+	// ---- Index merging + grouping ----------------------------------------
+	start = time.Now()
+	parted, err := readTagged(cluster.FS(), partFile)
+	if err != nil {
+		return nil, err
+	}
+	builder := voronoi.NewSummaryBuilder(pp.NumPartitions(), 1)
+	for _, t := range parted {
+		builder.Add(t)
+	}
+	sum := builder.Finalize()
+	report.AddPhase("Index Merging", time.Since(start))
+
+	start = time.Now()
+	groups, err := grouping.Geometric(pp, sum, opts.NumGroups)
+	if err != nil {
+		return nil, err
+	}
+	// The kNN join derives θ_i per partition; the range join's bound is
+	// the radius itself, so every partition shares it.
+	thetas := make([]float64, pp.NumPartitions())
+	for i := range thetas {
+		thetas[i] = opts.Radius
+	}
+	groupLBs := grouping.GroupLBs(pp, sum, thetas, groups)
+	report.AddPhase("Partition Grouping", time.Since(start))
+
+	// ---- Job 2: the range join -------------------------------------------
+	job := &mapreduce.Job{
+		Name:        "range-join",
+		Input:       []string{partFile},
+		Output:      outFile,
+		NumReducers: opts.NumGroups,
+		Partition: func(key string, n int) int {
+			g, _ := strconv.Atoi(key)
+			return g % n
+		},
+		Side: map[string]any{
+			sidePivots:   pp,
+			sideSummary:  sum,
+			sideGroupOf:  groups.GroupOf,
+			sideGroupLBs: groupLBs,
+			sideOpts:     opts,
+		},
+		Map:    routeMap,
+		Reduce: joinReduce,
+	}
+	start = time.Now()
+	js, err = cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Range Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+	report.OutputPairs = js.Counters["result_pairs"]
+	return report, nil
+}
+
+// routeMap routes R objects to their group and replicates S objects to
+// every group whose Corollary-2 bound (with θ in place of θ_i) admits
+// them.
+func routeMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	groupOf := ctx.Side(sideGroupOf).([]int)
+	groupLBs := ctx.Side(sideGroupLBs).([][]float64)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	switch t.Src {
+	case codec.FromR:
+		emit(strconv.Itoa(groupOf[t.Partition]), rec)
+	case codec.FromS:
+		for g, lb := range groupLBs[t.Partition] {
+			if t.PivotDist >= lb {
+				ctx.Counter("replicas_s", 1)
+				emit(strconv.Itoa(g), rec)
+			}
+		}
+	}
+	return nil
+}
+
+// joinReduce answers the range query of every r in the group against the
+// group's replica set, with Corollary-1 and Theorem-2 pruning at radius θ.
+func joinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+	sum := ctx.Side(sideSummary).(*voronoi.Summary)
+	opts := ctx.Side(sideOpts).(Options)
+	theta := opts.Radius
+
+	rParts := make(map[int32][]codec.Tagged)
+	sParts := make(map[int32][]codec.Tagged)
+	for _, v := range values {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return err
+		}
+		if t.Src == codec.FromR {
+			rParts[t.Partition] = append(rParts[t.Partition], t)
+		} else {
+			sParts[t.Partition] = append(sParts[t.Partition], t)
+		}
+	}
+	sPartIDs := make([]int32, 0, len(sParts))
+	for id := range sParts {
+		voronoi.SortByPivotDist(sParts[id])
+		sPartIDs = append(sPartIDs, id)
+	}
+	sort.Slice(sPartIDs, func(a, b int) bool { return sPartIDs[a] < sPartIDs[b] })
+	rPartIDs := make([]int32, 0, len(rParts))
+	for id := range rParts {
+		rPartIDs = append(rPartIDs, id)
+	}
+	sort.Slice(rPartIDs, func(a, b int) bool { return rPartIDs[a] < rPartIDs[b] })
+
+	var pairs, resultPairs int64
+	for _, ri := range rPartIDs {
+		for _, r := range rParts[ri] {
+			var nbs []codec.Neighbor
+			for _, sj := range sPartIDs {
+				spart := sParts[sj]
+				gap := pp.PivotDist(int(ri), int(sj))
+				rToPj := opts.Metric.Dist(r.Point, pp.Pivots[sj])
+				pairs++
+				if int(sj) != int(ri) &&
+					voronoi.HyperplaneDist(rToPj, r.PivotDist, gap, opts.Metric) > theta {
+					continue // Corollary 1: the whole partition is out of range
+				}
+				wlo, whi, ok := voronoi.Theorem2Window(sum.S[sj], rToPj, theta)
+				if !ok {
+					continue
+				}
+				lo, hi := voronoi.WindowIndices(spart, wlo, whi)
+				for x := lo; x < hi; x++ {
+					s := spart[x]
+					d := opts.Metric.Dist(r.Point, s.Point)
+					pairs++
+					if d <= theta {
+						nbs = append(nbs, codec.Neighbor{ID: s.ID, Dist: d})
+					}
+				}
+			}
+			if len(nbs) == 0 {
+				continue
+			}
+			sort.Slice(nbs, func(a, b int) bool {
+				if nbs[a].Dist != nbs[b].Dist {
+					return nbs[a].Dist < nbs[b].Dist
+				}
+				return nbs[a].ID < nbs[b].ID
+			})
+			resultPairs += int64(len(nbs))
+			emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		}
+	}
+	ctx.Counter("pairs", pairs)
+	ctx.Counter("result_pairs", resultPairs)
+	ctx.AddWork(pairs)
+	return nil
+}
+
+// BruteForce computes the exact range join centrally, for verification.
+// Results are ordered by R object ID; objects with no in-range partner
+// are omitted, matching Run's output contract.
+func BruteForce(rObjs, sObjs []codec.Object, radius float64, m vector.Metric) []codec.Result {
+	var out []codec.Result
+	for _, r := range rObjs {
+		var nbs []codec.Neighbor
+		for _, s := range sObjs {
+			if d := m.Dist(r.Point, s.Point); d <= radius {
+				nbs = append(nbs, codec.Neighbor{ID: s.ID, Dist: d})
+			}
+		}
+		if len(nbs) == 0 {
+			continue
+		}
+		sort.Slice(nbs, func(a, b int) bool {
+			if nbs[a].Dist != nbs[b].Dist {
+				return nbs[a].Dist < nbs[b].Dist
+			}
+			return nbs[a].ID < nbs[b].ID
+		})
+		out = append(out, codec.Result{RID: r.ID, Neighbors: nbs})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].RID < out[b].RID })
+	return out
+}
+
+// readTagged decodes a file of Tagged records.
+func readTagged(fs *dfs.FS, name string) ([]codec.Tagged, error) {
+	recs, err := fs.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]codec.Tagged, len(recs))
+	for i, r := range recs {
+		t, err := codec.DecodeTagged(r)
+		if err != nil {
+			return nil, fmt.Errorf("rangejoin: record %d of %q: %w", i, name, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/vector"
+)
+
+func randObjects(rng *rand.Rand, n, dim int) []codec.Object {
+	out := make([]codec.Object, n)
+	for i := range out {
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		out[i] = codec.Object{ID: int64(i), Point: p}
+	}
+	return out
+}
+
+func bruteKNN(objs []codec.Object, q vector.Point, k int, m vector.Metric) []struct {
+	id int64
+	d  float64
+} {
+	type cand struct {
+		id int64
+		d  float64
+	}
+	cands := make([]cand, len(objs))
+	for i, o := range objs {
+		cands[i] = cand{o.ID, m.Dist(q, o.Point)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].id < cands[b].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]struct {
+		id int64
+		d  float64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			id int64
+			d  float64
+		}{cands[i].id, cands[i].d}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Bulk(nil, Options{})
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree shape wrong")
+	}
+	if got := tr.KNN(vector.Point{1, 2}, 3); got != nil {
+		t.Fatalf("KNN on empty = %v", got)
+	}
+	if got := tr.Range(vector.Point{1, 2}, 5); got != nil {
+		t.Fatalf("Range on empty = %v", got)
+	}
+}
+
+func TestSingleObject(t *testing.T) {
+	tr := Bulk([]codec.Object{{ID: 7, Point: vector.Point{3, 4}}}, Options{})
+	got := tr.KNN(vector.Point{0, 0}, 5)
+	if len(got) != 1 || got[0].ID != 7 || math.Abs(got[0].Dist-5) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKNNMatchesBruteForceByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	objs := randObjects(rng, 1000, 4)
+	tr := Bulk(objs, Options{})
+	for trial := 0; trial < 50; trial++ {
+		q := randObjects(rng, 1, 4)[0].Point
+		k := rng.Intn(20) + 1
+		got := tr.KNN(q, k)
+		want := bruteKNN(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			// Compare distances (ties may legitimately differ by ID choice,
+			// but our tie-break is ID-ascending on both sides).
+			if math.Abs(got[i].Dist-want[i].d) > 1e-9 {
+				t.Fatalf("trial %d k=%d pos %d: dist %v, want %v", trial, k, i, got[i].Dist, want[i].d)
+			}
+		}
+	}
+}
+
+func TestKNNAlternateMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	objs := randObjects(rng, 500, 3)
+	for _, m := range []vector.Metric{vector.L1, vector.LInf} {
+		tr := Bulk(objs, Options{Metric: m})
+		for trial := 0; trial < 20; trial++ {
+			q := randObjects(rng, 1, 3)[0].Point
+			got := tr.KNN(q, 7)
+			want := bruteKNN(objs, q, 7, m)
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].d) > 1e-9 {
+					t.Fatalf("%v: pos %d dist %v, want %v", m, i, got[i].Dist, want[i].d)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanTreeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	objs := randObjects(rng, 9, 2)
+	tr := Bulk(objs, Options{})
+	got := tr.KNN(vector.Point{0, 0}, 100)
+	if len(got) != 9 {
+		t.Fatalf("len = %d, want all 9", len(got))
+	}
+}
+
+func TestKNNZeroK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Bulk(randObjects(rng, 10, 2), Options{})
+	if got := tr.KNN(vector.Point{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 → %v", got)
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := randObjects(rng, 800, 3)
+	tr := Bulk(objs, Options{})
+	for trial := 0; trial < 30; trial++ {
+		q := randObjects(rng, 1, 3)[0].Point
+		radius := rng.Float64() * 40
+		got := tr.Range(q, radius)
+		var want []int64
+		for _, o := range objs {
+			if vector.Dist(q, o.Point) <= radius {
+				want = append(want, o.ID)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i] {
+				t.Fatalf("trial %d pos %d: id %d, want %d", trial, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+func TestDuplicatePointsAllReturned(t *testing.T) {
+	objs := []codec.Object{
+		{ID: 1, Point: vector.Point{5, 5}},
+		{ID: 2, Point: vector.Point{5, 5}},
+		{ID: 3, Point: vector.Point{5, 5}},
+		{ID: 4, Point: vector.Point{50, 50}},
+	}
+	tr := Bulk(objs, Options{})
+	got := tr.KNN(vector.Point{5, 5}, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, c := range got {
+		if c.Dist != 0 {
+			t.Fatalf("expected all-zero distances, got %v", got)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	small := Bulk(randObjects(rng, 30, 2), Options{Fanout: 4})
+	big := Bulk(randObjects(rng, 3000, 2), Options{Fanout: 4})
+	if small.Height() < 2 {
+		t.Errorf("30 objects at fanout 4 should need ≥2 levels, got %d", small.Height())
+	}
+	if big.Height() > 8 {
+		t.Errorf("3000 objects at fanout 4 gave height %d (packing broken?)", big.Height())
+	}
+}
+
+func TestTreeDoesNotAliasInput(t *testing.T) {
+	objs := []codec.Object{{ID: 1, Point: vector.Point{1, 1}}, {ID: 2, Point: vector.Point{2, 2}}}
+	tr := Bulk(objs, Options{})
+	objs[0], objs[1] = objs[1], objs[0] // caller reuses its slice
+	got := tr.KNN(vector.Point{1, 1}, 1)
+	if got[0].ID != 1 {
+		t.Fatal("tree aliases caller's slice")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := Rect{Min: vector.Point{0, 0}, Max: vector.Point{10, 10}}
+	tests := []struct {
+		p    vector.Point
+		m    vector.Metric
+		want float64
+	}{
+		{vector.Point{5, 5}, vector.L2, 0},     // inside
+		{vector.Point{13, 14}, vector.L2, 5},   // corner 3-4-5
+		{vector.Point{-3, 5}, vector.L2, 3},    // edge
+		{vector.Point{13, 14}, vector.L1, 7},   // corner, L1
+		{vector.Point{13, 14}, vector.LInf, 4}, // corner, L∞
+	}
+	for _, tc := range tests {
+		if got := r.MinDist(tc.p, tc.m); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("MinDist(%v, %v) = %v, want %v", tc.p, tc.m, got, tc.want)
+		}
+	}
+	if !r.Contains(vector.Point{0, 10}) || r.Contains(vector.Point{0, 10.1}) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}
+
+func TestDistCountGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := Bulk(randObjects(rng, 500, 3), Options{})
+	before := tr.DistCount
+	tr.KNN(vector.Point{1, 2, 3}, 5)
+	if tr.DistCount <= before {
+		t.Fatal("DistCount did not grow")
+	}
+}
+
+// Best-first search should visit far fewer objects than a full scan on
+// clustered data — the entire point of H-BRJ using an index.
+func TestKNNPrunesAgainstFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	objs := randObjects(rng, 20000, 2)
+	tr := Bulk(objs, Options{})
+	tr.DistCount = 0
+	tr.KNN(vector.Point{50, 50}, 10)
+	if tr.DistCount > int64(len(objs)/2) {
+		t.Fatalf("kNN visited %d distances for %d objects — no pruning", tr.DistCount, len(objs))
+	}
+}
+
+// Property: for random data, tree kNN distances equal brute-force kNN
+// distances for every k.
+func TestKNNCorrectQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kRaw uint8, fanRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%20 + 1
+		fan := int(fanRaw)%30 + 2
+		objs := randObjects(rng, n, 3)
+		tr := Bulk(objs, Options{Fanout: fan})
+		q := randObjects(rng, 1, 3)[0].Point
+		got := tr.KNN(q, k)
+		want := bruteKNN(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	objs := randObjects(rng, 50000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(objs, Options{})
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Bulk(randObjects(rng, 50000, 4), Options{})
+	q := randObjects(rng, 1, 4)[0].Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(q, 10)
+	}
+}

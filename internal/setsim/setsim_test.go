@@ -1,0 +1,221 @@
+package setsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/mapreduce"
+)
+
+func runJoin(t testing.TB, records []Record, threshold float64, nodes int) ([]SimPair, int64) {
+	t.Helper()
+	fs := dfs.New(256)
+	cluster := mapreduce.NewCluster(fs, nodes)
+	ToDFS(fs, "in", records)
+	pairs, rep, err := Run(cluster, "in", "out", Options{Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, rep.Pairs
+}
+
+func samePairs(t *testing.T, got, want []SimPair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].A != want[i].A || got[i].B != want[i].B {
+			t.Fatalf("pair %d: (%d,%d), want (%d,%d)", i, got[i].A, got[i].B, want[i].A, want[i].B)
+		}
+		if math.Abs(got[i].Sim-want[i].Sim) > 1e-12 {
+			t.Fatalf("pair %d: sim %v, want %v", i, got[i].Sim, want[i].Sim)
+		}
+	}
+}
+
+func TestExactVsBruteForce(t *testing.T) {
+	records := Baskets(800, 500, 4, 12, 0.3, 1)
+	for _, th := range []float64{0.5, 0.7, 0.8, 0.95} {
+		want := BruteForce(records, th)
+		got, _ := runJoin(t, records, th, 4)
+		samePairs(t, got, want)
+	}
+	if len(BruteForce(records, 0.8)) == 0 {
+		t.Fatal("workload has no qualifying pairs at 0.8 — test is vacuous")
+	}
+}
+
+func TestExactAcrossClusterShapes(t *testing.T) {
+	records := Baskets(500, 300, 3, 10, 0.25, 2)
+	want := BruteForce(records, 0.7)
+	for _, nodes := range []int{1, 3, 16} {
+		got, _ := runJoin(t, records, 0.7, nodes)
+		samePairs(t, got, want)
+	}
+}
+
+func TestPrefixFilterPrunes(t *testing.T) {
+	records := Baskets(2000, 2000, 5, 15, 0.1, 3)
+	_, verified := runJoin(t, records, 0.8, 4)
+	cross := int64(len(records)) * int64(len(records)-1) / 2
+	if verified >= cross/4 {
+		t.Fatalf("verified %d of %d pairs — prefix filter ineffective", verified, cross)
+	}
+}
+
+func TestThresholdOne(t *testing.T) {
+	records := []Record{
+		{ID: 0, Tokens: []int32{1, 2, 3}},
+		{ID: 1, Tokens: []int32{3, 2, 1}}, // same set, different order
+		{ID: 2, Tokens: []int32{1, 2, 4}},
+	}
+	got, _ := runJoin(t, records, 1, 2)
+	if len(got) != 1 || got[0].A != 0 || got[0].B != 1 || got[0].Sim != 1 {
+		t.Fatalf("threshold-1 join = %+v, want exactly the identical pair (0,1)", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	fs := dfs.New(0)
+	cluster := mapreduce.NewCluster(fs, 2)
+	for _, th := range []float64{0, -0.5, 1.01} {
+		if _, _, err := Run(cluster, "in", "out", Options{Threshold: th}); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+	if _, _, err := Run(cluster, "missing", "out", Options{Threshold: 0.5}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+// Property: Jaccard is symmetric, bounded to [0,1], 1 on identical sets,
+// and matches a map-based reference implementation.
+func TestJaccardQuick(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		a := dedupSorted(aRaw)
+		b := dedupSorted(bRaw)
+		j := Jaccard(a, b)
+		if j < 0 || j > 1 {
+			return false
+		}
+		if Jaccard(b, a) != j {
+			return false
+		}
+		if Jaccard(a, a) != 1 {
+			return false
+		}
+		// Reference with maps.
+		set := make(map[int32]bool)
+		for _, x := range a {
+			set[x] = true
+		}
+		inter := 0
+		for _, x := range b {
+			if set[x] {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		want := 1.0
+		if union > 0 {
+			want = float64(inter) / float64(union)
+		}
+		return j == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(raw []uint8) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, x := range raw {
+		if !seen[int32(x)] {
+			seen[int32(x)] = true
+			out = append(out, int32(x))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Property: the prefix length always admits at least one token, never
+// more than the set, and shrinks as the threshold grows.
+func TestPrefixLenQuick(t *testing.T) {
+	f := func(nRaw uint8, tRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		tlo := float64(tRaw%90+10) / 100 // 0.10 .. 0.99
+		p := prefixLen(n, tlo)
+		if p < 1 || p > n {
+			return false
+		}
+		return prefixLen(n, 1) <= p // stricter threshold, shorter prefix
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if prefixLen(0, 0.5) != 0 {
+		t.Error("empty set prefix must be 0")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	r := Record{ID: -7, Tokens: []int32{5, 1, 9}}
+	back, err := DecodeRecord(EncodeRecord(r))
+	if err != nil || back.ID != r.ID || len(back.Tokens) != 3 {
+		t.Fatalf("record round trip: %+v, %v", back, err)
+	}
+	for i := range r.Tokens {
+		if back.Tokens[i] != r.Tokens[i] {
+			t.Fatal("token mismatch")
+		}
+	}
+	p := SimPair{A: 1, B: 2, Sim: 0.75}
+	pb, err := DecodeSimPair(EncodeSimPair(p))
+	if err != nil || pb != p {
+		t.Fatalf("pair round trip: %+v, %v", pb, err)
+	}
+	if _, err := DecodeRecord([]byte{1}); err == nil {
+		t.Error("truncated record accepted")
+	}
+	if _, err := DecodeSimPair([]byte{1, 2}); err == nil {
+		t.Error("truncated pair accepted")
+	}
+}
+
+func TestBasketsShape(t *testing.T) {
+	records := Baskets(300, 100, 4, 8, 0.2, 4)
+	if len(records) != 300 {
+		t.Fatalf("got %d records", len(records))
+	}
+	for _, r := range records {
+		if len(r.Tokens) < 4 || len(r.Tokens) > 8 {
+			t.Fatalf("record %d has %d tokens, want 4..8", r.ID, len(r.Tokens))
+		}
+		seen := make(map[int32]bool)
+		for _, tok := range r.Tokens {
+			if seen[tok] {
+				t.Fatalf("record %d repeats token %d", r.ID, tok)
+			}
+			seen[tok] = true
+		}
+	}
+}
+
+func BenchmarkSetSimJoin(b *testing.B) {
+	records := Baskets(20000, 5000, 5, 15, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := dfs.New(0)
+		cluster := mapreduce.NewCluster(fs, 8)
+		ToDFS(fs, "in", records)
+		if _, _, err := Run(cluster, "in", "out", Options{Threshold: 0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

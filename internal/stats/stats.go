@@ -1,0 +1,253 @@
+// Package stats defines the measurement vocabulary of the paper's
+// evaluation (§6): per-phase running time, distance-computation
+// selectivity (Equation 13), shuffling cost in bytes, and replication of
+// S — plus small helpers for descriptive statistics and aligned text
+// tables used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase is one timed stage of a join pipeline. The paper's Figure 6
+// decomposes PGBJ into pivot selection, data partitioning, index merging,
+// partition grouping, and the kNN join itself.
+type Phase struct {
+	Name string
+	Wall time.Duration
+}
+
+// Report aggregates everything one join run measures.
+type Report struct {
+	Algorithm string
+	K         int
+	RSize     int
+	SSize     int
+	Dims      int
+	Nodes     int
+
+	// Pairs counts distance computations between objects, including
+	// object–pivot distances, per the paper's note under Equation 13.
+	Pairs int64
+	// ShuffleBytes and ShuffleRecords total across all MapReduce jobs.
+	ShuffleBytes   int64
+	ShuffleRecords int64
+	// ReplicasS counts S-object copies sent to reducers; ReplicasS/SSize
+	// is the paper's "average replication of S" (Figure 7b).
+	ReplicasS int64
+	// SimMakespan is the deterministic simulated parallel cost: the sum
+	// over phases of the per-phase max work assigned to one node.
+	SimMakespan int64
+	// JoinSkew is the max-over-mean reduce-task input of the main join
+	// job: 1 is perfect balance, and the slowest reducer's load — the
+	// job's critical path — grows with it. This quantifies the §6.1.1
+	// "unbalanced workload" discussion.
+	JoinSkew float64
+	// OutputPairs is the number of (r, neighbor) result pairs.
+	OutputPairs int64
+
+	Phases []Phase
+}
+
+// AddPhase appends a timed phase.
+func (r *Report) AddPhase(name string, wall time.Duration) {
+	r.Phases = append(r.Phases, Phase{Name: name, Wall: wall})
+}
+
+// PhaseWall returns the recorded wall time of the named phase, or zero.
+func (r *Report) PhaseWall(name string) time.Duration {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Wall
+		}
+	}
+	return 0
+}
+
+// TotalWall sums all phase wall times.
+func (r *Report) TotalWall() time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		t += p.Wall
+	}
+	return t
+}
+
+// Selectivity implements Equation 13: computed pairs over |R|·|S|, as a
+// fraction (multiply by 1000 for the paper's "per thousand" axis).
+func (r *Report) Selectivity() float64 {
+	if r.RSize == 0 || r.SSize == 0 {
+		return 0
+	}
+	return float64(r.Pairs) / (float64(r.RSize) * float64(r.SSize))
+}
+
+// AvgReplication returns the average number of copies of each S object
+// shipped to reducers (Figure 7b's y-axis).
+func (r *Report) AvgReplication() float64 {
+	if r.SSize == 0 {
+		return 0
+	}
+	return float64(r.ReplicasS) / float64(r.SSize)
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s k=%d |R|=%d |S|=%d dims=%d nodes=%d wall=%v sel=%.4f‰ shuffle=%s repl=%.2f",
+		r.Algorithm, r.K, r.RSize, r.SSize, r.Dims, r.Nodes,
+		r.TotalWall().Round(time.Millisecond), r.Selectivity()*1000,
+		FormatBytes(r.ShuffleBytes), r.AvgReplication())
+}
+
+// FormatBytes renders a byte count with a binary suffix.
+func FormatBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f%ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// Describe holds the descriptive statistics the paper's Tables 2 and 3
+// report for partition and group sizes.
+type Describe struct {
+	Min, Max int
+	Avg, Dev float64
+}
+
+// DescribeInts computes min/max/mean/standard deviation of xs. The
+// standard deviation is the population deviation, matching the tables.
+func DescribeInts(xs []int) Describe {
+	if len(xs) == 0 {
+		return Describe{}
+	}
+	d := Describe{Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		if x < d.Min {
+			d.Min = x
+		}
+		if x > d.Max {
+			d.Max = x
+		}
+		sum += float64(x)
+	}
+	d.Avg = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		diff := float64(x) - d.Avg
+		sq += diff * diff
+	}
+	d.Dev = math.Sqrt(sq / float64(len(xs)))
+	return d
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by nearest-rank; xs
+// need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return cp[idx]
+}
+
+// Table renders rows as an aligned text table with a header, the output
+// format of the experiment harness (mirroring the paper's tables).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells, stringifying each value.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return fmt.Sprint(v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

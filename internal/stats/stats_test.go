@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReportSelectivity(t *testing.T) {
+	r := &Report{RSize: 1000, SSize: 2000, Pairs: 4000}
+	if got := r.Selectivity(); math.Abs(got-4000.0/2e6) > 1e-15 {
+		t.Fatalf("Selectivity = %v", got)
+	}
+	empty := &Report{}
+	if empty.Selectivity() != 0 {
+		t.Fatal("empty report selectivity should be 0")
+	}
+}
+
+func TestReportAvgReplication(t *testing.T) {
+	r := &Report{SSize: 100, ReplicasS: 250}
+	if got := r.AvgReplication(); got != 2.5 {
+		t.Fatalf("AvgReplication = %v", got)
+	}
+	if (&Report{}).AvgReplication() != 0 {
+		t.Fatal("empty report replication should be 0")
+	}
+}
+
+func TestReportPhases(t *testing.T) {
+	r := &Report{}
+	r.AddPhase("a", time.Second)
+	r.AddPhase("b", 2*time.Second)
+	if r.TotalWall() != 3*time.Second {
+		t.Fatalf("TotalWall = %v", r.TotalWall())
+	}
+	if r.PhaseWall("b") != 2*time.Second {
+		t.Fatalf("PhaseWall(b) = %v", r.PhaseWall("b"))
+	}
+	if r.PhaseWall("missing") != 0 {
+		t.Fatal("missing phase should be 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Algorithm: "pgbj", K: 10, RSize: 5, SSize: 5}
+	s := r.String()
+	if !strings.Contains(s, "pgbj") || !strings.Contains(s, "k=10") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := map[int64]string{
+		0:               "0B",
+		512:             "512B",
+		2048:            "2.00KiB",
+		3 * 1024 * 1024: "3.00MiB",
+		5 << 30:         "5.00GiB",
+	}
+	for in, want := range tests {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDescribeInts(t *testing.T) {
+	d := DescribeInts([]int{2, 4, 4, 4, 5, 5, 7, 9})
+	if d.Min != 2 || d.Max != 9 || d.Avg != 5 {
+		t.Fatalf("got %+v", d)
+	}
+	if math.Abs(d.Dev-2) > 1e-12 { // classic example: σ = 2
+		t.Fatalf("Dev = %v, want 2", d.Dev)
+	}
+	if z := DescribeInts(nil); z != (Describe{}) {
+		t.Fatalf("empty describe = %+v", z)
+	}
+	one := DescribeInts([]int{42})
+	if one.Min != 42 || one.Max != 42 || one.Avg != 42 || one.Dev != 0 {
+		t.Fatalf("single describe = %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "count", "time"}}
+	tb.AddRow("alpha", 3, 1500*time.Millisecond)
+	tb.AddRow("b", 12345, time.Second)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "count") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5s") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// Columns align: "count" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "count")
+	if !strings.HasPrefix(lines[2][idx:], "3") && !strings.Contains(lines[2][idx:idx+8], "3") {
+		t.Fatalf("misaligned column in %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := map[float64]string{
+		3:        "3",
+		1234:     "1234",
+		123.456:  "123.5",
+		0.5:      "0.500",
+		0.000123: "0.000123",
+	}
+	for in, want := range tests {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("NaN = %q", got)
+	}
+}
+
+// Property: DescribeInts bounds are consistent: Min ≤ Avg ≤ Max and
+// Dev ≥ 0 for any input.
+func TestDescribeQuick(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		in := make([]int, len(xs))
+		for i, x := range xs {
+			in[i] = int(x)
+		}
+		d := DescribeInts(in)
+		return float64(d.Min) <= d.Avg+1e-9 && d.Avg <= float64(d.Max)+1e-9 && d.Dev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(xs []float64, aRaw, bRaw uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i := range xs {
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(xs, a), Quantile(xs, b)
+		return qa <= qb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	xs := []float64{9, 4, 6, 1, 3}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := Quantile(xs, 0.2); got != sorted[0] {
+		t.Fatalf("q0.2 = %v, want %v", got, sorted[0])
+	}
+	if got := Quantile(xs, 0.8); got != sorted[3] {
+		t.Fatalf("q0.8 = %v, want %v", got, sorted[3])
+	}
+}

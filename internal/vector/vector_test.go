@@ -1,0 +1,220 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Metric
+		p, q Point
+		want float64
+	}{
+		{"l2-345", L2, Point{0, 0}, Point{3, 4}, 5},
+		{"l2-zero", L2, Point{1, 2, 3}, Point{1, 2, 3}, 0},
+		{"l2-1d", L2, Point{-2}, Point{3}, 5},
+		{"l1", L1, Point{0, 0}, Point{3, 4}, 7},
+		{"l1-neg", L1, Point{-1, -1}, Point{1, 1}, 4},
+		{"linf", LInf, Point{0, 0}, Point{3, 4}, 4},
+		{"linf-neg", LInf, Point{10, 0}, Point{0, 4}, 10},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.Dist(tc.p, tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("%s.Dist(%v,%v) = %v, want %v", tc.m, tc.p, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	L2.Dist(Point{1}, Point{1, 2})
+}
+
+func TestSqDistMatchesL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p, q := randPoint(rng, 6), randPoint(rng, 6)
+		d := L2.Dist(p, q)
+		if got := SqDist(p, q); math.Abs(got-d*d) > 1e-9 {
+			t.Fatalf("SqDist=%v, want %v", got, d*d)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := Point{1.5, -2, 0, 1e-9}
+	got, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatalf("round trip = %v, want %v", got, p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "1,a,3", "1,,3", "--5"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	got, err := Parse("  1.0 , 2 ,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Point{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for s, want := range map[string]Metric{
+		"l2": L2, "L2": L2, "euclidean": L2, "": L2,
+		"l1": L1, "manhattan": L1,
+		"linf": LInf, "max": LInf, "chebyshev": LInf,
+	} {
+		got, err := ParseMetric(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMetric(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMetric("hamming"); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if L2.String() != "L2" || L1.String() != "L1" || LInf.String() != "LInf" {
+		t.Error("unexpected metric names")
+	}
+	if Metric(42).String() != "Metric(42)" {
+		t.Error("unexpected fallback name")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestProject(t *testing.T) {
+	p := Point{1, 2, 3, 4}
+	if got := p.Project(2); !got.Equal(Point{1, 2}) {
+		t.Fatalf("Project(2) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic projecting beyond dimensionality")
+		}
+	}()
+	p.Project(5)
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([]Point{{0, 0}, {2, 4}, {4, 2}})
+	if !got.Equal(Point{2, 2}) {
+		t.Fatalf("Mean = %v, want [2 2]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty Mean")
+		}
+	}()
+	Mean(nil)
+}
+
+func randPoint(rng *rand.Rand, d int) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 10
+	}
+	return p
+}
+
+// Property: all three metrics satisfy the metric axioms on random points —
+// non-negativity, identity, symmetry, and the triangle inequality. The
+// triangle inequality underpins every pruning rule in the paper (Theorems
+// 3–5), so this is the single most load-bearing invariant in the repo.
+func TestMetricAxiomsQuick(t *testing.T) {
+	for _, m := range []Metric{L2, L1, LInf} {
+		m := m
+		f := func(a, b, c [5]float64) bool {
+			p, q, r := Point(a[:]), Point(b[:]), Point(c[:])
+			dpq, dqp := m.Dist(p, q), m.Dist(q, p)
+			if dpq < 0 || math.Abs(dpq-dqp) > 1e-9 {
+				return false
+			}
+			if m.Dist(p, p) != 0 {
+				return false
+			}
+			// Triangle inequality with a tolerance for float rounding.
+			return m.Dist(p, r) <= dpq+m.Dist(q, r)+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s axioms: %v", m, err)
+		}
+	}
+}
+
+// Property: distances are translation invariant, which Voronoi partitioning
+// implicitly relies on when pivots are translated copies of data points.
+// Inputs are squashed into a bounded range: the invariant genuinely breaks
+// near ±MaxFloat64 through overflow, which no dataset in this repo reaches.
+func TestTranslationInvarianceQuick(t *testing.T) {
+	squash := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Remainder(v, 1e6)
+	}
+	f := func(a, b [4]float64, shift float64) bool {
+		p, q := Point(a[:]).Clone(), Point(b[:]).Clone()
+		for i := range p {
+			p[i], q[i] = squash(p[i]), squash(q[i])
+		}
+		want := Dist(p, q)
+		for i := range p {
+			p[i] += squash(shift)
+			q[i] += squash(shift)
+		}
+		return math.Abs(Dist(p, q)-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDistL2(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := randPoint(rng, 10), randPoint(rng, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = L2.Dist(p, q)
+	}
+}
+
+func BenchmarkSqDist(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := randPoint(rng, 10), randPoint(rng, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SqDist(p, q)
+	}
+}

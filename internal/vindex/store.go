@@ -1,0 +1,222 @@
+package vindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// The on-disk format is a versioned little-endian binary stream:
+//
+//	magic "KNNVIDX1" | metric | boundK | numPivots
+//	pivots (dim + coords each)
+//	summary rows (R and S, with KDists)
+//	partitions (count + Tagged records via codec)
+//
+// Everything an Index needs is self-contained, so Load rebuilds pivot
+// distance matrices rather than storing the O(|P|²) matrix.
+
+var storeMagic = [8]byte{'K', 'N', 'N', 'V', 'I', 'D', 'X', '1'}
+
+// Save writes the index to w in the versioned binary format.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) { binary.Write(bw, binary.LittleEndian, math.Float64bits(v)) }
+
+	writeU32(uint32(ix.opts.Metric))
+	writeU32(uint32(ix.opts.BoundK))
+	writeU32(uint32(ix.pp.NumPartitions()))
+
+	// Pivots.
+	for _, p := range ix.pp.Pivots {
+		writeU32(uint32(p.Dim()))
+		for _, v := range p {
+			writeF64(v)
+		}
+	}
+	// Summary rows.
+	for i := 0; i < ix.pp.NumPartitions(); i++ {
+		r := ix.sum.R[i]
+		writeU32(uint32(r.Count))
+		writeF64(r.L)
+		writeF64(r.U)
+		s := ix.sum.S[i]
+		writeU32(uint32(s.Count))
+		writeF64(s.L)
+		writeF64(s.U)
+		writeU32(uint32(len(s.KDists)))
+		for _, d := range s.KDists {
+			writeF64(d)
+		}
+	}
+	// Partitions.
+	for _, part := range ix.part {
+		writeU32(uint32(len(part)))
+		for _, t := range part {
+			rec := codec.EncodeTagged(t)
+			writeU32(uint32(len(rec)))
+			if _, err := bw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("vindex: reading magic: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("vindex: bad magic %q (not an index file?)", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF64 := func() (float64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return math.Float64frombits(v), err
+	}
+
+	metricRaw, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	boundK, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	numPivots, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if numPivots == 0 || numPivots > 1<<24 {
+		return nil, fmt.Errorf("vindex: implausible pivot count %d", numPivots)
+	}
+	if boundK == 0 || boundK > 1<<20 {
+		return nil, fmt.Errorf("vindex: implausible boundK %d", boundK)
+	}
+	metric := vector.Metric(metricRaw)
+	if metric != vector.L2 && metric != vector.L1 && metric != vector.LInf {
+		return nil, fmt.Errorf("vindex: unknown metric %d", metricRaw)
+	}
+
+	pivots := make([]vector.Point, numPivots)
+	for i := range pivots {
+		dim, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if dim > 1<<16 {
+			return nil, fmt.Errorf("vindex: implausible dimensionality %d", dim)
+		}
+		p := make(vector.Point, dim)
+		for d := range p {
+			if p[d], err = readF64(); err != nil {
+				return nil, err
+			}
+		}
+		pivots[i] = p
+	}
+
+	sum := &voronoi.Summary{
+		K: int(boundK),
+		R: make([]voronoi.RSummary, numPivots),
+		S: make([]voronoi.SSummary, numPivots),
+	}
+	for i := 0; i < int(numPivots); i++ {
+		cnt, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		sum.R[i].Count = int(cnt)
+		if sum.R[i].L, err = readF64(); err != nil {
+			return nil, err
+		}
+		if sum.R[i].U, err = readF64(); err != nil {
+			return nil, err
+		}
+		if cnt, err = readU32(); err != nil {
+			return nil, err
+		}
+		sum.S[i].Count = int(cnt)
+		if sum.S[i].L, err = readF64(); err != nil {
+			return nil, err
+		}
+		if sum.S[i].U, err = readF64(); err != nil {
+			return nil, err
+		}
+		nk, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nk > boundK {
+			return nil, fmt.Errorf("vindex: partition %d has %d KDists > boundK %d", i, nk, boundK)
+		}
+		kd := make([]float64, nk)
+		for j := range kd {
+			if kd[j], err = readF64(); err != nil {
+				return nil, err
+			}
+		}
+		sum.S[i].KDists = kd
+	}
+
+	parts := make([][]codec.Tagged, numPivots)
+	size := 0
+	for i := range parts {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<28 {
+			return nil, fmt.Errorf("vindex: implausible partition size %d", n)
+		}
+		part := make([]codec.Tagged, n)
+		for j := range part {
+			rl, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if rl > 1<<24 {
+				return nil, fmt.Errorf("vindex: implausible record length %d", rl)
+			}
+			buf := make([]byte, rl)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			if part[j], err = codec.DecodeTagged(buf); err != nil {
+				return nil, err
+			}
+		}
+		parts[i] = part
+		size += len(part)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("vindex: stored index is empty")
+	}
+
+	return &Index{
+		pp:   voronoi.NewPartitioner(pivots, metric),
+		sum:  sum,
+		part: parts,
+		size: size,
+		opts: Options{Metric: metric, NumPivots: int(numPivots), BoundK: int(boundK)},
+	}, nil
+}

@@ -1,0 +1,142 @@
+package vindex
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/vector"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	objs := dataset.Forest(1500, 21)
+	ix, err := Build(objs, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() || loaded.NumPartitions() != ix.NumPartitions() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			loaded.Len(), loaded.NumPartitions(), ix.Len(), ix.NumPartitions())
+	}
+	// Queries on the loaded index must match the original exactly.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		q := objs[rng.Intn(len(objs))].Point.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * 5
+		}
+		a := ix.KNN(q, 7)
+		b := loaded.KNN(q, 7)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: result sizes differ", trial)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+				t.Fatalf("trial %d pos %d: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadAlternateMetric(t *testing.T) {
+	objs := dataset.Uniform(400, 3, 100, 23)
+	ix, err := Build(objs, Options{Metric: vector.L1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vector.Point{50, 50, 50}
+	a, b := ix.KNN(q, 5), loaded.KNN(q, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("L1 index changed after round trip: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+		append(storeMagic[:], 0xFF, 0xFF, 0xFF, 0xFF), // bad metric
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	objs := dataset.Uniform(100, 2, 50, 24)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut at a spread of prefixes; all must fail cleanly, never panic.
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+func BenchmarkSave(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package vindex turns the paper's Voronoi partitioning machinery into a
+// reusable in-memory index for online queries: build once over a dataset,
+// then answer kNN and range queries with the same pruning rules the
+// distributed reducers use (Corollary 1 hyperplane pruning, Theorem 2
+// pivot-distance windows, and an Algorithm-1-style starting bound).
+//
+// This is the single-machine complement to the distributed join — the
+// pattern iDistance [20] pioneered and the paper's §2.3 builds on — and
+// it lets applications that preprocess a dataset with PGBJ reuse the same
+// partitioning for ad-hoc queries.
+package vindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// Options configures index construction.
+type Options struct {
+	// Metric is the distance measure; zero value is L2.
+	Metric vector.Metric
+	// NumPivots controls partition granularity; zero picks ≈ 2·√n.
+	NumPivots int
+	// PivotStrategy selects §4.1's strategy; default random.
+	PivotStrategy pivot.Strategy
+	// Seed fixes pivot selection.
+	Seed int64
+	// BoundK sizes the per-partition kNN summary used for starting
+	// bounds (TS's k smallest pivot distances). Queries with k ≤ BoundK
+	// get tight Algorithm-1 starting bounds; larger k still works but
+	// starts unbounded. Default 16.
+	BoundK int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.NumPivots <= 0 {
+		o.NumPivots = 2 * intSqrt(n)
+	}
+	if o.NumPivots < 1 {
+		o.NumPivots = 1
+	}
+	if o.NumPivots > n {
+		o.NumPivots = n
+	}
+	if o.BoundK <= 0 {
+		o.BoundK = 16
+	}
+	return o
+}
+
+func intSqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// Index is an immutable pivot-partitioned index over a dataset.
+type Index struct {
+	pp   *voronoi.Partitioner
+	sum  *voronoi.Summary
+	part [][]codec.Tagged // per-partition objects, sorted by pivot distance
+	size int
+	opts Options
+
+	// DistCount accumulates distance computations across queries,
+	// matching the paper's selectivity bookkeeping.
+	DistCount int64
+}
+
+// Build constructs an index over objs. The objects are copied into
+// per-partition storage; objs may be reused afterwards.
+func Build(objs []codec.Object, opts Options) (*Index, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("vindex: cannot build over an empty dataset")
+	}
+	opts = opts.withDefaults(len(objs))
+	pivots, err := pivot.Select(opts.PivotStrategy, objs, opts.NumPivots, pivot.Options{
+		Metric: opts.Metric,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pp := voronoi.NewPartitioner(pivots, opts.Metric)
+	parts := pp.Partition(objs, codec.FromS, nil)
+	b := voronoi.NewSummaryBuilder(opts.NumPivots, opts.BoundK)
+	for _, g := range parts {
+		for _, o := range g {
+			b.Add(o)
+		}
+		voronoi.SortByPivotDist(g)
+	}
+	return &Index{pp: pp, sum: b.Finalize(), part: parts, size: len(objs), opts: opts}, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.size }
+
+// NumPartitions returns the pivot count.
+func (ix *Index) NumPartitions() int { return ix.pp.NumPartitions() }
+
+// KNN returns the k nearest indexed objects to q in ascending distance
+// order (distance ties by ID). Fewer than k are returned only when the
+// index holds fewer objects.
+func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
+	if k <= 0 {
+		return nil
+	}
+	m := ix.opts.Metric
+	qPart, qDist := ix.pp.Assign(q, &ix.DistCount)
+
+	// Starting bound: Algorithm 1 with the query's "partition" being the
+	// degenerate cell {q} (U = 0), i.e. θ = k-th smallest of
+	// |q,p_j| + p_j.d_i over the summary's per-partition kNN lists.
+	theta := ix.startingBound(q, k)
+
+	// Visit partitions in ascending pivot-distance order (Algorithm 3's
+	// line-14 heuristic specialized to one query).
+	order := make([]int, ix.pp.NumPartitions())
+	gaps := make([]float64, len(order))
+	for j := range order {
+		order[j] = j
+		if j == qPart {
+			gaps[j] = qDist
+		} else {
+			gaps[j] = m.Dist(q, ix.pp.Pivots[j])
+			ix.DistCount++
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return gaps[order[a]] < gaps[order[b]] })
+
+	heap := nnheap.NewKHeap(k)
+	for _, j := range order {
+		part := ix.part[j]
+		if len(part) == 0 {
+			continue
+		}
+		qToPj := gaps[j]
+		// Corollary 1: prune the whole cell when the hyperplane between
+		// the query's cell and cell j is farther than θ.
+		if j != qPart && voronoi.HyperplaneDist(qToPj, qDist, ix.pp.PivotDist(qPart, j), m) > theta {
+			continue
+		}
+		lo, hi, ok := voronoi.Theorem2Window(ix.sum.S[j], qToPj, theta)
+		if !ok {
+			continue
+		}
+		from, to := voronoi.WindowIndices(part, lo, hi)
+		for x := from; x < to; x++ {
+			d := m.Dist(q, part[x].Point)
+			ix.DistCount++
+			heap.Push(nnheap.Candidate{ID: part[x].ID, Dist: d})
+			if t := heap.Threshold(theta); t < theta {
+				theta = t
+			}
+		}
+	}
+	return heap.Sorted()
+}
+
+// startingBound computes a valid upper bound on the k-th NN distance of q
+// from the summary alone: ub = |q,p_j| + d for each of partition j's k
+// smallest pivot distances d (triangle inequality). Returns +Inf when the
+// summary cannot cover k objects (k > BoundK coverage).
+func (ix *Index) startingBound(q vector.Point, k int) float64 {
+	pq := nnheap.NewKHeap(k)
+	m := ix.opts.Metric
+	for j := range ix.sum.S {
+		kd := ix.sum.S[j].KDists
+		if len(kd) == 0 {
+			continue
+		}
+		qToPj := m.Dist(q, ix.pp.Pivots[j])
+		ix.DistCount++
+		for _, d := range kd { // ascending
+			ub := qToPj + d
+			if pq.Full() && ub >= pq.Top().Dist {
+				break
+			}
+			pq.Push(nnheap.Candidate{Dist: ub})
+		}
+	}
+	if !pq.Full() {
+		return math.Inf(1)
+	}
+	return pq.Top().Dist
+}
+
+// Range returns all indexed objects within radius of q, in ID order,
+// using RangeSelect's pruning.
+func (ix *Index) Range(q vector.Point, radius float64) []codec.Object {
+	got := ix.pp.RangeSelect(ix.part, ix.sum, q, radius, &ix.DistCount)
+	out := make([]codec.Object, len(got))
+	for i, t := range got {
+		out[i] = t.Object
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -1,0 +1,239 @@
+package vindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/vector"
+)
+
+func bruteKNNDists(objs []codec.Object, q vector.Point, k int, m vector.Metric) []float64 {
+	ds := make([]float64, len(objs))
+	for i, o := range objs {
+		ds[i] = m.Dist(q, o.Point)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty build accepted")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	objs := dataset.Forest(3000, 1)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		q := objs[rng.Intn(len(objs))].Point.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * 10
+		}
+		k := rng.Intn(15) + 1
+		got := ix.KNN(q, k)
+		want := bruteKNNDists(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNSkewedData(t *testing.T) {
+	objs := dataset.OSM(4000, 3)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		q := vector.Point{rng.Float64()*360 - 180, rng.Float64()*170 - 85}
+		got := ix.KNN(q, 8)
+		want := bruteKNNDists(objs, q, 8, vector.L2)
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNAlternateMetrics(t *testing.T) {
+	objs := dataset.Uniform(1500, 4, 100, 5)
+	for _, m := range []vector.Metric{vector.L1, vector.LInf} {
+		ix, err := Build(objs, Options{Metric: m, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		for trial := 0; trial < 25; trial++ {
+			q := dataset.Uniform(1, 4, 100, rng.Int63())[0].Point
+			got := ix.KNN(q, 5)
+			want := bruteKNNDists(objs, q, 5, m)
+			for i := range want {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("%v trial %d: %v, want %v", m, trial, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	objs := dataset.Uniform(20, 2, 10, 7)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.KNN(vector.Point{5, 5}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := ix.KNN(vector.Point{5, 5}, 100); len(got) != 20 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	// k above BoundK still correct (starting bound falls back to +Inf).
+	ixSmall, err := Build(objs, Options{Seed: 1, BoundK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ixSmall.KNN(vector.Point{5, 5}, 10)
+	want := bruteKNNDists(objs, vector.Point{5, 5}, 10, vector.L2)
+	for i := range want {
+		if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+			t.Fatalf("pos %d: %v, want %v", i, got[i].Dist, want[i])
+		}
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	objs := dataset.Uniform(2000, 3, 100, 8)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		q := dataset.Uniform(1, 3, 100, rng.Int63())[0].Point
+		radius := rng.Float64() * 30
+		got := ix.Range(q, radius)
+		var want []int64
+		for _, o := range objs {
+			if vector.Dist(q, o.Point) <= radius {
+				want = append(want, o.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i] {
+				t.Fatalf("trial %d pos %d: %d, want %d", trial, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+// The index must beat a linear scan on distance computations — otherwise
+// the pruning is broken even if results are right.
+func TestKNNPrunes(t *testing.T) {
+	objs := dataset.OSM(20000, 10)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.DistCount = 0
+	const queries = 20
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < queries; i++ {
+		q := objs[rng.Intn(len(objs))].Point
+		ix.KNN(q, 10)
+	}
+	perQuery := ix.DistCount / queries
+	if perQuery > int64(len(objs))/2 {
+		t.Fatalf("avg %d distances per query over %d objects — pruning ineffective", perQuery, len(objs))
+	}
+}
+
+func TestNumPartitionsDefault(t *testing.T) {
+	objs := dataset.Uniform(400, 2, 10, 12)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumPartitions() != 40 { // 2·√400
+		t.Fatalf("NumPartitions = %d, want 40", ix.NumPartitions())
+	}
+	if ix.Len() != 400 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+// Property: index kNN distances equal brute force for arbitrary shapes.
+func TestKNNCorrectQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, pRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		k := int(kRaw)%10 + 1
+		objs := dataset.Uniform(n, 3, 100, seed)
+		ix, err := Build(objs, Options{Seed: seed, NumPivots: int(pRaw)%n + 1})
+		if err != nil {
+			return false
+		}
+		q := dataset.Uniform(1, 3, 100, seed+1)[0].Point
+		got := ix.KNN(q, k)
+		want := bruteKNNDists(objs, q, k, vector.L2)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(objs, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	objs := dataset.Forest(20000, 1)
+	ix, err := Build(objs, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := objs[7].Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.KNN(q, 10)
+	}
+}

@@ -1,0 +1,50 @@
+package voronoi
+
+import (
+	"knnjoin/internal/codec"
+	"knnjoin/internal/vector"
+)
+
+// RangeSelect implements Definition 3 over partitioned data: it returns
+// every object within distance theta of q, using the two pruning rules
+// the paper derives for range selection — Corollary 1 (whole-partition
+// hyperplane pruning) and Theorem 2 (pivot-distance windows).
+//
+// partitions must be the Voronoi cells produced by Partition (each sorted
+// with SortByPivotDist), and sum their summary. distCount, when non-nil,
+// accrues the distance computations performed (object–pivot probes and
+// object–object verifications).
+func (p *Partitioner) RangeSelect(partitions [][]codec.Tagged, sum *Summary, q vector.Point, theta float64, distCount *int64) []codec.Tagged {
+	count := func(n int64) {
+		if distCount != nil {
+			*distCount += n
+		}
+	}
+	qPart, qDist := p.Assign(q, distCount)
+	var out []codec.Tagged
+	for j, part := range partitions {
+		if len(part) == 0 {
+			continue
+		}
+		qToPj := qDist
+		if j != qPart {
+			qToPj = p.Metric.Dist(q, p.Pivots[j])
+			count(1)
+			if HyperplaneDist(qToPj, qDist, p.PivotDist(qPart, j), p.Metric) > theta {
+				continue
+			}
+		}
+		lo, hi, ok := Theorem2Window(sum.S[j], qToPj, theta)
+		if !ok {
+			continue
+		}
+		from, to := WindowIndices(part, lo, hi)
+		for x := from; x < to; x++ {
+			count(1)
+			if p.Metric.Dist(q, part[x].Point) <= theta {
+				out = append(out, part[x])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package zknn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/hbrj"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+)
+
+// Options configures an H-zkNNJ run.
+type Options struct {
+	// K is the number of neighbors. Required, positive.
+	K int
+	// Shifts is α, the number of shifted copies (≥1; the first copy is
+	// unshifted). Default 3, the customary accuracy/cost sweet spot.
+	Shifts int
+	// CandidatesPerSide is how many z-order neighbors to examine on each
+	// side of r's curve position. Default 2·K.
+	CandidatesPerSide int
+	// SampleSize drives boundary estimation on the driver. Default 4096.
+	SampleSize int
+	// Seed fixes the shift vectors and sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.K <= 0 {
+		return o, fmt.Errorf("zknn: k must be positive, got %d", o.K)
+	}
+	if o.Shifts <= 0 {
+		o.Shifts = 3
+	}
+	if o.CandidatesPerSide <= 0 {
+		o.CandidatesPerSide = 2 * o.K
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 4096
+	}
+	return o, nil
+}
+
+// zRecord is what crosses the shuffle: a tagged object plus its z-value
+// under one shift. Encoded as shift byte + z + the usual Tagged record.
+func encodeZ(shift int, z uint64, base []byte) []byte {
+	out := make([]byte, 0, 9+len(base))
+	out = append(out, byte(shift))
+	out = binary.LittleEndian.AppendUint64(out, z)
+	return append(out, base...)
+}
+
+func decodeZ(b []byte) (shift int, z uint64, t codec.Tagged, err error) {
+	if len(b) < 9 {
+		return 0, 0, codec.Tagged{}, fmt.Errorf("zknn: record truncated")
+	}
+	shift = int(b[0])
+	z = binary.LittleEndian.Uint64(b[1:9])
+	t, err = codec.DecodeTagged(b[9:])
+	return shift, z, t, err
+}
+
+// Run executes the approximate join. rFile and sFile must contain Tagged
+// records; outFile receives one codec.Result per R object, each holding
+// its approximate k nearest neighbors. The L2 metric is assumed — the
+// Z-curve's locality argument is Euclidean.
+func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options) (*stats.Report, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	report := &stats.Report{
+		Algorithm: "H-zkNNJ",
+		K:         opts.K,
+		Nodes:     cluster.Nodes(),
+		RSize:     cluster.FS().Size(rFile),
+		SSize:     cluster.FS().Size(sFile),
+	}
+
+	// ---- Driver: bounding box, shift vectors, boundary estimation ------
+	prepStart := time.Now()
+	sample, dims, err := sampleObjects(cluster.FS(), rFile, sFile, opts.SampleSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	min, max := boundingBox(sample, dims)
+	// Shift magnitude: a few percent of the box diagonal per dimension.
+	span := 0.0
+	for d := 0; d < dims; d++ {
+		span += max[d] - min[d]
+	}
+	shiftPad := span / float64(dims) * 0.25
+	q := newQuantizer(min, max, shiftPad)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	shifts := make([][]float64, opts.Shifts)
+	for i := 1; i < opts.Shifts; i++ { // shifts[0] stays nil: identity
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = rng.Float64() * shiftPad
+		}
+		shifts[i] = v
+	}
+
+	// Boundaries per shift: equi-depth on the sample's z-values, one
+	// range per node.
+	nRanges := cluster.Nodes()
+	boundaries := make([][]uint64, opts.Shifts)
+	for i := range shifts {
+		zs := make([]uint64, len(sample))
+		for j, o := range sample {
+			zs[j] = q.Z(o.Point, shifts[i])
+		}
+		sort.Slice(zs, func(a, b int) bool { return zs[a] < zs[b] })
+		bs := make([]uint64, nRanges-1)
+		for b := range bs {
+			bs[b] = zs[(b+1)*len(zs)/nRanges]
+		}
+		boundaries[i] = bs
+	}
+	report.AddPhase("Z Preprocessing", time.Since(prepStart))
+
+	// ---- Job 1: route shifted copies to ranges, harvest candidates -----
+	partialFile := outFile + ".partial"
+	job := &mapreduce.Job{
+		Name:        "zknn-candidates",
+		Input:       []string{rFile, sFile},
+		Output:      partialFile,
+		NumReducers: opts.Shifts * nRanges,
+		Partition: func(key string, n int) int {
+			id, _ := strconv.Atoi(key)
+			return id % n
+		},
+		Side: map[string]any{"q": q, "shifts": shifts, "boundaries": boundaries, "opts": opts},
+		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			q := ctx.Side("q").(*quantizer)
+			shifts := ctx.Side("shifts").([][]float64)
+			boundaries := ctx.Side("boundaries").([][]uint64)
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return err
+			}
+			for i := range shifts {
+				z := q.Z(t.Point, shifts[i])
+				rg := rangeOf(z, boundaries[i])
+				key := i*len(boundaries[i]) + i + rg // shift-major reducer id
+				emit(strconv.Itoa(key), encodeZ(i, z, rec))
+				if t.Src == codec.FromS {
+					ctx.Counter("replicas_s", 1)
+					// Replicate boundary-adjacent S copies so every r sees
+					// its full z-neighborhood despite the range split.
+					if rg > 0 {
+						emit(strconv.Itoa(key-1), encodeZ(i, z, rec))
+						ctx.Counter("replicas_s", 1)
+					}
+					if rg < len(boundaries[i]) {
+						emit(strconv.Itoa(key+1), encodeZ(i, z, rec))
+						ctx.Counter("replicas_s", 1)
+					}
+				}
+			}
+			return nil
+		},
+		Reduce: candidateReduce,
+	}
+	start := time.Now()
+	js, err := cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Candidate Join", time.Since(start))
+	report.Pairs += js.Counters["pairs"]
+	report.ShuffleBytes += js.ShuffleBytes
+	report.ShuffleRecords += js.ShuffleRecords
+	report.ReplicasS = js.Counters["replicas_s"]
+	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
+	report.JoinSkew = js.ReduceSkew()
+
+	// ---- Job 2: merge the α candidate lists per object ------------------
+	ms, err := hbrj.MergeResults(cluster, partialFile, outFile, opts.K)
+	cluster.FS().Remove(partialFile)
+	if err != nil {
+		return nil, err
+	}
+	report.AddPhase("Result Merging", ms.Wall())
+	report.ShuffleBytes += ms.ShuffleBytes
+	report.ShuffleRecords += ms.ShuffleRecords
+	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
+	report.OutputPairs = ms.Counters["result_pairs"]
+	return report, nil
+}
+
+// candidateReduce sorts one curve range and emits, for every r in it, the
+// true distances to its z-order neighborhood in S.
+func candidateReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+	opts := ctx.Side("opts").(Options)
+	type zObj struct {
+		z uint64
+		t codec.Tagged
+	}
+	var rs, ss []zObj
+	for _, v := range values {
+		_, z, t, err := decodeZ(v)
+		if err != nil {
+			return err
+		}
+		if t.Src == codec.FromR {
+			rs = append(rs, zObj{z, t})
+		} else {
+			ss = append(ss, zObj{z, t})
+		}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].z != ss[b].z {
+			return ss[a].z < ss[b].z
+		}
+		return ss[a].t.ID < ss[b].t.ID
+	})
+	var pairs int64
+	heap := nnheap.NewKHeap(opts.K)
+	for _, r := range rs {
+		pos := sort.Search(len(ss), func(i int) bool { return ss[i].z >= r.z })
+		lo := pos - opts.CandidatesPerSide
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + opts.CandidatesPerSide
+		if hi > len(ss) {
+			hi = len(ss)
+		}
+		heap.Reset()
+		for x := lo; x < hi; x++ {
+			d := vector.Dist(r.t.Point, ss[x].t.Point)
+			pairs++
+			heap.Push(nnheap.Candidate{ID: ss[x].t.ID, Dist: d})
+		}
+		cands := heap.Sorted()
+		nbs := make([]codec.Neighbor, len(cands))
+		for i, c := range cands {
+			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+		}
+		emit("", codec.EncodeResult(codec.Result{RID: r.t.ID, Neighbors: nbs}))
+	}
+	ctx.Counter("pairs", pairs)
+	ctx.AddWork(pairs)
+	return nil
+}
+
+// sampleObjects draws up to n objects uniformly from the two files and
+// reports the dimensionality.
+func sampleObjects(fs *dfs.FS, rFile, sFile string, n int, seed int64) ([]codec.Object, int, error) {
+	var all []codec.Object
+	for _, name := range []string{rFile, sFile} {
+		recs, err := fs.Read(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, rec := range recs {
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return nil, 0, err
+			}
+			all = append(all, t.Object)
+		}
+	}
+	if len(all) == 0 {
+		return nil, 0, fmt.Errorf("zknn: empty input")
+	}
+	dims := all[0].Point.Dim()
+	if n >= len(all) {
+		return all, dims, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(all))[:n]
+	out := make([]codec.Object, n)
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out, dims, nil
+}
+
+// boundingBox computes per-dimension min/max of the sample.
+func boundingBox(objs []codec.Object, dims int) (min, max []float64) {
+	min = make([]float64, dims)
+	max = make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		min[d], max[d] = objs[0].Point[d], objs[0].Point[d]
+	}
+	for _, o := range objs {
+		for d, v := range o.Point {
+			if v < min[d] {
+				min[d] = v
+			}
+			if v > max[d] {
+				max[d] = v
+			}
+		}
+	}
+	return min, max
+}
+
+// Recall measures result quality against an exact join: the fraction of
+// (r, distance) pairs whose distance is within tolerance of the exact
+// k-th list. Exact and approx must be sorted by RID with neighbors
+// ascending (the standard output contract).
+func Recall(approx, exact []codec.Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	byID := make(map[int64]codec.Result, len(approx))
+	for _, a := range approx {
+		byID[a.RID] = a
+	}
+	var hit, total int
+	for _, e := range exact {
+		a := byID[e.RID]
+		got := make(map[int64]bool, len(a.Neighbors))
+		for _, nb := range a.Neighbors {
+			got[nb.ID] = true
+		}
+		for i, nb := range e.Neighbors {
+			total++
+			if got[nb.ID] {
+				hit++
+				continue
+			}
+			// Distance-equal stand-ins count as hits: ties are legal.
+			if i < len(a.Neighbors) && a.Neighbors[i].Dist <= nb.Dist+1e-12 {
+				hit++
+			}
+		}
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,103 @@
+// Package zknn implements H-zkNNJ, the z-order-based *approximate* kNN
+// join of Zhang et al. (EDBT 2012) — the alternative the reproduced paper
+// explicitly excludes from its exact-method comparison (§7) and the
+// second algorithm of the system H-BRJ comes from.
+//
+// The idea: map multi-dimensional points onto a space-filling Z-curve
+// (bit-interleaved Morton codes). Nearby points usually get nearby
+// z-values, so each object's kNN candidates are its 2k z-order neighbors.
+// Because the curve has "seams", the whole dataset is joined α times
+// under independent random shifts, and the best k of all candidate sets
+// are kept. Accuracy rises quickly with α; cost is α sorted scans instead
+// of a distance-pruned search.
+//
+// The MapReduce realization follows the original: a driver-side sample
+// estimates z-value range boundaries that split the curve into one range
+// per reducer; mappers route every shifted object to its range (and S
+// objects near a boundary to the adjacent range too); each reducer sorts
+// its slice of the curve and harvests candidates with two binary
+// searches per r; a final job merges the per-shift candidate lists.
+package zknn
+
+import (
+	"math"
+	"sort"
+
+	"knnjoin/internal/vector"
+)
+
+// zBits is the total Morton-code width; per-dimension resolution is
+// zBits/dims bits.
+const zBits = 63
+
+// quantizer scales each dimension into the integer grid the Morton code
+// interleaves. One quantizer is shared by R and S (built from their
+// union's bounding box, padded so random shifts stay in range).
+type quantizer struct {
+	min, max []float64 // padded bounding box
+	bits     uint      // bits per dimension
+}
+
+// newQuantizer builds a quantizer for the given bounding box with room
+// for shift vectors up to shiftPad (in original coordinate units).
+func newQuantizer(min, max []float64, shiftPad float64) *quantizer {
+	dims := len(min)
+	q := &quantizer{min: make([]float64, dims), max: make([]float64, dims)}
+	q.bits = uint(zBits / dims)
+	if q.bits == 0 {
+		q.bits = 1
+	}
+	if q.bits > 20 {
+		q.bits = 20
+	}
+	for d := 0; d < dims; d++ {
+		q.min[d] = min[d]
+		q.max[d] = max[d] + shiftPad
+		if q.max[d] <= q.min[d] {
+			q.max[d] = q.min[d] + 1
+		}
+	}
+	return q
+}
+
+// cell maps one coordinate into the grid.
+func (q *quantizer) cell(d int, v float64) uint64 {
+	limit := uint64(1)<<q.bits - 1
+	frac := (v - q.min[d]) / (q.max[d] - q.min[d])
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	c := uint64(math.Floor(frac * float64(limit+1)))
+	if c > limit {
+		c = limit
+	}
+	return c
+}
+
+// Z computes the Morton code of p shifted by shift (shift may be nil for
+// the identity copy).
+func (q *quantizer) Z(p vector.Point, shift []float64) uint64 {
+	dims := len(p)
+	var z uint64
+	for d := 0; d < dims; d++ {
+		v := p[d]
+		if shift != nil {
+			v += shift[d]
+		}
+		c := q.cell(d, v)
+		// Interleave: bit b of dimension d lands at position b*dims+d.
+		for b := uint(0); b < q.bits; b++ {
+			z |= ((c >> b) & 1) << (b*uint(dims) + uint(d))
+		}
+	}
+	return z
+}
+
+// rangeOf locates z among sorted boundaries: the index of the first
+// boundary ≥ z, i.e. ranges are (-∞,b0], (b0,b1], ..., (b_{n-2}, +∞).
+func rangeOf(z uint64, boundaries []uint64) int {
+	return sort.Search(len(boundaries), func(i int) bool { return z <= boundaries[i] })
+}

@@ -1,0 +1,470 @@
+// Package knnjoin computes exact k-nearest-neighbor joins over
+// multi-dimensional data on an emulated MapReduce cluster, implementing
+// "Efficient Processing of k Nearest Neighbor Joins using MapReduce"
+// (Lu, Shen, Chen, Ooi — PVLDB 5(10), 2012).
+//
+// The kNN join R ⋉ S pairs every object r of R with its k nearest
+// neighbors in S. The package's flagship algorithm is PGBJ, the paper's
+// Voronoi-partitioning + grouping join; the baselines it was evaluated
+// against (PBJ, H-BRJ, the broadcast strategy and a centralized
+// brute-force join) are also provided under the same API.
+//
+// Quick start:
+//
+//	results, _, err := knnjoin.Join(r, s, knnjoin.Options{K: 10})
+//
+// Every algorithm except the deliberately approximate ZKNN and LSH
+// returns exact results; they differ only in cost. The returned Stats
+// expose the paper's evaluation measures — per-phase wall time,
+// distance-computation selectivity, shuffle bytes, S-replication and
+// reducer skew — so the trade-offs are observable on your own data.
+//
+// Three sibling operators built on the same machinery round out the
+// package: ClosestPairs (the top-k closest pairs of R × S), RangeJoin
+// (every pair within a radius θ), and LOF (density-based outlier scores
+// over a self-join).
+package knnjoin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/hbrj"
+	"knnjoin/internal/lsh"
+	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/naive"
+	"knnjoin/internal/pgbj"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/rangejoin"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/theta"
+	"knnjoin/internal/topk"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/zknn"
+)
+
+// Point is an n-dimensional coordinate vector.
+type Point = vector.Point
+
+// Metric identifies the distance measure.
+type Metric = vector.Metric
+
+// Distance metrics. L2 (Euclidean) is the default, matching the paper.
+const (
+	L2   = vector.L2
+	L1   = vector.L1
+	LInf = vector.LInf
+)
+
+// Object is a point with a dataset-unique identifier.
+type Object = codec.Object
+
+// Neighbor is one (s, distance) entry of a join result.
+type Neighbor = codec.Neighbor
+
+// Result holds one R object's k nearest neighbors, ascending by distance.
+type Result = codec.Result
+
+// Stats reports what a join cost; see the stats package for field docs.
+type Stats = stats.Report
+
+// Algorithm selects the join implementation.
+type Algorithm int
+
+const (
+	// PGBJ is the paper's contribution: Voronoi partitioning with pivot
+	// grouping, one MapReduce join job, minimal S-replication. Default.
+	PGBJ Algorithm = iota
+	// PBJ is PGBJ's pruning inside the √N×√N block framework (no
+	// grouping, extra merge job).
+	PBJ
+	// HBRJ is the R-tree block-join baseline of Zhang et al. (EDBT'12).
+	HBRJ
+	// Broadcast is the §3 basic strategy: S replicated to every reducer.
+	Broadcast
+	// BruteForce is the centralized exact join; no cluster involved.
+	BruteForce
+	// ZKNN is H-zkNNJ (Zhang et al., EDBT'12): the z-order APPROXIMATE
+	// join the paper excludes from its exact comparison (§7). Results
+	// are close to exact (recall rises with data regularity and the
+	// shift count) but not guaranteed; every reported distance is a true
+	// distance to a real S object.
+	ZKNN
+	// Theta is 1-Bucket-Theta (Okcan & Riedewald, SIGMOD'11): the
+	// random-tiling theta-join framework of the paper's related work
+	// (§7, ref [14]) evaluating the kNN predicate per matrix region.
+	// Exact, skew-proof, but computes the full cross product like HBRJ.
+	Theta
+	// LSH is a RankReduce-style locality-sensitive-hashing join (Stupar
+	// et al., LSDS-IR'10; ref [15]): APPROXIMATE like ZKNN, with recall
+	// governed by the table count rather than the shift count.
+	LSH
+)
+
+// String returns the algorithm's conventional name.
+func (a Algorithm) String() string {
+	switch a {
+	case PGBJ:
+		return "pgbj"
+	case PBJ:
+		return "pbj"
+	case HBRJ:
+		return "hbrj"
+	case Broadcast:
+		return "broadcast"
+	case BruteForce:
+		return "bruteforce"
+	case ZKNN:
+		return "zknn"
+	case Theta:
+		return "theta"
+	case LSH:
+		return "lsh"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a name ("pgbj", "h-brj", ...) into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), "-", "")) {
+	case "pgbj", "":
+		return PGBJ, nil
+	case "pbj":
+		return PBJ, nil
+	case "hbrj":
+		return HBRJ, nil
+	case "broadcast", "basic":
+		return Broadcast, nil
+	case "bruteforce", "brute", "exact":
+		return BruteForce, nil
+	case "zknn", "hzknnj", "approx":
+		return ZKNN, nil
+	case "theta", "1buckettheta", "onebuckettheta":
+		return Theta, nil
+	case "lsh", "rankreduce":
+		return LSH, nil
+	}
+	return PGBJ, fmt.Errorf("knnjoin: unknown algorithm %q", s)
+}
+
+// ParseMetric converts a metric name ("l2", "l1", "linf", "max", ...)
+// into a Metric.
+func ParseMetric(s string) (Metric, error) { return vector.ParseMetric(s) }
+
+// PivotStrategy selects how PGBJ/PBJ choose pivots (§4.1).
+type PivotStrategy = pivot.Strategy
+
+// ParsePivotStrategy converts a strategy name ("random", "farthest",
+// "kmeans") into a PivotStrategy.
+func ParsePivotStrategy(s string) (PivotStrategy, error) { return pivot.ParseStrategy(s) }
+
+// ParseGroupStrategy converts a grouping name ("geometric", "greedy")
+// into a GroupStrategy.
+func ParseGroupStrategy(s string) (GroupStrategy, error) { return pgbj.ParseGroupStrategy(s) }
+
+// Pivot-selection strategies.
+const (
+	RandomPivots   = pivot.Random
+	FarthestPivots = pivot.Farthest
+	KMeansPivots   = pivot.KMeans
+)
+
+// GroupStrategy selects how PGBJ clusters partitions into reducer groups
+// (§5.2).
+type GroupStrategy = pgbj.GroupStrategy
+
+// Grouping strategies.
+const (
+	GeometricGrouping = pgbj.Geometric
+	GreedyGrouping    = pgbj.Greedy
+)
+
+// Options configures a join. The zero value of every field except K is
+// usable: PGBJ on 4 simulated nodes with L2, random pivots and geometric
+// grouping — the configuration the paper recommends after §6.1.
+type Options struct {
+	// K is the number of neighbors per R object. Required, positive.
+	K int
+	// Algorithm selects the implementation; default PGBJ.
+	Algorithm Algorithm
+	// Metric is the distance measure; default L2.
+	Metric Metric
+	// Nodes is the simulated cluster size (reducers); default 4.
+	Nodes int
+	// NumPivots is |P| for PGBJ/PBJ; default ≈ 2·√|R|, clamped to
+	// [Nodes, |R|].
+	NumPivots int
+	// PivotStrategy is the §4.1 selection strategy; default random.
+	PivotStrategy PivotStrategy
+	// GroupStrategy is the §5.2 grouping strategy; default geometric.
+	GroupStrategy GroupStrategy
+	// Seed fixes all randomized choices; runs are deterministic per seed.
+	Seed int64
+	// ChunkRecords is the DFS split size (records per map task); default
+	// dfs.DefaultChunkRecords.
+	ChunkRecords int
+}
+
+func (o Options) withDefaults(rSize int) (Options, error) {
+	if o.K <= 0 {
+		return o, fmt.Errorf("knnjoin: Options.K must be positive, got %d", o.K)
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.NumPivots <= 0 {
+		o.NumPivots = int(2 * math.Sqrt(float64(rSize)))
+	}
+	if o.NumPivots < o.Nodes {
+		o.NumPivots = o.Nodes
+	}
+	if o.NumPivots > rSize {
+		o.NumPivots = rSize
+	}
+	return o, nil
+}
+
+// Join computes the kNN join of r and s — exact for every algorithm but
+// ZKNN and LSH. Results are ordered by R object ID; each holds
+// min(K, |S|) neighbors ascending by distance (the approximate
+// algorithms may return fewer when their candidate structures miss).
+// The returned Stats expose the run's cost measures.
+func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
+	opts, err := opts.withDefaults(len(r))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(r) == 0 {
+		return nil, &Stats{Algorithm: opts.Algorithm.String(), K: opts.K}, nil
+	}
+	if err := checkDims(r, s); err != nil {
+		return nil, nil, err
+	}
+
+	if opts.Algorithm == BruteForce {
+		results, pairs := naive.BruteForce(r, s, opts.K, opts.Metric)
+		rep := &Stats{Algorithm: "bruteforce", K: opts.K, RSize: len(r), SSize: len(s),
+			Dims: r[0].Point.Dim(), Nodes: 1, Pairs: pairs, OutputPairs: countPairs(results)}
+		return results, rep, nil
+	}
+
+	fs := dfs.New(opts.ChunkRecords)
+	cluster := mapreduce.NewCluster(fs, opts.Nodes)
+	dataset.ToDFS(fs, "R", r, codec.FromR)
+	dataset.ToDFS(fs, "S", s, codec.FromS)
+
+	var rep *Stats
+	switch opts.Algorithm {
+	case PGBJ:
+		rep, err = pgbj.Run(cluster, "R", "S", "out", pgbj.Options{
+			K: opts.K, Metric: opts.Metric, NumPivots: opts.NumPivots,
+			PivotStrategy: opts.PivotStrategy, GroupStrategy: opts.GroupStrategy, Seed: opts.Seed,
+		})
+	case PBJ:
+		rep, err = pgbj.RunPBJ(cluster, "R", "S", "out", pgbj.Options{
+			K: opts.K, Metric: opts.Metric, NumPivots: opts.NumPivots,
+			PivotStrategy: opts.PivotStrategy, Seed: opts.Seed,
+		})
+	case HBRJ:
+		rep, err = hbrj.Run(cluster, "R", "S", "out", hbrj.Options{K: opts.K, Metric: opts.Metric})
+	case Broadcast:
+		rep, err = naive.Broadcast(cluster, "R", "S", "out", naive.BroadcastOptions{K: opts.K, Metric: opts.Metric})
+	case ZKNN:
+		if opts.Metric != L2 {
+			return nil, nil, fmt.Errorf("knnjoin: ZKNN supports only the L2 metric (z-order locality is Euclidean)")
+		}
+		rep, err = zknn.Run(cluster, "R", "S", "out", zknn.Options{K: opts.K, Seed: opts.Seed})
+	case Theta:
+		rep, err = theta.Run(cluster, "R", "S", "out", theta.Options{K: opts.K, Metric: opts.Metric, Seed: opts.Seed})
+	case LSH:
+		if opts.Metric != L2 {
+			return nil, nil, fmt.Errorf("knnjoin: LSH supports only the L2 metric (the p-stable hash family is Euclidean)")
+		}
+		rep, err = lsh.Run(cluster, "R", "S", "out", lsh.Options{K: opts.K, Seed: opts.Seed})
+	default:
+		return nil, nil, fmt.Errorf("knnjoin: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Dims = r[0].Point.Dim()
+	results, err := naive.ReadResults(fs, "out")
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, rep, nil
+}
+
+// checkDims verifies every object of r and s shares one dimensionality,
+// converting what would otherwise surface as a deep panic into an error
+// at the API boundary.
+func checkDims(r, s []Object) error {
+	dim := r[0].Point.Dim()
+	for i := range r {
+		if d := r[i].Point.Dim(); d != dim {
+			return fmt.Errorf("knnjoin: R object %d has %d dims, want %d", r[i].ID, d, dim)
+		}
+	}
+	for i := range s {
+		if d := s[i].Point.Dim(); d != dim {
+			return fmt.Errorf("knnjoin: S object %d has %d dims, want %d", s[i].ID, d, dim)
+		}
+	}
+	return nil
+}
+
+func countPairs(results []Result) int64 {
+	var n int64
+	for _, r := range results {
+		n += int64(len(r.Neighbors))
+	}
+	return n
+}
+
+// SelfJoin computes the kNN self-join of objs (R = S), the workload used
+// throughout the paper's evaluation. Note that with R = S each object's
+// nearest neighbor is itself at distance zero; pass K+1 and drop the
+// self-match if you need k proper neighbors (see ExcludeSelf).
+func SelfJoin(objs []Object, opts Options) ([]Result, *Stats, error) {
+	return Join(objs, objs, opts)
+}
+
+// RangeOptions configures RangeJoin.
+type RangeOptions struct {
+	// Radius is θ, the inclusive distance threshold. Required, ≥ 0.
+	Radius float64
+	// Metric is the distance measure; default L2.
+	Metric Metric
+	// Nodes is the simulated cluster size; default 4.
+	Nodes int
+	// NumPivots is |P|; default ≈ 2·√|R|, clamped to [Nodes, |R|].
+	NumPivots int
+	// PivotStrategy is the §4.1 selection strategy; default random.
+	PivotStrategy PivotStrategy
+	// Seed fixes pivot selection; runs are deterministic per seed.
+	Seed int64
+}
+
+// RangeJoin computes the θ-range join of r and s on the emulated
+// cluster: every (r, s) pair with distance at most Radius, grouped per R
+// object with neighbors ascending. It runs the paper's PGBJ pipeline
+// with the fixed radius standing in for the derived kNN bound θ_i
+// (Definition 3 made distributed). R objects with no in-range partner
+// are omitted from the result.
+func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
+	if opts.Radius < 0 {
+		return nil, nil, fmt.Errorf("knnjoin: RangeOptions.Radius must not be negative, got %g", opts.Radius)
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	if opts.NumPivots <= 0 {
+		opts.NumPivots = int(2 * math.Sqrt(float64(len(r))))
+	}
+	if opts.NumPivots < opts.Nodes {
+		opts.NumPivots = opts.Nodes
+	}
+	if opts.NumPivots > len(r) {
+		opts.NumPivots = len(r)
+	}
+	if len(r) == 0 || len(s) == 0 {
+		return nil, &Stats{Algorithm: "range-join"}, nil
+	}
+	if err := checkDims(r, s); err != nil {
+		return nil, nil, err
+	}
+	fs := dfs.New(0)
+	cluster := mapreduce.NewCluster(fs, opts.Nodes)
+	dataset.ToDFS(fs, "R", r, codec.FromR)
+	dataset.ToDFS(fs, "S", s, codec.FromS)
+	rep, err := rangejoin.Run(cluster, "R", "S", "out", rangejoin.Options{
+		Radius: opts.Radius, Metric: opts.Metric, NumPivots: opts.NumPivots,
+		PivotStrategy: opts.PivotStrategy, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Dims = r[0].Point.Dim()
+	results, err := naive.ReadResults(fs, "out")
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, rep, nil
+}
+
+// Pair is one result of a top-k closest-pairs join: an R object, an S
+// object and their distance.
+type Pair = topk.Pair
+
+// PairOptions configures ClosestPairs.
+type PairOptions struct {
+	// K is the number of closest pairs to return. Required, positive.
+	K int
+	// Metric is the distance measure; default L2.
+	Metric Metric
+	// Nodes is the simulated cluster size; default 4.
+	Nodes int
+	// ExcludeSelf drops pairs whose two IDs are equal — the natural
+	// setting for self-joins.
+	ExcludeSelf bool
+	// Unordered keeps only pairs with RID < SID, so a self-join reports
+	// each unordered pair once.
+	Unordered bool
+	// Seed fixes the threshold sampling; runs are deterministic per seed.
+	Seed int64
+}
+
+// ClosestPairs finds the k closest (r, s) pairs of R × S on the emulated
+// cluster — the top-k similarity join of Kim & Shim (ICDE'12), which the
+// paper's related work (§7, ref [11]) describes as the special case of
+// the kNN join. The result is exact, ascending by distance; ties beyond
+// position k are dropped. The returned Stats expose the run's cost
+// measures.
+func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("knnjoin: PairOptions.K must be positive, got %d", opts.K)
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	if len(r) == 0 || len(s) == 0 {
+		return nil, &Stats{Algorithm: "top-k pairs", K: opts.K}, nil
+	}
+	if err := checkDims(r, s); err != nil {
+		return nil, nil, err
+	}
+	fs := dfs.New(0)
+	cluster := mapreduce.NewCluster(fs, opts.Nodes)
+	dataset.ToDFS(fs, "R", r, codec.FromR)
+	dataset.ToDFS(fs, "S", s, codec.FromS)
+	pairs, rep, err := topk.Run(cluster, "R", "S", "out", topk.Options{
+		K: opts.K, Metric: opts.Metric, ExcludeSelf: opts.ExcludeSelf,
+		Unordered: opts.Unordered, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Dims = r[0].Point.Dim()
+	return pairs, rep, nil
+}
+
+// ExcludeSelf removes each result's self-match (the neighbor whose ID
+// equals the R object's ID) in place and returns results. At most one
+// neighbor per result is removed; results without a self-match are
+// unchanged. Useful after SelfJoin with K one larger than needed.
+func ExcludeSelf(results []Result) []Result {
+	for i := range results {
+		nbs := results[i].Neighbors
+		for j, nb := range nbs {
+			if nb.ID == results[i].RID {
+				results[i].Neighbors = append(nbs[:j:j], nbs[j+1:]...)
+				break
+			}
+		}
+	}
+	return results
+}

@@ -1,0 +1,244 @@
+package knnjoin
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/vector"
+)
+
+func TestLOFUniformDataScoresNearOne(t *testing.T) {
+	objs := dataset.Uniform(1500, 2, 100, 1)
+	scores, st, err := LOF(objs, 10, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(objs) {
+		t.Fatalf("scored %d objects, want %d", len(scores), len(objs))
+	}
+	if st.K != 11 {
+		t.Fatalf("join ran with K=%d, want minPts+1=11", st.K)
+	}
+	vals := make([]float64, len(scores))
+	for i, s := range scores {
+		vals[i] = s.LOF
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	if median < 0.8 || median > 1.3 {
+		t.Fatalf("median LOF on uniform data = %v, want ≈ 1", median)
+	}
+}
+
+func TestLOFPlantedOutliersRankFirst(t *testing.T) {
+	objs := dataset.Uniform(2000, 3, 100, 2)
+	planted := map[int64]bool{}
+	for i := 0; i < 5; i++ {
+		id := int64(i * 397)
+		planted[id] = true
+		for d := range objs[id].Point {
+			objs[id].Point[d] += 5000 + float64(i)*500
+		}
+	}
+	scores, _, err := LOF(objs, 8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, s := range scores[:5] {
+		if planted[s.ID] {
+			hits++
+		}
+	}
+	if hits != 5 {
+		t.Fatalf("top-5 LOF recovered %d/5 planted outliers: %+v", hits, scores[:5])
+	}
+	if scores[0].LOF < 2 {
+		t.Fatalf("top planted outlier LOF = %v, want ≫ 1", scores[0].LOF)
+	}
+}
+
+// LOF's defining property over the plain k-distance score: an object just
+// outside a *dense* cluster outranks objects inside a *sparse* cluster,
+// even though the sparse cluster's members have larger k-distances.
+func TestLOFIsDensityRelative(t *testing.T) {
+	var objs []Object
+	id := int64(0)
+	add := func(x, y float64) {
+		objs = append(objs, Object{ID: id, Point: vector.Point{x, y}})
+		id++
+	}
+	// Dense grid cluster at origin, spacing 1.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			add(float64(i), float64(j))
+		}
+	}
+	// Sparse grid cluster far away, spacing 20.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			add(10000+20*float64(i), 20*float64(j))
+		}
+	}
+	// The local outlier: a point a short hop off the dense cluster —
+	// close in absolute distance, far relative to local density.
+	add(4.5, 16)
+	outlierID := id - 1
+
+	scores, _, err := LOF(objs, 6, Options{Seed: 4, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].ID != outlierID {
+		t.Fatalf("top LOF = object %d (%.2f), want planted local outlier %d", scores[0].ID, scores[0].LOF, outlierID)
+	}
+	// Sparse-cluster interior points must stay inliers (≈1) despite their
+	// large absolute k-distances.
+	byID := make(map[int64]float64, len(scores))
+	for _, s := range scores {
+		byID[s.ID] = s.LOF
+	}
+	sparseInterior := byID[100+44] // row 4, col 4 of the sparse grid
+	if sparseInterior > 1.2 {
+		t.Fatalf("sparse-cluster interior LOF = %v, want ≈ 1", sparseInterior)
+	}
+}
+
+func TestLOFDuplicatePoints(t *testing.T) {
+	objs := make([]Object, 30)
+	for i := range objs {
+		objs[i] = Object{ID: int64(i), Point: vector.Point{1, 2, 3}}
+	}
+	scores, _, err := LOF(objs, 4, Options{Seed: 5, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.LOF != 1 {
+			t.Fatalf("duplicate pile LOF = %v for object %d, want 1 (∞/∞ convention)", s.LOF, s.ID)
+		}
+	}
+}
+
+func TestLOFDuplicatePileWithStraggler(t *testing.T) {
+	objs := make([]Object, 20)
+	for i := range objs {
+		objs[i] = Object{ID: int64(i), Point: vector.Point{0, 0}}
+	}
+	objs[19] = Object{ID: 19, Point: vector.Point{50, 0}}
+	scores, _, err := LOF(objs, 3, Options{Seed: 6, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].ID != 19 {
+		t.Fatalf("top LOF = object %d, want the straggler 19", scores[0].ID)
+	}
+	if !math.IsInf(scores[0].LOF, 1) {
+		t.Fatalf("straggler next to a zero-width pile should score +Inf, got %v", scores[0].LOF)
+	}
+	for _, s := range scores[1:] {
+		if s.LOF != 1 {
+			t.Fatalf("pile member %d scored %v, want 1", s.ID, s.LOF)
+		}
+	}
+}
+
+func TestLOFValidation(t *testing.T) {
+	objs := dataset.Uniform(50, 2, 100, 7)
+	if _, _, err := LOF(objs, 0, Options{}); err == nil {
+		t.Error("minPts=0 accepted")
+	}
+	if _, err := LOFFromResults(nil, 0); err == nil {
+		t.Error("LOFFromResults minPts=0 accepted")
+	}
+	// Too few neighbors in the results.
+	short := []Result{{RID: 1, Neighbors: []Neighbor{{ID: 2, Dist: 1}}}}
+	if _, err := LOFFromResults(short, 3); err == nil {
+		t.Error("short neighbor list accepted")
+	}
+	// Neighbor without its own result row (not a self-join).
+	dangling := []Result{{RID: 1, Neighbors: []Neighbor{{ID: 99, Dist: 1}}}}
+	if _, err := LOFFromResults(dangling, 1); err == nil {
+		t.Error("dangling neighbor accepted")
+	}
+}
+
+func TestLOFFromResultsMatchesLOF(t *testing.T) {
+	objs := dataset.Uniform(400, 3, 100, 8)
+	direct, _, err := LOF(objs, 5, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := SelfJoin(objs, Options{K: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaResults, err := LOFFromResults(ExcludeSelf(results), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range direct {
+		if got := viaResults[s.ID]; math.Abs(got-s.LOF) > 1e-12 {
+			t.Fatalf("object %d: LOF()=%v, LOFFromResults()=%v", s.ID, s.LOF, got)
+		}
+	}
+}
+
+// Property: LOF is scale-invariant — multiplying every coordinate by a
+// positive constant changes all distances by the same factor, which
+// cancels in every lrd ratio.
+func TestLOFScaleInvariantQuick(t *testing.T) {
+	objs := dataset.Uniform(300, 3, 100, 12)
+	base, _, err := LOF(objs, 5, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseByID := make(map[int64]float64, len(base))
+	for _, s := range base {
+		baseByID[s.ID] = s.LOF
+	}
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%100)/10 + 0.1 // 0.1 .. 10.0
+		scaled := make([]Object, len(objs))
+		for i, o := range objs {
+			p := o.Point.Clone()
+			for d := range p {
+				p[d] *= scale
+			}
+			scaled[i] = Object{ID: o.ID, Point: p}
+		}
+		got, _, err := LOF(scaled, 5, Options{Seed: 13})
+		if err != nil {
+			return false
+		}
+		for _, s := range got {
+			if math.Abs(s.LOF-baseByID[s.ID]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLOFDeterministic(t *testing.T) {
+	objs := dataset.OSM(800, 10)
+	a, _, err := LOF(objs, 6, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := LOF(objs, 6, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
