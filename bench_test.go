@@ -10,11 +10,14 @@ package knnjoin
 // just time.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"knnjoin/internal/benchjobs"
 	"knnjoin/internal/dataset"
 	"knnjoin/internal/experiments"
+	"knnjoin/internal/mapreduce"
 )
 
 // benchCfg is the reduced benchmark scale: Forest×10 = 8000 objects.
@@ -219,6 +222,44 @@ func BenchmarkLOFOutlierScoring(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- Shuffle micro-benchmarks ----------------------------------------
+//
+// These isolate the engine's sort-merge shuffle (map-side sorted runs,
+// k-way merge, streaming key groups) from the join algorithms: trivial
+// map and reduce work, so ns/op and allocs/op are the shuffle itself.
+// The keys=32000 case measures the many-distinct-keys regime (merge jobs
+// keyed by object id); keys=256 measures the few-keys/many-values regime
+// (block joins keyed by reducer id); the secondary-sort case measures
+// composite JoinKey-style keys with a grouping prefix (the PGBJ join).
+// The job definitions live in internal/benchjobs, shared with
+// cmd/shufflebench so BENCH_shuffle.json measures the identical work.
+
+func benchmarkShuffle(b *testing.B, job *mapreduce.Job) {
+	in := benchjobs.Input(benchjobs.Records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchjobs.Run(job, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShuffleSortMerge(b *testing.B) {
+	for _, keys := range []int{32000, 256} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			benchmarkShuffle(b, benchjobs.FlatJob(keys))
+		})
+	}
+}
+
+// Composite keys with a 4-byte grouping prefix and a pivot-distance
+// suffix — the shape every pivot-join job ships since the shuffle took
+// over SortByPivotDist.
+func BenchmarkShuffleSecondarySort(b *testing.B) {
+	benchmarkShuffle(b, benchjobs.CompositeJob())
 }
 
 // Guard: the full experiment suite stays runnable end to end.

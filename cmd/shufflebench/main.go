@@ -1,0 +1,122 @@
+// Command shufflebench runs the MapReduce shuffle micro-benchmarks and
+// writes the results as JSON, so the shuffle's performance trajectory is
+// tracked across changes in a machine-readable form (committed as
+// BENCH_shuffle.json at the repository root). The workloads are the same
+// internal/benchjobs jobs bench_test.go measures with `go test -bench`.
+//
+// Usage:
+//
+//	shufflebench                     # print JSON to stdout
+//	shufflebench -out BENCH_shuffle.json
+//	shufflebench -benchtime 50       # inner iterations per measurement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"knnjoin/internal/benchjobs"
+	"knnjoin/internal/mapreduce"
+)
+
+// Result is one benchmark's outcome in the emitted JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ShuffleRecords and ShuffleBytes characterize the measured workload,
+	// so a future run can tell a perf change from a workload change.
+	ShuffleRecords int64 `json:"shuffle_records"`
+	ShuffleBytes   int64 `json:"shuffle_bytes"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Suite   string   `json:"suite"`
+	Engine  string   `json:"engine"`
+	Results []Result `json:"results"`
+}
+
+func measure(name string, job *mapreduce.Job, iters int) (Result, error) {
+	in := benchjobs.Input(benchjobs.Records)
+	var jobErr error
+	var stats *mapreduce.JobStats
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for it := 0; it < iters; it++ {
+				js, err := benchjobs.Run(job, in)
+				if err != nil {
+					jobErr = err
+					b.FailNow()
+				}
+				stats = js
+			}
+		}
+	})
+	if jobErr != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, jobErr)
+	}
+	n := br.N * iters
+	return Result{
+		Name:           name,
+		Iterations:     n,
+		NsPerOp:        float64(br.T.Nanoseconds()) / float64(n),
+		AllocsPerOp:    br.AllocsPerOp() / int64(iters),
+		BytesPerOp:     br.AllocedBytesPerOp() / int64(iters),
+		ShuffleRecords: stats.ShuffleRecords,
+		ShuffleBytes:   stats.ShuffleBytes,
+	}, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *iters < 1 {
+		return fmt.Errorf("-benchtime must be at least 1, got %d", *iters)
+	}
+
+	report := Report{Suite: "mapreduce-shuffle", Engine: "sort-merge-streaming"}
+	cases := []struct {
+		name string
+		job  *mapreduce.Job
+	}{
+		{"flat/keys=32000", benchjobs.FlatJob(32000)},
+		{"flat/keys=256", benchjobs.FlatJob(256)},
+		{"composite/secondary-sort", benchjobs.CompositeJob()},
+	}
+	for _, c := range cases {
+		res, err := measure(c.name, c.job, *iters)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shufflebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out, "-benchtime", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Suite != "mapreduce-shuffle" || len(rep.Results) != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 || r.ShuffleRecords <= 0 || r.ShuffleBytes <= 0 {
+			t.Fatalf("implausible result: %+v", r)
+		}
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-benchtime", "0"}); err == nil {
+		t.Fatal("zero benchtime accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module knnjoin
+
+go 1.24

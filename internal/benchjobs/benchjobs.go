@@ -1,0 +1,96 @@
+// Package benchjobs defines the shuffle micro-benchmark workloads in one
+// place, so the go-test benchmarks (bench_test.go) and the JSON-emitting
+// cmd/shufflebench measure the identical jobs and their numbers stay
+// comparable across changes.
+package benchjobs
+
+import (
+	"encoding/binary"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/mapreduce"
+)
+
+// Records is the canonical input size; every job fans each record out to
+// 16 emissions, so the shuffle always carries 16×Records records.
+const Records = 2000
+
+// Input builds the canonical input file: n 4-byte little-endian counters.
+func Input(n int) []dfs.Record {
+	in := make([]dfs.Record, n)
+	for i := range in {
+		r := make(dfs.Record, 4)
+		binary.LittleEndian.PutUint32(r, uint32(i))
+		in[i] = r
+	}
+	return in
+}
+
+// countingReduce drains its group and emits the count — trivial on
+// purpose, so the measurement is the shuffle, not the reduce work.
+func countingReduce(_ *mapreduce.TaskContext, key []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+	n := 0
+	for _, ok := values.Next(); ok; _, ok = values.Next() {
+		n++
+	}
+	emit(key, binary.BigEndian.AppendUint32(nil, uint32(n)))
+	return nil
+}
+
+// FlatJob fans each record out to 16 Uint32Key'd emissions over nKeys
+// distinct keys: nKeys ≫ reducers measures the many-distinct-keys merge
+// regime, small nKeys the few-keys/many-values grouping regime.
+func FlatJob(nKeys int) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "shuffle-flat",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 8,
+		Partition:   mapreduce.Uint32Partition,
+		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			base := int(binary.LittleEndian.Uint32(rec))
+			for i := 0; i < 16; i++ {
+				emit(codec.Uint32Key(uint32((base*16+i)%nKeys)), rec)
+			}
+			return nil
+		},
+		Reduce: countingReduce,
+	}
+}
+
+// CompositeJob ships JoinKey composite keys grouped on the 4-byte prefix
+// — the secondary-sort shape the pivot joins use since the shuffle took
+// over SortByPivotDist.
+func CompositeJob() *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "shuffle-composite",
+		Input:          []string{"in"},
+		Output:         "out",
+		NumReducers:    8,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
+		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+			base := int64(binary.LittleEndian.Uint32(rec))
+			for i := int64(0); i < 16; i++ {
+				t := codec.Tagged{
+					Object:    codec.Object{ID: base*16 + i},
+					Src:       codec.FromS,
+					Partition: int32((base + i) % 64),
+					PivotDist: float64((base*16+i)%977) / 977,
+				}
+				emit(codec.JoinKey(int(t.Partition)%8, t), rec)
+			}
+			return nil
+		},
+		Reduce: countingReduce,
+	}
+}
+
+// Run executes one benchmark job over a fresh cluster and the canonical
+// input, returning the job's stats.
+func Run(job *mapreduce.Job, in []dfs.Record) (*mapreduce.JobStats, error) {
+	c := mapreduce.NewCluster(dfs.New(512), 8)
+	c.FS().Write("in", in)
+	return c.Run(job)
+}

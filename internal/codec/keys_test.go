@@ -1,0 +1,121 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUint32KeyRoundTripAndOrder(t *testing.T) {
+	vals := []uint32{0, 1, 2, 9, 10, 11, 99, 100, 1 << 16, math.MaxUint32}
+	var prev []byte
+	for _, v := range vals {
+		k := Uint32Key(v)
+		if len(k) != 4 {
+			t.Fatalf("Uint32Key(%d) has %d bytes", v, len(k))
+		}
+		if got := KeyUint32(k); got != v {
+			t.Fatalf("round trip %d → %d", v, got)
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("byte order broken at %d", v)
+		}
+		prev = k
+	}
+}
+
+// The decimal-string footgun the binary keys exist to fix: as strings,
+// "10" < "9"; as Uint32Keys, 9 < 10.
+func TestUint32KeyBeatsStringOrder(t *testing.T) {
+	if !("10" < "9") {
+		t.Fatal("string order assumption broken")
+	}
+	if bytes.Compare(Uint32Key(9), Uint32Key(10)) >= 0 {
+		t.Fatal("Uint32Key(9) must sort before Uint32Key(10)")
+	}
+}
+
+func TestInt64KeyRoundTripAndOrder(t *testing.T) {
+	vals := []int64{math.MinInt64, -1 << 32, -2, -1, 0, 1, 2, 9, 10, 1 << 40, math.MaxInt64}
+	var prev []byte
+	for _, v := range vals {
+		k := Int64Key(v)
+		if got := KeyInt64(k); got != v {
+			t.Fatalf("round trip %d → %d", v, got)
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("byte order broken at %d", v)
+		}
+		prev = k
+	}
+}
+
+func TestFloat64KeyRoundTripAndOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -1, -math.SmallestNonzeroFloat64,
+		0, math.SmallestNonzeroFloat64, 0.5, 1, 2.5, 1e300, math.Inf(1)}
+	var prev []byte
+	for _, v := range vals {
+		k := Float64Key(v)
+		if got := KeyFloat64(k); got != v {
+			t.Fatalf("round trip %g → %g", v, got)
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("byte order broken at %g", v)
+		}
+		prev = k
+	}
+}
+
+// Property: sorting random floats by key bytes equals sorting numerically.
+func TestFloat64KeyOrderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fs := make([]float64, 500)
+	for i := range fs {
+		fs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	keys := make([][]byte, len(fs))
+	for i, f := range fs {
+		keys[i] = Float64Key(f)
+	}
+	sort.Slice(keys, func(a, b int) bool { return bytes.Compare(keys[a], keys[b]) < 0 })
+	sort.Float64s(fs)
+	for i := range fs {
+		if got := KeyFloat64(keys[i]); got != fs[i] {
+			t.Fatalf("position %d: key order gives %g, numeric order gives %g", i, got, fs[i])
+		}
+	}
+}
+
+// JoinKey's byte order must realize the reducers' streaming contract:
+// group major, then R before S, then partition, then ascending pivot
+// distance with ids breaking ties.
+func TestJoinKeyOrder(t *testing.T) {
+	mk := func(group int, src Source, part int32, dist float64, id int64) []byte {
+		return JoinKey(group, Tagged{
+			Object: Object{ID: id}, Src: src, Partition: part, PivotDist: dist,
+		})
+	}
+	ordered := [][]byte{
+		mk(0, FromS, 9, 0.1, 5),
+		mk(1, FromR, 0, 2.0, 1),
+		mk(1, FromR, 3, 1.0, 2),
+		mk(1, FromS, 2, 0.5, 7),
+		mk(1, FromS, 2, 0.5, 8), // id breaks the distance tie
+		mk(1, FromS, 2, 0.75, 3),
+		mk(1, FromS, 4, 0.0, 9),
+		mk(2, FromR, 0, 0.0, 0),
+	}
+	for i := 1; i < len(ordered); i++ {
+		if bytes.Compare(ordered[i-1], ordered[i]) >= 0 {
+			t.Fatalf("JoinKey order broken between entries %d and %d", i-1, i)
+		}
+	}
+	if KeyUint32(ordered[1]) != 1 {
+		t.Fatalf("group prefix decodes to %d, want 1", KeyUint32(ordered[1]))
+	}
+	if len(ordered[0]) != JoinKeyGroupPrefix+1+4+8+8 {
+		t.Fatalf("JoinKey length = %d", len(ordered[0]))
+	}
+}

@@ -1,0 +1,93 @@
+// Package driver owns the scaffolding every public join operator used to
+// repeat: build an in-memory DFS, simulate a cluster over it, load the R
+// and S datasets as Tagged records, run an algorithm, and decode the
+// result file. Join, RangeJoin, ClosestPairs and LOF (via the self-join)
+// all run through one Env instead of four copies of that setup.
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/mapreduce"
+)
+
+// Canonical file names every operator uses on its private filesystem.
+const (
+	RFile   = "R"
+	SFile   = "S"
+	OutFile = "out"
+)
+
+// Env is one join run's environment: a fresh filesystem and a simulated
+// cluster of the requested size.
+type Env struct {
+	FS      *dfs.FS
+	Cluster *mapreduce.Cluster
+}
+
+// New builds an environment with nodes simulated nodes and the given DFS
+// chunk size (records per input split; ≤0 selects the DFS default).
+func New(nodes, chunkRecords int) *Env {
+	fs := dfs.New(chunkRecords)
+	return &Env{FS: fs, Cluster: mapreduce.NewCluster(fs, nodes)}
+}
+
+// LoadRS writes the outer and inner datasets to the canonical R and S
+// files as source-tagged records.
+func (e *Env) LoadRS(r, s []codec.Object) {
+	dataset.ToDFS(e.FS, RFile, r, codec.FromR)
+	dataset.ToDFS(e.FS, SFile, s, codec.FromS)
+}
+
+// Results decodes the canonical output file into join results sorted by
+// R object ID — the output contract of every join algorithm.
+func (e *Env) Results() ([]codec.Result, error) {
+	return ReadResults(e.FS, OutFile)
+}
+
+// ReadResults decodes a result file produced by any join job and returns
+// the results sorted by R object ID.
+func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
+	recs, err := fs.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]codec.Result, len(recs))
+	for i, r := range recs {
+		res, err := codec.DecodeResult(r)
+		if err != nil {
+			return nil, fmt.Errorf("driver: result record %d of %q: %w", i, name, err)
+		}
+		out[i] = res
+	}
+	SortResults(out)
+	return out, nil
+}
+
+// CollectRS streams one reducer group of Tagged values into R and S
+// object lists, in arrival (key) order. Shared by every block/region
+// reducer that joins its R objects against its S objects (H-BRJ,
+// 1-Bucket-Theta, LSH buckets, broadcast).
+func CollectRS(values *mapreduce.Values) (rs, ss []codec.Object, err error) {
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.Src == codec.FromR {
+			rs = append(rs, t.Object)
+		} else {
+			ss = append(ss, t.Object)
+		}
+	}
+	return rs, ss, nil
+}
+
+// SortResults orders results by R object ID in place.
+func SortResults(rs []codec.Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].RID < rs[j].RID })
+}

@@ -1,0 +1,63 @@
+package driver
+
+import (
+	"testing"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+	"knnjoin/internal/vector"
+)
+
+func obj(id int64, x float64) codec.Object {
+	return codec.Object{ID: id, Point: vector.Point{x}}
+}
+
+func TestEnvLoadAndResults(t *testing.T) {
+	env := New(4, 2)
+	env.LoadRS([]codec.Object{obj(1, 0), obj(2, 1)}, []codec.Object{obj(7, 5)})
+	if got := env.FS.Size(RFile); got != 2 {
+		t.Fatalf("R file has %d records, want 2", got)
+	}
+	if got := env.FS.Size(SFile); got != 1 {
+		t.Fatalf("S file has %d records, want 1", got)
+	}
+	// Loaded records must round-trip as source-tagged objects.
+	recs, err := env.FS.Read(SFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := codec.DecodeTagged(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged.Src != codec.FromS || tagged.ID != 7 {
+		t.Fatalf("S record decoded as %+v", tagged)
+	}
+
+	// Results reads the canonical output file sorted by RID.
+	env.FS.Write(OutFile, []dfs.Record{
+		codec.EncodeResult(codec.Result{RID: 9}),
+		codec.EncodeResult(codec.Result{RID: 2, Neighbors: []codec.Neighbor{{ID: 7, Dist: 4}}}),
+	})
+	results, err := env.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].RID != 2 || results[1].RID != 9 {
+		t.Fatalf("results = %+v, want RIDs 2, 9", results)
+	}
+	if len(results[0].Neighbors) != 1 || results[0].Neighbors[0].ID != 7 {
+		t.Fatalf("neighbors lost in round trip: %+v", results[0])
+	}
+}
+
+func TestReadResultsErrors(t *testing.T) {
+	env := New(1, 0)
+	if _, err := env.Results(); err == nil {
+		t.Error("missing output file must error")
+	}
+	env.FS.Write(OutFile, []dfs.Record{{1, 2, 3}})
+	if _, err := env.Results(); err == nil {
+		t.Error("corrupt result record must error")
+	}
+}

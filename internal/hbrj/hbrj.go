@@ -13,11 +13,11 @@ package hbrj
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
 	"knnjoin/internal/rtree"
@@ -72,10 +72,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		Input:       []string{rFile, sFile},
 		Output:      partialFile,
 		NumReducers: b * b,
-		Partition: func(key string, n int) int {
-			id, _ := strconv.Atoi(key)
-			return id % n
-		},
+		Partition:   mapreduce.Uint32Partition,
 		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
 			t, err := codec.DecodeTagged(rec)
 			if err != nil {
@@ -86,29 +83,22 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 				// R-block a joins every S-block: reducers (a, 0..b-1).
 				a := blockOf(t.ID, b)
 				for col := 0; col < b; col++ {
-					emit(strconv.Itoa(a*b+col), rec)
+					emit(codec.RegionKey(a*b+col, t), rec)
 				}
 			case codec.FromS:
 				col := blockOf(t.ID, b)
 				ctx.Counter("replicas_s", int64(b))
 				for a := 0; a < b; a++ {
-					emit(strconv.Itoa(a*b+col), rec)
+					emit(codec.RegionKey(a*b+col, t), rec)
 				}
 			}
 			return nil
 		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
-			var rs, ss []codec.Object
-			for _, v := range values {
-				t, err := codec.DecodeTagged(v)
-				if err != nil {
-					return err
-				}
-				if t.Src == codec.FromR {
-					rs = append(rs, t.Object)
-				} else {
-					ss = append(ss, t.Object)
-				}
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
+		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+			rs, ss, err := driver.CollectRS(values)
+			if err != nil {
+				return err
 			}
 			tree := rtree.Bulk(ss, rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
 			for _, r := range rs {
@@ -117,7 +107,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 				for i, c := range cands {
 					nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 				}
-				emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+				emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
 			}
 			ctx.Counter("pairs", tree.DistCount)
 			ctx.AddWork(tree.DistCount)
@@ -151,8 +141,12 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 }
 
 // MergeResults is the second MapReduce job shared by H-BRJ and PBJ: it
-// groups partial kNN lists by R object and keeps the k global best. The
-// input file holds codec.Result records; so does the output.
+// groups partial kNN lists by R object — keyed by the object id's
+// order-preserving binary encoding, so each reducer emits its share in
+// ascending-RID order (ids are hash-scattered across reducers, so the
+// concatenated file is only per-reducer sorted) — and keeps the k
+// global best. The input file holds codec.Result records; so does the
+// output.
 func MergeResults(cluster *mapreduce.Cluster, inFile, outFile string, k int) (*mapreduce.JobStats, error) {
 	job := &mapreduce.Job{
 		Name:   "knn-merge",
@@ -163,19 +157,16 @@ func MergeResults(cluster *mapreduce.Cluster, inFile, outFile string, k int) (*m
 			if err != nil {
 				return err
 			}
-			emit(strconv.FormatInt(res.RID, 10), rec)
+			emit(codec.Int64Key(res.RID), rec)
 			return nil
 		},
-		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emit) error {
-			rid, err := strconv.ParseInt(key, 10, 64)
-			if err != nil {
-				return err
-			}
+		Reduce: func(ctx *mapreduce.TaskContext, key []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+			rid := codec.KeyInt64(key)
 			// Partial lists may overlap (e.g. H-zkNNJ finds the same s
 			// under several shifts); a kNN list is a set, so dedupe by
 			// neighbor ID before ranking.
 			best := make(map[int64]float64)
-			for _, v := range values {
+			for v, ok := values.Next(); ok; v, ok = values.Next() {
 				res, err := codec.DecodeResult(v)
 				if err != nil {
 					return err
@@ -201,7 +192,7 @@ func MergeResults(cluster *mapreduce.Cluster, inFile, outFile string, k int) (*m
 				nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 			}
 			ctx.Counter("result_pairs", int64(len(nbs)))
-			emit("", codec.EncodeResult(codec.Result{RID: rid, Neighbors: nbs}))
+			emit(nil, codec.EncodeResult(codec.Result{RID: rid, Neighbors: nbs}))
 			return nil
 		},
 	}

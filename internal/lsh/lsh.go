@@ -23,12 +23,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strconv"
-	"strings"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
@@ -115,15 +114,17 @@ func newTables(rng *rand.Rand, l, m, dim int, w float64) []table {
 	return ts
 }
 
-// bucketKey renders a table index and signature as a shuffle key.
-func bucketKey(t int, sig []int64) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(t))
+// bucketKey renders a table index and signature as a binary shuffle key:
+// the table index as a fixed-width prefix, then each signature component
+// in its order-preserving 8-byte encoding — byte-comparable and
+// collision-free by construction for any table count.
+func bucketKey(t int, sig []int64) []byte {
+	key := make([]byte, 0, 4+8*len(sig))
+	key = append(key, codec.Uint32Key(uint32(t))...)
 	for _, v := range sig {
-		b.WriteByte('|')
-		b.WriteString(strconv.FormatInt(v, 10))
+		key = codec.AppendInt64Key(key, v)
 	}
-	return b.String()
+	return key
 }
 
 // Run executes the approximate join. rFile and sFile must contain Tagged
@@ -213,19 +214,11 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 // bucketReduce joins one bucket: every R object in it is paired with
 // every S object in it. Each r gets a partial Result — empty when the
 // bucket holds no S objects, so the merge job still emits a line for it.
-func bucketReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func bucketReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	var rs, ss []codec.Object
-	for _, v := range values {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rs = append(rs, t.Object)
-		} else {
-			ss = append(ss, t.Object)
-		}
+	rs, ss, err := driver.CollectRS(values)
+	if err != nil {
+		return err
 	}
 	heap := nnheap.NewKHeap(opts.K)
 	for _, r := range rs {
@@ -238,7 +231,7 @@ func bucketReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit ma
 		for i, c := range cands {
 			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 		}
-		emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
 	}
 	pairs := int64(len(rs)) * int64(len(ss))
 	ctx.Counter("pairs", pairs)

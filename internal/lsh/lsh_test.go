@@ -1,6 +1,7 @@
 package lsh
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -178,7 +179,7 @@ func TestSignatureDeterministicQuick(t *testing.T) {
 		s2 := tbls[0].signature(nil, p, 10)
 		k0 := bucketKey(0, s1)
 		k1 := bucketKey(1, tbls[1].signature(nil, p, 10))
-		return bucketKey(0, s2) == k0 && k0 != k1
+		return bytes.Equal(bucketKey(0, s2), k0) && !bytes.Equal(k0, k1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -198,7 +199,7 @@ func TestIdenticalPointsCollideQuick(t *testing.T) {
 		p := vector.Point{math.Mod(x, 1e6), math.Mod(y, 1e6)}
 		q := p.Clone()
 		for ti := range tbls {
-			if bucketKey(ti, tbls[ti].signature(nil, p, 5)) != bucketKey(ti, tbls[ti].signature(nil, q, 5)) {
+			if !bytes.Equal(bucketKey(ti, tbls[ti].signature(nil, p, 5)), bucketKey(ti, tbls[ti].signature(nil, q, 5))) {
 				return false
 			}
 		}

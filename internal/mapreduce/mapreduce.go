@@ -5,8 +5,15 @@
 // depend on:
 //
 //   - map tasks consume DFS input splits (one task per split, §2.2);
-//   - intermediate key-value pairs are hash-partitioned across N reducers,
-//     grouped by key, and keys are processed in sorted order;
+//   - intermediate key-value pairs carry raw byte-comparable keys, are
+//     partitioned across N reducers, and each map task sorts its
+//     per-reducer output into a run (Hadoop's map-side sort/spill);
+//   - reduce tasks k-way-merge the sorted runs of every map task and
+//     stream each key group to the reduce function through an iterator —
+//     no reducer ever materializes a per-key value table;
+//   - an optional secondary sort (a value comparator, or composite keys
+//     grouped on a key prefix) delivers each group's values in a
+//     caller-chosen order, like Hadoop's grouping comparator;
 //   - every byte crossing the shuffle is counted, which is exactly the
 //     "shuffling cost" series of Figures 8–12;
 //   - the simulated cluster has a fixed number of nodes, each running one
@@ -22,44 +29,68 @@
 package mapreduce
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"knnjoin/internal/dfs"
 )
 
-// KV is an intermediate key-value pair.
+// KV is an intermediate key-value pair. Keys are raw bytes and compare
+// with bytes.Compare, so numeric keys encoded big-endian sort in numeric
+// order (string-keyed engines sort "10" before "9"; this one does not).
 type KV struct {
-	Key   string
+	Key   []byte
 	Value []byte
 }
 
 // Emit is the output callback handed to map, combine and reduce functions.
-type Emit func(key string, value []byte)
+// The engine retains both slices, so callers must not reuse their backing
+// arrays after emitting.
+type Emit func(key, value []byte)
 
 // MapFunc processes one input record. ctx carries side data and counters.
 type MapFunc func(ctx *TaskContext, record dfs.Record, emit Emit) error
 
-// ReduceFunc processes one key group. values holds every value emitted for
-// key, in map-task order. The same signature serves combiners.
-type ReduceFunc func(ctx *TaskContext, key string, values [][]byte, emit Emit) error
+// ReduceFunc processes one key group. key is the group's first full key
+// in sort order; values streams every value of the group, sorted by full
+// key then ValueCompare (remaining ties arrive in a deterministic but
+// unspecified order, map tasks first). The same signature serves
+// combiners.
+type ReduceFunc func(ctx *TaskContext, key []byte, values *Values, emit Emit) error
 
 // SetupFunc runs once per task before any record is processed — the
 // paper's "map-setup" hook of Algorithm 3, used there to precompute the
 // LB(P_j^S, G_i) table.
 type SetupFunc func(ctx *TaskContext) error
 
-// PartitionFunc routes a key to one of n reducers.
-type PartitionFunc func(key string, n int) int
+// PartitionFunc routes a key to one of n reducers. With GroupKeyPrefix
+// set, all keys sharing a group prefix must route identically.
+type PartitionFunc func(key []byte, n int) int
+
+// CompareFunc is a three-way comparator over encoded values, the
+// secondary-sort hook: negative means a before b.
+type CompareFunc func(a, b []byte) int
 
 // DefaultPartition hashes the key with FNV-1a, Hadoop-style.
-func DefaultPartition(key string, n int) int {
+func DefaultPartition(key []byte, n int) int {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	h.Write(key)
 	return int(h.Sum32() % uint32(n))
+}
+
+// Uint32Partition routes keys carrying a fixed-width big-endian uint32
+// prefix (codec.Uint32Key, codec.JoinKey) to reducer value%n — the
+// modulo routing every join driver uses for its reducer ids.
+func Uint32Partition(key []byte, n int) int {
+	if len(key) < 4 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(key) % uint32(n))
 }
 
 // Job describes one MapReduce job.
@@ -72,8 +103,23 @@ type Job struct {
 	MapSetup    SetupFunc
 	Reduce      ReduceFunc // nil ⇒ map-only job
 	ReduceSetup SetupFunc
-	Combine     ReduceFunc // optional map-side combiner
+	Combine     ReduceFunc // optional map-side combiner, runs over sorted runs
 	Partition   PartitionFunc
+
+	// ValueCompare, when non-nil, secondary-sorts the values within each
+	// key: map-side runs order equal-key pairs by it and the reduce-side
+	// merge preserves that order, so reduce functions see values sorted
+	// without buffering them.
+	ValueCompare CompareFunc
+
+	// GroupKeyPrefix, when positive, makes reduce groups span every key
+	// sharing the same first GroupKeyPrefix bytes — Hadoop's grouping
+	// comparator for composite keys. Sorting always uses the full key, so
+	// a composite key's suffix (e.g. a pivot-distance) orders the values
+	// within the group. The partitioner must route on the same prefix
+	// (DefaultPartition is wrapped automatically; custom partitioners are
+	// the caller's contract).
+	GroupKeyPrefix int
 
 	NumReducers int // defaults to the cluster's node count
 
@@ -87,6 +133,15 @@ type Job struct {
 	// FailTask, when non-nil, is consulted before each task attempt and
 	// may return an injected error — used by tests to exercise retries.
 	FailTask func(taskID string, attempt int) error
+}
+
+// groupOf returns the grouping view of key: its first prefix bytes when
+// prefix is positive and the key is long enough, the whole key otherwise.
+func groupOf(key []byte, prefix int) []byte {
+	if prefix > 0 && len(key) > prefix {
+		return key[:prefix]
+	}
+	return key
 }
 
 // TaskContext is the per-task environment passed to user functions.
@@ -208,11 +263,12 @@ func (c *Cluster) FS() *dfs.FS { return c.fs }
 // Nodes returns the number of simulated nodes.
 func (c *Cluster) Nodes() int { return c.nodes }
 
-// taskResult carries one finished map task's bucketed output.
+// taskResult carries one finished map task's output: one sorted run per
+// reducer (map-only jobs skip the sort and keep emission order).
 type taskResult struct {
-	index   int
-	buckets [][]KV // one slice per reducer
-	work    int64
+	index int
+	runs  [][]KV // runs[r] is this task's sorted run for reducer r
+	work  int64
 }
 
 // Run executes the job and returns its statistics. On any task error
@@ -224,13 +280,21 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	if job.Output == "" {
 		return nil, fmt.Errorf("mapreduce: job %q has no Output file", job.Name)
 	}
+	if job.Combine != nil && job.Reduce == nil {
+		// A combiner only exists to shrink the shuffle; a map-only job has
+		// none, and silently skipping it would change the output contract.
+		return nil, fmt.Errorf("mapreduce: job %q has a Combine function but no Reduce", job.Name)
+	}
 	nReduce := job.NumReducers
 	if nReduce <= 0 {
 		nReduce = c.nodes
 	}
 	partition := job.Partition
 	if partition == nil {
-		partition = DefaultPartition
+		prefix := job.GroupKeyPrefix
+		partition = func(key []byte, n int) int {
+			return DefaultPartition(groupOf(key, prefix), n)
+		}
 	}
 	maxAttempts := job.MaxAttempts
 	if maxAttempts <= 0 {
@@ -272,8 +336,8 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 		// task order, values only (the key is advisory for map-only jobs).
 		var out []dfs.Record
 		for _, res := range results {
-			for _, bucket := range res.buckets {
-				for _, kv := range bucket {
+			for _, run := range res.runs {
+				for _, kv := range run {
 					out = append(out, dfs.Record(kv.Value))
 				}
 			}
@@ -285,21 +349,22 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	}
 
 	// ---- Shuffle --------------------------------------------------------
-	// Deliver each map task's buckets to the reducers, counting bytes, then
-	// group by key with keys in sorted order (Hadoop's sort phase).
-	perReducer := make([][]KV, nReduce)
+	// Hand each reducer the sorted runs destined for it, counting every
+	// key and value byte that crosses — the paper's "shuffling cost".
+	reducerRuns := make([][][]KV, nReduce)
+	stats.ReduceInputRecords = make([]int64, nReduce)
 	for _, res := range results {
-		for r, bucket := range res.buckets {
-			for _, kv := range bucket {
-				stats.ShuffleRecords++
+		for r, run := range res.runs {
+			if len(run) == 0 {
+				continue
+			}
+			for _, kv := range run {
 				stats.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
 			}
-			perReducer[r] = append(perReducer[r], bucket...)
+			stats.ShuffleRecords += int64(len(run))
+			stats.ReduceInputRecords[r] += int64(len(run))
+			reducerRuns[r] = append(reducerRuns[r], run)
 		}
-	}
-	stats.ReduceInputRecords = make([]int64, nReduce)
-	for r := range perReducer {
-		stats.ReduceInputRecords[r] = int64(len(perReducer[r]))
 	}
 
 	// ---- Reduce phase ---------------------------------------------------
@@ -309,7 +374,7 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	var groupCount int64
 	var groupMu sync.Mutex
 	err = c.runParallel(nReduce, func(r int) error {
-		recs, groups, work, rerr := c.runReduceTask(job, r, perReducer[r], counters, maxAttempts)
+		recs, groups, work, rerr := c.runReduceTask(job, r, reducerRuns[r], counters, maxAttempts)
 		if rerr != nil {
 			return rerr
 		}
@@ -362,8 +427,8 @@ func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, 
 			return nil, fmt.Errorf("map setup: %w", err)
 		}
 	}
-	res := &taskResult{index: index, buckets: make([][]KV, nReduce)}
-	emit := func(key string, value []byte) {
+	res := &taskResult{index: index, runs: make([][]KV, nReduce)}
+	emit := func(key, value []byte) {
 		r := 0
 		if nReduce > 1 {
 			r = partition(key, nReduce)
@@ -371,48 +436,79 @@ func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, 
 				panic(fmt.Sprintf("mapreduce: partition function returned %d for %d reducers", r, nReduce))
 			}
 		}
-		res.buckets[r] = append(res.buckets[r], KV{Key: key, Value: value})
+		res.runs[r] = append(res.runs[r], KV{Key: key, Value: value})
 	}
 	for _, rec := range split.Records {
 		if err := job.Map(ctx, rec, emit); err != nil {
 			return nil, fmt.Errorf("map record: %w", err)
 		}
 	}
-	if job.Combine != nil {
-		for r := range res.buckets {
-			combined, err := combineBucket(ctx, job.Combine, res.buckets[r])
-			if err != nil {
-				return nil, fmt.Errorf("combine: %w", err)
+	if job.Reduce != nil {
+		// Map-side sort: turn each bucket into a sorted run (the spill
+		// sort of a real Hadoop map task). Map-only jobs skip this — their
+		// output contract is emission order.
+		for r := range res.runs {
+			sortRun(res.runs[r], job.ValueCompare)
+		}
+		if job.Combine != nil {
+			for r := range res.runs {
+				combined, err := combineRun(ctx, job, res.runs[r])
+				if err != nil {
+					return nil, fmt.Errorf("combine: %w", err)
+				}
+				res.runs[r] = combined
 			}
-			res.buckets[r] = combined
 		}
 	}
 	res.work = ctx.work
 	return res, nil
 }
 
-func combineBucket(ctx *TaskContext, combine ReduceFunc, bucket []KV) ([]KV, error) {
-	if len(bucket) == 0 {
-		return bucket, nil
+// sortRun orders kvs by key bytes, then by the optional value comparator.
+// The sort is unstable (a stable sort's merge rotations dominate the
+// shuffle cost on duplicate-heavy runs) but deterministic: ties land in
+// an unspecified yet reproducible order, so jobs stay deterministic per
+// configuration; a job that needs a defined value order states it with
+// ValueCompare.
+func sortRun(kvs []KV, vcmp CompareFunc) {
+	slices.SortFunc(kvs, func(a, b KV) int {
+		if c := bytes.Compare(a.Key, b.Key); c != 0 {
+			return c
+		}
+		if vcmp != nil {
+			return vcmp(a.Value, b.Value)
+		}
+		return 0
+	})
+}
+
+// combineRun streams the sorted run's key groups through the combiner and
+// returns the combined output as a new sorted run. Combiners group on the
+// full key (Hadoop's contract — the grouping prefix applies to reducers
+// only, so a composite key's secondary order survives combining).
+func combineRun(ctx *TaskContext, job *Job, run []KV) ([]KV, error) {
+	if len(run) == 0 {
+		return run, nil
 	}
-	groups, keys := groupByKey(bucket)
-	out := make([]KV, 0, len(keys))
-	emit := func(key string, value []byte) {
+	m := newMerger([][]KV{run}, job.ValueCompare)
+	out := make([]KV, 0, len(run))
+	emit := func(key, value []byte) {
 		out = append(out, KV{Key: key, Value: value})
 	}
-	for _, k := range keys {
-		if err := combine(ctx, k, groups[k], emit); err != nil {
-			return nil, err
-		}
+	if _, err := streamGroups(ctx, job.Combine, m, 0, emit); err != nil {
+		return nil, err
 	}
+	// The combiner may emit in any order; restore run sortedness for the
+	// reduce-side merge.
+	sortRun(out, job.ValueCompare)
 	return out, nil
 }
 
-func (c *Cluster) runReduceTask(job *Job, index int, input []KV, counters *CounterSet, maxAttempts int) ([]dfs.Record, int64, int64, error) {
+func (c *Cluster) runReduceTask(job *Job, index int, runs [][]KV, counters *CounterSet, maxAttempts int) ([]dfs.Record, int64, int64, error) {
 	taskID := fmt.Sprintf("%s/reduce/%d", job.Name, index)
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		recs, groups, work, err := c.attemptReduceTask(job, input, counters, taskID, attempt)
+		recs, groups, work, err := c.attemptReduceTask(job, runs, counters, taskID, attempt)
 		if err == nil {
 			return recs, groups, work, nil
 		}
@@ -421,7 +517,7 @@ func (c *Cluster) runReduceTask(job *Job, index int, input []KV, counters *Count
 	return nil, 0, 0, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, maxAttempts, lastErr)
 }
 
-func (c *Cluster) attemptReduceTask(job *Job, input []KV, counters *CounterSet, taskID string, attempt int) ([]dfs.Record, int64, int64, error) {
+func (c *Cluster) attemptReduceTask(job *Job, runs [][]KV, counters *CounterSet, taskID string, attempt int) ([]dfs.Record, int64, int64, error) {
 	if job.FailTask != nil {
 		if err := job.FailTask(taskID, attempt); err != nil {
 			return nil, 0, 0, err
@@ -433,32 +529,165 @@ func (c *Cluster) attemptReduceTask(job *Job, input []KV, counters *CounterSet, 
 			return nil, 0, 0, fmt.Errorf("reduce setup: %w", err)
 		}
 	}
-	groups, keys := groupByKey(input)
+	// Runs are immutable inputs, so a retry simply rebuilds the merge.
+	m := newMerger(runs, job.ValueCompare)
 	var out []dfs.Record
-	emit := func(_ string, value []byte) {
+	emit := func(_, value []byte) {
 		out = append(out, dfs.Record(value))
 	}
-	for _, k := range keys {
-		if err := job.Reduce(ctx, k, groups[k], emit); err != nil {
-			return nil, 0, 0, fmt.Errorf("reduce key %q: %w", k, err)
-		}
+	groups, err := streamGroups(ctx, job.Reduce, m, job.GroupKeyPrefix, emit)
+	if err != nil {
+		return nil, 0, 0, err
 	}
-	return out, int64(len(keys)), ctx.work, nil
+	return out, groups, ctx.work, nil
 }
 
-// groupByKey groups values by key preserving arrival order within a key,
-// and returns the keys in sorted order.
-func groupByKey(kvs []KV) (map[string][][]byte, []string) {
-	groups := make(map[string][][]byte)
-	for _, kv := range kvs {
-		groups[kv.Key] = append(groups[kv.Key], kv.Value)
+// streamGroups drives fn over every key group of the merge stream: one
+// call per group, values delivered through a streaming iterator. Groups
+// are maximal key ranges sharing groupOf(key, prefix). Unconsumed values
+// are drained after fn returns, so a group can be skipped cheaply.
+func streamGroups(ctx *TaskContext, fn ReduceFunc, m *merger, prefix int, emit Emit) (int64, error) {
+	var groups int64
+	for {
+		kv, ok := m.peek()
+		if !ok {
+			return groups, nil
+		}
+		groups++
+		vi := &Values{m: m, group: groupOf(kv.Key, prefix), prefix: prefix}
+		if err := fn(ctx, kv.Key, vi, emit); err != nil {
+			return groups, fmt.Errorf("reduce key %q: %w", kv.Key, err)
+		}
+		for { // drain whatever the reduce function left unread
+			if _, ok := vi.Next(); !ok {
+				break
+			}
+		}
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+}
+
+// Values streams one key group's values to a reduce or combine function,
+// in full-key order refined by the job's ValueCompare. The iterator is
+// only valid during the function call that received it.
+type Values struct {
+	m      *merger
+	group  []byte
+	prefix int
+}
+
+// Next returns the group's next value, or ok=false when the group is
+// exhausted. The returned slice is the emitted value itself — treat it as
+// read-only.
+func (v *Values) Next() ([]byte, bool) {
+	kv, ok := v.m.peek()
+	if !ok || !bytes.Equal(groupOf(kv.Key, v.prefix), v.group) {
+		return nil, false
 	}
-	sort.Strings(keys)
-	return groups, keys
+	v.m.pop()
+	return kv.Value, true
+}
+
+// Key returns the full composite key of the value peek'd next, or nil at
+// group end — how a reducer reads a composite key's suffix while
+// streaming.
+func (v *Values) Key() []byte {
+	kv, ok := v.m.peek()
+	if !ok || !bytes.Equal(groupOf(kv.Key, v.prefix), v.group) {
+		return nil
+	}
+	return kv.Key
+}
+
+// Collect drains the remaining values into a slice — for the rare reducer
+// (and for tests) that genuinely needs the group materialized.
+func (v *Values) Collect() [][]byte {
+	var out [][]byte
+	for {
+		val, ok := v.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, val)
+	}
+}
+
+// merger k-way-merges sorted runs. Order: key bytes, then the value
+// comparator, then run index (which preserves map-task order for ties —
+// the old engine's "arrival order within a key").
+type merger struct {
+	heap []mergeSource
+	vcmp CompareFunc
+}
+
+type mergeSource struct {
+	kvs []KV
+	pos int
+	seq int
+}
+
+func newMerger(runs [][]KV, vcmp CompareFunc) *merger {
+	m := &merger{vcmp: vcmp}
+	for i, run := range runs {
+		if len(run) > 0 {
+			m.heap = append(m.heap, mergeSource{kvs: run, seq: i})
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+	return m
+}
+
+func (m *merger) less(a, b mergeSource) bool {
+	ka, kb := a.kvs[a.pos], b.kvs[b.pos]
+	if c := bytes.Compare(ka.Key, kb.Key); c != 0 {
+		return c < 0
+	}
+	if m.vcmp != nil {
+		if c := m.vcmp(ka.Value, kb.Value); c != 0 {
+			return c < 0
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (m *merger) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(m.heap) && m.less(m.heap[l], m.heap[min]) {
+			min = l
+		}
+		if r < len(m.heap) && m.less(m.heap[r], m.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heap[i], m.heap[min] = m.heap[min], m.heap[i]
+		i = min
+	}
+}
+
+// peek returns the smallest pending KV without consuming it.
+func (m *merger) peek() (KV, bool) {
+	if len(m.heap) == 0 {
+		return KV{}, false
+	}
+	s := &m.heap[0]
+	return s.kvs[s.pos], true
+}
+
+// pop consumes the smallest pending KV.
+func (m *merger) pop() {
+	s := &m.heap[0]
+	s.pos++
+	if s.pos == len(s.kvs) {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	m.down(0)
 }
 
 // runParallel executes fn(0..n-1) on at most c.nodes workers, returning the

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,13 +35,13 @@ func wordCountJob(input, output string, combine bool) *Job {
 		Output: output,
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
 			for _, w := range strings.Fields(string(rec)) {
-				emit(w, []byte("1"))
+				emit([]byte(w), []byte("1"))
 			}
 			return nil
 		},
-		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
 			total := 0
-			for _, v := range values {
+			for v, ok := values.Next(); ok; v, ok = values.Next() {
 				n, err := strconv.Atoi(string(v))
 				if err != nil {
 					return err
@@ -51,9 +53,9 @@ func wordCountJob(input, output string, combine bool) *Job {
 		},
 	}
 	if combine {
-		j.Combine = func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+		j.Combine = func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
 			total := 0
-			for _, v := range values {
+			for v, ok := values.Next(); ok; v, ok = values.Next() {
 				n, _ := strconv.Atoi(string(v))
 				total += n
 			}
@@ -141,6 +143,41 @@ func TestCombinerReducesShuffle(t *testing.T) {
 	}
 }
 
+// The combiner runs over the map task's sorted run: each invocation must
+// see one full key group with every value of that key in this task,
+// already in sorted order.
+func TestCombinerSeesSortedGroups(t *testing.T) {
+	c := newTestCluster(1, 100) // one map task: groups span the whole input
+	writeLines(c.FS(), "in", "b a c a b a")
+	var mu sync.Mutex
+	combineCalls := make(map[string]int)
+	var keyOrder []string
+	job := wordCountJob("in", "out", true)
+	inner := job.Combine
+	job.Combine = func(ctx *TaskContext, key []byte, values *Values, emit Emit) error {
+		mu.Lock()
+		combineCalls[string(key)]++
+		keyOrder = append(keyOrder, string(key))
+		mu.Unlock()
+		return inner(ctx, key, values, emit)
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range combineCalls {
+		if n != 1 {
+			t.Errorf("combiner called %d times for key %s, want 1 (sorted run groups)", n, k)
+		}
+	}
+	if !sort.StringsAreSorted(keyOrder) {
+		t.Errorf("combiner key order %v, want sorted", keyOrder)
+	}
+	got := readCounts(t, c.FS(), "out")
+	if got["a"] != 3 || got["b"] != 2 || got["c"] != 1 {
+		t.Errorf("wrong counts after combining: %v", got)
+	}
+}
+
 func TestMapOnlyJob(t *testing.T) {
 	c := newTestCluster(3, 2)
 	writeLines(c.FS(), "in", "1", "2", "3", "4", "5")
@@ -150,7 +187,7 @@ func TestMapOnlyJob(t *testing.T) {
 		Output: "out",
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
 			n, _ := strconv.Atoi(string(rec))
-			emit("", []byte(strconv.Itoa(2*n)))
+			emit(nil, []byte(strconv.Itoa(2*n)))
 			return nil
 		},
 	}
@@ -184,14 +221,14 @@ func TestReduceKeysSorted(t *testing.T) {
 		Output:      "out",
 		NumReducers: 1,
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
-			emit(string(rec), rec)
+			emit(rec, rec)
 			return nil
 		},
-		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
 			mu.Lock()
-			order = append(order, key)
+			order = append(order, string(key))
 			mu.Unlock()
-			emit(key, []byte(key))
+			emit(key, key)
 			return nil
 		},
 	}
@@ -200,6 +237,174 @@ func TestReduceKeysSorted(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(order) {
 		t.Fatalf("reduce key order = %v, want sorted", order)
+	}
+}
+
+// uint32Key is a test-local big-endian key encoder (the production one
+// lives in internal/codec, which this package must not import).
+func uint32Key(v uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, v)
+}
+
+// Regression for the string-keyed engine's ordering footgun: numeric keys
+// sorted as decimal strings put "10" before "9". Binary big-endian keys
+// must reach the reducer in true numeric order, and the job's output must
+// be byte-identical across runs.
+func TestNumericKeyOrderAndDeterminism(t *testing.T) {
+	run := func() ([]uint32, []dfs.Record) {
+		c := newTestCluster(4, 3)
+		lines := make([]string, 25)
+		for i := range lines {
+			lines[i] = strconv.Itoa(24 - i) // emitted in descending order
+		}
+		writeLines(c.FS(), "in", lines...)
+		var mu sync.Mutex
+		var order []uint32
+		job := &Job{
+			Name:        "numeric",
+			Input:       []string{"in"},
+			Output:      "out",
+			NumReducers: 1,
+			Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+				n, _ := strconv.Atoi(string(rec))
+				emit(uint32Key(uint32(n)), rec)
+				return nil
+			},
+			Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+				mu.Lock()
+				order = append(order, binary.BigEndian.Uint32(key))
+				mu.Unlock()
+				for v, ok := values.Next(); ok; v, ok = values.Next() {
+					emit(key, v)
+				}
+				return nil
+			},
+		}
+		if _, err := c.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := c.FS().Read("out")
+		return order, recs
+	}
+	order, out1 := run()
+	for i, k := range order {
+		if int(k) != i {
+			t.Fatalf("reduce key order %v, want 0..24 ascending (string sort would give 0,1,10,11,...)", order)
+		}
+	}
+	_, out2 := run()
+	if len(out1) != len(out2) {
+		t.Fatalf("output size differs across runs: %d vs %d", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if !bytes.Equal(out1[i], out2[i]) {
+			t.Fatalf("output record %d differs across runs: %q vs %q", i, out1[i], out2[i])
+		}
+	}
+}
+
+// Secondary sort via ValueCompare: values of one key arrive ordered by
+// the comparator even though they were emitted shuffled across map tasks.
+func TestSecondarySortValueCompare(t *testing.T) {
+	c := newTestCluster(4, 2) // several map tasks: merge must interleave
+	writeLines(c.FS(), "in", "9", "3", "7", "1", "8", "2", "6", "4", "5", "0")
+	var mu sync.Mutex
+	var got []string
+	job := &Job{
+		Name:        "secsort",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 2,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			emit([]byte("k"), rec)
+			return nil
+		},
+		ValueCompare: func(a, b []byte) int { return bytes.Compare(a, b) },
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for v, ok := values.Next(); ok; v, ok = values.Next() {
+				got = append(got, string(v))
+				emit(key, v)
+			}
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("values arrived unsorted under ValueCompare: %v", got)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d values, want 10", len(got))
+	}
+}
+
+// Composite keys with GroupKeyPrefix: one reduce call per 4-byte prefix,
+// values streamed in full-key (suffix) order — Hadoop's grouping
+// comparator pattern, which the pivot joins use to shuffle-sort their S
+// partitions by pivot distance.
+func TestGroupKeyPrefixSecondarySort(t *testing.T) {
+	c := newTestCluster(3, 2)
+	var lines []string
+	for i := 0; i < 12; i++ {
+		lines = append(lines, strconv.Itoa(i))
+	}
+	writeLines(c.FS(), "in", lines...)
+	var mu sync.Mutex
+	groups := make(map[uint32][]uint32) // group id → suffix arrival order
+	var calls int
+	job := &Job{
+		Name:           "prefix",
+		Input:          []string{"in"},
+		Output:         "out",
+		NumReducers:    2,
+		GroupKeyPrefix: 4,
+		Partition:      Uint32Partition,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			n, _ := strconv.Atoi(string(rec))
+			// key = group(n%2) | suffix(11-n): suffix descends as n rises.
+			key := uint32Key(uint32(n % 2))
+			key = binary.BigEndian.AppendUint32(key, uint32(11-n))
+			emit(key, rec)
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			g := binary.BigEndian.Uint32(key)
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			for {
+				full := values.Key()
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				if binary.BigEndian.Uint32(full) != g {
+					t.Errorf("value of group %d carried key prefix %d", g, binary.BigEndian.Uint32(full))
+				}
+				groups[g] = append(groups[g], binary.BigEndian.Uint32(full[4:]))
+				emit(key, v)
+			}
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("reduce calls = %d, want 2 (one per group prefix)", calls)
+	}
+	for g, suffixes := range groups {
+		if len(suffixes) != 6 {
+			t.Fatalf("group %d got %d values, want 6", g, len(suffixes))
+		}
+		for i := 1; i < len(suffixes); i++ {
+			if suffixes[i] < suffixes[i-1] {
+				t.Fatalf("group %d suffixes not ascending: %v", g, suffixes)
+			}
+		}
 	}
 }
 
@@ -229,11 +434,11 @@ func TestSetupHooksRunPerTask(t *testing.T) {
 			return nil
 		},
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
-			emit(string(rec), rec)
+			emit(rec, rec)
 			return nil
 		},
-		Reduce: func(_ *TaskContext, key string, _ [][]byte, emit Emit) error {
-			emit(key, []byte(key))
+		Reduce: func(_ *TaskContext, key []byte, _ *Values, emit Emit) error {
+			emit(key, key)
 			return nil
 		},
 	}
@@ -258,7 +463,7 @@ func TestSideData(t *testing.T) {
 		Side:   map[string]any{"factor": 7},
 		Map: func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
 			f := ctx.Side("factor").(int)
-			emit("", []byte(strconv.Itoa(f)))
+			emit(nil, []byte(strconv.Itoa(f)))
 			if ctx.Side("missing") != nil {
 				t.Error("missing side data should be nil")
 			}
@@ -284,7 +489,7 @@ func TestUserCounters(t *testing.T) {
 		Map: func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
 			ctx.Counter("records", 1)
 			ctx.AddWork(10)
-			emit("", rec)
+			emit(nil, rec)
 			return nil
 		},
 	}
@@ -370,11 +575,51 @@ func TestReduceErrorAborts(t *testing.T) {
 	c := newTestCluster(1, 10)
 	writeLines(c.FS(), "in", "x")
 	job := wordCountJob("in", "out", false)
-	job.Reduce = func(_ *TaskContext, _ string, _ [][]byte, _ Emit) error {
+	job.Reduce = func(_ *TaskContext, _ []byte, _ *Values, _ Emit) error {
 		return errors.New("reduce exploded")
 	}
 	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "reduce exploded") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// A reduce function that returns without draining its group must not
+// derail the following groups — the engine drains the remainder.
+func TestReduceMaySkipValues(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a a a", "b b", "c")
+	var mu sync.Mutex
+	var keys []string
+	job := &Job{
+		Name:        "skip",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 1,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit([]byte(w), []byte(w))
+			}
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			mu.Lock()
+			keys = append(keys, string(key))
+			mu.Unlock()
+			values.Next() // consume one value, abandon the rest
+			emit(key, key)
+			return nil
+		},
+	}
+	js, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if strings.Join(keys, "") != "abc" {
+		t.Fatalf("reduce keys = %v, want one call each for a, b, c", keys)
+	}
+	if js.ReduceGroups != 3 {
+		t.Fatalf("ReduceGroups = %d, want 3", js.ReduceGroups)
 	}
 }
 
@@ -390,6 +635,11 @@ func TestJobValidation(t *testing.T) {
 	if _, err := c.Run(job); err == nil {
 		t.Error("job with missing input accepted")
 	}
+	combined := wordCountJob("in", "out", true)
+	combined.Reduce = nil
+	if _, err := c.Run(combined); err == nil {
+		t.Error("map-only job with a combiner accepted (combiner would be silently skipped)")
+	}
 }
 
 func TestCustomPartitioner(t *testing.T) {
@@ -402,19 +652,19 @@ func TestCustomPartitioner(t *testing.T) {
 		Input:       []string{"in"},
 		Output:      "out",
 		NumReducers: 3,
-		Partition: func(key string, n int) int {
-			v, _ := strconv.Atoi(key)
+		Partition: func(key []byte, n int) int {
+			v, _ := strconv.Atoi(string(key))
 			return v % n
 		},
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
-			emit(string(rec), rec)
+			emit(rec, rec)
 			return nil
 		},
-		Reduce: func(ctx *TaskContext, key string, _ [][]byte, emit Emit) error {
+		Reduce: func(ctx *TaskContext, key []byte, _ *Values, emit Emit) error {
 			mu.Lock()
-			seen[key] = ctx.TaskID
+			seen[string(key)] = ctx.TaskID
 			mu.Unlock()
-			emit(key, []byte(key))
+			emit(key, key)
 			return nil
 		},
 	}
@@ -432,12 +682,26 @@ func TestCustomPartitioner(t *testing.T) {
 
 func TestDefaultPartitionInRange(t *testing.T) {
 	for i := 0; i < 1000; i++ {
-		k := strconv.Itoa(i)
+		k := []byte(strconv.Itoa(i))
 		for _, n := range []int{1, 2, 7, 16} {
 			if p := DefaultPartition(k, n); p < 0 || p >= n {
 				t.Fatalf("DefaultPartition(%q,%d) = %d", k, n, p)
 			}
 		}
+	}
+}
+
+func TestUint32Partition(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		key := uint32Key(uint32(i))
+		for _, n := range []int{1, 3, 16} {
+			if p := Uint32Partition(key, n); p != i%n {
+				t.Fatalf("Uint32Partition(%d,%d) = %d, want %d", i, n, p, i%n)
+			}
+		}
+	}
+	if p := Uint32Partition([]byte{1}, 4); p != 0 {
+		t.Fatalf("short key partition = %d, want 0", p)
 	}
 }
 
@@ -485,12 +749,13 @@ func TestExactlyOnceDeliveryQuick(t *testing.T) {
 			Output:      "out",
 			NumReducers: reducers,
 			Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
-				emit(string(rec), rec)
+				emit(rec, rec)
 				return nil
 			},
-			Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
+			Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+				n := len(values.Collect())
 				mu.Lock()
-				delivered[key] += len(values)
+				delivered[string(key)] += n
 				mu.Unlock()
 				return nil
 			},
@@ -590,6 +855,51 @@ func TestReduceTaskRetry(t *testing.T) {
 	}
 }
 
+// A reduce retry must replay the merge stream from the start: the second
+// attempt sees every group, fully ordered, even though the first attempt
+// consumed part of the stream before failing.
+func TestReduceRetryReplaysStream(t *testing.T) {
+	c := newTestCluster(2, 2)
+	writeLines(c.FS(), "in", "a b c d", "a b c d")
+	var mu sync.Mutex
+	attempts := 0
+	counted := make(map[string]int)
+	job := &Job{
+		Name:        "replay",
+		Input:       []string{"in"},
+		Output:      "out",
+		NumReducers: 1,
+		MaxAttempts: 2,
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit([]byte(w), []byte("1"))
+			}
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			n := len(values.Collect())
+			mu.Lock()
+			defer mu.Unlock()
+			// Fail mid-stream on the first attempt, after consuming "a".
+			if attempts == 0 && string(key) == "a" {
+				attempts++
+				return errors.New("mid-stream fault")
+			}
+			counted[string(key)] = n
+			emit(key, key)
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if counted[k] != 2 {
+			t.Fatalf("after retry, key %s counted %d values, want 2 (stream not replayed?)", k, counted[k])
+		}
+	}
+}
+
 func TestMoreReducersThanNodes(t *testing.T) {
 	c := newTestCluster(2, 10)
 	writeLines(c.FS(), "in", "a b c d e f g h")
@@ -670,12 +980,12 @@ func TestReduceSkewAccounting(t *testing.T) {
 		Output: "out",
 		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
 			for _, w := range strings.Fields(string(rec)) {
-				emit(w, []byte("1"))
+				emit([]byte(w), []byte("1"))
 			}
 			return nil
 		},
-		Reduce: func(_ *TaskContext, key string, values [][]byte, emit Emit) error {
-			emit(key, []byte(key))
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			emit(key, key)
 			return nil
 		},
 		NumReducers: 4,
@@ -714,5 +1024,35 @@ func TestReduceSkewPerfectBalance(t *testing.T) {
 	none := JobStats{}
 	if s := none.ReduceSkew(); s != 0 {
 		t.Fatalf("no-reduce skew = %v, want 0", s)
+	}
+}
+
+// The k-way merge itself, on adversarial run shapes: interleaved,
+// disjoint, duplicate-heavy and empty runs must come out fully sorted
+// with every record present exactly once.
+func TestMergerProperties(t *testing.T) {
+	runs := [][]KV{
+		{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("c"), Value: []byte("2")}, {Key: []byte("e"), Value: []byte("3")}},
+		{},
+		{{Key: []byte("a"), Value: []byte("4")}, {Key: []byte("a"), Value: []byte("5")}, {Key: []byte("b"), Value: []byte("6")}},
+		{{Key: []byte("e"), Value: []byte("7")}},
+	}
+	m := newMerger(runs, nil)
+	var keys, vals []string
+	for {
+		kv, ok := m.peek()
+		if !ok {
+			break
+		}
+		m.pop()
+		keys = append(keys, string(kv.Key))
+		vals = append(vals, string(kv.Value))
+	}
+	if got := strings.Join(keys, ""); got != "aaabcee" {
+		t.Fatalf("merged key order = %q, want aaabcee", got)
+	}
+	// Ties break by run index: run 0's "a" precedes run 2's.
+	if got := strings.Join(vals, ""); got != "1456237" {
+		t.Fatalf("merged value order = %q, want 1456237 (run-order ties)", got)
 	}
 }

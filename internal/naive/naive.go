@@ -12,13 +12,12 @@ package naive
 import (
 	"fmt"
 	"runtime"
-	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
 	"knnjoin/internal/stats"
@@ -74,9 +73,7 @@ func toNeighbors(cands []nnheap.Candidate) []codec.Neighbor {
 }
 
 // SortResults orders results by R object ID in place.
-func SortResults(rs []codec.Result) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].RID < rs[j].RID })
-}
+func SortResults(rs []codec.Result) { driver.SortResults(rs) }
 
 // BroadcastOptions configures the basic strategy.
 type BroadcastOptions struct {
@@ -102,14 +99,12 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 	}
 
 	job := &mapreduce.Job{
-		Name:        "broadcast-join",
-		Input:       []string{rFile, sFile},
-		Output:      outFile,
-		NumReducers: n,
-		Partition: func(key string, nr int) int {
-			id, _ := strconv.Atoi(key)
-			return id % nr
-		},
+		Name:           "broadcast-join",
+		Input:          []string{rFile, sFile},
+		Output:         outFile,
+		NumReducers:    n,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
 		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
 			t, err := codec.DecodeTagged(rec)
 			if err != nil {
@@ -117,27 +112,19 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 			}
 			switch t.Src {
 			case codec.FromR:
-				emit(strconv.Itoa(int(t.ID)%n), rec)
+				emit(codec.RegionKey(int(((t.ID%int64(n))+int64(n))%int64(n)), t), rec)
 			case codec.FromS:
 				ctx.Counter("replicas_s", int64(n))
 				for i := 0; i < n; i++ {
-					emit(strconv.Itoa(i), rec)
+					emit(codec.RegionKey(i, t), rec)
 				}
 			}
 			return nil
 		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
-			var rs, ss []codec.Object
-			for _, v := range values {
-				t, err := codec.DecodeTagged(v)
-				if err != nil {
-					return err
-				}
-				if t.Src == codec.FromR {
-					rs = append(rs, t.Object)
-				} else {
-					ss = append(ss, t.Object)
-				}
+		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+			rs, ss, err := driver.CollectRS(values)
+			if err != nil {
+				return err
 			}
 			heap := nnheap.NewKHeap(opts.K)
 			for _, r := range rs {
@@ -147,7 +134,7 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 				}
 				ctx.Counter("pairs", int64(len(ss)))
 				ctx.AddWork(int64(len(ss)))
-				emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: toNeighbors(heap.Sorted())}))
+				emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: toNeighbors(heap.Sorted())}))
 			}
 			return nil
 		},
@@ -171,18 +158,5 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 // ReadResults decodes a result file produced by any join job in this
 // repository and returns the results sorted by R object ID.
 func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
-	recs, err := fs.Read(name)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]codec.Result, len(recs))
-	for i, r := range recs {
-		res, err := codec.DecodeResult(r)
-		if err != nil {
-			return nil, fmt.Errorf("naive: result record %d: %w", i, err)
-		}
-		out[i] = res
-	}
-	SortResults(out)
-	return out, nil
+	return driver.ReadResults(fs, name)
 }

@@ -2,8 +2,6 @@ package pgbj
 
 import (
 	"math"
-	"sort"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
@@ -56,15 +54,17 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 	// pivot-based pruning of Algorithm 3 under a locally derived θ.
 	b := hbrj.Blocks(cluster.Nodes())
 	partialFile := outFile + ".partial"
+	// Composite JoinKeys: the block id is the grouping prefix, and the
+	// suffix streams each block's S partitions to the reducer already
+	// sorted by pivot distance (the order localThetas and the Theorem-2
+	// windows need).
 	job := &mapreduce.Job{
-		Name:        "pbj-block-join",
-		Input:       []string{partFile},
-		Output:      partialFile,
-		NumReducers: b * b,
-		Partition: func(key string, n int) int {
-			id, _ := strconv.Atoi(key)
-			return id % n
-		},
+		Name:           "pbj-block-join",
+		Input:          []string{partFile},
+		Output:         partialFile,
+		NumReducers:    b * b,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
 		Side: map[string]any{
 			sidePivots:  pp,
 			sideSummary: sum,
@@ -81,12 +81,12 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 			switch t.Src {
 			case codec.FromR:
 				for col := 0; col < b; col++ {
-					emit(strconv.Itoa(blk*b+col), rec)
+					emit(codec.JoinKey(blk*b+col, t), rec)
 				}
 			case codec.FromS:
 				ctx.Counter("replicas_s", int64(b))
 				for a := 0; a < b; a++ {
-					emit(strconv.Itoa(a*b+blk), rec)
+					emit(codec.JoinKey(a*b+blk, t), rec)
 				}
 			}
 			return nil
@@ -123,44 +123,29 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 // R-partition is derived with Algorithm 1 restricted to the S-partitions
 // this reducer received — the paper's "loose distance bound" that makes
 // PBJ slower than PGBJ (§6.2).
-func pbjJoinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func pbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
 	sum := ctx.Side(sideSummary).(*voronoi.Summary)
 	opts := ctx.Side(sideOpts).(Options)
 
-	rParts := make(map[int32][]codec.Tagged)
-	sParts := make(map[int32][]codec.Tagged)
-	for _, v := range values {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rParts[t.Partition] = append(rParts[t.Partition], t)
-		} else {
-			sParts[t.Partition] = append(sParts[t.Partition], t)
-		}
+	// The shuffle's composite-key sort already delivers S partitions in
+	// SortByPivotDist order and the id slices ascending.
+	rParts, sParts, rIDs, sIDs, err := CollectPartitions(values)
+	if err != nil {
+		return err
 	}
-	for id := range sParts {
-		voronoi.SortByPivotDist(sParts[id])
-	}
-	thetas := localThetas(pp, sum, opts.K, rParts, sParts)
-	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, emit)
+	thetas := localThetas(pp, sum, opts.K, rParts, sParts, sIDs)
+	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, rIDs, sIDs, emit)
 	return nil
 }
 
 // localThetas runs Algorithm 1 against only the received S-partitions:
 // for R-partition i, θ_i is the k-th smallest upper bound
 // U(P_i^R) + |p_i,p_j| + |s,p_j| over the first k objects of each local
-// S-partition (already sorted by pivot distance).
+// S-partition (already sorted by pivot distance). sIDs must hold the
+// S-partition ids ascending.
 func localThetas(pp *voronoi.Partitioner, sum *voronoi.Summary, k int,
-	rParts, sParts map[int32][]codec.Tagged) []float64 {
-
-	sIDs := make([]int32, 0, len(sParts))
-	for id := range sParts {
-		sIDs = append(sIDs, id)
-	}
-	sort.Slice(sIDs, func(a, b int) bool { return sIDs[a] < sIDs[b] })
+	rParts, sParts map[int32][]codec.Tagged, sIDs []int32) []float64 {
 
 	thetas := make([]float64, pp.NumPartitions())
 	for i := range thetas {

@@ -18,7 +18,6 @@ package pgbj
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -176,15 +175,17 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.AddPhase("Partition Grouping", time.Since(start))
 
 	// ---- Phase 5: MapReduce job 2 — the kNN join -------------------------
+	// Keys are codec.JoinKey composites: the 4-byte group prefix selects
+	// the reducer, and the (src, partition, pivot-distance, id) suffix
+	// secondary-sorts the group so every S partition streams into the
+	// reducer already in SortByPivotDist order.
 	job := &mapreduce.Job{
-		Name:        "pgbj-join",
-		Input:       []string{partFile},
-		Output:      outFile,
-		NumReducers: opts.NumGroups,
-		Partition: func(key string, n int) int {
-			g, _ := strconv.Atoi(key)
-			return g % n
-		},
+		Name:           "pgbj-join",
+		Input:          []string{partFile},
+		Output:         outFile,
+		NumReducers:    opts.NumGroups,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
 		Side: map[string]any{
 			sidePivots:   pp,
 			sideSummary:  sum,
@@ -262,7 +263,7 @@ func runPartitionJob(cluster *mapreduce.Cluster, pp *voronoi.Partitioner, inputs
 			ctx.AddWork(n)
 			t.Partition = int32(part)
 			t.PivotDist = d
-			emit("", codec.EncodeTagged(t))
+			emit(nil, codec.EncodeTagged(t))
 			return nil
 		},
 	}
@@ -336,41 +337,62 @@ func pgbjRouteMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emi
 	}
 	switch t.Src {
 	case codec.FromR:
-		emit(strconv.Itoa(groupOf[t.Partition]), rec)
+		emit(codec.JoinKey(groupOf[t.Partition], t), rec)
 	case codec.FromS:
 		row := groupLBs[t.Partition]
 		for g, lb := range row {
 			if t.PivotDist >= lb {
 				ctx.Counter("replicas_s", 1)
-				emit(strconv.Itoa(g), rec)
+				emit(codec.JoinKey(g, t), rec)
 			}
 		}
 	}
 	return nil
 }
 
+// CollectPartitions streams one reducer group of a codec.JoinKey-keyed
+// job into per-partition object lists. The shuffle's composite-key sort
+// delivers R objects first, then S, partitions ascending, and each S
+// partition ascending by pivot distance — so the returned id slices are
+// sorted and every S partition is already in voronoi.SortByPivotDist
+// order without a reducer-side sort. Shared by PGBJ, PBJ and the range
+// join, whose key layout this function's invariants are tied to.
+func CollectPartitions(values *mapreduce.Values) (rParts, sParts map[int32][]codec.Tagged, rIDs, sIDs []int32, err error) {
+	rParts = make(map[int32][]codec.Tagged)
+	sParts = make(map[int32][]codec.Tagged)
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		t, err := codec.DecodeTagged(v)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if t.Src == codec.FromR {
+			if _, seen := rParts[t.Partition]; !seen {
+				rIDs = append(rIDs, t.Partition)
+			}
+			rParts[t.Partition] = append(rParts[t.Partition], t)
+		} else {
+			if _, seen := sParts[t.Partition]; !seen {
+				sIDs = append(sIDs, t.Partition)
+			}
+			sParts[t.Partition] = append(sParts[t.Partition], t)
+		}
+	}
+	return rParts, sParts, rIDs, sIDs, nil
+}
+
 // pgbjJoinReduce is the reduce function of job 2: Algorithm 3 lines 12–25
 // over one group of R-partitions and its replica set S_i.
-func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
 	sum := ctx.Side(sideSummary).(*voronoi.Summary)
 	thetas := ctx.Side(sideThetas).([]float64)
 	opts := ctx.Side(sideOpts).(Options)
 
-	rParts := make(map[int32][]codec.Tagged)
-	sParts := make(map[int32][]codec.Tagged)
-	for _, v := range values {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rParts[t.Partition] = append(rParts[t.Partition], t)
-		} else {
-			sParts[t.Partition] = append(sParts[t.Partition], t)
-		}
+	rParts, sParts, rIDs, sIDs, err := CollectPartitions(values)
+	if err != nil {
+		return err
 	}
-	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, emit)
+	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, rIDs, sIDs, emit)
 	return nil
 }
 
@@ -378,22 +400,14 @@ func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit 
 // rParts is joined against the S partitions in sParts using the θ bound,
 // Corollary-1 hyperplane pruning and Theorem-2 windows. It is shared by
 // PGBJ (full S_i replica sets) and PBJ (block subsets of S).
+//
+// rPartIDs and sPartIDs must be ascending, and every S partition sorted
+// by pivot distance (Theorem-2 windows are binary searches over that
+// order). The shuffle's composite-key secondary sort establishes both —
+// see CollectPartitions — so no sorting happens here.
 func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *voronoi.Summary,
-	thetas []float64, opts Options, rParts, sParts map[int32][]codec.Tagged, emit mapreduce.Emit) {
-
-	// Sort S-partitions once: by pivot distance within each (Theorem 2
-	// windows become binary searches)...
-	sPartIDs := make([]int32, 0, len(sParts))
-	for id := range sParts {
-		voronoi.SortByPivotDist(sParts[id])
-		sPartIDs = append(sPartIDs, id)
-	}
-	// ...and stabilize R-partition iteration for determinism.
-	rPartIDs := make([]int32, 0, len(rParts))
-	for id := range rParts {
-		rPartIDs = append(rPartIDs, id)
-	}
-	sort.Slice(rPartIDs, func(a, b int) bool { return rPartIDs[a] < rPartIDs[b] })
+	thetas []float64, opts Options, rParts, sParts map[int32][]codec.Tagged,
+	rPartIDs, sPartIDs []int32, emit mapreduce.Emit) {
 
 	heap := nnheap.NewKHeap(opts.K)
 	var pairs, resultPairs int64
@@ -452,7 +466,7 @@ func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *vo
 			}
 			nbs := toNeighbors(heap.Sorted())
 			resultPairs += int64(len(nbs))
-			emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+			emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
 		}
 	}
 	ctx.Counter("pairs", pairs)

@@ -18,13 +18,13 @@ package rangejoin
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
 	"knnjoin/internal/grouping"
 	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
@@ -132,7 +132,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 			ctx.AddWork(n)
 			t.Partition = int32(part)
 			t.PivotDist = d
-			emit("", codec.EncodeTagged(t))
+			emit(nil, codec.EncodeTagged(t))
 			return nil
 		},
 	}
@@ -174,15 +174,16 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.AddPhase("Partition Grouping", time.Since(start))
 
 	// ---- Job 2: the range join -------------------------------------------
+	// Composite JoinKeys: the group id picks the reducer, and the key
+	// suffix streams each group's S partitions in SortByPivotDist order —
+	// the shuffle's secondary sort replaces the reducer-side sort.
 	job := &mapreduce.Job{
-		Name:        "range-join",
-		Input:       []string{partFile},
-		Output:      outFile,
-		NumReducers: opts.NumGroups,
-		Partition: func(key string, n int) int {
-			g, _ := strconv.Atoi(key)
-			return g % n
-		},
+		Name:           "range-join",
+		Input:          []string{partFile},
+		Output:         outFile,
+		NumReducers:    opts.NumGroups,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
 		Side: map[string]any{
 			sidePivots:   pp,
 			sideSummary:  sum,
@@ -221,12 +222,12 @@ func routeMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) e
 	}
 	switch t.Src {
 	case codec.FromR:
-		emit(strconv.Itoa(groupOf[t.Partition]), rec)
+		emit(codec.JoinKey(groupOf[t.Partition], t), rec)
 	case codec.FromS:
 		for g, lb := range groupLBs[t.Partition] {
 			if t.PivotDist >= lb {
 				ctx.Counter("replicas_s", 1)
-				emit(strconv.Itoa(g), rec)
+				emit(codec.JoinKey(g, t), rec)
 			}
 		}
 	}
@@ -235,36 +236,19 @@ func routeMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) e
 
 // joinReduce answers the range query of every r in the group against the
 // group's replica set, with Corollary-1 and Theorem-2 pruning at radius θ.
-func joinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func joinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
 	sum := ctx.Side(sideSummary).(*voronoi.Summary)
 	opts := ctx.Side(sideOpts).(Options)
 	theta := opts.Radius
 
-	rParts := make(map[int32][]codec.Tagged)
-	sParts := make(map[int32][]codec.Tagged)
-	for _, v := range values {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rParts[t.Partition] = append(rParts[t.Partition], t)
-		} else {
-			sParts[t.Partition] = append(sParts[t.Partition], t)
-		}
+	// The composite-key stream arrives R before S with partition ids
+	// ascending, and each S partition already in SortByPivotDist order —
+	// the shuffle's secondary sort did the work this reducer used to do.
+	rParts, sParts, rPartIDs, sPartIDs, err := pgbj.CollectPartitions(values)
+	if err != nil {
+		return err
 	}
-	sPartIDs := make([]int32, 0, len(sParts))
-	for id := range sParts {
-		voronoi.SortByPivotDist(sParts[id])
-		sPartIDs = append(sPartIDs, id)
-	}
-	sort.Slice(sPartIDs, func(a, b int) bool { return sPartIDs[a] < sPartIDs[b] })
-	rPartIDs := make([]int32, 0, len(rParts))
-	for id := range rParts {
-		rPartIDs = append(rPartIDs, id)
-	}
-	sort.Slice(rPartIDs, func(a, b int) bool { return rPartIDs[a] < rPartIDs[b] })
 
 	var pairs, resultPairs int64
 	for _, ri := range rPartIDs {
@@ -303,7 +287,7 @@ func joinReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapr
 				return nbs[a].ID < nbs[b].ID
 			})
 			resultPairs += int64(len(nbs))
-			emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+			emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
 		}
 	}
 	ctx.Counter("pairs", pairs)

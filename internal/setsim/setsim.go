@@ -29,9 +29,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strconv"
 	"time"
 
+	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/stats"
@@ -191,7 +191,7 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 				return err
 			}
 			for _, tok := range r.Tokens {
-				emit(strconv.Itoa(int(tok)), []byte{1})
+				emit(codec.Uint32Key(uint32(tok)), []byte{1})
 			}
 			return nil
 		},
@@ -238,7 +238,7 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 			sort.Slice(ranked, func(a, b int) bool { return ranked[a] < ranked[b] })
 			wire := EncodeRecord(Record{ID: r.ID, Tokens: ranked})
 			for _, tok := range ranked[:prefixLen(len(ranked), opts.Threshold)] {
-				emit(strconv.Itoa(int(tok)), wire)
+				emit(codec.Uint32Key(uint32(tok)), wire)
 				ctx.Counter("prefix_replicas", 1)
 			}
 			return nil
@@ -268,11 +268,13 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 			if err != nil {
 				return err
 			}
-			emit(strconv.FormatInt(p.A, 10)+","+strconv.FormatInt(p.B, 10), rec)
+			key := codec.AppendInt64Key(codec.Int64Key(p.A), p.B)
+			emit(key, rec)
 			return nil
 		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
-			emit("", values[0])
+		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+			v, _ := values.Next()
+			emit(nil, v)
 			ctx.Counter("result_pairs", 1)
 			return nil
 		},
@@ -298,9 +300,9 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 
 // sumCounts folds token occurrence counts; it serves as both combiner
 // and reducer of stage 1.
-func sumCounts(_ *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emit) error {
+func sumCounts(_ *mapreduce.TaskContext, key []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	var total uint64
-	for _, v := range values {
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
 		if len(v) == 1 {
 			total += uint64(v[0]) // raw map emission
 			continue
@@ -308,11 +310,7 @@ func sumCounts(_ *mapreduce.TaskContext, key string, values [][]byte, emit mapre
 		total += binary.LittleEndian.Uint64(v[4:]) // combined [token|count] record
 	}
 	out := make([]byte, 12)
-	tok, err := strconv.Atoi(key)
-	if err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint32(out, uint32(tok))
+	binary.LittleEndian.PutUint32(out, codec.KeyUint32(key))
 	binary.LittleEndian.PutUint64(out[4:], total)
 	emit(key, out)
 	return nil
@@ -357,16 +355,16 @@ func tokenRanks(fs *dfs.FS, name string) (map[int32]int32, error) {
 // Jaccard verification. Only the group of the pair's FIRST shared prefix
 // token could emit it, but re-deriving that is costlier than stage 3's
 // dedup, which Vernica et al. choose too.
-func verifyReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func verifyReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
 	t := opts.Threshold
-	recs := make([]Record, len(values))
-	for i, v := range values {
+	var recs []Record
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
 		r, err := DecodeRecord(v)
 		if err != nil {
 			return err
 		}
-		recs[i] = r
+		recs = append(recs, r)
 	}
 	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
 	var verified int64
@@ -383,7 +381,7 @@ func verifyReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit ma
 			}
 			verified++
 			if sim := Jaccard(a.Tokens, b.Tokens); sim >= t {
-				emit("", EncodeSimPair(SimPair{A: a.ID, B: b.ID, Sim: sim}))
+				emit(nil, EncodeSimPair(SimPair{A: a.ID, B: b.ID, Sim: sim}))
 			}
 		}
 	}

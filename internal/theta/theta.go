@@ -23,11 +23,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
@@ -114,15 +114,13 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 	partialFile := outFile + ".partial"
 	job := &mapreduce.Job{
-		Name:        "theta-region-join",
-		Input:       []string{rFile, sFile},
-		Output:      partialFile,
-		NumReducers: rows * cols,
-		Partition: func(key string, n int) int {
-			id, _ := strconv.Atoi(key)
-			return id % n
-		},
-		Side: map[string]any{"opts": opts},
+		Name:           "theta-region-join",
+		Input:          []string{rFile, sFile},
+		Output:         partialFile,
+		NumReducers:    rows * cols,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
+		Side:           map[string]any{"opts": opts},
 		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
 			t, err := codec.DecodeTagged(rec)
 			if err != nil {
@@ -132,13 +130,13 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 			case codec.FromR:
 				row := assign(t.ID, opts.Seed, rows)
 				for col := 0; col < cols; col++ {
-					emit(strconv.Itoa(row*cols+col), rec)
+					emit(codec.RegionKey(row*cols+col, t), rec)
 				}
 			case codec.FromS:
 				col := assign(t.ID, opts.Seed+1, cols)
 				ctx.Counter("replicas_s", int64(rows))
 				for row := 0; row < rows; row++ {
-					emit(strconv.Itoa(row*cols+col), rec)
+					emit(codec.RegionKey(row*cols+col, t), rec)
 				}
 			}
 			return nil
@@ -174,19 +172,11 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 // regionReduce joins one matrix region: the local kNN of its R rows
 // against its S columns, by nested loop with a bounded heap — the
 // framework assumes nothing about the join condition, so no index.
-func regionReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func regionReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	var rs, ss []codec.Object
-	for _, v := range values {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rs = append(rs, t.Object)
-		} else {
-			ss = append(ss, t.Object)
-		}
+	rs, ss, err := driver.CollectRS(values)
+	if err != nil {
+		return err
 	}
 	heap := nnheap.NewKHeap(opts.K)
 	for _, r := range rs {
@@ -199,7 +189,7 @@ func regionReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit ma
 		for i, c := range cands {
 			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 		}
-		emit("", codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
 	}
 	pairs := int64(len(rs)) * int64(len(ss))
 	ctx.Counter("pairs", pairs)

@@ -26,7 +26,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
@@ -224,11 +223,8 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		Input:       []string{rFile, sFile},
 		Output:      partialFile,
 		NumReducers: len(boundaries) + 1,
-		Partition: func(key string, n int) int {
-			id, _ := strconv.Atoi(key)
-			return id % n
-		},
-		Side: map[string]any{"opts": opts, "tau": tau, "axis": axis, "boundaries": boundaries},
+		Partition:   mapreduce.Uint32Partition,
+		Side:        map[string]any{"opts": opts, "tau": tau, "axis": axis, "boundaries": boundaries},
 		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
 			tau := ctx.Side("tau").(float64)
 			axis := ctx.Side("axis").(int)
@@ -240,12 +236,12 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 			x := t.Point[axis]
 			switch t.Src {
 			case codec.FromR:
-				emit(strconv.Itoa(slabOf(x, boundaries)), rec)
+				emit(codec.Uint32Key(uint32(slabOf(x, boundaries))), rec)
 			case codec.FromS:
 				lo := slabOf(x-tau, boundaries)
 				hi := slabOf(x+tau, boundaries)
 				for slab := lo; slab <= hi; slab++ {
-					emit(strconv.Itoa(slab), rec)
+					emit(codec.Uint32Key(uint32(slab)), rec)
 					ctx.Counter("replicas_s", 1)
 				}
 			}
@@ -274,13 +270,13 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		NumReducers: 1,
 		Side:        map[string]any{"opts": opts},
 		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			emit("all", rec)
+			emit(codec.Uint32Key(0), rec)
 			return nil
 		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 			opts := ctx.Side("opts").(Options)
 			heap := newPairHeap(opts.K)
-			for _, v := range values {
+			for v, ok := values.Next(); ok; v, ok = values.Next() {
 				p, err := DecodePair(v)
 				if err != nil {
 					return err
@@ -288,7 +284,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 				heap.push(p)
 			}
 			for _, p := range heap.sorted() {
-				emit("", EncodePair(p))
+				emit(nil, EncodePair(p))
 			}
 			return nil
 		},
@@ -315,12 +311,12 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 // slabReduce plane-sweeps one slab: R objects against the slab's S
 // objects sorted along the slab axis, with the window narrowing as the
 // local top-k fills.
-func slabReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func slabReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
 	tau := ctx.Side("tau").(float64)
 	axis := ctx.Side("axis").(int)
 	var rs, ss []codec.Tagged
-	for _, v := range values {
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
 		t, err := codec.DecodeTagged(v)
 		if err != nil {
 			return err
@@ -361,7 +357,7 @@ func slabReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapr
 		}
 	}
 	for _, p := range heap.sorted() {
-		emit("", EncodePair(p))
+		emit(nil, EncodePair(p))
 	}
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)

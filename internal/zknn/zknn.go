@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strconv"
 	"time"
 
 	"knnjoin/internal/codec"
@@ -135,11 +134,8 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		Input:       []string{rFile, sFile},
 		Output:      partialFile,
 		NumReducers: opts.Shifts * nRanges,
-		Partition: func(key string, n int) int {
-			id, _ := strconv.Atoi(key)
-			return id % n
-		},
-		Side: map[string]any{"q": q, "shifts": shifts, "boundaries": boundaries, "opts": opts},
+		Partition:   mapreduce.Uint32Partition,
+		Side:        map[string]any{"q": q, "shifts": shifts, "boundaries": boundaries, "opts": opts},
 		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
 			q := ctx.Side("q").(*quantizer)
 			shifts := ctx.Side("shifts").([][]float64)
@@ -152,17 +148,17 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 				z := q.Z(t.Point, shifts[i])
 				rg := rangeOf(z, boundaries[i])
 				key := i*len(boundaries[i]) + i + rg // shift-major reducer id
-				emit(strconv.Itoa(key), encodeZ(i, z, rec))
+				emit(codec.Uint32Key(uint32(key)), encodeZ(i, z, rec))
 				if t.Src == codec.FromS {
 					ctx.Counter("replicas_s", 1)
 					// Replicate boundary-adjacent S copies so every r sees
 					// its full z-neighborhood despite the range split.
 					if rg > 0 {
-						emit(strconv.Itoa(key-1), encodeZ(i, z, rec))
+						emit(codec.Uint32Key(uint32(key-1)), encodeZ(i, z, rec))
 						ctx.Counter("replicas_s", 1)
 					}
 					if rg < len(boundaries[i]) {
-						emit(strconv.Itoa(key+1), encodeZ(i, z, rec))
+						emit(codec.Uint32Key(uint32(key+1)), encodeZ(i, z, rec))
 						ctx.Counter("replicas_s", 1)
 					}
 				}
@@ -200,14 +196,14 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 // candidateReduce sorts one curve range and emits, for every r in it, the
 // true distances to its z-order neighborhood in S.
-func candidateReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit mapreduce.Emit) error {
+func candidateReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
 	type zObj struct {
 		z uint64
 		t codec.Tagged
 	}
 	var rs, ss []zObj
-	for _, v := range values {
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
 		_, z, t, err := decodeZ(v)
 		if err != nil {
 			return err
@@ -247,7 +243,7 @@ func candidateReduce(ctx *mapreduce.TaskContext, _ string, values [][]byte, emit
 		for i, c := range cands {
 			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 		}
-		emit("", codec.EncodeResult(codec.Result{RID: r.t.ID, Neighbors: nbs}))
+		emit(nil, codec.EncodeResult(codec.Result{RID: r.t.ID, Neighbors: nbs}))
 	}
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)

@@ -31,11 +31,9 @@ import (
 	"strings"
 
 	"knnjoin/internal/codec"
-	"knnjoin/internal/dataset"
-	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/lsh"
-	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/naive"
 	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
@@ -252,39 +250,38 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		return results, rep, nil
 	}
 
-	fs := dfs.New(opts.ChunkRecords)
-	cluster := mapreduce.NewCluster(fs, opts.Nodes)
-	dataset.ToDFS(fs, "R", r, codec.FromR)
-	dataset.ToDFS(fs, "S", s, codec.FromS)
+	env := driver.New(opts.Nodes, opts.ChunkRecords)
+	env.LoadRS(r, s)
+	cluster, rf, sf, of := env.Cluster, driver.RFile, driver.SFile, driver.OutFile
 
 	var rep *Stats
 	switch opts.Algorithm {
 	case PGBJ:
-		rep, err = pgbj.Run(cluster, "R", "S", "out", pgbj.Options{
+		rep, err = pgbj.Run(cluster, rf, sf, of, pgbj.Options{
 			K: opts.K, Metric: opts.Metric, NumPivots: opts.NumPivots,
 			PivotStrategy: opts.PivotStrategy, GroupStrategy: opts.GroupStrategy, Seed: opts.Seed,
 		})
 	case PBJ:
-		rep, err = pgbj.RunPBJ(cluster, "R", "S", "out", pgbj.Options{
+		rep, err = pgbj.RunPBJ(cluster, rf, sf, of, pgbj.Options{
 			K: opts.K, Metric: opts.Metric, NumPivots: opts.NumPivots,
 			PivotStrategy: opts.PivotStrategy, Seed: opts.Seed,
 		})
 	case HBRJ:
-		rep, err = hbrj.Run(cluster, "R", "S", "out", hbrj.Options{K: opts.K, Metric: opts.Metric})
+		rep, err = hbrj.Run(cluster, rf, sf, of, hbrj.Options{K: opts.K, Metric: opts.Metric})
 	case Broadcast:
-		rep, err = naive.Broadcast(cluster, "R", "S", "out", naive.BroadcastOptions{K: opts.K, Metric: opts.Metric})
+		rep, err = naive.Broadcast(cluster, rf, sf, of, naive.BroadcastOptions{K: opts.K, Metric: opts.Metric})
 	case ZKNN:
 		if opts.Metric != L2 {
 			return nil, nil, fmt.Errorf("knnjoin: ZKNN supports only the L2 metric (z-order locality is Euclidean)")
 		}
-		rep, err = zknn.Run(cluster, "R", "S", "out", zknn.Options{K: opts.K, Seed: opts.Seed})
+		rep, err = zknn.Run(cluster, rf, sf, of, zknn.Options{K: opts.K, Seed: opts.Seed})
 	case Theta:
-		rep, err = theta.Run(cluster, "R", "S", "out", theta.Options{K: opts.K, Metric: opts.Metric, Seed: opts.Seed})
+		rep, err = theta.Run(cluster, rf, sf, of, theta.Options{K: opts.K, Metric: opts.Metric, Seed: opts.Seed})
 	case LSH:
 		if opts.Metric != L2 {
 			return nil, nil, fmt.Errorf("knnjoin: LSH supports only the L2 metric (the p-stable hash family is Euclidean)")
 		}
-		rep, err = lsh.Run(cluster, "R", "S", "out", lsh.Options{K: opts.K, Seed: opts.Seed})
+		rep, err = lsh.Run(cluster, rf, sf, of, lsh.Options{K: opts.K, Seed: opts.Seed})
 	default:
 		return nil, nil, fmt.Errorf("knnjoin: unknown algorithm %v", opts.Algorithm)
 	}
@@ -292,7 +289,7 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 	rep.Dims = r[0].Point.Dim()
-	results, err := naive.ReadResults(fs, "out")
+	results, err := env.Results()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -377,11 +374,9 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 	if err := checkDims(r, s); err != nil {
 		return nil, nil, err
 	}
-	fs := dfs.New(0)
-	cluster := mapreduce.NewCluster(fs, opts.Nodes)
-	dataset.ToDFS(fs, "R", r, codec.FromR)
-	dataset.ToDFS(fs, "S", s, codec.FromS)
-	rep, err := rangejoin.Run(cluster, "R", "S", "out", rangejoin.Options{
+	env := driver.New(opts.Nodes, 0)
+	env.LoadRS(r, s)
+	rep, err := rangejoin.Run(env.Cluster, driver.RFile, driver.SFile, driver.OutFile, rangejoin.Options{
 		Radius: opts.Radius, Metric: opts.Metric, NumPivots: opts.NumPivots,
 		PivotStrategy: opts.PivotStrategy, Seed: opts.Seed,
 	})
@@ -389,7 +384,7 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 	rep.Dims = r[0].Point.Dim()
-	results, err := naive.ReadResults(fs, "out")
+	results, err := env.Results()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -437,11 +432,9 @@ func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
 	if err := checkDims(r, s); err != nil {
 		return nil, nil, err
 	}
-	fs := dfs.New(0)
-	cluster := mapreduce.NewCluster(fs, opts.Nodes)
-	dataset.ToDFS(fs, "R", r, codec.FromR)
-	dataset.ToDFS(fs, "S", s, codec.FromS)
-	pairs, rep, err := topk.Run(cluster, "R", "S", "out", topk.Options{
+	env := driver.New(opts.Nodes, 0)
+	env.LoadRS(r, s)
+	pairs, rep, err := topk.Run(env.Cluster, driver.RFile, driver.SFile, driver.OutFile, topk.Options{
 		K: opts.K, Metric: opts.Metric, ExcludeSelf: opts.ExcludeSelf,
 		Unordered: opts.Unordered, Seed: opts.Seed,
 	})

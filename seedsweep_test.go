@@ -1,0 +1,66 @@
+package knnjoin
+
+import (
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+// Seed-sweep equivalence: the exact distributed algorithms must match
+// BruteForce on every seed — both the data seed (different point clouds)
+// and the algorithm seed (different pivots for PGBJ/PBJ) vary, so the
+// sweep covers distinct Voronoi partitionings, groupings and block
+// layouts flowing through the streaming shuffle.
+func TestSeedSweepExactAlgorithmsMatchBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is not short")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		r := dataset.Uniform(420, 4, 100, 10*seed)
+		s := dataset.Uniform(500, 4, 100, 10*seed+1)
+		want, _, err := Join(r, s, Options{K: 4, Algorithm: BruteForce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{PGBJ, PBJ, HBRJ} {
+			got, st, err := Join(r, s, Options{K: 4, Algorithm: alg, Nodes: 6, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, alg, err)
+			}
+			assertAgree(t, got, want)
+			if st.ShuffleBytes <= 0 || st.ShuffleRecords <= 0 {
+				t.Fatalf("seed %d %v: no shuffle accounted: %+v", seed, alg, st)
+			}
+		}
+	}
+}
+
+// Cross-run determinism through the new shuffle: the same seed must give
+// byte-identical neighbor lists (ids and distances, not just distances).
+func TestJoinRepeatableWithinSeed(t *testing.T) {
+	objs := forest(400, 3)
+	for _, alg := range []Algorithm{PGBJ, HBRJ, Broadcast} {
+		first, _, err := SelfJoin(objs, Options{K: 3, Algorithm: alg, Nodes: 5, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		second, _, err := SelfJoin(objs, Options{K: 3, Algorithm: alg, Nodes: 5, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("%v: result size changed across runs", alg)
+		}
+		for i := range first {
+			if first[i].RID != second[i].RID || len(first[i].Neighbors) != len(second[i].Neighbors) {
+				t.Fatalf("%v: row %d differs across runs", alg, i)
+			}
+			for j := range first[i].Neighbors {
+				if first[i].Neighbors[j] != second[i].Neighbors[j] {
+					t.Fatalf("%v: r %d neighbor %d differs across runs: %+v vs %+v",
+						alg, first[i].RID, j, first[i].Neighbors[j], second[i].Neighbors[j])
+				}
+			}
+		}
+	}
+}
