@@ -262,6 +262,64 @@ func BenchmarkShuffleSecondarySort(b *testing.B) {
 	benchmarkShuffle(b, benchjobs.CompositeJob())
 }
 
+// ---- Distance-path micro-benchmarks ----------------------------------
+//
+// These isolate the reduce-side distance path: decoding a reducer value
+// group and running the PGBJ-shaped windowed join, through the legacy
+// per-Object path (scalar) and the columnar Block path (block). The
+// workloads live in internal/benchjobs, shared with cmd/distbench so
+// BENCH_dist.json records the identical work.
+
+func BenchmarkDistDecode(b *testing.B) {
+	for _, dim := range []int{2, 8, 32} {
+		recs := benchjobs.DistInput(10000, dim, 1)
+		b.Run(fmt.Sprintf("scalar/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchjobs.DecodeScalar(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("block/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchjobs.DecodeBlock(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDistPGBJReduce(b *testing.B) {
+	const k, queries = 10, 64
+	for _, dim := range []int{2, 8, 32} {
+		recs := benchjobs.DistInput(10000, dim, 1)
+		qs := benchjobs.DistQueries(queries, dim, 2)
+		theta, err := benchjobs.DistTheta(recs, benchjobs.DistWindowFrac)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("scalar/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchjobs.JoinScalar(recs, qs, k, theta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("block/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchjobs.JoinBlock(recs, qs, k, theta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Guard: the full experiment suite stays runnable end to end.
 func BenchmarkAllExperimentsTiny(b *testing.B) {
 	cfg := experiments.Config{Scale: 0.008, Seed: 1, Nodes: 4, K: 5}

@@ -1,0 +1,196 @@
+// Command distbench runs the distance-path micro-benchmarks — reducer
+// value-group decode and the PGBJ-reducer-shaped join — through both the
+// legacy per-Object path and the columnar Block path, and writes the
+// paired results as JSON (committed as BENCH_dist.json at the repository
+// root), so the distance path's performance trajectory is tracked across
+// changes next to the shuffle's. The workloads are the same
+// internal/benchjobs functions bench_test.go measures with `go test
+// -bench`; both paths run identical candidate sets and their outputs are
+// cross-checked before timing.
+//
+// Usage:
+//
+//	distbench                     # print JSON to stdout
+//	distbench -out BENCH_dist.json
+//	distbench -queries 64         # queries per join measurement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/benchjobs"
+)
+
+// Path is one side's measurement: the scalar (per-Object) or block
+// (columnar) implementation of the same workload.
+type Path struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Result is one workload's before/after pair.
+type Result struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	// Scalar is the per-Object decode path (one DecodeTagged and one
+	// Point allocation per record, Metric.Dist per candidate) — the
+	// "before" series.
+	Scalar Path `json:"scalar"`
+	// Block is the columnar path (DecodeBlock once per group, fused
+	// squared-distance kernels, emit-time sqrt) — the "after" series.
+	Block      Path    `json:"block"`
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Suite   string   `json:"suite"`
+	Kernel  string   `json:"kernel"`
+	K       int      `json:"k"`
+	Queries int      `json:"queries"`
+	Results []Result `json:"results"`
+}
+
+func measure(fn func() error) (Path, error) {
+	var err error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := fn(); e != nil {
+				err = e
+				b.FailNow()
+			}
+		}
+	})
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}, nil
+}
+
+func ratio(scalar, block float64) float64 {
+	if block == 0 {
+		return 0
+	}
+	return scalar / block
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("distbench", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	k := fs.Int("k", 10, "neighbors per query in the join workloads")
+	queries := fs.Int("queries", 64, "queries per join measurement")
+	sizes := fs.String("sizes", "10000,100000", "comma-separated group sizes n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 1 || *queries < 1 {
+		return fmt.Errorf("-k and -queries must be at least 1")
+	}
+	var ns []int
+	for _, f := range strings.Split(*sizes, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return fmt.Errorf("-sizes entries must be positive integers, got %q", f)
+		}
+		ns = append(ns, v)
+	}
+	if len(ns) == 0 {
+		return fmt.Errorf("-sizes is empty")
+	}
+
+	report := Report{Suite: "distance-path", Kernel: "columnar-block", K: *k, Queries: *queries}
+	dims := []int{2, 8, 32}
+	for _, n := range ns {
+		for _, dim := range dims {
+			recs := benchjobs.DistInput(n, dim, 1)
+			qs := benchjobs.DistQueries(*queries, dim, 2)
+			theta, err := benchjobs.DistTheta(recs, benchjobs.DistWindowFrac)
+			if err != nil {
+				return err
+			}
+
+			// Cross-check the two paths before timing them: the block
+			// kernels must reproduce the scalar join exactly.
+			want, err := benchjobs.JoinScalar(recs, qs, *k, theta)
+			if err != nil {
+				return err
+			}
+			got, err := benchjobs.JoinBlock(recs, qs, *k, theta)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("join paths disagree at n=%d dim=%d: scalar %d, block %d", n, dim, want, got)
+			}
+
+			dec, err := pair(fmt.Sprintf("decode/d=%d/n=%d", dim, n), n, dim,
+				func() error { _, err := benchjobs.DecodeScalar(recs); return err },
+				func() error { _, err := benchjobs.DecodeBlock(recs); return err })
+			if err != nil {
+				return err
+			}
+			join, err := pair(fmt.Sprintf("pgbj-reduce/d=%d/n=%d", dim, n), n, dim,
+				func() error { _, err := benchjobs.JoinScalar(recs, qs, *k, theta); return err },
+				func() error { _, err := benchjobs.JoinBlock(recs, qs, *k, theta); return err })
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, dec, join)
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// pair measures the scalar and block implementations of one workload.
+func pair(name string, n, dim int, scalar, block func() error) (Result, error) {
+	s, err := measure(scalar)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/scalar: %w", name, err)
+	}
+	b, err := measure(block)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/block: %w", name, err)
+	}
+	return Result{
+		Name: name, N: n, Dim: dim,
+		Scalar:     s,
+		Block:      b,
+		Speedup:    ratio(s.NsPerOp, b.NsPerOp),
+		AllocRatio: ratio(float64(s.AllocsPerOp), float64(b.AllocsPerOp)),
+	}, nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "distbench:", err)
+		os.Exit(1)
+	}
+}

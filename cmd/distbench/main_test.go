@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out, "-sizes", "400", "-queries", "4", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Suite != "distance-path" || len(rep.Results) != 6 { // 1 size × 3 dims × {decode, join}
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if r.Scalar.NsPerOp <= 0 || r.Block.NsPerOp <= 0 || r.Speedup <= 0 {
+			t.Fatalf("implausible result: %+v", r)
+		}
+		if r.Scalar.AllocsPerOp <= 0 || r.Block.AllocsPerOp <= 0 {
+			t.Fatalf("implausible allocs: %+v", r)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-k", "0"}); err == nil {
+		t.Fatal("zero k accepted")
+	}
+	if err := run([]string{"-sizes", "10,x"}); err == nil {
+		t.Fatal("malformed sizes accepted")
+	}
+	if err := run([]string{"-sizes", ""}); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Command doccheck walks every Go package in the module and fails when
+// one lacks a package comment — the documentation gate the CI docs job
+// runs alongside `go test -run Example ./...`, so the package map in
+// ARCHITECTURE.md never drifts ahead of godoc.
+//
+// A package passes when at least one of its non-test files carries a doc
+// comment on the package clause (doc.go or top-of-file, either works).
+// Test-only packages (package x_test) are exempt: their documentation
+// lives with the package under test.
+//
+// Usage:
+//
+//	doccheck            # check the module rooted in the working directory
+//	doccheck ./internal # check one subtree
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// check walks root and returns the directories whose package lacks a
+// package comment.
+func check(root string) (missing []string, err error) {
+	// dir → has any non-test .go file / has a package doc comment.
+	type state struct{ hasGo, hasDoc bool }
+	pkgs := map[string]*state{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		dir := filepath.Dir(path)
+		st := pkgs[dir]
+		if st == nil {
+			st = &state{}
+			pkgs[dir] = st
+		}
+		st.hasGo = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.hasDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for dir, st := range pkgs {
+		if st.hasGo && !st.hasDoc {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+func run(args []string) error {
+	root := "."
+	if len(args) > 1 {
+		return fmt.Errorf("usage: doccheck [root]")
+	}
+	if len(args) == 1 {
+		root = args[0]
+	}
+	missing, err := check(root)
+	if err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: package in %s has no package comment\n", dir)
+		}
+		return fmt.Errorf("%d package(s) undocumented", len(missing))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+}

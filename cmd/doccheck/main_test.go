@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsUndocumentedPackage(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "bad", "bad.go"), "package bad\n")
+	// A doc comment on any file of the package suffices.
+	write(t, filepath.Join(root, "split", "a.go"), "package split\n")
+	write(t, filepath.Join(root, "split", "doc.go"), "// Package split is documented elsewhere.\npackage split\n")
+	// Test files never carry the package doc.
+	write(t, filepath.Join(root, "testonly", "x.go"), "package testonly\n")
+	write(t, filepath.Join(root, "testonly", "x_test.go"), "// Not a package doc.\npackage testonly\n")
+
+	missing, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "bad"), filepath.Join(root, "testonly")}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", missing, want)
+		}
+	}
+}
+
+// The repository itself must pass: every package carries a comment.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	missing, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("undocumented packages: %v", missing)
+	}
+}
+
+func TestRunRejectsExtraArgs(t *testing.T) {
+	if err := run([]string{"a", "b"}); err == nil {
+		t.Fatal("extra args accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package benchjobs
+
+import "testing"
+
+// The two join paths must produce identical results — the block kernels
+// change the representation and the sqrt placement, never the candidate
+// sets or their order.
+func TestJoinPathsAgree(t *testing.T) {
+	for _, dim := range []int{2, 8, 32} {
+		for _, n := range []int{0, 1, 50, 700} {
+			recs := DistInput(n, dim, int64(n+dim))
+			qs := DistQueries(9, dim, 42)
+			theta, err := DistTheta(recs, DistWindowFrac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, n + 1} {
+				want, err := JoinScalar(recs, qs, k, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := JoinBlock(recs, qs, k, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("dim=%d n=%d k=%d: scalar %d, block %d", dim, n, k, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodePathsAgree(t *testing.T) {
+	recs := DistInput(120, 8, 7)
+	a, err := DecodeScalar(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a != 120*8 {
+		t.Fatalf("coord counts: scalar %d, block %d, want %d", a, b, 120*8)
+	}
+}
+
+func TestDecodePathsRejectGarbage(t *testing.T) {
+	bad := [][]byte{{1, 2, 3}}
+	if _, err := DecodeScalar(bad); err == nil {
+		t.Fatal("scalar decode accepted garbage")
+	}
+	if _, err := DecodeBlock(bad); err == nil {
+		t.Fatal("block decode accepted garbage")
+	}
+}

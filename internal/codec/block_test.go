@@ -1,0 +1,134 @@
+package codec
+
+import (
+	"testing"
+
+	"knnjoin/internal/vector"
+)
+
+func sampleTagged(n, dim int) []Tagged {
+	out := make([]Tagged, n)
+	for i := range out {
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = float64(i*dim + d)
+		}
+		out[i] = Tagged{
+			Object:    Object{ID: int64(i) - 2, Point: p}, // negative ids too
+			Src:       FromS,
+			Partition: int32(i % 3),
+			PivotDist: float64(i) / 7,
+		}
+	}
+	if n > 0 {
+		out[0].Src = FromR
+	}
+	return out
+}
+
+func TestDecodeBlockRoundTrip(t *testing.T) {
+	for _, dim := range []int{0, 1, 5} {
+		tags := sampleTagged(9, dim)
+		recs := make([][]byte, len(tags))
+		for i, tg := range tags {
+			recs[i] = EncodeTagged(tg)
+		}
+		blk, srcs, parts, err := DecodeBlock(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Len() != len(tags) || blk.Dim != dim {
+			t.Fatalf("dim=%d: len=%d blockDim=%d", dim, blk.Len(), blk.Dim)
+		}
+		for i, tg := range tags {
+			if blk.IDs[i] != tg.ID || blk.PivotDist[i] != tg.PivotDist ||
+				srcs[i] != tg.Src || parts[i] != tg.Partition || !blk.At(i).Equal(tg.Point) {
+				t.Fatalf("dim=%d row %d: round trip mismatch", dim, i)
+			}
+		}
+	}
+	// Empty group.
+	blk, srcs, parts, err := DecodeBlock(nil)
+	if err != nil || blk.Len() != 0 || len(srcs) != 0 || len(parts) != 0 {
+		t.Fatalf("empty group: blk=%+v srcs=%v parts=%v err=%v", blk, srcs, parts, err)
+	}
+}
+
+// A corrupt dim header must surface as a decode error, never as a giant
+// pre-sizing allocation.
+func TestDecodeBlockRejectsCorruptDimHeader(t *testing.T) {
+	rec := make([]byte, 12)
+	rec[8], rec[9], rec[10], rec[11] = 0xFF, 0xFF, 0xFF, 0xFF // dim = ~4.3e9
+	if _, _, _, err := DecodeBlock([][]byte{rec, rec}); err == nil {
+		t.Fatal("corrupt dim header accepted")
+	}
+}
+
+func TestDecodeBlockRejectsMixedDims(t *testing.T) {
+	a := EncodeTagged(Tagged{Object: Object{ID: 1, Point: vector.Point{1, 2}}, Src: FromR})
+	b := EncodeTagged(Tagged{Object: Object{ID: 2, Point: vector.Point{1, 2, 3}}, Src: FromS})
+	if _, _, _, err := DecodeBlock([][]byte{a, b}); err == nil {
+		t.Fatal("mixed dimensionalities accepted")
+	}
+}
+
+func TestAppendTaggedToBlockErrors(t *testing.T) {
+	var blk vector.Block
+	if _, _, err := AppendTaggedToBlock(&blk, []byte{1, 2}); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	good := EncodeTagged(Tagged{Object: Object{ID: 1, Point: vector.Point{4}}, Src: FromR, PivotDist: 2})
+	if _, _, err := AppendTaggedToBlock(&blk, good[:len(good)-1]); err == nil {
+		t.Fatal("short record accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[8+4+8] = 'X' // corrupt the source tag
+	if _, _, err := AppendTaggedToBlock(&blk, bad); err == nil {
+		t.Fatal("bad source tag accepted")
+	}
+	if blk.Len() != 0 {
+		t.Fatalf("failed appends mutated the block: len=%d", blk.Len())
+	}
+	src, part, err := AppendTaggedToBlock(&blk, good)
+	if err != nil || src != FromR || part != 0 || blk.Len() != 1 {
+		t.Fatalf("good append: src=%v part=%d len=%d err=%v", src, part, blk.Len(), err)
+	}
+}
+
+func TestPeekSource(t *testing.T) {
+	for _, want := range []Source{FromR, FromS} {
+		rec := EncodeTagged(Tagged{Object: Object{ID: 1, Point: vector.Point{1, 2, 3}}, Src: want})
+		got, err := PeekSource(rec)
+		if err != nil || got != want {
+			t.Fatalf("PeekSource = %v, %v; want %v", got, err, want)
+		}
+	}
+	if _, err := PeekSource([]byte{1}); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestBlockObjectsAliasesCoords(t *testing.T) {
+	tags := sampleTagged(4, 3)
+	recs := make([][]byte, len(tags))
+	for i, tg := range tags {
+		recs[i] = EncodeTagged(tg)
+	}
+	blk, _, _, err := DecodeBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := BlockObjects(blk)
+	if len(objs) != 4 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	for i, o := range objs {
+		if o.ID != tags[i].ID || !o.Point.Equal(tags[i].Point) {
+			t.Fatalf("object %d mismatch", i)
+		}
+	}
+	blk.Coords[0] = -1
+	if objs[0].Point[0] != -1 {
+		t.Fatal("BlockObjects copied coordinates instead of aliasing")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"knnjoin/internal/vector"
 )
@@ -98,6 +99,120 @@ func DecodeObject(b []byte) (Object, int, error) {
 		off += 8
 	}
 	return Object{ID: id, Point: p}, need, nil
+}
+
+// PeekSource returns the source tag of a Tagged wire record without
+// decoding it — enough for a streaming reducer to route the record into
+// the right Block before the full decode.
+func PeekSource(b []byte) (Source, error) {
+	if len(b) < objHeader {
+		return 0, fmt.Errorf("codec: tagged record truncated: %d bytes", len(b))
+	}
+	dim := int(binary.LittleEndian.Uint32(b[8:]))
+	off := objHeader + 8*dim
+	if dim < 0 || len(b) < off+1 {
+		return 0, fmt.Errorf("codec: tagged record truncated: dim=%d, have %d bytes", dim, len(b))
+	}
+	s := Source(b[off])
+	if s != FromR && s != FromS {
+		return 0, fmt.Errorf("codec: bad source tag %q", b[off])
+	}
+	return s, nil
+}
+
+// AppendTaggedToBlock decodes one Tagged wire record and appends its
+// object — id, pivot distance, coordinates — to the block's parallel
+// slices, returning the record's source and partition tags. Coordinates
+// land directly in the block's flat backing store: no per-point Point
+// allocation, only amortized slice growth. The first record stamps the
+// block's dimensionality; a later record of a different dimensionality
+// is a data error and is reported instead of corrupting the block.
+func AppendTaggedToBlock(b *vector.Block, rec []byte) (Source, int32, error) {
+	if len(rec) < objHeader {
+		return 0, 0, fmt.Errorf("codec: tagged record truncated: %d bytes", len(rec))
+	}
+	id := int64(binary.LittleEndian.Uint64(rec))
+	dim := int(binary.LittleEndian.Uint32(rec[8:]))
+	need := objHeader + 8*dim + 1 + 4 + 8
+	if dim < 0 || len(rec) < need {
+		return 0, 0, fmt.Errorf("codec: tagged record truncated: dim=%d, have %d bytes", dim, len(rec))
+	}
+	off := objHeader + 8*dim
+	src := Source(rec[off])
+	if src != FromR && src != FromS {
+		return 0, 0, fmt.Errorf("codec: bad source tag %q", rec[off])
+	}
+	if b.Len() == 0 {
+		b.Dim = dim
+	} else if dim != b.Dim {
+		return 0, 0, fmt.Errorf("codec: dimension mismatch in block: record has %d dims, block has %d", dim, b.Dim)
+	}
+	part := int32(binary.LittleEndian.Uint32(rec[off+1:]))
+	pd := math.Float64frombits(binary.LittleEndian.Uint64(rec[off+5:]))
+
+	b.IDs = append(b.IDs, id)
+	b.PivotDist = append(b.PivotDist, pd)
+	base := len(b.Coords)
+	b.Coords = slices.Grow(b.Coords, dim)[:base+dim]
+	row := b.Coords[base:]
+	for i := range row {
+		row[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[objHeader+8*i:]))
+	}
+	return src, part, nil
+}
+
+// DecodeBlock decodes a batch of Tagged wire records — a whole reducer
+// value group — into one columnar Block plus parallel source and
+// partition slices. The backing slices are sized exactly in a single
+// header pre-pass, so the group decodes with a constant number of
+// allocations instead of two per point (the Object/Point pair the
+// per-record DecodeTagged path allocates).
+func DecodeBlock(recs [][]byte) (*vector.Block, []Source, []int32, error) {
+	// Size the backing store from the first record's header: every
+	// record of a group shares one dimensionality (enforced during the
+	// decode), so one header read replaces a pre-pass over all records.
+	coords := 0
+	if len(recs) > 0 {
+		if len(recs[0]) < objHeader {
+			return nil, nil, nil, fmt.Errorf("codec: tagged record truncated: %d bytes", len(recs[0]))
+		}
+		dim := int(binary.LittleEndian.Uint32(recs[0][8:]))
+		// A corrupt dim header must surface as AppendTaggedToBlock's
+		// decode error, not as a giant allocation here — the record can
+		// never hold more coordinates than its own length admits.
+		if max := (len(recs[0]) - objHeader) / 8; dim > max {
+			dim = max
+		}
+		if dim > 0 {
+			coords = len(recs) * dim
+		}
+	}
+	b := &vector.Block{
+		IDs:       make([]int64, 0, len(recs)),
+		PivotDist: make([]float64, 0, len(recs)),
+		Coords:    make([]float64, 0, coords),
+	}
+	srcs := make([]Source, len(recs))
+	parts := make([]int32, len(recs))
+	for i, rec := range recs {
+		src, part, err := AppendTaggedToBlock(b, rec)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("codec: block record %d: %w", i, err)
+		}
+		srcs[i], parts[i] = src, part
+	}
+	return b, srcs, parts, nil
+}
+
+// BlockObjects materializes a block as objects whose Points alias the
+// block's backing array — one slice allocation, zero coordinate copies.
+// The views are valid while the block is not appended to.
+func BlockObjects(b *vector.Block) []Object {
+	out := make([]Object, b.Len())
+	for i := range out {
+		out[i] = Object{ID: b.IDs[i], Point: b.At(i)}
+	}
+	return out
 }
 
 // EncodeTagged returns the wire form of t.

@@ -2,17 +2,24 @@
 // repeat: build an in-memory DFS, simulate a cluster over it, load the R
 // and S datasets as Tagged records, run an algorithm, and decode the
 // result file. Join, RangeJoin, ClosestPairs and LOF (via the self-join)
-// all run through one Env instead of four copies of that setup.
+// all run through one Env instead of four copies of that setup. It also
+// hosts the reduce-side collection helpers shared by the block/region
+// reducers — including the columnar-Block collectors every driver's hot
+// loop now runs on — and the emit-time conversion from candidate heaps
+// to result neighbors.
 package driver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dataset"
 	"knnjoin/internal/dfs"
 	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
 )
 
 // Canonical file names every operator uses on its private filesystem.
@@ -36,11 +43,42 @@ func New(nodes, chunkRecords int) *Env {
 	return &Env{FS: fs, Cluster: mapreduce.NewCluster(fs, nodes)}
 }
 
-// LoadRS writes the outer and inner datasets to the canonical R and S
-// files as source-tagged records.
-func (e *Env) LoadRS(r, s []codec.Object) {
+// LoadRS validates the datasets and writes them to the canonical R and S
+// files as source-tagged records. Validation happens here, at dataset
+// load, because it is the last place a dimensionality mix-up is an input
+// error: past this point mismatched points meet inside a reducer, where
+// Metric.Dist treats the mix as a programming error and panics.
+func (e *Env) LoadRS(r, s []codec.Object) error {
+	if err := CheckDims(r, s); err != nil {
+		return err
+	}
 	dataset.ToDFS(e.FS, RFile, r, codec.FromR)
 	dataset.ToDFS(e.FS, SFile, s, codec.FromS)
+	return nil
+}
+
+// CheckDims verifies that every object of r and s shares one
+// dimensionality (taken from the first object present) and reports the
+// first offender otherwise.
+func CheckDims(r, s []codec.Object) error {
+	dim, stamped := 0, false
+	for _, set := range []struct {
+		name string
+		objs []codec.Object
+	}{{"R", r}, {"S", s}} {
+		for i := range set.objs {
+			d := set.objs[i].Point.Dim()
+			if !stamped {
+				dim, stamped = d, true
+				continue
+			}
+			if d != dim {
+				return fmt.Errorf("driver: %s object %d has %d dims, want %d",
+					set.name, set.objs[i].ID, d, dim)
+			}
+		}
+	}
+	return nil
 }
 
 // Results decodes the canonical output file into join results sorted by
@@ -68,23 +106,43 @@ func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
 	return out, nil
 }
 
-// CollectRS streams one reducer group of Tagged values into R and S
-// object lists, in arrival (key) order. Shared by every block/region
-// reducer that joins its R objects against its S objects (H-BRJ,
-// 1-Bucket-Theta, LSH buckets, broadcast).
-func CollectRS(values *mapreduce.Values) (rs, ss []codec.Object, err error) {
+// CollectRSBlocks streams one reducer group of Tagged values into two
+// columnar Blocks, R and S, in arrival (key) order — the block form of
+// CollectRS shared by every region/bucket reducer (H-BRJ,
+// 1-Bucket-Theta, LSH buckets, broadcast). Each side decodes with a
+// constant number of allocations instead of two per point.
+func CollectRSBlocks(values *mapreduce.Values) (rs, ss *vector.Block, err error) {
+	rs, ss = &vector.Block{}, &vector.Block{}
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		t, err := codec.DecodeTagged(v)
+		src, err := codec.PeekSource(v)
 		if err != nil {
 			return nil, nil, err
 		}
-		if t.Src == codec.FromR {
-			rs = append(rs, t.Object)
-		} else {
-			ss = append(ss, t.Object)
+		dst := ss
+		if src == codec.FromR {
+			dst = rs
+		}
+		if _, _, err := codec.AppendTaggedToBlock(dst, v); err != nil {
+			return nil, nil, err
 		}
 	}
 	return rs, ss, nil
+}
+
+// AppendNeighbors converts sorted candidates into result neighbors,
+// appending to dst and returning the extended slice. squared marks
+// candidates produced by the L2 block kernels, whose distances are
+// squared: each survivor takes its single sqrt here, at emit time — the
+// only sqrt of the squared-distance pipeline.
+func AppendNeighbors(dst []codec.Neighbor, cands []nnheap.Candidate, squared bool) []codec.Neighbor {
+	for _, c := range cands {
+		d := c.Dist
+		if squared {
+			d = math.Sqrt(d)
+		}
+		dst = append(dst, codec.Neighbor{ID: c.ID, Dist: d})
+	}
+	return dst
 }
 
 // SortResults orders results by R object ID in place.

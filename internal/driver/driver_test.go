@@ -14,7 +14,9 @@ func obj(id int64, x float64) codec.Object {
 
 func TestEnvLoadAndResults(t *testing.T) {
 	env := New(4, 2)
-	env.LoadRS([]codec.Object{obj(1, 0), obj(2, 1)}, []codec.Object{obj(7, 5)})
+	if err := env.LoadRS([]codec.Object{obj(1, 0), obj(2, 1)}, []codec.Object{obj(7, 5)}); err != nil {
+		t.Fatal(err)
+	}
 	if got := env.FS.Size(RFile); got != 2 {
 		t.Fatalf("R file has %d records, want 2", got)
 	}
@@ -48,6 +50,25 @@ func TestEnvLoadAndResults(t *testing.T) {
 	}
 	if len(results[0].Neighbors) != 1 || results[0].Neighbors[0].ID != 7 {
 		t.Fatalf("neighbors lost in round trip: %+v", results[0])
+	}
+}
+
+// Mixed dimensionalities must be rejected at dataset load — past this
+// point they would meet inside a reducer, where Metric.Dist panics.
+func TestLoadRSRejectsMixedDimensions(t *testing.T) {
+	twoD := codec.Object{ID: 3, Point: vector.Point{1, 2}}
+	env := New(2, 0)
+	if err := env.LoadRS([]codec.Object{obj(1, 0), twoD}, nil); err == nil {
+		t.Error("mixed dims within R accepted")
+	}
+	if err := env.LoadRS([]codec.Object{obj(1, 0)}, []codec.Object{twoD}); err == nil {
+		t.Error("R/S dim mismatch accepted")
+	}
+	if err := CheckDims(nil, []codec.Object{twoD, obj(9, 1)}); err == nil {
+		t.Error("mixed dims within S accepted")
+	}
+	if err := CheckDims(nil, nil); err != nil {
+		t.Errorf("empty datasets rejected: %v", err)
 	}
 }
 

@@ -96,18 +96,23 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		},
 		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
 		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			rs, ss, err := driver.CollectRS(values)
+			// Columnar decode; the R-tree's leaf points are views into the
+			// S block's flat backing store, so the bulk load copies no
+			// coordinates and the group costs a constant number of decode
+			// allocations.
+			rBlk, sBlk, err := driver.CollectRSBlocks(values)
 			if err != nil {
 				return err
 			}
-			tree := rtree.Bulk(ss, rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
-			for _, r := range rs {
-				cands := tree.KNN(r.Point, opts.K)
-				nbs := make([]codec.Neighbor, len(cands))
-				for i, c := range cands {
-					nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+			tree := rtree.Bulk(codec.BlockObjects(sBlk), rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
+			var nbuf []codec.Neighbor
+			for row := 0; row < rBlk.Len(); row++ {
+				cands := tree.KNN(rBlk.At(row), opts.K)
+				nbuf = nbuf[:0]
+				for _, c := range cands {
+					nbuf = append(nbuf, codec.Neighbor{ID: c.ID, Dist: c.Dist})
 				}
-				emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+				emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
 			}
 			ctx.Counter("pairs", tree.DistCount)
 			ctx.AddWork(tree.DistCount)

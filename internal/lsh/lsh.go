@@ -211,29 +211,28 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	return report, nil
 }
 
-// bucketReduce joins one bucket: every R object in it is paired with
-// every S object in it. Each r gets a partial Result — empty when the
-// bucket holds no S objects, so the merge job still emits a line for it.
+// bucketReduce verifies one bucket's candidates: every R object in it is
+// paired with every S object in it, true L2 distances computed with the
+// fused block kernel (squared until the emit-time sqrt). Each r gets a
+// partial Result — empty when the bucket holds no S objects, so the
+// merge job still emits a line for it.
 func bucketReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	rs, ss, err := driver.CollectRS(values)
+	rBlk, sBlk, err := driver.CollectRSBlocks(values)
 	if err != nil {
 		return err
 	}
 	heap := nnheap.NewKHeap(opts.K)
-	for _, r := range rs {
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
+	for row := 0; row < rBlk.Len(); row++ {
 		heap.Reset()
-		for _, s := range ss {
-			heap.Push(nnheap.Candidate{ID: s.ID, Dist: vector.Dist(r.Point, s.Point)})
-		}
-		cands := heap.Sorted()
-		nbs := make([]codec.Neighbor, len(cands))
-		for i, c := range cands {
-			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
-		}
-		emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		sBlk.NearestK(rBlk.At(row), vector.L2, heap)
+		cbuf = heap.AppendSorted(cbuf[:0])
+		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, true)
+		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
 	}
-	pairs := int64(len(rs)) * int64(len(ss))
+	pairs := int64(rBlk.Len()) * int64(sBlk.Len())
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)
 	return nil

@@ -122,19 +122,22 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 			return nil
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			rs, ss, err := driver.CollectRS(values)
+			rBlk, sBlk, err := driver.CollectRSBlocks(values)
 			if err != nil {
 				return err
 			}
+			squared := opts.Metric == vector.L2
 			heap := nnheap.NewKHeap(opts.K)
-			for _, r := range rs {
+			var cbuf []nnheap.Candidate
+			var nbuf []codec.Neighbor
+			for row := 0; row < rBlk.Len(); row++ {
 				heap.Reset()
-				for _, s := range ss {
-					heap.Push(nnheap.Candidate{ID: s.ID, Dist: opts.Metric.Dist(r.Point, s.Point)})
-				}
-				ctx.Counter("pairs", int64(len(ss)))
-				ctx.AddWork(int64(len(ss)))
-				emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: toNeighbors(heap.Sorted())}))
+				scanned := sBlk.NearestK(rBlk.At(row), opts.Metric, heap)
+				ctx.Counter("pairs", int64(scanned))
+				ctx.AddWork(int64(scanned))
+				cbuf = heap.AppendSorted(cbuf[:0])
+				nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
+				emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
 			}
 			return nil
 		},

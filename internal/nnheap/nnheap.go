@@ -84,15 +84,24 @@ func (h *KHeap) Push(c Candidate) bool {
 // Sorted returns the retained candidates ordered by ascending distance,
 // ties broken by ascending ID for determinism. The heap is unchanged.
 func (h *KHeap) Sorted() []Candidate {
-	out := make([]Candidate, len(h.items))
-	copy(out, h.items)
+	return h.AppendSorted(make([]Candidate, 0, len(h.items)))
+}
+
+// AppendSorted appends the retained candidates to dst in the Sorted
+// order (ascending distance, ties by ascending ID) and returns the
+// extended slice. Reducers pass a reused buffer (dst[:0]) so the per-r
+// emit path of the block kernels allocates nothing here.
+func (h *KHeap) AppendSorted(dst []Candidate) []Candidate {
+	start := len(dst)
+	dst = append(dst, h.items...)
+	out := dst[start:]
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out
+	return dst
 }
 
 // Reset empties the heap, retaining capacity, so reducers can reuse one

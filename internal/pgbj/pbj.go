@@ -129,40 +129,37 @@ func pbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Value
 	opts := ctx.Side(sideOpts).(Options)
 
 	// The shuffle's composite-key sort already delivers S partitions in
-	// SortByPivotDist order and the id slices ascending.
-	rParts, sParts, rIDs, sIDs, err := CollectPartitions(values)
+	// SortByPivotDist order and the partition ranges ascending.
+	gb, err := CollectGroupBlock(values)
 	if err != nil {
 		return err
 	}
-	thetas := localThetas(pp, sum, opts.K, rParts, sParts, sIDs)
-	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, rIDs, sIDs, emit)
+	thetas := localThetas(pp, sum, opts.K, gb)
+	joinPartitions(ctx, pp, sum, thetas, opts, gb, emit)
 	return nil
 }
 
 // localThetas runs Algorithm 1 against only the received S-partitions:
 // for R-partition i, θ_i is the k-th smallest upper bound
 // U(P_i^R) + |p_i,p_j| + |s,p_j| over the first k objects of each local
-// S-partition (already sorted by pivot distance). sIDs must hold the
-// S-partition ids ascending.
-func localThetas(pp *voronoi.Partitioner, sum *voronoi.Summary, k int,
-	rParts, sParts map[int32][]codec.Tagged, sIDs []int32) []float64 {
-
+// S-partition — the leading rows of each S range, since the block keeps
+// them sorted by pivot distance.
+func localThetas(pp *voronoi.Partitioner, sum *voronoi.Summary, k int, gb *GroupBlock) []float64 {
 	thetas := make([]float64, pp.NumPartitions())
 	for i := range thetas {
 		thetas[i] = math.Inf(1)
 	}
-	for ri := range rParts {
-		uR := sum.R[ri].U
+	for _, rp := range gb.RParts {
+		uR := sum.R[rp.ID].U
 		pq := nnheap.NewKHeap(k)
-		for _, sj := range sIDs {
-			gap := pp.PivotDist(int(ri), int(sj))
-			spart := sParts[sj]
-			limit := k
-			if limit > len(spart) {
-				limit = len(spart)
+		for _, sp := range gb.SParts {
+			gap := pp.PivotDist(int(rp.ID), int(sp.ID))
+			limit := sp.Lo + k
+			if limit > sp.Hi {
+				limit = sp.Hi
 			}
-			for x := 0; x < limit; x++ {
-				ub := voronoi.UpperBound(uR, gap, spart[x].PivotDist)
+			for x := sp.Lo; x < limit; x++ {
+				ub := voronoi.UpperBound(uR, gap, gb.Block.PivotDist[x])
 				if pq.Full() && ub >= pq.Top().Dist {
 					break
 				}
@@ -170,7 +167,7 @@ func localThetas(pp *voronoi.Partitioner, sum *voronoi.Summary, k int,
 			}
 		}
 		if pq.Full() {
-			thetas[ri] = pq.Top().Dist
+			thetas[rp.ID] = pq.Top().Dist
 		}
 	}
 	return thetas

@@ -17,12 +17,14 @@ package pgbj
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/grouping"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
@@ -350,34 +352,52 @@ func pgbjRouteMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emi
 	return nil
 }
 
-// CollectPartitions streams one reducer group of a codec.JoinKey-keyed
-// job into per-partition object lists. The shuffle's composite-key sort
-// delivers R objects first, then S, partitions ascending, and each S
-// partition ascending by pivot distance — so the returned id slices are
-// sorted and every S partition is already in voronoi.SortByPivotDist
+// PartRange is one Voronoi partition's rows inside a GroupBlock: the
+// partition id and the half-open row range holding its objects.
+type PartRange struct {
+	ID     int32
+	Lo, Hi int
+}
+
+// GroupBlock is one reduce group of a codec.JoinKey-keyed job decoded
+// columnarly: every value of the group in a single vector.Block, plus
+// the R and S partition segmentation as index ranges into it. The
+// shuffle's composite-key sort delivers R objects first, then S,
+// partitions ascending, and each S partition ascending by pivot distance
+// — so the ranges are contiguous, both range lists are ascending by
+// partition id, and every S range is already in voronoi.SortByPivotDist
 // order without a reducer-side sort. Shared by PGBJ, PBJ and the range
-// join, whose key layout this function's invariants are tied to.
-func CollectPartitions(values *mapreduce.Values) (rParts, sParts map[int32][]codec.Tagged, rIDs, sIDs []int32, err error) {
-	rParts = make(map[int32][]codec.Tagged)
-	sParts = make(map[int32][]codec.Tagged)
+// join, whose key layout these invariants are tied to.
+type GroupBlock struct {
+	Block  *vector.Block
+	RParts []PartRange
+	SParts []PartRange
+}
+
+// CollectGroupBlock streams one reducer group into a GroupBlock: one
+// flat coordinate array for the whole group (constant allocations
+// instead of two per point) with partitions tracked as row ranges.
+func CollectGroupBlock(values *mapreduce.Values) (*GroupBlock, error) {
+	gb := &GroupBlock{Block: &vector.Block{}}
+	var openSrc codec.Source
+	var openPart int32
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		t, err := codec.DecodeTagged(v)
+		src, part, err := codec.AppendTaggedToBlock(gb.Block, v)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
-		if t.Src == codec.FromR {
-			if _, seen := rParts[t.Partition]; !seen {
-				rIDs = append(rIDs, t.Partition)
-			}
-			rParts[t.Partition] = append(rParts[t.Partition], t)
-		} else {
-			if _, seen := sParts[t.Partition]; !seen {
-				sIDs = append(sIDs, t.Partition)
-			}
-			sParts[t.Partition] = append(sParts[t.Partition], t)
+		row := gb.Block.Len() - 1
+		ranges := &gb.RParts
+		if src == codec.FromS {
+			ranges = &gb.SParts
 		}
+		if len(*ranges) == 0 || src != openSrc || part != openPart {
+			*ranges = append(*ranges, PartRange{ID: part, Lo: row})
+			openSrc, openPart = src, part
+		}
+		(*ranges)[len(*ranges)-1].Hi = row + 1
 	}
-	return rParts, sParts, rIDs, sIDs, nil
+	return gb, nil
 }
 
 // pgbjJoinReduce is the reduce function of job 2: Algorithm 3 lines 12–25
@@ -388,99 +408,108 @@ func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Valu
 	thetas := ctx.Side(sideThetas).([]float64)
 	opts := ctx.Side(sideOpts).(Options)
 
-	rParts, sParts, rIDs, sIDs, err := CollectPartitions(values)
+	gb, err := CollectGroupBlock(values)
 	if err != nil {
 		return err
 	}
-	joinPartitions(ctx, pp, sum, thetas, opts, rParts, sParts, rIDs, sIDs, emit)
+	joinPartitions(ctx, pp, sum, thetas, opts, gb, emit)
 	return nil
 }
 
-// joinPartitions runs Algorithm 3's per-reducer join: every R object in
-// rParts is joined against the S partitions in sParts using the θ bound,
-// Corollary-1 hyperplane pruning and Theorem-2 windows. It is shared by
-// PGBJ (full S_i replica sets) and PBJ (block subsets of S).
-//
-// rPartIDs and sPartIDs must be ascending, and every S partition sorted
-// by pivot distance (Theorem-2 windows are binary searches over that
-// order). The shuffle's composite-key secondary sort establishes both —
-// see CollectPartitions — so no sorting happens here.
-func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *voronoi.Summary,
-	thetas []float64, opts Options, rParts, sParts map[int32][]codec.Tagged,
-	rPartIDs, sPartIDs []int32, emit mapreduce.Emit) {
+// thresholdDist returns the heap's current pruning distance in true
+// metric space: def while the heap is not full, else the k-th best. When
+// the heap holds squared L2 distances the one sqrt per (r, S-partition)
+// pair happens here — not per candidate.
+func thresholdDist(h *nnheap.KHeap, def float64, squared bool) float64 {
+	if !h.Full() {
+		return def
+	}
+	if squared {
+		return math.Sqrt(h.Top().Dist)
+	}
+	return h.Top().Dist
+}
 
+// joinPartitions runs Algorithm 3's per-reducer join: every R object of
+// the group block is joined against its S partition ranges using the θ
+// bound, Corollary-1 hyperplane pruning and Theorem-2 windows. It is
+// shared by PGBJ (full S_i replica sets) and PBJ (block subsets of S).
+//
+// The candidate loop runs on the block's fused kernels: Theorem-2
+// windows are binary searches over the flat PivotDist slice
+// (Block.PivotDistWindow), distances stay squared under L2 until the
+// emit-time sqrt, and no per-candidate Point is ever allocated. The
+// GroupBlock invariants (ranges ascending, S ranges pivot-distance
+// sorted) come from the shuffle's composite-key secondary sort — see
+// CollectGroupBlock — so no sorting happens here.
+func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *voronoi.Summary,
+	thetas []float64, opts Options, gb *GroupBlock, emit mapreduce.Emit) {
+
+	blk := gb.Block
+	squared := opts.Metric == vector.L2 // kernels defer the sqrt under L2
 	heap := nnheap.NewKHeap(opts.K)
+	order := make([]PartRange, len(gb.SParts))
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
 	var pairs, resultPairs int64
-	for _, ri := range rPartIDs {
+	for _, rp := range gb.RParts {
+		ri := rp.ID
 		// Line 14: order S-partitions by ascending pivot gap to p_i, so
 		// near partitions refine θ early. The ablation switch falls back
-		// to plain partition-id order.
-		order := append([]int32(nil), sPartIDs...)
-		if opts.DisableNearestFirstOrder {
-			sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
-		} else {
+		// to plain partition-id order (which the ranges already are in).
+		copy(order, gb.SParts)
+		if !opts.DisableNearestFirstOrder {
 			sort.Slice(order, func(a, b int) bool {
-				ga, gb := pp.PivotDist(int(ri), int(order[a])), pp.PivotDist(int(ri), int(order[b]))
+				ga, gb := pp.PivotDist(int(ri), int(order[a].ID)), pp.PivotDist(int(ri), int(order[b].ID))
 				if ga != gb {
 					return ga < gb
 				}
-				return order[a] < order[b]
+				return order[a].ID < order[b].ID
 			})
 		}
 		thetaI := thetas[ri]
-		for _, r := range rParts[ri] {
+		for row := rp.Lo; row < rp.Hi; row++ {
+			r := blk.At(row)
+			rPivotDist := blk.PivotDist[row]
 			heap.Reset()
 			theta := thetaI
-			for _, sj := range order {
-				spart := sParts[sj]
-				gap := pp.PivotDist(int(ri), int(sj))
+			for _, sp := range order {
+				gap := pp.PivotDist(int(ri), int(sp.ID))
 				// |r, p_j| serves both Corollary 1 and Theorem 2; it is an
 				// object–pivot distance, counted per the paper's Eq. 13 note.
-				rToPj := opts.Metric.Dist(r.Point, pp.Pivots[sj])
+				rToPj := opts.Metric.Dist(r, pp.Pivots[sp.ID])
 				pairs++
-				if !opts.DisableHyperplanePruning && int(sj) != int(ri) {
-					if voronoi.HyperplaneDist(rToPj, r.PivotDist, gap, opts.Metric) > theta {
+				if !opts.DisableHyperplanePruning && sp.ID != ri {
+					if voronoi.HyperplaneDist(rToPj, rPivotDist, gap, opts.Metric) > theta {
 						continue // line 19–20: the whole partition is out
 					}
 				}
-				lo, hi := 0, len(spart)
+				lo, hi := sp.Lo, sp.Hi
 				if !opts.DisableWindowPruning {
-					wlo, whi, ok := voronoi.Theorem2Window(sum.S[sj], rToPj, theta)
+					wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, theta)
 					if !ok {
 						continue
 					}
-					lo, hi = voronoi.WindowIndices(spart, wlo, whi)
+					lo, hi = blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
 				}
-				for x := lo; x < hi; x++ {
-					s := spart[x]
-					d := opts.Metric.Dist(r.Point, s.Point)
-					pairs++
-					heap.Push(nnheap.Candidate{ID: s.ID, Dist: d})
-					// Line 24: θ tightens to the running k-th best, but the
-					// window may admit candidates beyond θ_i, so never let θ
-					// grow past the partition bound.
-					if t := heap.Threshold(thetaI); t < theta {
-						theta = t
-					}
+				pairs += int64(blk.NearestKRange(r, lo, hi, opts.Metric, heap))
+				// Line 24: θ tightens to the running k-th best, but the
+				// window may admit candidates beyond θ_i, so never let θ
+				// grow past the partition bound. θ is only read at the next
+				// partition, so one update per partition suffices.
+				if t := thresholdDist(heap, thetaI, squared); t < theta {
+					theta = t
 				}
 			}
-			nbs := toNeighbors(heap.Sorted())
-			resultPairs += int64(len(nbs))
-			emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+			cbuf = heap.AppendSorted(cbuf[:0])
+			nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
+			resultPairs += int64(len(nbuf))
+			emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[row], Neighbors: nbuf}))
 		}
 	}
 	ctx.Counter("pairs", pairs)
 	ctx.Counter("result_pairs", resultPairs)
 	ctx.AddWork(pairs)
-}
-
-// toNeighbors converts heap candidates into result neighbors.
-func toNeighbors(cands []nnheap.Candidate) []codec.Neighbor {
-	nbs := make([]codec.Neighbor, len(cands))
-	for i, c := range cands {
-		nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
-	}
-	return nbs
 }
 
 // fromDFS decodes a file of Tagged records.

@@ -22,8 +22,10 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/grouping"
 	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/nnheap"
 	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
 	"knnjoin/internal/stats"
@@ -245,49 +247,50 @@ func joinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, 
 	// The composite-key stream arrives R before S with partition ids
 	// ascending, and each S partition already in SortByPivotDist order —
 	// the shuffle's secondary sort did the work this reducer used to do.
-	rParts, sParts, rPartIDs, sPartIDs, err := pgbj.CollectPartitions(values)
+	// The group decodes into one columnar block; the candidate loop runs
+	// on its fused kernels. RangeTo compares true (sqrt'd) distances so
+	// the radius edge matches Metric.Dist bit for bit.
+	gb, err := pgbj.CollectGroupBlock(values)
 	if err != nil {
 		return err
 	}
+	blk := gb.Block
 
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
 	var pairs, resultPairs int64
-	for _, ri := range rPartIDs {
-		for _, r := range rParts[ri] {
-			var nbs []codec.Neighbor
-			for _, sj := range sPartIDs {
-				spart := sParts[sj]
-				gap := pp.PivotDist(int(ri), int(sj))
-				rToPj := opts.Metric.Dist(r.Point, pp.Pivots[sj])
+	for _, rp := range gb.RParts {
+		for row := rp.Lo; row < rp.Hi; row++ {
+			r := blk.At(row)
+			rPivotDist := blk.PivotDist[row]
+			cbuf = cbuf[:0]
+			for _, sp := range gb.SParts {
+				gap := pp.PivotDist(int(rp.ID), int(sp.ID))
+				rToPj := opts.Metric.Dist(r, pp.Pivots[sp.ID])
 				pairs++
-				if int(sj) != int(ri) &&
-					voronoi.HyperplaneDist(rToPj, r.PivotDist, gap, opts.Metric) > theta {
+				if sp.ID != rp.ID &&
+					voronoi.HyperplaneDist(rToPj, rPivotDist, gap, opts.Metric) > theta {
 					continue // Corollary 1: the whole partition is out of range
 				}
-				wlo, whi, ok := voronoi.Theorem2Window(sum.S[sj], rToPj, theta)
+				wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, theta)
 				if !ok {
 					continue
 				}
-				lo, hi := voronoi.WindowIndices(spart, wlo, whi)
-				for x := lo; x < hi; x++ {
-					s := spart[x]
-					d := opts.Metric.Dist(r.Point, s.Point)
-					pairs++
-					if d <= theta {
-						nbs = append(nbs, codec.Neighbor{ID: s.ID, Dist: d})
-					}
-				}
+				lo, hi := blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
+				cbuf = blk.RangeTo(r, lo, hi, opts.Metric, theta, cbuf, &pairs)
 			}
-			if len(nbs) == 0 {
+			if len(cbuf) == 0 {
 				continue
 			}
-			sort.Slice(nbs, func(a, b int) bool {
-				if nbs[a].Dist != nbs[b].Dist {
-					return nbs[a].Dist < nbs[b].Dist
+			sort.Slice(cbuf, func(a, b int) bool {
+				if cbuf[a].Dist != cbuf[b].Dist {
+					return cbuf[a].Dist < cbuf[b].Dist
 				}
-				return nbs[a].ID < nbs[b].ID
+				return cbuf[a].ID < cbuf[b].ID
 			})
-			resultPairs += int64(len(nbs))
-			emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+			nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, false)
+			resultPairs += int64(len(nbuf))
+			emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[row], Neighbors: nbuf}))
 		}
 	}
 	ctx.Counter("pairs", pairs)

@@ -171,27 +171,27 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 // regionReduce joins one matrix region: the local kNN of its R rows
 // against its S columns, by nested loop with a bounded heap — the
-// framework assumes nothing about the join condition, so no index.
+// framework assumes nothing about the join condition, so no index. The
+// loop runs on the columnar block kernels: one decode per group,
+// squared distances under L2 until the emit-time sqrt.
 func regionReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	rs, ss, err := driver.CollectRS(values)
+	rBlk, sBlk, err := driver.CollectRSBlocks(values)
 	if err != nil {
 		return err
 	}
+	squared := opts.Metric == vector.L2
 	heap := nnheap.NewKHeap(opts.K)
-	for _, r := range rs {
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
+	for row := 0; row < rBlk.Len(); row++ {
 		heap.Reset()
-		for _, s := range ss {
-			heap.Push(nnheap.Candidate{ID: s.ID, Dist: opts.Metric.Dist(r.Point, s.Point)})
-		}
-		cands := heap.Sorted()
-		nbs := make([]codec.Neighbor, len(cands))
-		for i, c := range cands {
-			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
-		}
-		emit(nil, codec.EncodeResult(codec.Result{RID: r.ID, Neighbors: nbs}))
+		sBlk.NearestK(rBlk.At(row), opts.Metric, heap)
+		cbuf = heap.AppendSorted(cbuf[:0])
+		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
+		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
 	}
-	pairs := int64(len(rs)) * int64(len(ss))
+	pairs := int64(rBlk.Len()) * int64(sBlk.Len())
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)
 	return nil

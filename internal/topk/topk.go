@@ -30,6 +30,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
@@ -310,49 +311,50 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 // slabReduce plane-sweeps one slab: R objects against the slab's S
 // objects sorted along the slab axis, with the window narrowing as the
-// local top-k fills.
+// local top-k fills. Both sides decode into columnar blocks (constant
+// allocations per group); the S side is axis-ordered through an index
+// permutation instead of moving coordinates, and distances run through
+// the fused block kernel.
 func slabReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
 	tau := ctx.Side("tau").(float64)
 	axis := ctx.Side("axis").(int)
-	var rs, ss []codec.Tagged
-	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		t, err := codec.DecodeTagged(v)
-		if err != nil {
-			return err
-		}
-		if t.Src == codec.FromR {
-			rs = append(rs, t)
-		} else {
-			ss = append(ss, t)
-		}
+	rBlk, sBlk, err := driver.CollectRSBlocks(values)
+	if err != nil {
+		return err
 	}
-	sort.Slice(ss, func(a, b int) bool { return ss[a].Point[axis] < ss[b].Point[axis] })
-	sx := make([]float64, len(ss))
-	for i, s := range ss {
-		sx[i] = s.Point[axis]
+	perm := make([]int, sBlk.Len())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return sBlk.At(perm[a])[axis] < sBlk.At(perm[b])[axis] })
+	sx := make([]float64, len(perm))
+	for i, p := range perm {
+		sx[i] = sBlk.At(p)[axis]
 	}
 
 	heap := newPairHeap(opts.K)
 	var pairs int64
-	for _, r := range rs {
+	for row := 0; row < rBlk.Len(); row++ {
+		rPoint := rBlk.At(row)
+		rid := rBlk.IDs[row]
 		limit := heap.threshold(tau)
-		x := r.Point[axis]
+		x := rPoint[axis]
 		lo := sort.SearchFloat64s(sx, x-limit)
-		for i := lo; i < len(ss); i++ {
+		for i := lo; i < len(perm); i++ {
 			// Re-read the (possibly shrunken) threshold each step: the
 			// sweep gets cheaper as better pairs arrive.
 			limit = heap.threshold(tau)
 			if sx[i] > x+limit {
 				break
 			}
-			if !admissible(opts, r.ID, ss[i].ID) {
+			si := perm[i]
+			if !admissible(opts, rid, sBlk.IDs[si]) {
 				continue
 			}
-			d := opts.Metric.Dist(r.Point, ss[i].Point)
 			pairs++
-			if d <= limit {
-				heap.push(Pair{RID: r.ID, SID: ss[i].ID, Dist: d})
+			if d := sBlk.DistTo(si, rPoint, opts.Metric); d <= limit {
+				heap.push(Pair{RID: rid, SID: sBlk.IDs[si], Dist: d})
 			}
 		}
 	}

@@ -156,13 +156,31 @@ func SqDist(p, q Point) float64 {
 	return sqDistL2(p, q)
 }
 
-func sqDistL2(p, q Point) float64 {
-	var s float64
-	for i := range p {
-		d := p[i] - q[i]
-		s += d * d
+// sqDistL2 is the one squared-L2 kernel of the repository: every caller
+// — Metric.Dist, SqDist, and the Block kernels over flat coordinate rows
+// — funnels through it, so scalar and columnar paths agree bit for bit.
+// Four accumulators break the loop-carried dependency on the running
+// sum, letting the FPU pipeline the adds (~3–4× on wide rows); the
+// summation order is fixed, deterministic, and shared by construction.
+func sqDistL2(p, q []float64) float64 {
+	q = q[:len(p)] // bounds-check elimination; callers guarantee equal length
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(p); i += 4 {
+		d0 := p[i] - q[i]
+		d1 := p[i+1] - q[i+1]
+		d2 := p[i+2] - q[i+2]
+		d3 := p[i+3] - q[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(p); i++ {
+		d := p[i] - q[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Dist is shorthand for L2.Dist, the paper's default measure.

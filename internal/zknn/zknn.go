@@ -9,6 +9,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
@@ -57,15 +58,8 @@ func encodeZ(shift int, z uint64, base []byte) []byte {
 	return append(out, base...)
 }
 
-func decodeZ(b []byte) (shift int, z uint64, t codec.Tagged, err error) {
-	if len(b) < 9 {
-		return 0, 0, codec.Tagged{}, fmt.Errorf("zknn: record truncated")
-	}
-	shift = int(b[0])
-	z = binary.LittleEndian.Uint64(b[1:9])
-	t, err = codec.DecodeTagged(b[9:])
-	return shift, z, t, err
-}
+// The reducer reads the layout in place: the z at [1:9] and the Tagged
+// payload from offset 9, which decodes straight into a columnar block.
 
 // Run executes the approximate join. rFile and sFile must contain Tagged
 // records; outFile receives one codec.Result per R object, each holding
@@ -195,55 +189,76 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 }
 
 // candidateReduce sorts one curve range and emits, for every r in it, the
-// true distances to its z-order neighborhood in S.
+// true distances to its z-order neighborhood in S. Both sides decode into
+// columnar blocks (constant allocations per group); S is curve-ordered
+// through an index permutation instead of moving coordinates, and the
+// candidate distances run through the fused squared-L2 kernel with the
+// sqrt taken at emit time.
 func candidateReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	type zObj struct {
-		z uint64
-		t codec.Tagged
-	}
-	var rs, ss []zObj
+	rBlk, sBlk := &vector.Block{}, &vector.Block{}
+	var rz, sz []uint64
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		_, z, t, err := decodeZ(v)
+		if len(v) < 9 {
+			return fmt.Errorf("zknn: record truncated")
+		}
+		z := binary.LittleEndian.Uint64(v[1:9])
+		src, err := codec.PeekSource(v[9:])
 		if err != nil {
 			return err
 		}
-		if t.Src == codec.FromR {
-			rs = append(rs, zObj{z, t})
+		if src == codec.FromR {
+			rz = append(rz, z)
+			_, _, err = codec.AppendTaggedToBlock(rBlk, v[9:])
 		} else {
-			ss = append(ss, zObj{z, t})
+			sz = append(sz, z)
+			_, _, err = codec.AppendTaggedToBlock(sBlk, v[9:])
+		}
+		if err != nil {
+			return err
 		}
 	}
-	sort.Slice(ss, func(a, b int) bool {
-		if ss[a].z != ss[b].z {
-			return ss[a].z < ss[b].z
+	// Curve order for S: a permutation sorted by (z, ID), plus the sorted
+	// z-values for the per-r binary search.
+	perm := make([]int, sBlk.Len())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		if sz[perm[a]] != sz[perm[b]] {
+			return sz[perm[a]] < sz[perm[b]]
 		}
-		return ss[a].t.ID < ss[b].t.ID
+		return sBlk.IDs[perm[a]] < sBlk.IDs[perm[b]]
 	})
+	zSorted := make([]uint64, len(perm))
+	for i, p := range perm {
+		zSorted[i] = sz[p]
+	}
+
 	var pairs int64
 	heap := nnheap.NewKHeap(opts.K)
-	for _, r := range rs {
-		pos := sort.Search(len(ss), func(i int) bool { return ss[i].z >= r.z })
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
+	for row := 0; row < rBlk.Len(); row++ {
+		rPoint := rBlk.At(row)
+		pos := sort.Search(len(zSorted), func(i int) bool { return zSorted[i] >= rz[row] })
 		lo := pos - opts.CandidatesPerSide
 		if lo < 0 {
 			lo = 0
 		}
 		hi := pos + opts.CandidatesPerSide
-		if hi > len(ss) {
-			hi = len(ss)
+		if hi > len(zSorted) {
+			hi = len(zSorted)
 		}
 		heap.Reset()
 		for x := lo; x < hi; x++ {
-			d := vector.Dist(r.t.Point, ss[x].t.Point)
+			si := perm[x]
 			pairs++
-			heap.Push(nnheap.Candidate{ID: ss[x].t.ID, Dist: d})
+			heap.Push(nnheap.Candidate{ID: sBlk.IDs[si], Dist: sBlk.SqDistTo(si, rPoint)})
 		}
-		cands := heap.Sorted()
-		nbs := make([]codec.Neighbor, len(cands))
-		for i, c := range cands {
-			nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
-		}
-		emit(nil, codec.EncodeResult(codec.Result{RID: r.t.ID, Neighbors: nbs}))
+		cbuf = heap.AppendSorted(cbuf[:0])
+		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, true)
+		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
 	}
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)

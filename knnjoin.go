@@ -1,28 +1,3 @@
-// Package knnjoin computes exact k-nearest-neighbor joins over
-// multi-dimensional data on an emulated MapReduce cluster, implementing
-// "Efficient Processing of k Nearest Neighbor Joins using MapReduce"
-// (Lu, Shen, Chen, Ooi — PVLDB 5(10), 2012).
-//
-// The kNN join R ⋉ S pairs every object r of R with its k nearest
-// neighbors in S. The package's flagship algorithm is PGBJ, the paper's
-// Voronoi-partitioning + grouping join; the baselines it was evaluated
-// against (PBJ, H-BRJ, the broadcast strategy and a centralized
-// brute-force join) are also provided under the same API.
-//
-// Quick start:
-//
-//	results, _, err := knnjoin.Join(r, s, knnjoin.Options{K: 10})
-//
-// Every algorithm except the deliberately approximate ZKNN and LSH
-// returns exact results; they differ only in cost. The returned Stats
-// expose the paper's evaluation measures — per-phase wall time,
-// distance-computation selectivity, shuffle bytes, S-replication and
-// reducer skew — so the trade-offs are observable on your own data.
-//
-// Three sibling operators built on the same machinery round out the
-// package: ClosestPairs (the top-k closest pairs of R × S), RangeJoin
-// (every pair within a radius θ), and LOF (density-based outlier scores
-// over a self-join).
 package knnjoin
 
 import (
@@ -239,11 +214,11 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 	if len(r) == 0 {
 		return nil, &Stats{Algorithm: opts.Algorithm.String(), K: opts.K}, nil
 	}
-	if err := checkDims(r, s); err != nil {
-		return nil, nil, err
-	}
 
 	if opts.Algorithm == BruteForce {
+		if err := driver.CheckDims(r, s); err != nil {
+			return nil, nil, fmt.Errorf("knnjoin: %w", err)
+		}
 		results, pairs := naive.BruteForce(r, s, opts.K, opts.Metric)
 		rep := &Stats{Algorithm: "bruteforce", K: opts.K, RSize: len(r), SSize: len(s),
 			Dims: r[0].Point.Dim(), Nodes: 1, Pairs: pairs, OutputPairs: countPairs(results)}
@@ -251,7 +226,9 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 	}
 
 	env := driver.New(opts.Nodes, opts.ChunkRecords)
-	env.LoadRS(r, s)
+	if err := env.LoadRS(r, s); err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
 	cluster, rf, sf, of := env.Cluster, driver.RFile, driver.SFile, driver.OutFile
 
 	var rep *Stats
@@ -294,24 +271,6 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 	return results, rep, nil
-}
-
-// checkDims verifies every object of r and s shares one dimensionality,
-// converting what would otherwise surface as a deep panic into an error
-// at the API boundary.
-func checkDims(r, s []Object) error {
-	dim := r[0].Point.Dim()
-	for i := range r {
-		if d := r[i].Point.Dim(); d != dim {
-			return fmt.Errorf("knnjoin: R object %d has %d dims, want %d", r[i].ID, d, dim)
-		}
-	}
-	for i := range s {
-		if d := s[i].Point.Dim(); d != dim {
-			return fmt.Errorf("knnjoin: S object %d has %d dims, want %d", s[i].ID, d, dim)
-		}
-	}
-	return nil
 }
 
 func countPairs(results []Result) int64 {
@@ -371,11 +330,10 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 	if len(r) == 0 || len(s) == 0 {
 		return nil, &Stats{Algorithm: "range-join"}, nil
 	}
-	if err := checkDims(r, s); err != nil {
-		return nil, nil, err
-	}
 	env := driver.New(opts.Nodes, 0)
-	env.LoadRS(r, s)
+	if err := env.LoadRS(r, s); err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
 	rep, err := rangejoin.Run(env.Cluster, driver.RFile, driver.SFile, driver.OutFile, rangejoin.Options{
 		Radius: opts.Radius, Metric: opts.Metric, NumPivots: opts.NumPivots,
 		PivotStrategy: opts.PivotStrategy, Seed: opts.Seed,
@@ -429,11 +387,10 @@ func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
 	if len(r) == 0 || len(s) == 0 {
 		return nil, &Stats{Algorithm: "top-k pairs", K: opts.K}, nil
 	}
-	if err := checkDims(r, s); err != nil {
-		return nil, nil, err
-	}
 	env := driver.New(opts.Nodes, 0)
-	env.LoadRS(r, s)
+	if err := env.LoadRS(r, s); err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
 	pairs, rep, err := topk.Run(env.Cluster, driver.RFile, driver.SFile, driver.OutFile, topk.Options{
 		K: opts.K, Metric: opts.Metric, ExcludeSelf: opts.ExcludeSelf,
 		Unordered: opts.Unordered, Seed: opts.Seed,
