@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -27,29 +28,100 @@ func TestCheckFindsUndocumentedPackage(t *testing.T) {
 	write(t, filepath.Join(root, "testonly", "x.go"), "package testonly\n")
 	write(t, filepath.Join(root, "testonly", "x_test.go"), "// Not a package doc.\npackage testonly\n")
 
-	missing, err := check(root)
+	problems, err := check(root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []string{filepath.Join(root, "bad"), filepath.Join(root, "testonly")}
-	if len(missing) != len(want) {
-		t.Fatalf("missing = %v, want %v", missing, want)
+	if len(problems) != len(want) {
+		t.Fatalf("problems = %v, want dirs %v", problems, want)
 	}
 	for i := range want {
-		if missing[i] != want[i] {
-			t.Fatalf("missing = %v, want %v", missing, want)
+		if problems[i].pos != want[i] || !strings.Contains(problems[i].what, "package comment") {
+			t.Fatalf("problems = %v, want dirs %v", problems, want)
 		}
 	}
 }
 
-// The repository itself must pass: every package carries a comment.
-func TestRepositoryIsFullyDocumented(t *testing.T) {
-	missing, err := check("../..")
+// The exported-identifier rule applies inside the API-bearing
+// directories: undocumented exported funcs, methods, types and lone
+// consts are findings; documented const blocks, unexported names and
+// methods on unexported types are not.
+func TestCheckFindsUndocumentedExportedIdentifiers(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "internal", "dfs", "x.go"), `// Package dfs is a fixture.
+package dfs
+
+type Exported struct{}
+
+func Undocumented() {}
+
+// Documented does things, documented.
+func Documented() {}
+
+func (Exported) Method() {}
+
+// DocumentedMethod is covered.
+func (Exported) DocumentedMethod() {}
+
+func unexported() {}
+
+type hidden struct{}
+
+func (hidden) ExportedOnHidden() {}
+
+const Lone = 1
+
+// Block doc covers the members, stdlib-style.
+const (
+	A = iota
+	B
+)
+
+var Stray int
+`)
+	// The same gaps outside the enforced directories are fine.
+	write(t, filepath.Join(root, "internal", "other", "y.go"),
+		"// Package other is documented.\npackage other\n\nfunc Free() {}\n")
+
+	problems, err := check(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(missing) > 0 {
-		t.Fatalf("undocumented packages: %v", missing)
+	var got []string
+	for _, p := range problems {
+		got = append(got, p.what)
+	}
+	want := []string{
+		"exported type Exported has no doc comment",
+		"exported function Undocumented has no doc comment",
+		"exported method Method has no doc comment",
+		"exported const Lone has no doc comment",
+		"exported var Stray has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d problems %v, want %d", len(got), got, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			found = found || g == w
+		}
+		if !found {
+			t.Fatalf("missing finding %q in %v", w, got)
+		}
+	}
+}
+
+// The repository itself must pass: every package carries a comment and
+// the core packages document every exported identifier.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	problems, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("documentation problems: %v", problems)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"knnjoin/internal/experiments"
+	"knnjoin/internal/stats"
 )
 
 var order = []string{
@@ -45,8 +46,17 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for data and algorithms")
 	expFlag := fs.String("exp", "all", "comma-separated experiments (see -list)")
 	list := fs.Bool("list", false, "list experiment names and exit")
+	spillDir := fs.String("spill-dir", "", "out-of-core backend: run every experiment with DFS chunks and shuffle runs under this directory")
+	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget per run, e.g. 256M (spills to -spill-dir or a temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var memLimit int64
+	if *memLimitFlag != "" {
+		var err error
+		if memLimit, err = stats.ParseBytes(*memLimitFlag); err != nil {
+			return fmt.Errorf("-mem-limit: %w", err)
+		}
 	}
 	if *list {
 		for _, name := range order {
@@ -75,6 +85,7 @@ func run(args []string) error {
 
 	r := experiments.NewRunner(experiments.Config{
 		Scale: *scale, Seed: *seed, Nodes: *nodes, K: *k,
+		SpillDir: *spillDir, MemLimit: memLimit,
 	})
 	start := time.Now()
 	fmt.Printf("knnbench: scale=%.3g nodes=%d k=%d seed=%d (Forest×10 = %d objects)\n\n",

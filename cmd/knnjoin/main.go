@@ -7,6 +7,7 @@
 //	knnjoin -r r.csv -s s.csv -k 10 -algo pgbj -nodes 16
 //	knnjoin -r pts.csv -self -k 5 -algo hbrj -stats-only
 //	knnjoin -r pts.csv -self -k 20 -pairs -exclude-self -unordered
+//	knnjoin -r huge.csv -self -k 10 -mem-limit 256M   # out-of-core backend
 //
 // Input files hold one "id,x1,x2,..." line per object (see cmd/datagen).
 // Output lines are "rID,sID,distance", one per result pair — ordered by
@@ -22,6 +23,7 @@ import (
 
 	"knnjoin"
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/stats"
 )
 
 func main() {
@@ -50,8 +52,17 @@ func run(args []string) error {
 	unordered := fs.Bool("unordered", false, "with -pairs: report each unordered pair once (rID < sID)")
 	radius := fs.Float64("range", 0, "θ-range join with this radius instead of a kNN join")
 	covtype := fs.Bool("covtype", false, "inputs are UCI covtype.data[.gz] files (10 quantitative attributes)")
+	spillDir := fs.String("spill-dir", "", "out-of-core backend: spill DFS chunks and shuffle runs under this directory")
+	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget, e.g. 64M (spills to -spill-dir or a temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var memLimit int64
+	if *memLimitFlag != "" {
+		var err error
+		if memLimit, err = stats.ParseBytes(*memLimitFlag); err != nil {
+			return fmt.Errorf("-mem-limit: %w", err)
+		}
 	}
 	if *rPath == "" {
 		return fmt.Errorf("-r is required")
@@ -92,6 +103,7 @@ func run(args []string) error {
 		results, st, err := knnjoin.RangeJoin(r, s, knnjoin.RangeOptions{
 			Radius: *radius, Metric: metric, Nodes: *nodes,
 			NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed,
+			SpillDir: *spillDir, MemLimit: memLimit,
 		})
 		if err != nil {
 			return err
@@ -107,6 +119,7 @@ func run(args []string) error {
 		pairs, st, err := knnjoin.ClosestPairs(r, s, knnjoin.PairOptions{
 			K: *k, Metric: metric, Nodes: *nodes,
 			ExcludeSelf: *excludeSelf, Unordered: *unordered, Seed: *seed,
+			SpillDir: *spillDir, MemLimit: memLimit,
 		})
 		if err != nil {
 			return err
@@ -128,6 +141,7 @@ func run(args []string) error {
 	results, st, err := knnjoin.Join(r, s, knnjoin.Options{
 		K: *k, Algorithm: algo, Metric: metric, Nodes: *nodes,
 		NumPivots: *numPivots, PivotStrategy: ps, GroupStrategy: gs, Seed: *seed,
+		SpillDir: *spillDir, MemLimit: memLimit,
 	})
 	if err != nil {
 		return err

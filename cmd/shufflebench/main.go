@@ -1,14 +1,23 @@
 // Command shufflebench runs the MapReduce shuffle micro-benchmarks and
 // writes the results as JSON, so the shuffle's performance trajectory is
-// tracked across changes in a machine-readable form (committed as
-// BENCH_shuffle.json at the repository root). The workloads are the same
-// internal/benchjobs jobs bench_test.go measures with `go test -bench`.
+// tracked across changes in a machine-readable form. Two suites exist,
+// both committed at the repository root:
+//
+//   - "shuffle" (BENCH_shuffle.json): the in-memory sort-merge shuffle on
+//     the internal/benchjobs workloads bench_test.go also measures;
+//   - "spill" (BENCH_spill.json): the same workloads at 4× the input on
+//     the in-memory backend versus the out-of-core backend under a
+//     memory limit far below the shuffle size — demonstrating that
+//     spilled jobs stay under the limit (peak_resident_bytes) at a
+//     bounded slowdown while shuffling the same records.
 //
 // Usage:
 //
-//	shufflebench                     # print JSON to stdout
+//	shufflebench                                  # shuffle suite to stdout
 //	shufflebench -out BENCH_shuffle.json
-//	shufflebench -benchtime 50       # inner iterations per measurement
+//	shufflebench -suite spill -out BENCH_spill.json
+//	shufflebench -suite spill -mem-limit 128K
+//	shufflebench -benchtime 50                    # inner iterations per measurement
 package main
 
 import (
@@ -20,11 +29,13 @@ import (
 
 	"knnjoin/internal/benchjobs"
 	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/stats"
 )
 
 // Result is one benchmark's outcome in the emitted JSON.
 type Result struct {
 	Name        string  `json:"name"`
+	Engine      string  `json:"engine,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -33,29 +44,35 @@ type Result struct {
 	// so a future run can tell a perf change from a workload change.
 	ShuffleRecords int64 `json:"shuffle_records"`
 	ShuffleBytes   int64 `json:"shuffle_bytes"`
+	// Spill-suite fields: the engine's residency high-water mark and how
+	// much of the shuffle went to run files on disk.
+	PeakResidentBytes int64 `json:"peak_resident_bytes,omitempty"`
+	SpilledRuns       int64 `json:"spilled_runs,omitempty"`
+	SpilledBytes      int64 `json:"spilled_bytes,omitempty"`
 }
 
 // Report is the top-level JSON document.
 type Report struct {
-	Suite   string   `json:"suite"`
-	Engine  string   `json:"engine"`
-	Results []Result `json:"results"`
+	Suite    string   `json:"suite"`
+	Engine   string   `json:"engine"`
+	MemLimit int64    `json:"mem_limit,omitempty"`
+	Results  []Result `json:"results"`
 }
 
-func measure(name string, job *mapreduce.Job, iters int) (Result, error) {
-	in := benchjobs.Input(benchjobs.Records)
+func measureJob(name, engine string, job *mapreduce.Job, records int, eng mapreduce.Engine, iters int) (Result, error) {
+	in := benchjobs.Input(records)
 	var jobErr error
-	var stats *mapreduce.JobStats
+	var js *mapreduce.JobStats
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for it := 0; it < iters; it++ {
-				js, err := benchjobs.Run(job, in)
+				s, err := benchjobs.RunEngine(job, in, eng)
 				if err != nil {
 					jobErr = err
 					b.FailNow()
 				}
-				stats = js
+				js = s
 			}
 		}
 	})
@@ -64,20 +81,91 @@ func measure(name string, job *mapreduce.Job, iters int) (Result, error) {
 	}
 	n := br.N * iters
 	return Result{
-		Name:           name,
-		Iterations:     n,
-		NsPerOp:        float64(br.T.Nanoseconds()) / float64(n),
-		AllocsPerOp:    br.AllocsPerOp() / int64(iters),
-		BytesPerOp:     br.AllocedBytesPerOp() / int64(iters),
-		ShuffleRecords: stats.ShuffleRecords,
-		ShuffleBytes:   stats.ShuffleBytes,
+		Name:              name,
+		Engine:            engine,
+		Iterations:        n,
+		NsPerOp:           float64(br.T.Nanoseconds()) / float64(n),
+		AllocsPerOp:       br.AllocsPerOp() / int64(iters),
+		BytesPerOp:        br.AllocedBytesPerOp() / int64(iters),
+		ShuffleRecords:    js.ShuffleRecords,
+		ShuffleBytes:      js.ShuffleBytes,
+		PeakResidentBytes: js.PeakResidentBytes,
+		SpilledRuns:       js.SpilledRuns,
+		SpilledBytes:      js.SpilledBytes,
 	}, nil
+}
+
+// benchCases are the workloads both suites share.
+func benchCases(records int) []struct {
+	name string
+	job  *mapreduce.Job
+} {
+	return []struct {
+		name string
+		job  *mapreduce.Job
+	}{
+		{fmt.Sprintf("flat/keys=%d", 16*records), benchjobs.FlatJob(16 * records)},
+		{"flat/keys=256", benchjobs.FlatJob(256)},
+		{"composite/secondary-sort", benchjobs.CompositeJob()},
+	}
+}
+
+func runShuffleSuite(iters int) (*Report, error) {
+	report := &Report{Suite: "mapreduce-shuffle", Engine: "sort-merge-streaming"}
+	for _, c := range benchCases(benchjobs.Records) {
+		res, err := measureJob(c.name, "", c.job, benchjobs.Records, mapreduce.Engine{}, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.PeakResidentBytes, res.SpilledRuns, res.SpilledBytes = 0, 0, 0 // not this suite's subject
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+func runSpillSuite(iters int, memLimit int64, spillDir string) (*Report, error) {
+	dir := spillDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "shufflebench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("-spill-dir: %w", err)
+	}
+	// 4× the shuffle-suite input: large enough that the shuffle far
+	// exceeds the memory limit, so spilling is genuinely forced.
+	records := 4 * benchjobs.Records
+	report := &Report{Suite: "mapreduce-spill", Engine: "external-shuffle", MemLimit: memLimit}
+	for _, c := range benchCases(records) {
+		mem, err := measureJob(c.name, "in-memory", c.job, records, mapreduce.Engine{}, iters)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, mem)
+		sp, err := measureJob(c.name, "spill", c.job, records,
+			mapreduce.Engine{SpillDir: dir, MemLimit: memLimit}, iters)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, sp)
+		if sp.ShuffleBytes > memLimit && sp.PeakResidentBytes > memLimit {
+			return nil, fmt.Errorf("%s: spill engine peak %dB exceeds the %dB limit",
+				c.name, sp.PeakResidentBytes, memLimit)
+		}
+	}
+	return report, nil
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
+	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill")
+	memLimitFlag := fs.String("mem-limit", "256K", "spill suite: resident shuffle budget")
+	spillDir := fs.String("spill-dir", "", "spill suite: run-file directory (default: a temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,21 +173,22 @@ func run(args []string) error {
 		return fmt.Errorf("-benchtime must be at least 1, got %d", *iters)
 	}
 
-	report := Report{Suite: "mapreduce-shuffle", Engine: "sort-merge-streaming"}
-	cases := []struct {
-		name string
-		job  *mapreduce.Job
-	}{
-		{"flat/keys=32000", benchjobs.FlatJob(32000)},
-		{"flat/keys=256", benchjobs.FlatJob(256)},
-		{"composite/secondary-sort", benchjobs.CompositeJob()},
-	}
-	for _, c := range cases {
-		res, err := measure(c.name, c.job, *iters)
-		if err != nil {
-			return err
+	var report *Report
+	var err error
+	switch *suite {
+	case "shuffle":
+		report, err = runShuffleSuite(*iters)
+	case "spill":
+		var memLimit int64
+		if memLimit, err = stats.ParseBytes(*memLimitFlag); err != nil {
+			return fmt.Errorf("-mem-limit: %w", err)
 		}
-		report.Results = append(report.Results, res)
+		report, err = runSpillSuite(*iters, memLimit, *spillDir)
+	default:
+		return fmt.Errorf("unknown suite %q (want shuffle or spill)", *suite)
+	}
+	if err != nil {
+		return err
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")

@@ -38,3 +38,45 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Fatal("zero benchtime accepted")
 	}
 }
+
+func TestSpillSuiteWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spill.json")
+	if err := run([]string{"-suite", "spill", "-out", out, "-benchtime", "1",
+		"-mem-limit", "64K", "-spill-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Suite != "mapreduce-spill" || len(rep.Results) != 6 || rep.MemLimit != 64<<10 {
+		t.Fatalf("unexpected report: suite=%q results=%d limit=%d", rep.Suite, len(rep.Results), rep.MemLimit)
+	}
+	for i := 0; i < len(rep.Results); i += 2 {
+		mem, sp := rep.Results[i], rep.Results[i+1]
+		if mem.Engine != "in-memory" || sp.Engine != "spill" {
+			t.Fatalf("engine pairing broken at %d: %q/%q", i, mem.Engine, sp.Engine)
+		}
+		if mem.ShuffleBytes != sp.ShuffleBytes || mem.ShuffleRecords != sp.ShuffleRecords {
+			t.Fatalf("%s: engines shuffled different workloads", mem.Name)
+		}
+		if sp.ShuffleBytes > rep.MemLimit {
+			if sp.SpilledRuns == 0 {
+				t.Fatalf("%s: over-limit workload did not spill", sp.Name)
+			}
+			if sp.PeakResidentBytes > rep.MemLimit {
+				t.Fatalf("%s: spill peak %d exceeds limit %d", sp.Name, sp.PeakResidentBytes, rep.MemLimit)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadSuite(t *testing.T) {
+	if err := run([]string{"-suite", "nope"}); err == nil {
+		t.Fatal("bad suite accepted")
+	}
+}

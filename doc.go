@@ -35,6 +35,12 @@
 // out: ExcludeSelf post-processes self-join results, the Parse*
 // functions turn CLI strings into the option enums.
 //
+// Joins larger than memory run on the out-of-core execution backend:
+// setting Options.SpillDir (or just Options.MemLimit) moves dataset
+// chunks and map-side sorted runs to disk, and reducers stream the runs
+// back through a bounded-memory k-way merge. Results are byte-identical
+// to the in-memory backend; only the memory ceiling moves.
+//
 // Quick start (see ExampleJoin for the runnable form):
 //
 //	results, stats, err := knnjoin.Join(r, s, knnjoin.Options{K: 10})

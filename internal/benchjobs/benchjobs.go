@@ -87,10 +87,22 @@ func CompositeJob() *mapreduce.Job {
 	}
 }
 
-// Run executes one benchmark job over a fresh cluster and the canonical
-// input, returning the job's stats.
+// Run executes one benchmark job over a fresh in-memory cluster and the
+// canonical input, returning the job's stats.
 func Run(job *mapreduce.Job, in []dfs.Record) (*mapreduce.JobStats, error) {
-	c := mapreduce.NewCluster(dfs.New(512), 8)
-	c.FS().Write("in", in)
+	return RunEngine(job, in, mapreduce.Engine{})
+}
+
+// RunEngine is Run with an explicit execution backend, so the same
+// workloads measure the in-memory and the spilling shuffle side by side
+// (cmd/shufflebench's BENCH_spill.json series).
+func RunEngine(job *mapreduce.Job, in []dfs.Record, eng mapreduce.Engine) (*mapreduce.JobStats, error) {
+	c, err := mapreduce.NewClusterEngine(dfs.New(512), 8, eng)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.FS().Write("in", in); err != nil {
+		return nil, err
+	}
 	return c.Run(job)
 }

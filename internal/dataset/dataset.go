@@ -213,18 +213,19 @@ func Renumber(objs []codec.Object) []codec.Object {
 
 // ToDFS stores objs in the filesystem under name, each record a Tagged
 // object carrying the dataset tag. Partition −1 marks "not yet
-// partitioned"; the first MapReduce job fills it in.
-func ToDFS(fs *dfs.FS, name string, objs []codec.Object, src codec.Source) {
+// partitioned"; the first MapReduce job fills it in. The error is the
+// store's — in-memory stores never fail, disk-backed ones can.
+func ToDFS(fs dfs.Store, name string, objs []codec.Object, src codec.Source) error {
 	recs := make([]dfs.Record, len(objs))
 	for i, o := range objs {
 		recs[i] = codec.EncodeTagged(codec.Tagged{Object: o, Src: src, Partition: -1})
 	}
-	fs.Write(name, recs)
+	return fs.Write(name, recs)
 }
 
 // FromDFS reads a file written by ToDFS (or produced by a partitioning
 // job) back into tagged objects.
-func FromDFS(fs *dfs.FS, name string) ([]codec.Tagged, error) {
+func FromDFS(fs dfs.Store, name string) ([]codec.Tagged, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

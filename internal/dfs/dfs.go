@@ -1,4 +1,4 @@
-// Package dfs is a minimal in-memory stand-in for HDFS.
+// Package dfs is a minimal stand-in for HDFS with two storage backends.
 //
 // The paper's pipeline relies on HDFS for exactly one behaviour that
 // matters to the algorithms: imported data are split into equal-size
@@ -7,6 +7,12 @@
 // record lists and split into fixed-record-count chunks that the MapReduce
 // engine consumes as input splits — without pretending to be a real
 // filesystem.
+//
+// Two implementations of the Store interface are provided: FS keeps every
+// chunk in RAM (fast, bounded by the machine's memory), and Disk persists
+// chunks to a spill directory as length-prefixed record files, so
+// datasets larger than memory flow through the engine one input split at
+// a time — the out-of-core regime the paper's Hadoop clusters run in.
 package dfs
 
 import (
@@ -19,6 +25,32 @@ import (
 // objects, so that what a map task reads is exactly what a real system
 // would deserialize.
 type Record []byte
+
+// Store is the filesystem contract the MapReduce engine and the join
+// drivers program against: named files of ordered records, chopped into
+// fixed-record-count input splits. FS implements it in memory; Disk
+// implements it over a spill directory.
+type Store interface {
+	// ChunkRecords returns the configured records-per-chunk (split size).
+	ChunkRecords() int
+	// Write stores records under name, replacing any existing file.
+	Write(name string, records []Record) error
+	// Append adds records to an existing or new file.
+	Append(name string, records []Record) error
+	// Read returns all records of the named file in write order.
+	Read(name string) ([]Record, error)
+	// Remove deletes the named file; removing a missing file is a no-op.
+	Remove(name string)
+	// List returns the names of all files in lexicographic order.
+	List() []string
+	// Size returns the number of records in the named file, or 0 if absent.
+	Size(name string) int
+	// Bytes returns the total payload bytes of the named file.
+	Bytes(name string) int64
+	// Splits chops the named files into input splits of at most
+	// ChunkRecords records each, preserving record order per file.
+	Splits(names ...string) ([]Split, error)
+}
 
 // FS is an in-memory chunked file store, safe for concurrent use.
 type FS struct {
@@ -43,8 +75,10 @@ func New(chunkRecords int) *FS {
 func (fs *FS) ChunkRecords() int { return fs.chunkSize }
 
 // Write stores records under name, replacing any existing file. The
-// records are copied so callers may reuse their buffers.
-func (fs *FS) Write(name string, records []Record) {
+// records are copied so callers may reuse their buffers. The error is
+// always nil; it exists so FS satisfies Store, whose disk-backed
+// implementation can genuinely fail.
+func (fs *FS) Write(name string, records []Record) error {
 	cp := make([]Record, len(records))
 	for i, r := range records {
 		c := make(Record, len(r))
@@ -54,10 +88,12 @@ func (fs *FS) Write(name string, records []Record) {
 	fs.mu.Lock()
 	fs.files[name] = cp
 	fs.mu.Unlock()
+	return nil
 }
 
-// Append adds records to an existing or new file.
-func (fs *FS) Append(name string, records []Record) {
+// Append adds records to an existing or new file. The error is always
+// nil (see Write).
+func (fs *FS) Append(name string, records []Record) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	cur := fs.files[name]
@@ -67,6 +103,7 @@ func (fs *FS) Append(name string, records []Record) {
 		cur = append(cur, c)
 	}
 	fs.files[name] = cur
+	return nil
 }
 
 // Read returns all records of the named file in write order.
@@ -121,11 +158,29 @@ func (fs *FS) Bytes(name string) int64 {
 }
 
 // Split is one input split: a contiguous chunk of a file's records that
-// feeds exactly one map task.
+// feeds exactly one map task. In-memory stores populate Records directly;
+// disk-backed stores defer to a loader so a split's records enter memory
+// only while its map task runs.
 type Split struct {
 	File    string
 	Index   int
 	Records []Record
+
+	count int
+	load  func() ([]Record, error)
+}
+
+// Count returns the number of records in the split without loading them.
+func (s Split) Count() int { return s.count }
+
+// Load returns the split's records, reading them from the backing store
+// if they are not already in memory. Each call to a lazy split re-reads
+// the store, so a retried map task starts from clean input.
+func (s Split) Load() ([]Record, error) {
+	if s.Records != nil || s.load == nil {
+		return s.Records, nil
+	}
+	return s.load()
 }
 
 // Splits chops the named files into input splits of at most ChunkRecords
@@ -145,7 +200,8 @@ func (fs *FS) Splits(names ...string) ([]Split, error) {
 			if end > len(recs) {
 				end = len(recs)
 			}
-			out = append(out, Split{File: name, Index: i / fs.chunkSize, Records: recs[i:end]})
+			out = append(out, Split{File: name, Index: i / fs.chunkSize,
+				Records: recs[i:end], count: end - i})
 		}
 	}
 	return out, nil

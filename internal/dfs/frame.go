@@ -1,0 +1,38 @@
+package dfs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// WriteFrame appends one length-prefixed byte string to w: a uvarint
+// payload length followed by the payload. It is the single framing
+// primitive of every on-disk file this repository writes — the Disk
+// store's record files and the MapReduce engine's shuffle run files —
+// so a format change (say, adding checksums) lands in exactly one
+// encode/decode pair.
+func WriteFrame(w *bufio.Writer, b []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(b)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadFrame reads one WriteFrame-encoded byte string from r. A frame cut
+// short mid-payload surfaces as an error (io.ErrUnexpectedEOF from
+// ReadFull), never as a silently shortened payload.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

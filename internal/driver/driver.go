@@ -1,8 +1,9 @@
 // Package driver owns the scaffolding every public join operator used to
-// repeat: build an in-memory DFS, simulate a cluster over it, load the R
-// and S datasets as Tagged records, run an algorithm, and decode the
-// result file. Join, RangeJoin, ClosestPairs and LOF (via the self-join)
-// all run through one Env instead of four copies of that setup. It also
+// repeat: build a DFS (in-memory, or disk-backed when a spill backend is
+// configured), simulate a cluster over it, load the R and S datasets as
+// Tagged records, run an algorithm, and decode the result file. Join,
+// RangeJoin, ClosestPairs and LOF (via the self-join) all run through
+// one Env instead of four copies of that setup. It also
 // hosts the reduce-side collection helpers shared by the block/region
 // reducers — including the columnar-Block collectors every driver's hot
 // loop now runs on — and the emit-time conversion from candidate heaps
@@ -12,6 +13,8 @@ package driver
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"knnjoin/internal/codec"
@@ -32,15 +35,91 @@ const (
 // Env is one join run's environment: a fresh filesystem and a simulated
 // cluster of the requested size.
 type Env struct {
-	FS      *dfs.FS
+	FS      dfs.Store
 	Cluster *mapreduce.Cluster
+
+	ownedDir string // spill directory this Env created and must remove
 }
 
-// New builds an environment with nodes simulated nodes and the given DFS
-// chunk size (records per input split; ≤0 selects the DFS default).
+// Config selects an environment's shape: cluster size, split size, and
+// the execution backend (see mapreduce.Engine). The zero value of the
+// backend fields keeps everything in memory — the default every caller
+// had before spilling existed.
+type Config struct {
+	// Nodes is the simulated cluster size. Must be positive.
+	Nodes int
+	// ChunkRecords is the DFS split size (records per map task); ≤0
+	// selects the DFS default.
+	ChunkRecords int
+	// SpillDir, when non-empty, selects the out-of-core backend rooted at
+	// this directory: DFS chunks and shuffle runs both live under it.
+	SpillDir string
+	// MemLimit bounds resident shuffle bytes (half for retained runs,
+	// half for merge buffers; see mapreduce.Engine). MemLimit > 0 with an
+	// empty SpillDir makes the Env create — and remove on Close — a
+	// temporary spill directory.
+	MemLimit int64
+}
+
+// New builds an in-memory environment with nodes simulated nodes and the
+// given DFS chunk size (records per input split; ≤0 selects the DFS
+// default).
 func New(nodes, chunkRecords int) *Env {
 	fs := dfs.New(chunkRecords)
 	return &Env{FS: fs, Cluster: mapreduce.NewCluster(fs, nodes)}
+}
+
+// NewEnv builds an environment for the configuration. With a spill
+// backend configured, both the DFS chunks and the shuffle runs live on
+// disk in a private subdirectory of SpillDir (or the system temp dir),
+// created here and removed by Close — so any number of runs can share one
+// spill root without colliding. Call Close when the run's results have
+// been read.
+func NewEnv(cfg Config) (*Env, error) {
+	if cfg.SpillDir == "" && cfg.MemLimit <= 0 {
+		return New(cfg.Nodes, cfg.ChunkRecords), nil
+	}
+	root := cfg.SpillDir
+	if root == "" {
+		root = os.TempDir()
+	} else if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("driver: spill dir: %w", err)
+	}
+	dir, err := os.MkdirTemp(root, "knnjoin-env-*")
+	if err != nil {
+		return nil, fmt.Errorf("driver: spill dir: %w", err)
+	}
+	env := &Env{ownedDir: dir}
+	fs, err := dfs.NewDisk(filepath.Join(dir, "dfs"), cfg.ChunkRecords)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	shuffleDir := filepath.Join(dir, "shuffle")
+	if err := os.MkdirAll(shuffleDir, 0o755); err != nil {
+		env.Close()
+		return nil, fmt.Errorf("driver: spill dir: %w", err)
+	}
+	cluster, err := mapreduce.NewClusterEngine(fs, cfg.Nodes, mapreduce.Engine{
+		SpillDir: shuffleDir, MemLimit: cfg.MemLimit,
+	})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.FS, env.Cluster = fs, cluster
+	return env, nil
+}
+
+// Close releases the environment: the private spill subdirectory the Env
+// created is removed with everything in it (a caller-provided spill root
+// itself is left in place). Closing an in-memory Env is a no-op, so
+// callers may defer it unconditionally.
+func (e *Env) Close() {
+	if e.ownedDir != "" {
+		os.RemoveAll(e.ownedDir)
+		e.ownedDir = ""
+	}
 }
 
 // LoadRS validates the datasets and writes them to the canonical R and S
@@ -52,9 +131,10 @@ func (e *Env) LoadRS(r, s []codec.Object) error {
 	if err := CheckDims(r, s); err != nil {
 		return err
 	}
-	dataset.ToDFS(e.FS, RFile, r, codec.FromR)
-	dataset.ToDFS(e.FS, SFile, s, codec.FromS)
-	return nil
+	if err := dataset.ToDFS(e.FS, RFile, r, codec.FromR); err != nil {
+		return err
+	}
+	return dataset.ToDFS(e.FS, SFile, s, codec.FromS)
 }
 
 // CheckDims verifies that every object of r and s shares one
@@ -89,7 +169,7 @@ func (e *Env) Results() ([]codec.Result, error) {
 
 // ReadResults decodes a result file produced by any join job and returns
 // the results sorted by R object ID.
-func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
+func ReadResults(fs dfs.Store, name string) ([]codec.Result, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

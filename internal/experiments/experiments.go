@@ -23,10 +23,9 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dataset"
-	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/grouping"
 	"knnjoin/internal/hbrj"
-	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/naive"
 	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
@@ -46,6 +45,12 @@ type Config struct {
 	Nodes int
 	// K is the default number of neighbors. Default 10.
 	K int
+	// SpillDir selects the out-of-core execution backend for every
+	// experiment run (see driver.Config). Empty keeps runs in memory.
+	SpillDir string
+	// MemLimit bounds resident shuffle bytes per run; > 0 with an empty
+	// SpillDir uses a temporary directory per run.
+	MemLimit int64
 }
 
 func (c Config) withDefaults() Config {
@@ -258,21 +263,47 @@ func (r *Runner) runPGBJ(objs []codec.Object, k, nodes, numPivots int,
 	})
 }
 
+// newEnv builds one experiment run's environment on the configured
+// execution backend (in-memory by default, spilling when the Config says
+// so). Callers must Close the env when its results have been read.
+func (r *Runner) newEnv(nodes int) (*driver.Env, error) {
+	return driver.NewEnv(driver.Config{
+		Nodes: nodes, SpillDir: r.cfg.SpillDir, MemLimit: r.cfg.MemLimit,
+	})
+}
+
+// newSelfJoinEnv is newEnv with objs loaded as both R and S — the setup
+// every self-join experiment starts from.
+func (r *Runner) newSelfJoinEnv(objs []codec.Object, nodes int) (*driver.Env, error) {
+	env, err := r.newEnv(nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.LoadRS(objs, objs); err != nil {
+		env.Close()
+		return nil, err
+	}
+	return env, nil
+}
+
 // runPGBJOpts is runPGBJ with full control over the pgbj options.
 func (r *Runner) runPGBJOpts(objs []codec.Object, nodes int, opts pgbj.Options) (*stats.Report, error) {
-	fs := dfs.New(0)
-	cluster := mapreduce.NewCluster(fs, nodes)
-	dataset.ToDFS(fs, "R", objs, codec.FromR)
-	dataset.ToDFS(fs, "S", objs, codec.FromS)
-	return pgbj.Run(cluster, "R", "S", "out", opts)
+	env, err := r.newSelfJoinEnv(objs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	return pgbj.Run(env.Cluster, "R", "S", "out", opts)
 }
 
 // runAlgo runs one of the three compared algorithms as a self-join.
 func (r *Runner) runAlgo(alg string, objs []codec.Object, k, nodes, numPivots int) (*stats.Report, error) {
-	fs := dfs.New(0)
-	cluster := mapreduce.NewCluster(fs, nodes)
-	dataset.ToDFS(fs, "R", objs, codec.FromR)
-	dataset.ToDFS(fs, "S", objs, codec.FromS)
+	env, err := r.newSelfJoinEnv(objs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	cluster := env.Cluster
 	switch alg {
 	case "PGBJ":
 		return pgbj.Run(cluster, "R", "S", "out", pgbj.Options{

@@ -6,10 +6,7 @@ import (
 	"time"
 
 	"knnjoin/internal/codec"
-	"knnjoin/internal/dataset"
-	"knnjoin/internal/dfs"
 	"knnjoin/internal/lsh"
-	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/naive"
 	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
@@ -21,16 +18,6 @@ import (
 	"knnjoin/internal/vector"
 	"knnjoin/internal/zknn"
 )
-
-// newSelfJoinCluster builds a fresh cluster with objs loaded as both R
-// and S — the setup every extension experiment starts from.
-func (r *Runner) newSelfJoinCluster(objs []codec.Object, nodes int) *mapreduce.Cluster {
-	fs := dfs.New(0)
-	cluster := mapreduce.NewCluster(fs, nodes)
-	dataset.ToDFS(fs, "R", objs, codec.FromR)
-	dataset.ToDFS(fs, "S", objs, codec.FromS)
-	return cluster
-}
 
 // LSH is an extension experiment: the RankReduce-style LSH join (ref
 // [15]) versus exact PGBJ and the other approximate method, H-zkNNJ —
@@ -54,24 +41,33 @@ func (r *Runner) LSH() (*ExpResult, error) {
 	addRow("PGBJ (exact)", pgbjRep, exact)
 
 	for _, tables := range []int{1, 2, 4, 8} {
-		cluster := r.newSelfJoinCluster(objs, r.cfg.Nodes)
-		rep, err := lsh.Run(cluster, "R", "S", "out", lsh.Options{K: k, Tables: tables, Seed: r.cfg.Seed})
+		env, err := r.newSelfJoinEnv(objs, r.cfg.Nodes)
 		if err != nil {
 			return nil, err
 		}
-		results, err := naive.ReadResults(cluster.FS(), "out")
+		rep, err := lsh.Run(env.Cluster, "R", "S", "out", lsh.Options{K: k, Tables: tables, Seed: r.cfg.Seed})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		results, err := naive.ReadResults(env.FS, "out")
+		env.Close()
 		if err != nil {
 			return nil, err
 		}
 		addRow(fmt.Sprintf("RankReduce L=%d", tables), rep, results)
 	}
 
-	cluster := r.newSelfJoinCluster(objs, r.cfg.Nodes)
-	zRep, err := zknn.Run(cluster, "R", "S", "out", zknn.Options{K: k, Shifts: 3, Seed: r.cfg.Seed})
+	env, err := r.newSelfJoinEnv(objs, r.cfg.Nodes)
 	if err != nil {
 		return nil, err
 	}
-	zResults, err := naive.ReadResults(cluster.FS(), "out")
+	defer env.Close()
+	zRep, err := zknn.Run(env.Cluster, "R", "S", "out", zknn.Options{K: k, Shifts: 3, Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	zResults, err := naive.ReadResults(env.FS, "out")
 	if err != nil {
 		return nil, err
 	}
@@ -104,10 +100,20 @@ func (r *Runner) Baselines() (*ExpResult, error) {
 	}
 	runs := []run{
 		{"basic (broadcast)", func() (*stats.Report, error) {
-			return naive.Broadcast(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", naive.BroadcastOptions{K: k})
+			env, err := r.newSelfJoinEnv(objs, nodes)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			return naive.Broadcast(env.Cluster, "R", "S", "out", naive.BroadcastOptions{K: k})
 		}},
 		{"1-Bucket-Theta", func() (*stats.Report, error) {
-			return theta.Run(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+			env, err := r.newSelfJoinEnv(objs, nodes)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			return theta.Run(env.Cluster, "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
 		}},
 		{"H-BRJ", func() (*stats.Report, error) {
 			return r.runAlgo("H-BRJ", objs, k, nodes, 0)
@@ -154,10 +160,16 @@ func (r *Runner) SetSim() (*ExpResult, error) {
 	cross := float64(n) * float64(n-1) / 2
 	tb := &stats.Table{Header: []string{"threshold", "time", "verified (‰ of cross)", "output pairs", "join skew", "exact"}}
 	for _, th := range []float64{0.5, 0.7, 0.9} {
-		fs := dfs.New(0)
-		cluster := mapreduce.NewCluster(fs, r.cfg.Nodes)
-		setsim.ToDFS(fs, "in", records)
-		got, rep, err := setsim.Run(cluster, "in", "out", setsim.Options{Threshold: th})
+		env, err := r.newEnv(r.cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		if err := setsim.ToDFS(env.FS, "in", records); err != nil {
+			env.Close()
+			return nil, err
+		}
+		got, rep, err := setsim.Run(env.Cluster, "in", "out", setsim.Options{Threshold: th})
+		env.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +219,12 @@ func (r *Runner) Skew() (*ExpResult, error) {
 		}
 		tb.AddRow(base, rep.JoinSkew, rep.Phases[0].Wall, float64(rep.SimMakespan)/1e6)
 	}
-	thetaRep, err := theta.Run(r.newSelfJoinCluster(objs, nodes), "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+	thetaEnv, err := r.newSelfJoinEnv(objs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer thetaEnv.Close()
+	thetaRep, err := theta.Run(thetaEnv.Cluster, "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -239,14 +256,19 @@ func (r *Runner) RangeJoinExp() (*ExpResult, error) {
 	nodes := r.cfg.Nodes
 	tb := &stats.Table{Header: []string{"radius", "time", "selectivity (‰)", "avg repl of S", "output pairs", "exact"}}
 	for _, radius := range []float64{0.05, 0.1, 0.2, 0.4} {
-		cluster := r.newSelfJoinCluster(objs, nodes)
-		rep, err := rangejoin.Run(cluster, "R", "S", "out", rangejoin.Options{
-			Radius: radius, NumPivots: r.DefaultPivots(), Seed: r.cfg.Seed,
-		})
+		env, err := r.newSelfJoinEnv(objs, nodes)
 		if err != nil {
 			return nil, err
 		}
-		got, err := naive.ReadResults(cluster.FS(), "out")
+		rep, err := rangejoin.Run(env.Cluster, "R", "S", "out", rangejoin.Options{
+			Radius: radius, NumPivots: r.DefaultPivots(), Seed: r.cfg.Seed,
+		})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		got, err := naive.ReadResults(env.FS, "out")
+		env.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -291,9 +313,13 @@ func (r *Runner) TopKPairs() (*ExpResult, error) {
 		}
 		tb.AddRow(k, "nested loop", time.Since(start), bfPairs, float64(bfPairs)/cross*1000, true)
 
-		cluster := r.newSelfJoinCluster(objs, nodes)
+		env, err := r.newSelfJoinEnv(objs, nodes)
+		if err != nil {
+			return nil, err
+		}
 		start = time.Now()
-		got, rep, err := topk.Run(cluster, "R", "S", "out", opts)
+		got, rep, err := topk.Run(env.Cluster, "R", "S", "out", opts)
+		env.Close()
 		if err != nil {
 			return nil, err
 		}

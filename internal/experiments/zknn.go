@@ -4,9 +4,6 @@ import (
 	"fmt"
 
 	"knnjoin/internal/codec"
-	"knnjoin/internal/dataset"
-	"knnjoin/internal/dfs"
-	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/naive"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
@@ -34,15 +31,17 @@ func (r *Runner) ZKNN() (*ExpResult, error) {
 	addRow("PGBJ (exact)", pgbjRep, exact)
 
 	for _, shifts := range []int{1, 2, 3, 5} {
-		fs := dfs.New(0)
-		cluster := mapreduce.NewCluster(fs, r.cfg.Nodes)
-		dataset.ToDFS(fs, "R", objs, codec.FromR)
-		dataset.ToDFS(fs, "S", objs, codec.FromS)
-		rep, err := zknn.Run(cluster, "R", "S", "out", zknn.Options{K: k, Shifts: shifts, Seed: r.cfg.Seed})
+		env, err := r.newSelfJoinEnv(objs, r.cfg.Nodes)
 		if err != nil {
 			return nil, err
 		}
-		results, err := naive.ReadResults(fs, "out")
+		rep, err := zknn.Run(env.Cluster, "R", "S", "out", zknn.Options{K: k, Shifts: shifts, Seed: r.cfg.Seed})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		results, err := naive.ReadResults(env.FS, "out")
+		env.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -48,8 +48,12 @@ func validate(pp *voronoi.Partitioner, n int) error {
 	return nil
 }
 
-// Thetas computes θ_i (Algorithm 1) for every R-partition. Both grouping
-// strategies and the second MapReduce job consume this vector.
+// Thetas computes θ_i for every R-partition P_i^R — Algorithm 1 of
+// §4.3.2: the upper bound on the kNN distance of any object in P_i^R,
+// derived from the k smallest pivot distances the TR/TS summary tables
+// record (the bound behind Theorem 4 and Corollary 2). Both grouping
+// strategies and the second MapReduce job's replica routing consume this
+// vector.
 func Thetas(sum *voronoi.Summary, pp *voronoi.Partitioner) []float64 {
 	out := make([]float64, pp.NumPartitions())
 	for i := range out {
@@ -58,10 +62,11 @@ func Thetas(sum *voronoi.Summary, pp *voronoi.Partitioner) []float64 {
 	return out
 }
 
-// Geometric implements Algorithm 4. Groups are seeded with mutually far
-// pivots (farthest-first), then each remaining partition joins the
-// currently smallest group among which its pivot is nearest, keeping the
-// per-group object counts nearly equal.
+// Geometric implements geometric grouping — §5.2.1, Algorithm 4, the
+// strategy whose group-size balance Table 3 reports. Groups are seeded
+// with mutually far pivots (farthest-first), then each remaining
+// partition joins the currently smallest group among which its pivot is
+// nearest, keeping the per-group object counts nearly equal.
 func Geometric(pp *voronoi.Partitioner, sum *voronoi.Summary, n int) (*Result, error) {
 	if err := validate(pp, n); err != nil {
 		return nil, err
@@ -268,10 +273,12 @@ func sortGroups(res *Result) {
 	}
 }
 
-// GroupLBs computes LB(P_j^S, G_g) of Theorem 6 for every S-partition and
-// group: the minimum of Corollary 2's per-partition thresholds over the
-// group's members. The second MapReduce job's mappers route replicas with
-// exactly this table.
+// GroupLBs computes LB(P_j^S, G_g) of Theorem 6 (§5.1) for every
+// S-partition and group: the minimum over the group's member partitions
+// of Corollary 2's per-partition threshold, so an S object replicates to
+// G_g iff its pivot distance reaches the table entry. The second
+// MapReduce job's mappers route replicas with exactly this table — it is
+// the LB(P_j^S, G_i) side data of Algorithm 3's setup hook.
 func GroupLBs(pp *voronoi.Partitioner, sum *voronoi.Summary, thetas []float64, res *Result) [][]float64 {
 	m := pp.NumPartitions()
 	out := make([][]float64, m) // out[sPartition][group]
@@ -298,9 +305,11 @@ func GroupLBs(pp *voronoi.Partitioner, sum *voronoi.Summary, thetas []float64, r
 	return out
 }
 
-// ExactReplication evaluates Theorem 7 exactly: given each S-partition's
-// full ascending pivot-distance list, it counts how many (object, group)
-// replicas the routing rule of Theorem 6 produces.
+// ExactReplication evaluates RP(S) of Theorem 7 (§5.2) exactly: given
+// each S-partition's full ascending pivot-distance list, it counts how
+// many (object, group) replicas the routing rule of Theorem 6 produces —
+// the "replication of S" quantity Figure 7b plots and greedy grouping
+// tries to minimize.
 func ExactReplication(groupLBs [][]float64, sDists [][]float64) int64 {
 	var total int64
 	for l, row := range groupLBs {
@@ -314,9 +323,12 @@ func ExactReplication(groupLBs [][]float64, sDists [][]float64) int64 {
 	return total
 }
 
-// ApproxReplication evaluates Equation 12's coarse estimate: an entire
-// S-partition counts as replicated to a group as soon as any of its
-// objects would be. Greedy grouping optimizes this quantity.
+// ApproxReplication evaluates Equation 12's coarse estimate of RP(S)
+// (§5.2.2): an entire S-partition counts as replicated to a group as
+// soon as any of its objects would be — i.e. as soon as LB(P_j^S, G_i)
+// falls to or below the partition's largest pivot distance U(P_j^S) from
+// table TS. Greedy grouping optimizes this quantity because the exact
+// Theorem-7 count is too expensive to re-evaluate at every growth step.
 func ApproxReplication(groupLBs [][]float64, sum *voronoi.Summary) int64 {
 	var total int64
 	for l, row := range groupLBs {

@@ -240,7 +240,7 @@ func bucketReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values
 
 // sampleTagged draws up to n objects uniformly from the named Tagged
 // files and reports the dimensionality.
-func sampleTagged(fs *dfs.FS, n int, seed int64, names ...string) ([]codec.Object, int, error) {
+func sampleTagged(fs dfs.Store, n int, seed int64, names ...string) ([]codec.Object, int, error) {
 	var all []codec.Object
 	for _, name := range names {
 		recs, err := fs.Read(name)

@@ -21,7 +21,12 @@
 //     engine reports both wall-clock phase times and a deterministic
 //     simulated makespan based on user-reported work units;
 //   - tasks can fail and are retried, so the fault-tolerance path the
-//     paper credits MapReduce for is present and testable.
+//     paper credits MapReduce for is present and testable;
+//   - the shuffle has two execution backends selected by Engine: the
+//     in-memory default, and an out-of-core backend that spills map-side
+//     sorted runs to length-prefixed run files and streams them back
+//     through a bounded-memory k-way merge — Hadoop's external shuffle,
+//     with byte-identical job output either way.
 //
 // Jobs are expressed with plain functions rather than an interface zoo:
 // a Map function, an optional Reduce function (nil makes a map-only job,
@@ -33,6 +38,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"slices"
 	"sync"
 	"time"
@@ -218,7 +224,17 @@ type JobStats struct {
 	// the raw material of load-balance analysis (the paper's §6.1.1
 	// "unbalanced workload" discussion made measurable).
 	ReduceInputRecords []int64
-	Counters           map[string]int64
+	// SpilledRuns and SpilledBytes count the sorted runs (and their
+	// key+value payload) written to the spill directory, including
+	// intermediate fan-in merges — zero on the in-memory backend.
+	SpilledRuns  int64
+	SpilledBytes int64
+	// PeakResidentBytes is the high-water mark of shuffle bytes held in
+	// memory: retained runs plus open merge read-ahead buffers. On the
+	// in-memory backend this reaches the full shuffle size; on the spill
+	// backend it stays within the engine's MemLimit.
+	PeakResidentBytes int64
+	Counters          map[string]int64
 }
 
 // ReduceSkew returns the max-over-mean ratio of reduce-task input sizes:
@@ -243,32 +259,50 @@ func (s JobStats) ReduceSkew() float64 {
 func (s JobStats) Wall() time.Duration { return s.MapWall + s.ReduceWall }
 
 // Cluster is a simulated shared-nothing cluster: a DFS plus a fixed number
-// of nodes, each contributing one map slot and one reduce slot.
+// of nodes, each contributing one map slot and one reduce slot. The
+// cluster's Engine decides where shuffle data lives between the phases —
+// the zero Engine keeps every run in memory, a spill-configured Engine
+// runs the out-of-core external shuffle.
 type Cluster struct {
-	fs    *dfs.FS
+	fs    dfs.Store
 	nodes int
+	eng   Engine
 }
 
-// NewCluster creates a cluster of n nodes over fs. n must be positive.
-func NewCluster(fs *dfs.FS, n int) *Cluster {
+// NewCluster creates an in-memory-shuffle cluster of n nodes over fs.
+// n must be positive.
+func NewCluster(fs dfs.Store, n int) *Cluster {
 	if n <= 0 {
 		panic("mapreduce: cluster needs at least one node")
 	}
 	return &Cluster{fs: fs, nodes: n}
 }
 
+// NewClusterEngine creates a cluster of n nodes over fs with an explicit
+// execution backend. n must be positive.
+func NewClusterEngine(fs dfs.Store, n int, eng Engine) (*Cluster, error) {
+	if err := eng.validate(); err != nil {
+		return nil, err
+	}
+	c := NewCluster(fs, n)
+	c.eng = eng
+	return c, nil
+}
+
 // FS returns the cluster's filesystem.
-func (c *Cluster) FS() *dfs.FS { return c.fs }
+func (c *Cluster) FS() dfs.Store { return c.fs }
 
 // Nodes returns the number of simulated nodes.
 func (c *Cluster) Nodes() int { return c.nodes }
 
 // taskResult carries one finished map task's output: one sorted run per
-// reducer (map-only jobs skip the sort and keep emission order).
+// reducer (map-only jobs skip the sort and keep emission order), each
+// either resident in memory or spilled to a run file.
 type taskResult struct {
-	index int
-	runs  [][]KV // runs[r] is this task's sorted run for reducer r
-	work  int64
+	index   int
+	runs    []runData // runs[r] is this task's sorted run for reducer r
+	work    int64
+	records int64 // input records consumed
 }
 
 // Run executes the job and returns its statistics. On any task error
@@ -306,6 +340,17 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 
+	rs := &runState{memLimit: c.eng.MemLimit}
+	rs.fanIn, rs.bufSize = c.eng.mergeBudget(c.nodes)
+	if c.eng.SpillDir != "" && job.Reduce != nil {
+		dir, derr := os.MkdirTemp(c.eng.SpillDir, "job-*")
+		if derr != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: spill dir: %w", job.Name, derr)
+		}
+		rs.spillDir = dir
+		defer os.RemoveAll(dir)
+	}
+
 	counters := NewCounterSet()
 	stats := &JobStats{Job: job.Name, MapTasks: len(splits), ReduceTasks: nReduce}
 
@@ -314,7 +359,7 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	results := make([]*taskResult, len(splits))
 	mapWork := make([]int64, len(splits))
 	err = c.runParallel(len(splits), func(i int) error {
-		res, werr := c.runMapTask(job, splits[i], i, nReduce, partition, counters, maxAttempts)
+		res, werr := c.runMapTask(job, rs, splits[i], i, nReduce, partition, counters, maxAttempts)
 		if werr != nil {
 			return werr
 		}
@@ -326,8 +371,8 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 		return nil, err
 	}
 	stats.MapWall = time.Since(mapStart)
-	for _, sp := range splits {
-		stats.MapInputRecords += int64(len(sp.Records))
+	for _, res := range results {
+		stats.MapInputRecords += res.records
 	}
 	stats.SimMapMakespan = makespan(mapWork, c.nodes)
 
@@ -337,12 +382,14 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 		var out []dfs.Record
 		for _, res := range results {
 			for _, run := range res.runs {
-				for _, kv := range run {
+				for _, kv := range run.kvs {
 					out = append(out, dfs.Record(kv.Value))
 				}
 			}
 		}
-		c.fs.Write(job.Output, out)
+		if werr := c.fs.Write(job.Output, out); werr != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, werr)
+		}
 		stats.OutputRecords = int64(len(out))
 		stats.Counters = counters.Snapshot()
 		return stats, nil
@@ -351,18 +398,18 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	// ---- Shuffle --------------------------------------------------------
 	// Hand each reducer the sorted runs destined for it, counting every
 	// key and value byte that crosses — the paper's "shuffling cost".
-	reducerRuns := make([][][]KV, nReduce)
+	// Spilled runs were counted as they were written; resident runs are
+	// summed here.
+	reducerRuns := make([][]runData, nReduce)
 	stats.ReduceInputRecords = make([]int64, nReduce)
 	for _, res := range results {
 		for r, run := range res.runs {
-			if len(run) == 0 {
+			if run.empty() || run.records() == 0 {
 				continue
 			}
-			for _, kv := range run {
-				stats.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
-			}
-			stats.ShuffleRecords += int64(len(run))
-			stats.ReduceInputRecords[r] += int64(len(run))
+			stats.ShuffleBytes += run.shuffleBytes()
+			stats.ShuffleRecords += run.records()
+			stats.ReduceInputRecords[r] += run.records()
 			reducerRuns[r] = append(reducerRuns[r], run)
 		}
 	}
@@ -374,7 +421,7 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	var groupCount int64
 	var groupMu sync.Mutex
 	err = c.runParallel(nReduce, func(r int) error {
-		recs, groups, work, rerr := c.runReduceTask(job, r, reducerRuns[r], counters, maxAttempts)
+		recs, groups, work, rerr := c.runReduceTask(job, rs, r, reducerRuns[r], counters, maxAttempts)
 		if rerr != nil {
 			return rerr
 		}
@@ -396,17 +443,22 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	for _, recs := range outputs {
 		out = append(out, recs...)
 	}
-	c.fs.Write(job.Output, out)
+	if werr := c.fs.Write(job.Output, out); werr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, werr)
+	}
 	stats.OutputRecords = int64(len(out))
+	stats.SpilledRuns = rs.spilledRuns.Load()
+	stats.SpilledBytes = rs.spilledBytes.Load()
+	stats.PeakResidentBytes = rs.peak.Load()
 	stats.Counters = counters.Snapshot()
 	return stats, nil
 }
 
-func (c *Cluster) runMapTask(job *Job, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, maxAttempts int) (*taskResult, error) {
+func (c *Cluster) runMapTask(job *Job, rs *runState, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, maxAttempts int) (*taskResult, error) {
 	taskID := fmt.Sprintf("%s/map/%d", job.Name, index)
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		res, err := c.attemptMapTask(job, split, index, nReduce, partition, counters, taskID, attempt)
+		res, err := c.attemptMapTask(job, rs, split, index, nReduce, partition, counters, taskID, attempt)
 		if err == nil {
 			return res, nil
 		}
@@ -415,7 +467,7 @@ func (c *Cluster) runMapTask(job *Job, split dfs.Split, index, nReduce int, part
 	return nil, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, maxAttempts, lastErr)
 }
 
-func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, taskID string, attempt int) (*taskResult, error) {
+func (c *Cluster) attemptMapTask(job *Job, rs *runState, split dfs.Split, index, nReduce int, partition PartitionFunc, counters *CounterSet, taskID string, attempt int) (*taskResult, error) {
 	if job.FailTask != nil {
 		if err := job.FailTask(taskID, attempt); err != nil {
 			return nil, err
@@ -427,7 +479,11 @@ func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, 
 			return nil, fmt.Errorf("map setup: %w", err)
 		}
 	}
-	res := &taskResult{index: index, runs: make([][]KV, nReduce)}
+	records, err := split.Load()
+	if err != nil {
+		return nil, fmt.Errorf("map input: %w", err)
+	}
+	res := &taskResult{index: index, runs: make([]runData, nReduce), records: int64(len(records))}
 	emit := func(key, value []byte) {
 		r := 0
 		if nReduce > 1 {
@@ -436,9 +492,9 @@ func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, 
 				panic(fmt.Sprintf("mapreduce: partition function returned %d for %d reducers", r, nReduce))
 			}
 		}
-		res.runs[r] = append(res.runs[r], KV{Key: key, Value: value})
+		res.runs[r].kvs = append(res.runs[r].kvs, KV{Key: key, Value: value})
 	}
-	for _, rec := range split.Records {
+	for _, rec := range records {
 		if err := job.Map(ctx, rec, emit); err != nil {
 			return nil, fmt.Errorf("map record: %w", err)
 		}
@@ -448,20 +504,70 @@ func (c *Cluster) attemptMapTask(job *Job, split dfs.Split, index, nReduce int, 
 		// sort of a real Hadoop map task). Map-only jobs skip this — their
 		// output contract is emission order.
 		for r := range res.runs {
-			sortRun(res.runs[r], job.ValueCompare)
+			sortRun(res.runs[r].kvs, job.ValueCompare)
 		}
 		if job.Combine != nil {
 			for r := range res.runs {
-				combined, err := combineRun(ctx, job, res.runs[r])
+				combined, err := combineRun(ctx, job, res.runs[r].kvs)
 				if err != nil {
 					return nil, fmt.Errorf("combine: %w", err)
 				}
-				res.runs[r] = combined
+				res.runs[r].kvs = combined
 			}
+		}
+		if err := c.retainOrSpill(rs, res); err != nil {
+			return nil, err
 		}
 	}
 	res.work = ctx.work
 	return res, nil
+}
+
+// retainOrSpill decides where the finished task's sorted runs live. The
+// task's bytes are first charged against the resident budget; if that
+// would exceed the engine's MemLimit (or the engine always spills), the
+// charge is reverted and every run goes to a run file instead. A run
+// replays the identical sorted record sequence from either home, so the
+// decision — which may differ across runs of a racy workload — can never
+// change job output.
+func (c *Cluster) retainOrSpill(rs *runState, res *taskResult) error {
+	var total int64
+	for _, run := range res.runs {
+		total += kvBytes(run.kvs)
+	}
+	if rs.spillDir == "" {
+		rs.reserve(total)
+		return nil
+	}
+	// Retention may use half of MemLimit; the other half belongs to the
+	// merge buffers (Engine.mergeBudget), so the two together stay under
+	// the limit. The charge commits only when it fits (CAS loop) — a
+	// speculative add would be visible to concurrent peak observations
+	// and could report a never-retained residency above the limit.
+	if rs.memLimit > 0 {
+		for {
+			cur := rs.resident.Load()
+			n := cur + total
+			if n > rs.memLimit/2 {
+				break
+			}
+			if rs.resident.CompareAndSwap(cur, n) {
+				rs.updatePeak(n)
+				return nil
+			}
+		}
+	}
+	for r := range res.runs {
+		if len(res.runs[r].kvs) == 0 {
+			continue
+		}
+		rf, err := writeRunFile(rs, res.runs[r].kvs)
+		if err != nil {
+			return err
+		}
+		res.runs[r] = runData{file: rf}
+	}
+	return nil
 }
 
 // sortRun orders kvs by key bytes, then by the optional value comparator.
@@ -504,11 +610,11 @@ func combineRun(ctx *TaskContext, job *Job, run []KV) ([]KV, error) {
 	return out, nil
 }
 
-func (c *Cluster) runReduceTask(job *Job, index int, runs [][]KV, counters *CounterSet, maxAttempts int) ([]dfs.Record, int64, int64, error) {
+func (c *Cluster) runReduceTask(job *Job, rs *runState, index int, runs []runData, counters *CounterSet, maxAttempts int) ([]dfs.Record, int64, int64, error) {
 	taskID := fmt.Sprintf("%s/reduce/%d", job.Name, index)
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		recs, groups, work, err := c.attemptReduceTask(job, runs, counters, taskID, attempt)
+		recs, groups, work, err := c.attemptReduceTask(job, rs, runs, counters, taskID, attempt)
 		if err == nil {
 			return recs, groups, work, nil
 		}
@@ -517,7 +623,7 @@ func (c *Cluster) runReduceTask(job *Job, index int, runs [][]KV, counters *Coun
 	return nil, 0, 0, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, maxAttempts, lastErr)
 }
 
-func (c *Cluster) attemptReduceTask(job *Job, runs [][]KV, counters *CounterSet, taskID string, attempt int) ([]dfs.Record, int64, int64, error) {
+func (c *Cluster) attemptReduceTask(job *Job, rs *runState, runs []runData, counters *CounterSet, taskID string, attempt int) ([]dfs.Record, int64, int64, error) {
 	if job.FailTask != nil {
 		if err := job.FailTask(taskID, attempt); err != nil {
 			return nil, 0, 0, err
@@ -529,14 +635,34 @@ func (c *Cluster) attemptReduceTask(job *Job, runs [][]KV, counters *CounterSet,
 			return nil, 0, 0, fmt.Errorf("reduce setup: %w", err)
 		}
 	}
-	// Runs are immutable inputs, so a retry simply rebuilds the merge.
-	m := newMerger(runs, job.ValueCompare)
+	// Runs are immutable inputs, so a retry simply rebuilds the merge —
+	// reopening spilled files from scratch. When the reducer received more
+	// runs than the merge fan-in admits, contiguous groups are first
+	// merged into intermediate run files (bounding the open read-ahead
+	// buffers), which cannot change the merged order.
+	runs, err := reduceFanIn(rs, runs, job.ValueCompare, rs.fanIn)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cursors := openRuns(rs, runs)
+	defer func() {
+		for _, cu := range cursors {
+			cu.close()
+		}
+	}()
+	m := newMergerCursors(cursors, job.ValueCompare)
 	var out []dfs.Record
 	emit := func(_, value []byte) {
 		out = append(out, dfs.Record(value))
 	}
 	groups, err := streamGroups(ctx, job.Reduce, m, job.GroupKeyPrefix, emit)
 	if err != nil {
+		return nil, 0, 0, err
+	}
+	// A merge source that died mid-stream (a truncated or unreadable run
+	// file) silently ended the stream early — the attempt's output is
+	// incomplete and must be discarded, not written.
+	if err := m.failure(); err != nil {
 		return nil, 0, 0, err
 	}
 	return out, groups, ctx.work, nil
@@ -613,23 +739,41 @@ func (v *Values) Collect() [][]byte {
 
 // merger k-way-merges sorted runs. Order: key bytes, then the value
 // comparator, then run index (which preserves map-task order for ties —
-// the old engine's "arrival order within a key").
+// the old engine's "arrival order within a key"). Runs arrive as cursors,
+// so in-memory slices and spilled run files merge through the same heap;
+// each heap entry caches its cursor's current record, keeping the
+// comparison path free of indirect calls.
 type merger struct {
 	heap []mergeSource
 	vcmp CompareFunc
+	fail error
 }
 
 type mergeSource struct {
-	kvs []KV
-	pos int
+	cur KV
+	src cursor
 	seq int
 }
 
+// newMerger merges in-memory runs — the combiner's path and the
+// all-resident reduce path.
 func newMerger(runs [][]KV, vcmp CompareFunc) *merger {
-	m := &merger{vcmp: vcmp}
+	cursors := make([]cursor, len(runs))
 	for i, run := range runs {
-		if len(run) > 0 {
-			m.heap = append(m.heap, mergeSource{kvs: run, seq: i})
+		cursors[i] = &memCursor{kvs: run}
+	}
+	return newMergerCursors(cursors, vcmp)
+}
+
+// newMergerCursors merges arbitrary cursors; a cursor's slice position is
+// its tie-breaking seq, so callers must pass runs in map-task order.
+func newMergerCursors(cursors []cursor, vcmp CompareFunc) *merger {
+	m := &merger{vcmp: vcmp}
+	for i, c := range cursors {
+		if kv, ok := c.peek(); ok {
+			m.heap = append(m.heap, mergeSource{cur: kv, src: c, seq: i})
+		} else if err := c.err(); err != nil && m.fail == nil {
+			m.fail = err
 		}
 	}
 	for i := len(m.heap)/2 - 1; i >= 0; i-- {
@@ -638,13 +782,17 @@ func newMerger(runs [][]KV, vcmp CompareFunc) *merger {
 	return m
 }
 
+// failure reports the first cursor error the merge encountered; the
+// stream ends early when a source fails, and the consuming task must
+// treat its output as incomplete.
+func (m *merger) failure() error { return m.fail }
+
 func (m *merger) less(a, b mergeSource) bool {
-	ka, kb := a.kvs[a.pos], b.kvs[b.pos]
-	if c := bytes.Compare(ka.Key, kb.Key); c != 0 {
+	if c := bytes.Compare(a.cur.Key, b.cur.Key); c != 0 {
 		return c < 0
 	}
 	if m.vcmp != nil {
-		if c := m.vcmp(ka.Value, kb.Value); c != 0 {
+		if c := m.vcmp(a.cur.Value, b.cur.Value); c != 0 {
 			return c < 0
 		}
 	}
@@ -674,15 +822,19 @@ func (m *merger) peek() (KV, bool) {
 	if len(m.heap) == 0 {
 		return KV{}, false
 	}
-	s := &m.heap[0]
-	return s.kvs[s.pos], true
+	return m.heap[0].cur, true
 }
 
 // pop consumes the smallest pending KV.
 func (m *merger) pop() {
 	s := &m.heap[0]
-	s.pos++
-	if s.pos == len(s.kvs) {
+	s.src.advance()
+	if kv, ok := s.src.peek(); ok {
+		s.cur = kv
+	} else {
+		if err := s.src.err(); err != nil && m.fail == nil {
+			m.fail = err
+		}
 		last := len(m.heap) - 1
 		m.heap[0] = m.heap[last]
 		m.heap = m.heap[:last]

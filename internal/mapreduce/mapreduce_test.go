@@ -19,7 +19,7 @@ func newTestCluster(nodes, chunk int) *Cluster {
 	return NewCluster(dfs.New(chunk), nodes)
 }
 
-func writeLines(fs *dfs.FS, name string, lines ...string) {
+func writeLines(fs dfs.Store, name string, lines ...string) {
 	recs := make([]dfs.Record, len(lines))
 	for i, l := range lines {
 		recs[i] = dfs.Record(l)
@@ -66,7 +66,7 @@ func wordCountJob(input, output string, combine bool) *Job {
 	return j
 }
 
-func readCounts(t *testing.T, fs *dfs.FS, name string) map[string]int {
+func readCounts(t *testing.T, fs dfs.Store, name string) map[string]int {
 	t.Helper()
 	recs, err := fs.Read(name)
 	if err != nil {

@@ -1,0 +1,433 @@
+package mapreduce
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"knnjoin/internal/dfs"
+)
+
+// Engine selects the execution backend of a Cluster: where map-side
+// sorted runs live between the map and reduce phases.
+//
+// The zero value is the in-memory backend every cluster used before
+// spilling existed: all runs stay resident until the job completes.
+// Setting SpillDir turns on the out-of-core backend — the external
+// shuffle Hadoop performs and the paper's clusters depend on (§2.2):
+// completed runs are written to the spill directory as length-prefixed
+// binary-key run files, and every reduce task k-way-merges them back off
+// disk with a bounded amount of memory. Because runs hold the same
+// key-sorted record sequence either way, a job's output is byte-identical
+// across backends.
+type Engine struct {
+	// SpillDir is the directory for run files; each job creates (and
+	// removes) a private subdirectory in it. Empty means in-memory.
+	SpillDir string
+
+	// MemLimit bounds the shuffle bytes kept resident in memory, split
+	// half/half between retained runs (a map task whose completed runs
+	// would push retention past limit/2 spills them to SpillDir instead)
+	// and merge I/O buffers (see mergeBudget). ≤ 0 with SpillDir set
+	// spills every run. The per-task working buffer is bounded
+	// separately, by the DFS split size.
+	MemLimit int64
+
+	// MergeFanIn caps how many runs a reduce task merges at once. When a
+	// reducer receives more spilled runs than this, contiguous groups are
+	// first merged into intermediate run files (Hadoop's multi-pass
+	// merge), keeping open-file read-ahead memory bounded. 0 derives the
+	// cap from MemLimit; the minimum is 2.
+	MergeFanIn int
+}
+
+// spillBufSize is the preferred I/O buffer of one open run file (or run
+// writer) during a merge; MemLimit shrinks it. Buffers are charged
+// against the engine's resident-memory accounting while open.
+const spillBufSize = 32 << 10
+
+// minSpillBuf floors the merge buffer size: limits so small that even
+// this floor overruns them are clamped rather than honored.
+const minSpillBuf = 128
+
+// defaultFanIn bounds a merge when no MemLimit constrains it.
+const defaultFanIn = 1024
+
+// mergeBudget resolves the merge shape for a cluster of n nodes: the
+// fan-in (how many runs one merge reads at once) and the per-file buffer
+// size. Half of MemLimit is reserved for retained runs (see
+// retainOrSpill), the other half is split across the n node-concurrent
+// reduce tasks; each task's share must hold fanIn read buffers plus one
+// write buffer for intermediate passes.
+func (e Engine) mergeBudget(n int) (fanIn, bufSize int) {
+	fanIn, bufSize = defaultFanIn, spillBufSize
+	if e.MergeFanIn > 0 {
+		fanIn = e.MergeFanIn
+		if fanIn < 2 {
+			fanIn = 2
+		}
+	}
+	if e.MemLimit > 0 {
+		perNode := e.MemLimit / 2 / int64(n)
+		if e.MergeFanIn <= 0 {
+			if f := int(perNode / spillBufSize); f < fanIn {
+				fanIn = f
+			}
+			if fanIn < 2 {
+				fanIn = 2
+			}
+		}
+		// The buffer size always honors the budget for whatever fan-in is
+		// in force — an explicit MergeFanIn above the derived cap shrinks
+		// the buffers rather than busting MemLimit.
+		if b := int(perNode / int64(fanIn+1)); b < bufSize {
+			bufSize = b
+		}
+		if bufSize < minSpillBuf {
+			bufSize = minSpillBuf
+		}
+	}
+	return fanIn, bufSize
+}
+
+// validate rejects configurations that silently could not spill.
+func (e Engine) validate() error {
+	if e.SpillDir == "" && e.MemLimit > 0 {
+		return fmt.Errorf("mapreduce: Engine.MemLimit set without Engine.SpillDir — nowhere to spill")
+	}
+	if e.MergeFanIn < 0 {
+		return fmt.Errorf("mapreduce: Engine.MergeFanIn must not be negative, got %d", e.MergeFanIn)
+	}
+	return nil
+}
+
+// runState is the per-job execution state of the backend: resident-memory
+// accounting and the job's private spill directory.
+type runState struct {
+	spillDir string // "" = in-memory job
+	memLimit int64
+	fanIn    int
+	bufSize  int
+
+	resident     atomic.Int64 // shuffle bytes currently in memory
+	peak         atomic.Int64
+	spilledRuns  atomic.Int64
+	spilledBytes atomic.Int64
+	nameSeq      atomic.Int64
+}
+
+// updatePeak folds a residency observation into the high-water mark.
+func (rs *runState) updatePeak(n int64) {
+	for {
+		p := rs.peak.Load()
+		if n <= p || rs.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// reserve charges n resident bytes and records the new high-water mark.
+func (rs *runState) reserve(n int64) { rs.updatePeak(rs.resident.Add(n)) }
+
+// release returns n resident bytes.
+func (rs *runState) release(n int64) { rs.resident.Add(-n) }
+
+// runData is one map task's sorted run for one reducer, in exactly one of
+// two states: resident (kvs) or spilled (file). Both states replay the
+// identical key-sorted record sequence, so the merge — and therefore the
+// job output — cannot tell them apart.
+type runData struct {
+	kvs  []KV
+	file *runFile
+}
+
+func (r runData) empty() bool { return r.kvs == nil && r.file == nil }
+
+// records returns the run's record count without loading it.
+func (r runData) records() int64 {
+	if r.file != nil {
+		return r.file.records
+	}
+	return int64(len(r.kvs))
+}
+
+// shuffleBytes returns the run's key+value payload bytes.
+func (r runData) shuffleBytes() int64 {
+	if r.file != nil {
+		return r.file.bytes
+	}
+	return kvBytes(r.kvs)
+}
+
+// runFile describes one spilled run: a file of length-prefixed key/value
+// records in key-sorted order. Because the keys are the order-preserving
+// binary encodings of internal/codec, bytewise file order equals shuffle
+// order — the file needs no footer, index or re-sort to be merged.
+type runFile struct {
+	path    string
+	records int64
+	bytes   int64 // key+value payload bytes
+}
+
+// kvBytes sums the shuffle payload of a run.
+func kvBytes(kvs []KV) int64 {
+	var n int64
+	for _, kv := range kvs {
+		n += int64(len(kv.Key) + len(kv.Value))
+	}
+	return n
+}
+
+// runFileWriter streams key-sorted records into a new run file. The file
+// is written under a temporary name and renamed into place by finish, so
+// a run file that exists is always complete — a crashed attempt leaves
+// only a *.tmp the job-directory cleanup removes.
+type runFileWriter struct {
+	rs   *runState
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	rf   runFile
+}
+
+// newRunFileWriter opens a fresh run file in the job's spill directory,
+// charging its write buffer against the resident budget until the writer
+// finishes or aborts.
+func newRunFileWriter(rs *runState) (*runFileWriter, error) {
+	path := filepath.Join(rs.spillDir, fmt.Sprintf("run-%06d", rs.nameSeq.Add(1)))
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: spill: %w", err)
+	}
+	rs.reserve(int64(rs.bufSize))
+	return &runFileWriter{
+		rs: rs, f: f, w: bufio.NewWriterSize(f, rs.bufSize),
+		path: path, rf: runFile{path: path},
+	}, nil
+}
+
+// append writes one record as two dfs frames: key, then value.
+func (rw *runFileWriter) append(kv KV) error {
+	if err := dfs.WriteFrame(rw.w, kv.Key); err != nil {
+		return err
+	}
+	if err := dfs.WriteFrame(rw.w, kv.Value); err != nil {
+		return err
+	}
+	rw.rf.records++
+	rw.rf.bytes += int64(len(kv.Key) + len(kv.Value))
+	return nil
+}
+
+// finish flushes, closes and atomically publishes the run file.
+func (rw *runFileWriter) finish() (*runFile, error) {
+	err := rw.w.Flush()
+	if cerr := rw.f.Close(); err == nil {
+		err = cerr
+	}
+	rw.rs.release(int64(rw.rs.bufSize))
+	if err == nil {
+		err = os.Rename(rw.path+".tmp", rw.path)
+	}
+	if err != nil {
+		os.Remove(rw.path + ".tmp")
+		return nil, fmt.Errorf("mapreduce: spill: %w", err)
+	}
+	rw.rs.spilledRuns.Add(1)
+	rw.rs.spilledBytes.Add(rw.rf.bytes)
+	rf := rw.rf
+	return &rf, nil
+}
+
+// abort discards the partially written file.
+func (rw *runFileWriter) abort() {
+	rw.f.Close()
+	rw.rs.release(int64(rw.rs.bufSize))
+	os.Remove(rw.path + ".tmp")
+}
+
+// writeRunFile persists an in-memory sorted run to disk.
+func writeRunFile(rs *runState, kvs []KV) (*runFile, error) {
+	rw, err := newRunFileWriter(rs)
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range kvs {
+		if err := rw.append(kv); err != nil {
+			rw.abort()
+			return nil, fmt.Errorf("mapreduce: spill: %w", err)
+		}
+	}
+	return rw.finish()
+}
+
+// cursor is one sorted-run stream feeding the k-way merge: the current
+// record, a way to advance, and a sticky error for streams that can fail
+// mid-read (disk runs). The merge drops an erroring cursor and surfaces
+// the error through the merger, failing the reduce attempt — retries
+// reopen the files from scratch.
+type cursor interface {
+	peek() (KV, bool)
+	advance()
+	err() error
+	close()
+}
+
+// memCursor streams an in-memory run.
+type memCursor struct {
+	kvs []KV
+	pos int
+}
+
+func (c *memCursor) peek() (KV, bool) {
+	if c.pos >= len(c.kvs) {
+		return KV{}, false
+	}
+	return c.kvs[c.pos], true
+}
+func (c *memCursor) advance()   { c.pos++ }
+func (c *memCursor) err() error { return nil }
+func (c *memCursor) close()     {}
+
+// fileCursor streams a spilled run file through a fixed read-ahead
+// buffer, charged against the engine's resident-memory accounting while
+// the cursor is open.
+type fileCursor struct {
+	rs      *runState
+	f       *os.File
+	r       *bufio.Reader
+	path    string
+	left    int64 // records not yet surfaced
+	cur     KV
+	ok      bool
+	failure error
+}
+
+// openRunCursor opens a spilled run for merging.
+func openRunCursor(rs *runState, rf *runFile) *fileCursor {
+	c := &fileCursor{rs: rs, path: rf.path, left: rf.records}
+	f, err := os.Open(rf.path)
+	if err != nil {
+		c.failure = fmt.Errorf("mapreduce: open run %s: %w", rf.path, err)
+		return c
+	}
+	c.f = f
+	c.r = bufio.NewReaderSize(f, rs.bufSize)
+	rs.reserve(int64(rs.bufSize))
+	c.advance()
+	return c
+}
+
+func (c *fileCursor) peek() (KV, bool) { return c.cur, c.ok }
+
+func (c *fileCursor) advance() {
+	c.ok = false
+	if c.failure != nil || c.left == 0 {
+		return
+	}
+	key, err := dfs.ReadFrame(c.r)
+	if err == nil {
+		var val []byte
+		if val, err = dfs.ReadFrame(c.r); err == nil {
+			c.left--
+			c.cur, c.ok = KV{Key: key, Value: val}, true
+			return
+		}
+	}
+	// A run file that ends early was partially written or truncated —
+	// surface it instead of silently merging a prefix.
+	c.failure = fmt.Errorf("mapreduce: run %s truncated mid-record: %w", c.path, err)
+}
+
+func (c *fileCursor) err() error { return c.failure }
+
+func (c *fileCursor) close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+		c.rs.release(int64(c.rs.bufSize))
+	}
+}
+
+// openRuns turns a reducer's runs into merge cursors, charging file
+// read-ahead buffers as they open.
+func openRuns(rs *runState, runs []runData) []cursor {
+	out := make([]cursor, len(runs))
+	for i, run := range runs {
+		if run.file != nil {
+			out[i] = openRunCursor(rs, run.file)
+		} else {
+			out[i] = &memCursor{kvs: run.kvs}
+		}
+	}
+	return out
+}
+
+// mergeToFile merges the given runs (a contiguous seq range) into a
+// single spilled run, preserving the exact record order a flat merge of
+// those runs would produce. Records stream from the input cursors to the
+// output writer one at a time — the pass exists to cut fan-in, so its
+// memory footprint is just the open read-ahead and write buffers.
+func mergeToFile(rs *runState, runs []runData, vcmp CompareFunc) (*runFile, error) {
+	cursors := openRuns(rs, runs)
+	defer func() {
+		for _, c := range cursors {
+			c.close()
+		}
+	}()
+	m := newMergerCursors(cursors, vcmp)
+	rw, err := newRunFileWriter(rs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kv, ok := m.peek()
+		if !ok {
+			break
+		}
+		if err := rw.append(kv); err != nil {
+			rw.abort()
+			return nil, fmt.Errorf("mapreduce: spill: %w", err)
+		}
+		m.pop()
+	}
+	if err := m.failure(); err != nil {
+		rw.abort()
+		return nil, err
+	}
+	return rw.finish()
+}
+
+// reduceFanIn repeatedly merges contiguous groups of runs until at most
+// fanIn remain. Grouping contiguous seq ranges and breaking merge ties on
+// source order keeps the final stream identical to a flat merge of every
+// original run, so multi-pass merging never changes job output.
+func reduceFanIn(rs *runState, runs []runData, vcmp CompareFunc, fanIn int) ([]runData, error) {
+	if rs.spillDir == "" {
+		// In-memory backend: nothing to bound — resident slices carry no
+		// per-run read-ahead buffer, and there is nowhere to merge to.
+		return runs, nil
+	}
+	for len(runs) > fanIn {
+		merged := make([]runData, 0, (len(runs)+fanIn-1)/fanIn)
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			if hi-lo == 1 {
+				merged = append(merged, runs[lo])
+				continue
+			}
+			rf, err := mergeToFile(rs, runs[lo:hi], vcmp)
+			if err != nil {
+				return nil, err
+			}
+			merged = append(merged, runData{file: rf})
+		}
+		runs = merged
+	}
+	return runs, nil
+}

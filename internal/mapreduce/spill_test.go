@@ -1,0 +1,342 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/dfs"
+)
+
+// spillCluster builds a cluster whose shuffle spills to a temp dir.
+func spillCluster(t *testing.T, nodes, chunk int, eng Engine) *Cluster {
+	t.Helper()
+	if eng.SpillDir == "" {
+		eng.SpillDir = t.TempDir()
+	}
+	c, err := NewClusterEngine(dfs.New(chunk), nodes, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// randomLines builds a deterministic duplicate-heavy workload large
+// enough to exercise many runs and groups.
+func randomLines(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	words := []string{"ant", "bee", "cat", "dog", "elk", "fox", "gnu", "hen"}
+	lines := make([]string, n)
+	for i := range lines {
+		var sb strings.Builder
+		for w := 0; w < 6; w++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		lines[i] = sb.String()
+	}
+	return lines
+}
+
+// The spill backend must produce byte-identical output to the in-memory
+// backend, record for record — the property that lets every join driver
+// run out-of-core unchanged.
+func TestSpillBackendOutputIdenticalToInMemory(t *testing.T) {
+	lines := randomLines(200)
+	for _, combine := range []bool{false, true} {
+		mem := newTestCluster(4, 16)
+		writeLines(mem.FS(), "in", lines...)
+		memStats, err := mem.Run(wordCountJob("in", "out", combine))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sp := spillCluster(t, 4, 16, Engine{})
+		writeLines(sp.FS(), "in", lines...)
+		spStats, err := sp.Run(wordCountJob("in", "out", combine))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		memOut, _ := mem.FS().Read("out")
+		spOut, _ := sp.FS().Read("out")
+		if len(memOut) != len(spOut) {
+			t.Fatalf("combine=%v: output sizes differ: mem %d spill %d", combine, len(memOut), len(spOut))
+		}
+		for i := range memOut {
+			if !bytes.Equal(memOut[i], spOut[i]) {
+				t.Fatalf("combine=%v: output record %d differs: %q vs %q", combine, i, memOut[i], spOut[i])
+			}
+		}
+		if spStats.SpilledRuns == 0 || spStats.SpilledBytes == 0 {
+			t.Fatalf("combine=%v: spill engine spilled nothing: %+v", combine, spStats)
+		}
+		if memStats.SpilledRuns != 0 {
+			t.Fatalf("combine=%v: in-memory engine spilled %d runs", combine, memStats.SpilledRuns)
+		}
+		if spStats.ShuffleBytes != memStats.ShuffleBytes || spStats.ShuffleRecords != memStats.ShuffleRecords {
+			t.Fatalf("combine=%v: shuffle accounting diverged: mem %d/%d spill %d/%d", combine,
+				memStats.ShuffleRecords, memStats.ShuffleBytes, spStats.ShuffleRecords, spStats.ShuffleBytes)
+		}
+	}
+}
+
+// With a MemLimit below the shuffle size, residency must stay under the
+// limit while the job still completes; with a generous limit nothing
+// spills and the shuffle stays resident.
+func TestSpillMemLimitBoundsResidency(t *testing.T) {
+	lines := randomLines(300)
+
+	tight := spillCluster(t, 4, 8, Engine{MemLimit: 4 << 10})
+	writeLines(tight.FS(), "in", lines...)
+	st, err := tight.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShuffleBytes <= 4<<10 {
+		t.Fatalf("workload too small to exceed the limit: shuffle=%d", st.ShuffleBytes)
+	}
+	if st.SpilledRuns == 0 {
+		t.Fatal("over-limit workload did not spill")
+	}
+	if st.PeakResidentBytes > 4<<10 {
+		t.Fatalf("peak resident %d exceeds the 4KiB MemLimit", st.PeakResidentBytes)
+	}
+
+	roomy := spillCluster(t, 4, 8, Engine{MemLimit: 64 << 20})
+	writeLines(roomy.FS(), "in", lines...)
+	st, err = roomy.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRuns != 0 {
+		t.Fatalf("under-limit workload spilled %d runs", st.SpilledRuns)
+	}
+	if st.PeakResidentBytes != st.ShuffleBytes {
+		t.Fatalf("retained peak %d != shuffle bytes %d", st.PeakResidentBytes, st.ShuffleBytes)
+	}
+}
+
+// A tiny MergeFanIn forces multi-pass merging: intermediate run files
+// beyond the map tasks' own, and still byte-identical output.
+func TestSpillFanInMultiPassMerge(t *testing.T) {
+	lines := randomLines(240)
+
+	mem := newTestCluster(4, 4) // 60 map tasks
+	writeLines(mem.FS(), "in", lines...)
+	if _, err := mem.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := spillCluster(t, 4, 4, Engine{MergeFanIn: 3})
+	writeLines(sp.FS(), "in", lines...)
+	st, err := sp.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRuns <= int64(st.MapTasks) {
+		t.Fatalf("fan-in 3 over %d map tasks produced no intermediate merges (%d spilled runs)",
+			st.MapTasks, st.SpilledRuns)
+	}
+	memOut, _ := mem.FS().Read("out")
+	spOut, _ := sp.FS().Read("out")
+	if len(memOut) != len(spOut) {
+		t.Fatalf("output sizes differ: mem %d spill %d", len(memOut), len(spOut))
+	}
+	for i := range memOut {
+		if !bytes.Equal(memOut[i], spOut[i]) {
+			t.Fatalf("output record %d differs under multi-pass merge", i)
+		}
+	}
+}
+
+// runFilesUnder lists completed run files below the engine spill dir.
+func runFilesUnder(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "job-*", "run-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, ".tmp") {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// A partially written run file must fail the reduce attempt cleanly; a
+// retry that finds the file intact again (the crash-mid-merge recovery
+// story) must succeed with complete output.
+func TestSpillCrashMidMergeRetries(t *testing.T) {
+	spillRoot := t.TempDir()
+	c := spillCluster(t, 2, 4, Engine{SpillDir: spillRoot})
+	writeLines(c.FS(), "in", randomLines(40)...)
+
+	var saved []byte
+	var victim string
+	job := wordCountJob("in", "out", false)
+	job.NumReducers = 1
+	job.MaxAttempts = 2
+	job.FailTask = func(taskID string, attempt int) error {
+		if !strings.HasSuffix(taskID, "/reduce/0") {
+			return nil
+		}
+		switch attempt {
+		case 1:
+			// Corrupt one run file mid-record before the first merge.
+			files := runFilesUnder(t, spillRoot)
+			if len(files) == 0 {
+				t.Fatal("no run files on disk at reduce time")
+			}
+			victim = files[0]
+			var err error
+			saved, err = os.ReadFile(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(victim, int64(len(saved)/2)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			// The "restarted node" restored the file: retry must succeed.
+			if err := os.WriteFile(victim, saved, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nil
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatalf("retry after restored run file failed: %v", err)
+	}
+
+	// The recovered output must be complete and correct.
+	mem := newTestCluster(2, 4)
+	writeLines(mem.FS(), "in", randomLines(40)...)
+	ref := wordCountJob("in", "out", false)
+	ref.NumReducers = 1
+	if _, err := mem.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	want := readCounts(t, mem.FS(), "out")
+	got := readCounts(t, c.FS(), "out")
+	if len(got) != len(want) {
+		t.Fatalf("recovered output has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("recovered count %q = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// A run file that stays truncated must abort the job with a truncation
+// error after retries — never silently merge the readable prefix.
+func TestSpillTruncatedRunFileAbortsJob(t *testing.T) {
+	spillRoot := t.TempDir()
+	c := spillCluster(t, 2, 4, Engine{SpillDir: spillRoot})
+	writeLines(c.FS(), "in", randomLines(40)...)
+
+	job := wordCountJob("in", "out", false)
+	job.NumReducers = 1
+	job.FailTask = func(taskID string, attempt int) error {
+		if strings.HasSuffix(taskID, "/reduce/0") && attempt == 1 {
+			files := runFilesUnder(t, spillRoot)
+			if len(files) == 0 {
+				t.Fatal("no run files on disk at reduce time")
+			}
+			fi, err := os.Stat(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(files[0], fi.Size()-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nil
+	}
+	_, err := c.Run(job)
+	if err == nil {
+		t.Fatal("job with a truncated run file succeeded")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error does not name the truncation: %v", err)
+	}
+}
+
+// The engine must reject configurations that cannot spill, and clean its
+// per-job directories up after a successful run.
+func TestSpillEngineValidationAndCleanup(t *testing.T) {
+	if _, err := NewClusterEngine(dfs.New(0), 2, Engine{MemLimit: 1 << 20}); err == nil {
+		t.Fatal("MemLimit without SpillDir was accepted")
+	}
+	if _, err := NewClusterEngine(dfs.New(0), 2, Engine{MergeFanIn: -1}); err == nil {
+		t.Fatal("negative MergeFanIn was accepted")
+	}
+
+	spillRoot := t.TempDir()
+	c := spillCluster(t, 2, 8, Engine{SpillDir: spillRoot})
+	writeLines(c.FS(), "in", randomLines(30)...)
+	if _, err := c.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(spillRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("job left spill debris behind: %v", names)
+	}
+}
+
+// Lazy DFS splits and the spill engine together: a job whose input and
+// shuffle both live on disk still produces in-memory-identical output.
+func TestSpillWithDiskDFS(t *testing.T) {
+	lines := randomLines(120)
+	recs := make([]dfs.Record, len(lines))
+	for i, l := range lines {
+		recs[i] = dfs.Record(l)
+	}
+
+	mem := newTestCluster(3, 8)
+	mem.FS().Write("in", recs)
+	if _, err := mem.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+
+	disk, err := dfs.NewDisk(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterEngine(disk, 3, Engine{SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Write("in", recs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(wordCountJob("in", "out", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MapInputRecords != int64(len(lines)) {
+		t.Fatalf("map input records = %d, want %d", st.MapInputRecords, len(lines))
+	}
+	memOut, _ := mem.FS().Read("out")
+	diskOut, err := disk.Read("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(memOut) != fmt.Sprint(diskOut) {
+		t.Fatal("disk-DFS + spill output differs from in-memory output")
+	}
+}

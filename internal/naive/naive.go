@@ -160,6 +160,6 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 
 // ReadResults decodes a result file produced by any join job in this
 // repository and returns the results sorted by R object ID.
-func ReadResults(fs *dfs.FS, name string) ([]codec.Result, error) {
+func ReadResults(fs dfs.Store, name string) ([]codec.Result, error) {
 	return driver.ReadResults(fs, name)
 }

@@ -44,7 +44,7 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 	}
 	defer cluster.FS().Remove(partFile)
 
-	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, report)
+	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, cluster.Nodes(), report)
 	if err != nil {
 		return nil, err
 	}

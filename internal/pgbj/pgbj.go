@@ -153,7 +153,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	defer cluster.FS().Remove(partFile)
 
 	// ---- Phase 3: index merging — build TR/TS from job-1 output ---------
-	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, report)
+	sum, err := buildSummary(cluster.FS(), partFile, pp, opts.K, cluster.Nodes(), report)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +221,7 @@ func sumNeighborCount(js *mapreduce.JobStats) int64 {
 
 // selectPivots reads R and runs the configured pivot-selection strategy,
 // charging its time and distance computations to the report.
-func selectPivots(fs *dfs.FS, rFile string, opts Options, report *stats.Report) ([]vector.Point, error) {
+func selectPivots(fs dfs.Store, rFile string, opts Options, report *stats.Report) ([]vector.Point, error) {
 	start := time.Now()
 	tagged, err := fromDFS(fs, rFile)
 	if err != nil {
@@ -281,34 +281,55 @@ func runPartitionJob(cluster *mapreduce.Cluster, pp *voronoi.Partitioner, inputs
 }
 
 // buildSummary is the index-merging phase: it folds the partitioned file
-// into the TR/TS summary tables, processing DFS chunks on parallel workers
-// and merging the partial builders, exactly as the paper merges per-split
-// statistics when job 1 completes.
-func buildSummary(fs *dfs.FS, partFile string, pp *voronoi.Partitioner, k int, report *stats.Report) (*voronoi.Summary, error) {
+// into the TR/TS summary tables, processing DFS chunks on a bounded
+// worker pool and merging the partial builders, exactly as the paper
+// merges per-split statistics when job 1 completes. The pool bound
+// matters on the disk-backed store: at most `workers` splits are
+// resident at once, preserving the out-of-core backend's memory bound.
+func buildSummary(fs dfs.Store, partFile string, pp *voronoi.Partitioner, k, workers int, report *stats.Report) (*voronoi.Summary, error) {
 	start := time.Now()
 	splits, err := fs.Splits(partFile)
 	if err != nil {
 		return nil, err
 	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(splits) {
+		workers = len(splits)
+	}
 	builders := make([]*voronoi.SummaryBuilder, len(splits))
 	errs := make([]error, len(splits))
+	tasks := make(chan int)
 	var wg sync.WaitGroup
-	for i := range splits {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			b := voronoi.NewSummaryBuilder(pp.NumPartitions(), k)
-			for _, rec := range splits[i].Records {
-				t, err := codec.DecodeTagged(rec)
+			for i := range tasks {
+				b := voronoi.NewSummaryBuilder(pp.NumPartitions(), k)
+				recs, err := splits[i].Load()
 				if err != nil {
 					errs[i] = err
-					return
+					continue
 				}
-				b.Add(t)
+				for _, rec := range recs {
+					t, err := codec.DecodeTagged(rec)
+					if err != nil {
+						errs[i] = err
+						b = nil
+						break
+					}
+					b.Add(t)
+				}
+				builders[i] = b
 			}
-			builders[i] = b
-		}(i)
+		}()
 	}
+	for i := range splits {
+		tasks <- i
+	}
+	close(tasks)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -513,7 +534,7 @@ func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *vo
 }
 
 // fromDFS decodes a file of Tagged records.
-func fromDFS(fs *dfs.FS, name string) ([]codec.Tagged, error) {
+func fromDFS(fs dfs.Store, name string) ([]codec.Tagged, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

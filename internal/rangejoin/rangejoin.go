@@ -327,7 +327,7 @@ func BruteForce(rObjs, sObjs []codec.Object, radius float64, m vector.Metric) []
 }
 
 // readTagged decodes a file of Tagged records.
-func readTagged(fs *dfs.FS, name string) ([]codec.Tagged, error) {
+func readTagged(fs dfs.Store, name string) ([]codec.Tagged, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

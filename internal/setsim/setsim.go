@@ -155,13 +155,14 @@ func DecodeSimPair(b []byte) (SimPair, error) {
 	}, nil
 }
 
-// ToDFS writes records to the cluster's file system.
-func ToDFS(fs *dfs.FS, name string, records []Record) {
+// ToDFS writes records to the cluster's file system, reporting the
+// store's write error (nil for the in-memory store).
+func ToDFS(fs dfs.Store, name string, records []Record) error {
 	recs := make([]dfs.Record, len(records))
 	for i, r := range records {
 		recs[i] = EncodeRecord(r)
 	}
-	fs.Write(name, recs)
+	return fs.Write(name, recs)
 }
 
 // Run executes the self-join on the cluster: every unordered record pair
@@ -318,7 +319,7 @@ func sumCounts(_ *mapreduce.TaskContext, key []byte, values *mapreduce.Values, e
 
 // tokenRanks reads stage 1's output and assigns each token its rank in
 // ascending frequency order (ties by token for determinism).
-func tokenRanks(fs *dfs.FS, name string) (map[int32]int32, error) {
+func tokenRanks(fs dfs.Store, name string) (map[int32]int32, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err
@@ -391,7 +392,7 @@ func verifyReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values
 }
 
 // ReadPairs decodes a pair file written by Run, sorted by (A, B).
-func ReadPairs(fs *dfs.FS, name string) ([]SimPair, error) {
+func ReadPairs(fs dfs.Store, name string) ([]SimPair, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -101,6 +102,39 @@ func (r *Report) String() string {
 		r.Algorithm, r.K, r.RSize, r.SSize, r.Dims, r.Nodes,
 		r.TotalWall().Round(time.Millisecond), r.Selectivity()*1000,
 		FormatBytes(r.ShuffleBytes), r.AvgReplication())
+}
+
+// ParseBytes parses a human byte count: a plain integer, or an integer
+// (or decimal) with a binary suffix K/M/G/T, case-insensitive, with an
+// optional trailing "iB"/"B" ("64M", "1.5GiB", "4096"). The inverse of
+// FormatBytes for CLI flags like -mem-limit.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			upper = upper[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) ||
+		v*float64(mult) >= math.MaxInt64 {
+		return 0, fmt.Errorf("stats: bad byte count %q", s)
+	}
+	return int64(v * float64(mult)), nil
 }
 
 // FormatBytes renders a byte count with a binary suffix.

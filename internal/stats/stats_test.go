@@ -204,3 +204,25 @@ func TestQuantileAgainstSort(t *testing.T) {
 		t.Fatalf("q0.8 = %v, want %v", got, sorted[3])
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "4096": 4096, "64K": 64 << 10, "64KB": 64 << 10,
+		"1M": 1 << 20, "1.5GiB": 3 << 29, "2g": 2 << 30, "1T": 1 << 40,
+		" 16 MiB ": 16 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "12Q", "B", "16000000T", "9e30", "8388608T", "9223372036854775808"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Fatalf("ParseBytes(%q) did not fail", bad)
+		}
+	}
+}

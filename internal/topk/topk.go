@@ -367,7 +367,7 @@ func slabReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, 
 }
 
 // ReadPairs decodes a pair file written by Run.
-func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
+func ReadPairs(fs dfs.Store, name string) ([]Pair, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err
@@ -384,7 +384,7 @@ func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
 }
 
 // sampleFile draws up to n objects uniformly from one Tagged file.
-func sampleFile(fs *dfs.FS, name string, n int, seed int64) ([]codec.Object, error) {
+func sampleFile(fs dfs.Store, name string, n int, seed int64) ([]codec.Object, error) {
 	recs, err := fs.Read(name)
 	if err != nil {
 		return nil, err

@@ -267,7 +267,7 @@ func candidateReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Val
 
 // sampleObjects draws up to n objects uniformly from the two files and
 // reports the dimensionality.
-func sampleObjects(fs *dfs.FS, rFile, sFile string, n int, seed int64) ([]codec.Object, int, error) {
+func sampleObjects(fs dfs.Store, rFile, sFile string, n int, seed int64) ([]codec.Object, int, error) {
 	var all []codec.Object
 	for _, name := range []string{rFile, sFile} {
 		recs, err := fs.Read(name)

@@ -180,6 +180,15 @@ type Options struct {
 	// ChunkRecords is the DFS split size (records per map task); default
 	// dfs.DefaultChunkRecords.
 	ChunkRecords int
+	// SpillDir selects the out-of-core execution backend: dataset chunks
+	// and shuffle runs live under this directory instead of in memory,
+	// and reducers stream sorted runs back off disk. Empty keeps the
+	// in-memory backend. Join results are byte-identical either way.
+	SpillDir string
+	// MemLimit bounds the shuffle bytes held resident (half for retained
+	// runs, half for merge buffers). MemLimit > 0 with an empty SpillDir
+	// spills to a temporary directory removed when the join returns.
+	MemLimit int64
 }
 
 func (o Options) withDefaults(rSize int) (Options, error) {
@@ -225,7 +234,14 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		return results, rep, nil
 	}
 
-	env := driver.New(opts.Nodes, opts.ChunkRecords)
+	env, err := driver.NewEnv(driver.Config{
+		Nodes: opts.Nodes, ChunkRecords: opts.ChunkRecords,
+		SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
+	defer env.Close()
 	if err := env.LoadRS(r, s); err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
 	}
@@ -303,6 +319,10 @@ type RangeOptions struct {
 	PivotStrategy PivotStrategy
 	// Seed fixes pivot selection; runs are deterministic per seed.
 	Seed int64
+	// SpillDir selects the out-of-core backend (see Options.SpillDir).
+	SpillDir string
+	// MemLimit bounds resident shuffle bytes (see Options.MemLimit).
+	MemLimit int64
 }
 
 // RangeJoin computes the θ-range join of r and s on the emulated
@@ -330,7 +350,13 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 	if len(r) == 0 || len(s) == 0 {
 		return nil, &Stats{Algorithm: "range-join"}, nil
 	}
-	env := driver.New(opts.Nodes, 0)
+	env, err := driver.NewEnv(driver.Config{
+		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
+	defer env.Close()
 	if err := env.LoadRS(r, s); err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
 	}
@@ -369,6 +395,10 @@ type PairOptions struct {
 	Unordered bool
 	// Seed fixes the threshold sampling; runs are deterministic per seed.
 	Seed int64
+	// SpillDir selects the out-of-core backend (see Options.SpillDir).
+	SpillDir string
+	// MemLimit bounds resident shuffle bytes (see Options.MemLimit).
+	MemLimit int64
 }
 
 // ClosestPairs finds the k closest (r, s) pairs of R × S on the emulated
@@ -387,7 +417,13 @@ func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
 	if len(r) == 0 || len(s) == 0 {
 		return nil, &Stats{Algorithm: "top-k pairs", K: opts.K}, nil
 	}
-	env := driver.New(opts.Nodes, 0)
+	env, err := driver.NewEnv(driver.Config{
+		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("knnjoin: %w", err)
+	}
+	defer env.Close()
 	if err := env.LoadRS(r, s); err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
 	}
