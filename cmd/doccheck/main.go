@@ -9,8 +9,9 @@
 //     documentation lives with the package under test.
 //
 //  2. In the API-bearing packages — the module root and the runtime core
-//     under internal/ (mapreduce, driver, dfs, codec, vector, grouping)
-//     — every exported identifier has a doc comment: functions, methods
+//     under internal/ (mapreduce, driver, dfs, codec, vector, grouping,
+//     serve, vindex) — every exported identifier has a doc comment:
+//     functions, methods
 //     with exported receivers, types, and const/var declarations (a doc
 //     comment on the enclosing const/var block covers its members, the
 //     stdlib convention for enum-style groups).
@@ -44,6 +45,8 @@ var exportedDocDirs = map[string]bool{
 	"internal/codec":     true,
 	"internal/vector":    true,
 	"internal/grouping":  true,
+	"internal/serve":     true,
+	"internal/vindex":    true,
 }
 
 // problem is one finding: a location and what is missing there. line

@@ -104,10 +104,12 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range ix.KNN(q, *k) {
+	res, st := ix.KNNWithStats(q, *k)
+	for _, c := range res {
 		fmt.Printf("%d,%g\n", c.ID, c.Dist)
 	}
-	fmt.Fprintf(os.Stderr, "knnindex: %d distance computations\n", ix.DistCount)
+	fmt.Fprintf(os.Stderr, "knnindex: %d distance computations, %d partitions scanned, %d pruned\n",
+		st.DistComputations, st.PartitionsScanned, st.PartitionsPruned)
 	return nil
 }
 

@@ -1,0 +1,145 @@
+// Command knnserve is the concurrent kNN query service over the pivot
+// index (internal/serve): load an index built by `knnindex build` (or
+// build one from a CSV dataset at startup) and answer kNN, range and
+// batched kNN queries over HTTP/JSON.
+//
+// Usage:
+//
+//	knnserve -index pts.idx -addr :8080
+//	knnserve -data pts.csv -pivots 200 -addr :8080
+//	knnserve -index pts.idx -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	POST /knn        {"point":[...],"k":5}
+//	POST /range      {"point":[...],"radius":10}
+//	POST /knn/batch  {"queries":[{"point":[...],"k":5}, ...]}
+//	POST /reload     {"path":"new.idx"}   (empty path re-reads -index)
+//	GET  /stats      counters, latency quantiles, cache hit rate
+//	GET  /healthz    liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/pivot"
+	"knnjoin/internal/serve"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "knnserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, builds the server, and serves until SIGINT/SIGTERM
+// or parent cancellation. ready, when non-nil, receives the bound
+// address once listening (used by tests to serve on ":0").
+func run(parent context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("knnserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	idxPath := fs.String("index", "", "index file built by `knnindex build`")
+	data := fs.String("data", "", "CSV dataset to index at startup (alternative to -index)")
+	numPivots := fs.Int("pivots", 0, "with -data: pivot count (0 = auto ≈ 2√n)")
+	metricName := fs.String("metric", "l2", "with -data: distance metric: l2 | l1 | linf")
+	pivotStrat := fs.String("pivot-strategy", "random", "with -data: pivot selection: random | farthest | kmeans")
+	boundK := fs.Int("boundk", 16, "with -data: per-partition kNN summary size")
+	seed := fs.Int64("seed", 1, "with -data: random seed")
+	workers := fs.Int("workers", 0, "concurrent query execution bound (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 1024, "LRU result cache entries (0 disables)")
+	maxBatch := fs.Int("max-batch", 1024, "maximum queries per /knn/batch request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*idxPath == "") == (*data == "") {
+		return fmt.Errorf("need exactly one of -index or -data")
+	}
+
+	var ix *vindex.Index
+	source := ""
+	switch {
+	case *idxPath != "":
+		var err error
+		if ix, err = vindex.LoadFile(*idxPath); err != nil {
+			return err
+		}
+		source = *idxPath
+	default:
+		metric, err := vector.ParseMetric(*metricName)
+		if err != nil {
+			return err
+		}
+		ps, err := pivot.ParseStrategy(*pivotStrat)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*data)
+		if err != nil {
+			return err
+		}
+		objs, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ix, err = vindex.Build(objs, vindex.Options{
+			Metric: metric, NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed, BoundK: *boundK,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// At the flag layer an explicit 0 means "no cache" (the library's
+	// zero value means "default size") — translate before constructing.
+	if *cacheSize == 0 {
+		*cacheSize = -1
+	}
+	s := serve.New(ix, source, serve.Config{
+		Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "knnserve: serving %d objects in %d partitions (dim %d) on %s\n",
+		ix.Len(), ix.NumPartitions(), ix.Dim(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/serve"
+)
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, dataset.Uniform(400, 3, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{},                                    // neither -index nor -data
+		{"-index", "a.idx", "-data", "b.csv"}, // both
+		{"-index", "/nonexistent.idx"},
+		{"-data", "/nonexistent.csv"},
+		{"-data", "x.csv", "-metric", "cosine"},
+		{"-data", "x.csv", "-pivot-strategy", "psychic"},
+	} {
+		if err := run(ctx, args, nil); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// Boot the real binary path end-to-end: build from CSV, serve on an
+// ephemeral port, answer /healthz and /knn, shut down on cancellation.
+func TestServeFromCSVEndToEnd(t *testing.T) {
+	csv := writeTestCSV(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-data", csv, "-addr", "127.0.0.1:0", "-pivots", "20"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Objects != 400 {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	resp, err = http.Post("http://"+addr+"/knn", "application/json",
+		strings.NewReader(`{"point":[50,50,50],"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr serve.KNNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(kr.Neighbors) != 5 {
+		t.Fatalf("knn status %d, %d neighbors", resp.StatusCode, len(kr.Neighbors))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -9,7 +9,12 @@
 //     the in-memory backend versus the out-of-core backend under a
 //     memory limit far below the shuffle size — demonstrating that
 //     spilled jobs stay under the limit (peak_resident_bytes) at a
-//     bounded slowdown while shuffling the same records.
+//     bounded slowdown while shuffling the same records;
+//   - "serve" (BENCH_serve.json): the knnserve query tier under load —
+//     N concurrent clients firing kNN queries (plus batch requests) at
+//     an in-process server, measuring throughput, p50/p90/p99 latency
+//     and cache hit rate while verifying every response is
+//     byte-identical to a sequential vindex query.
 //
 // Usage:
 //
@@ -17,6 +22,8 @@
 //	shufflebench -out BENCH_shuffle.json
 //	shufflebench -suite spill -out BENCH_spill.json
 //	shufflebench -suite spill -mem-limit 128K
+//	shufflebench -suite serve -out BENCH_serve.json
+//	shufflebench -suite serve -clients 16 -requests 5000
 //	shufflebench -benchtime 50                    # inner iterations per measurement
 package main
 
@@ -163,9 +170,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
-	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill")
+	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve")
 	memLimitFlag := fs.String("mem-limit", "256K", "spill suite: resident shuffle budget")
 	spillDir := fs.String("spill-dir", "", "spill suite: run-file directory (default: a temp dir)")
+	clients := fs.Int("clients", 8, "serve suite: concurrent load-generator clients")
+	requests := fs.Int("requests", 2000, "serve suite: kNN requests per measurement row")
+	k := fs.Int("k", 10, "serve suite: neighbors per query")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,7 +183,7 @@ func run(args []string) error {
 		return fmt.Errorf("-benchtime must be at least 1, got %d", *iters)
 	}
 
-	var report *Report
+	var report any
 	var err error
 	switch *suite {
 	case "shuffle":
@@ -184,8 +194,16 @@ func run(args []string) error {
 			return fmt.Errorf("-mem-limit: %w", err)
 		}
 		report, err = runSpillSuite(*iters, memLimit, *spillDir)
+	case "serve":
+		if *clients < 1 || *requests < *clients {
+			return fmt.Errorf("serve suite needs -clients ≥ 1 and -requests ≥ -clients")
+		}
+		if *k < 1 {
+			return fmt.Errorf("-k must be at least 1, got %d", *k)
+		}
+		report, err = runServeSuite(*clients, *requests, *k)
 	default:
-		return fmt.Errorf("unknown suite %q (want shuffle or spill)", *suite)
+		return fmt.Errorf("unknown suite %q (want shuffle, spill or serve)", *suite)
 	}
 	if err != nil {
 		return err

@@ -80,3 +80,48 @@ func TestRunRejectsBadSuite(t *testing.T) {
 		t.Fatal("bad suite accepted")
 	}
 }
+
+func TestServeSuiteWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "serve.json")
+	if err := run([]string{"-suite", "serve", "-out", out,
+		"-clients", "4", "-requests", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Suite != "knnserve-load" || len(rep.Results) != 3 { // clients 1, 2, 4
+		t.Fatalf("unexpected report: suite=%q results=%d", rep.Suite, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Verified {
+			t.Fatalf("%s: responses not verified byte-identical", r.Name)
+		}
+		if r.ThroughputRPS <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("%s: implausible latency profile %+v", r.Name, r)
+		}
+		if r.CacheHitRate <= 0 || r.CacheHitRate >= 1 {
+			t.Fatalf("%s: hit rate %v outside (0,1) — pool sizing broken", r.Name, r.CacheHitRate)
+		}
+		if r.DistComputations <= 0 {
+			t.Fatalf("%s: no distance computations recorded", r.Name)
+		}
+	}
+}
+
+func TestServeSuiteRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-suite", "serve", "-clients", "0"}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if err := run([]string{"-suite", "serve", "-clients", "8", "-requests", "4"}); err == nil {
+		t.Fatal("requests < clients accepted")
+	}
+	if err := run([]string{"-suite", "serve", "-k", "0"}); err == nil {
+		t.Fatal("zero k accepted")
+	}
+}

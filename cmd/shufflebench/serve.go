@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/serve"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+// ServeResult is one load-generation measurement in BENCH_serve.json.
+type ServeResult struct {
+	Name          string  `json:"name"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	BatchRequests int     `json:"batch_requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// DistComputations totals the index work behind every cache miss,
+	// from the server's /stats endpoint.
+	DistComputations int64 `json:"dist_computations"`
+	// Verified is true when every response — individual and batched —
+	// was byte-identical to the sequential vindex answer.
+	Verified bool `json:"verified"`
+}
+
+// ServeReport is the top-level BENCH_serve.json document.
+type ServeReport struct {
+	Suite        string        `json:"suite"`
+	IndexObjects int           `json:"index_objects"`
+	Dim          int           `json:"dim"`
+	K            int           `json:"k"`
+	QueryPool    int           `json:"query_pool"`
+	Results      []ServeResult `json:"results"`
+}
+
+// serveWorkload is the shared setup of every load-generation row: one
+// index, a fixed query pool, and the sequential ground-truth response
+// bytes each server answer must reproduce exactly.
+type serveWorkload struct {
+	ix      *vindex.Index
+	queries []vector.Point
+	bodies  []string // marshaled KNNRequest per query
+	want    [][]byte // sequential vindex answer per query
+	k       int
+}
+
+func newServeWorkload(objects, pool, k int) (*serveWorkload, error) {
+	objs := dataset.Forest(objects, 1)
+	ix, err := vindex.Build(objs, vindex.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	w := &serveWorkload{ix: ix, k: k}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < pool; i++ {
+		q := objs[rng.Intn(len(objs))].Point.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * 3
+		}
+		res, st := ix.KNNWithStats(q, k)
+		body, err := json.Marshal(serve.KNNRequest{Point: q, K: k})
+		if err != nil {
+			return nil, err
+		}
+		want, err := serve.MarshalKNN(res, st)
+		if err != nil {
+			return nil, err
+		}
+		w.queries = append(w.queries, q)
+		w.bodies = append(w.bodies, string(body))
+		w.want = append(w.want, want)
+	}
+	return w, nil
+}
+
+// driveClients fires `requests` kNN queries from `clients` concurrent
+// goroutines against url, verifying byte-identity of every response, and
+// returns the client-observed per-request latencies in milliseconds.
+func (w *serveWorkload) driveClients(url string, clients, requests int) ([]float64, error) {
+	perClient := requests / clients
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 100))
+			lat := make([]float64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				qi := rng.Intn(len(w.queries))
+				t0 := time.Now()
+				resp, err := http.Post(url+"/knn", "application/json", strings.NewReader(w.bodies[qi]))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, w.want[qi]) {
+					errs[c] = fmt.Errorf("client %d query %d: response not byte-identical to sequential vindex", c, qi)
+					return
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	return all, nil
+}
+
+// driveBatches sends `batches` /knn/batch requests of batchSize queries
+// each and verifies every per-query result byte-identically.
+func (w *serveWorkload) driveBatches(url string, batches, batchSize int) error {
+	rng := rand.New(rand.NewSource(999))
+	for b := 0; b < batches; b++ {
+		idx := make([]int, batchSize)
+		var req serve.BatchRequest
+		for i := range idx {
+			idx[i] = rng.Intn(len(w.queries))
+			req.Queries = append(req.Queries, serve.KNNRequest{Point: w.queries[idx[i]], K: w.k})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url+"/knn/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch %d: status %d: %s", b, resp.StatusCode, raw)
+		}
+		var br serve.BatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			return err
+		}
+		if len(br.Results) != batchSize {
+			return fmt.Errorf("batch %d: %d results, want %d", b, len(br.Results), batchSize)
+		}
+		for i, res := range br.Results {
+			if !bytes.Equal(res, w.want[idx[i]]) {
+				return fmt.Errorf("batch %d result %d: not byte-identical to sequential vindex", b, i)
+			}
+		}
+	}
+	return nil
+}
+
+func runServeSuite(clients, requests, k int) (*ServeReport, error) {
+	const objects = 20000
+	pool := requests / 4
+	if pool < 8 {
+		pool = 8
+	}
+	w, err := newServeWorkload(objects, pool, k)
+	if err != nil {
+		return nil, err
+	}
+	report := &ServeReport{
+		Suite:        "knnserve-load",
+		IndexObjects: w.ix.Len(),
+		Dim:          w.ix.Dim(),
+		K:            k,
+		QueryPool:    pool,
+	}
+
+	// Concurrency ladder up to the requested client count — never above
+	// it, and requests ≥ clients (flag-validated) keeps every row's
+	// per-client share ≥ 1.
+	rows := []int{1, clients / 2, clients}
+	sort.Ints(rows)
+	seen := map[int]bool{}
+	const batches = 8
+	for _, c := range rows {
+		if c < 1 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		// A fresh server per row: each row's cache starts cold, so hit
+		// rates are comparable across rows.
+		s := serve.New(w.ix, "", serve.Config{Workers: c, CacheSize: pool})
+		ts := httptest.NewServer(s.Handler())
+		start := time.Now()
+		lat, err := w.driveClients(ts.URL, c, requests)
+		elapsed := time.Since(start)
+		if err == nil {
+			err = w.driveBatches(ts.URL, batches, min(64, pool))
+		}
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		st := s.Stats()
+		ts.Close()
+		report.Results = append(report.Results, ServeResult{
+			Name:             fmt.Sprintf("knn/clients=%d", c),
+			Clients:          c,
+			Requests:         len(lat),
+			BatchRequests:    batches,
+			ThroughputRPS:    float64(len(lat)) / elapsed.Seconds(),
+			P50Ms:            stats.Quantile(lat, 0.50),
+			P90Ms:            stats.Quantile(lat, 0.90),
+			P99Ms:            stats.Quantile(lat, 0.99),
+			CacheHitRate:     st.Cache.HitRate,
+			DistComputations: st.DistComputations,
+			Verified:         true, // driveClients/driveBatches fail hard otherwise
+		})
+	}
+	return report, nil
+}

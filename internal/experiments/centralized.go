@@ -96,15 +96,17 @@ func (r *Runner) Centralized() (*ExpResult, error) {
 		return nil, err
 	}
 	vRes := make([]codec.Result, len(objs))
+	var vStats vindex.Stats
 	for i, o := range objs {
-		cands := vix.KNN(o.Point, k)
+		cands, st := vix.KNNWithStats(o.Point, k)
+		vStats.Add(st)
 		nbs := make([]codec.Neighbor, len(cands))
 		for j, c := range cands {
 			nbs[j] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
 		}
 		vRes[i] = codec.Result{RID: o.ID, Neighbors: nbs}
 	}
-	tb.AddRow("pivot index (vindex)", time.Since(start), float64(vix.DistCount)/cross*1000, check(vRes))
+	tb.AddRow("pivot index (vindex)", time.Since(start), float64(vStats.DistComputations)/cross*1000, check(vRes))
 
 	return &ExpResult{
 		Name:   "centralized",

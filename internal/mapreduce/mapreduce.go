@@ -842,8 +842,11 @@ func (m *merger) pop() {
 	m.down(0)
 }
 
-// runParallel executes fn(0..n-1) on at most c.nodes workers, returning the
-// first error encountered (all started work is drained first).
+// runParallel executes fn(0..n-1) on at most c.nodes workers, returning
+// the first error encountered. After a failure no new task indices are
+// dispatched — only work already handed to a worker is drained — so one
+// failing task short-circuits a large job instead of running it to
+// completion just to discard the result.
 func (c *Cluster) runParallel(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -855,8 +858,10 @@ func (c *Cluster) runParallel(n int, fn func(i int) error) error {
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
+		failOnce sync.Once
 		firstErr error
 	)
+	failed := make(chan struct{})
 	tasks := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -865,12 +870,23 @@ func (c *Cluster) runParallel(n int, fn func(i int) error) error {
 			for i := range tasks {
 				if err := fn(i); err != nil {
 					errOnce.Do(func() { firstErr = err })
+					failOnce.Do(func() { close(failed) })
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		tasks <- i
+		select {
+		case <-failed:
+			break dispatch
+		default:
+		}
+		select {
+		case tasks <- i:
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(tasks)
 	wg.Wait()

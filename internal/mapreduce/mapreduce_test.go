@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -1054,5 +1055,67 @@ func TestMergerProperties(t *testing.T) {
 	// Ties break by run index: run 0's "a" precedes run 2's.
 	if got := strings.Join(vals, ""); got != "1456237" {
 		t.Fatalf("merged value order = %q, want 1456237 (run-order ties)", got)
+	}
+}
+
+// runParallel must stop handing out task indices once a worker has
+// failed: only work already started may drain. A failing first task over
+// a huge task count must leave almost all of it undispatched.
+func TestRunParallelShortCircuits(t *testing.T) {
+	c := newTestCluster(4, 1)
+	var calls atomic.Int64
+	err := c.runParallel(100000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Task 0 fails immediately; after that at most the in-flight tasks
+	// plus a dispatch race's worth may run. Anything near the full count
+	// means the dispatcher kept going.
+	if n := calls.Load(); n > 1000 {
+		t.Fatalf("ran %d of 100000 tasks after an early failure", n)
+	}
+}
+
+// A failing map task must short-circuit a large job end-to-end: the
+// cluster stops dispatching remaining splits instead of mapping them all
+// and then discarding the result.
+func TestFailingMapTaskShortCircuitsJob(t *testing.T) {
+	fs := dfs.New(1) // one record per split
+	const splits = 5000
+	lines := make([]string, splits)
+	for i := range lines {
+		lines[i] = strconv.Itoa(i)
+	}
+	writeLines(fs, "in", lines...)
+	c := NewCluster(fs, 2)
+	var mapped atomic.Int64
+	job := &Job{
+		Name:   "failfast",
+		Input:  []string{"in"},
+		Output: "out",
+		Map: func(_ *TaskContext, rec dfs.Record, emit Emit) error {
+			mapped.Add(1)
+			if string(rec) == "0" {
+				return errors.New("poisoned record")
+			}
+			emit(rec, rec)
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key []byte, values *Values, emit Emit) error {
+			emit(key, key)
+			return nil
+		},
+	}
+	if _, err := c.Run(job); err == nil {
+		t.Fatal("job with a poisoned split succeeded")
+	}
+	if n := mapped.Load(); n > splits/10 {
+		t.Fatalf("mapped %d of %d records after the poisoned split failed", n, splits)
 	}
 }

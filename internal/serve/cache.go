@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"knnjoin/internal/vector"
+)
+
+// lruCache is a fixed-capacity LRU over immutable response bodies. One
+// cache belongs to one index snapshot, so a hot reload swaps the cache
+// together with the index and stale results can never be served. Callers
+// must not mutate returned values.
+type lruCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	byKey        map[string]*list.Element
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and promotes the entry. The hit/miss
+// counters feed the /stats endpoint.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// one beyond capacity.
+func (c *lruCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and current entry count.
+func (c *lruCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// cacheKey encodes (point, k) as the binary cache key: the exact float
+// bits, so only bit-identical query points share an entry.
+func cacheKey(q vector.Point, k int) string {
+	b := make([]byte, 0, 8+8*len(q))
+	b = binary.LittleEndian.AppendUint64(b, uint64(k))
+	for _, v := range q {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return string(b)
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"knnjoin/internal/vector"
+)
+
+func TestLRUEvictionAndPromotion(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if v, ok := c.get("a"); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("a missing")
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.put("c", []byte("3"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted despite promotion")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	hits, misses, entries := c.stats()
+	if entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestLRURefreshExistingKey(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("1"))
+	c.put("a", []byte("2"))
+	if v, _ := c.get("a"); !bytes.Equal(v, []byte("2")) {
+		t.Fatalf("refresh kept old value %q", v)
+	}
+	if _, _, entries := c.stats(); entries != 1 {
+		t.Fatal("refresh duplicated the entry")
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := newLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if v, ok := c.get(key); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.put(key, []byte{byte(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheKeyDistinguishesPointAndK(t *testing.T) {
+	a := cacheKey(vector.Point{1, 2}, 5)
+	if b := cacheKey(vector.Point{1, 2}, 6); a == b {
+		t.Fatal("k not part of the key")
+	}
+	if b := cacheKey(vector.Point{1, 2.0000001}, 5); a == b {
+		t.Fatal("point bits not part of the key")
+	}
+	if b := cacheKey(vector.Point{1, 2}, 5); a != b {
+		t.Fatal("identical queries produced different keys")
+	}
+	// +0 and -0 have different bits — distinct keys is fine; NaN inputs
+	// are rejected before the cache, so bit-equality is the right rule.
+}

@@ -1,0 +1,700 @@
+// Package serve is the online query tier over the pivot index: an
+// HTTP/JSON server that answers kNN and range queries from a shared,
+// immutable vindex.Index snapshot. It exists because vindex queries are
+// side-effect free — many goroutines can read one Index — which this
+// package turns into a serving surface in the spirit of the
+// related work on throughput-oriented kNN query processing (Nodarakis et
+// al.'s AkNN classification service; Gowanlock's batched hybrid join):
+// batches of independent queries amortized over one shared partitioning.
+//
+// The server owns four mechanisms:
+//
+//   - a bounded worker pool: at most Config.Workers queries execute at
+//     once, whatever the HTTP concurrency;
+//   - an atomic snapshot: the index (plus its result cache) lives behind
+//     one atomic pointer, so /reload swaps datasets without locking —
+//     in-flight queries finish on the snapshot they started with;
+//   - an LRU result cache keyed by (point, k) holding the exact response
+//     bytes, so a hit is byte-identical to the miss that filled it;
+//   - counters and a latency ring feeding /stats (query counts, p50/p90/
+//     p99, cache hit rate, distance-computation totals).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+// Config sizes the server's bounded resources. The zero value picks
+// sensible defaults for every field.
+type Config struct {
+	// Workers bounds concurrently executing queries (default: GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU capacity in entries (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// MaxBatch bounds the queries accepted in one /knn/batch request
+	// (default 1024).
+	MaxBatch int
+	// MaxBodyBytes bounds the accepted request body size, enforced
+	// while reading — an oversized request fails at the byte budget,
+	// not after being decoded into memory (default 16 MiB).
+	MaxBodyBytes int64
+	// LatencyWindow is the number of recent per-query latencies retained
+	// for the /stats quantiles (default 4096).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 4096
+	}
+	return c
+}
+
+// snapshot is one immutable serving generation: the index and the cache
+// of its results. Reload replaces the whole snapshot atomically, so a
+// query never mixes an old index with a new cache or vice versa.
+type snapshot struct {
+	ix     *vindex.Index
+	cache  *lruCache // nil when caching is disabled
+	source string    // index file the snapshot came from ("" if built in-process)
+}
+
+// Server answers kNN queries over an atomically swappable index
+// snapshot. Construct with New; all methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[snapshot]
+	sem  chan struct{} // worker pool: one token per executing query
+
+	start    time.Time
+	reloadMu sync.Mutex // serializes /reload (queries never take it)
+
+	knnCount     atomic.Int64
+	rangeCount   atomic.Int64
+	batchCount   atomic.Int64
+	batchQueries atomic.Int64
+	errCount     atomic.Int64
+	distComps    atomic.Int64
+	reloads      atomic.Int64
+
+	lat latencyRing
+}
+
+// New returns a server over ix. source records where the index came from
+// (the index file path, or "" when built in-process); /reload without an
+// explicit path re-reads it.
+func New(ix *vindex.Index, source string, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+		lat:   latencyRing{buf: make([]float64, cfg.LatencyWindow)},
+	}
+	s.snap.Store(newSnapshot(ix, source, cfg))
+	return s
+}
+
+func newSnapshot(ix *vindex.Index, source string, cfg Config) *snapshot {
+	var cache *lruCache
+	if cfg.CacheSize > 0 {
+		cache = newLRU(cfg.CacheSize)
+	}
+	return &snapshot{ix: ix, cache: cache, source: source}
+}
+
+// Swap atomically replaces the serving snapshot with a new index (and a
+// fresh, empty result cache). In-flight queries finish on the snapshot
+// they loaded; new queries see the new index.
+func (s *Server) Swap(ix *vindex.Index, source string) {
+	s.snap.Store(newSnapshot(ix, source, s.cfg))
+	s.reloads.Add(1)
+}
+
+// Index returns the current snapshot's index (for tests and tools; the
+// returned index is immutable).
+func (s *Server) Index() *vindex.Index { return s.snap.Load().ix }
+
+// Handler returns the HTTP routing table:
+//
+//	POST /knn        one kNN query
+//	POST /range      one range query
+//	POST /knn/batch  up to MaxBatch kNN queries, answered in order
+//	POST /reload     swap in a new index snapshot from disk
+//	GET  /stats      counters, latency quantiles, cache hit rate
+//	GET  /healthz    liveness plus index size
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /knn", s.handleKNN)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /knn/batch", s.handleBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// KNNRequest is the body of /knn and each element of /knn/batch.
+type KNNRequest struct {
+	// Point is the query point; its dimensionality must match the index.
+	Point vector.Point `json:"point"`
+	// K is the number of neighbors wanted (≥ 1). Values above the index
+	// size are clamped to it — the result is the complete neighbor list
+	// either way.
+	K int `json:"k"`
+}
+
+// RangeRequest is the body of /range.
+type RangeRequest struct {
+	// Point is the query point.
+	Point vector.Point `json:"point"`
+	// Radius is the non-negative search radius.
+	Radius float64 `json:"radius"`
+}
+
+// BatchRequest is the body of /knn/batch.
+type BatchRequest struct {
+	// Queries are answered concurrently on the worker pool; the response
+	// preserves their order.
+	Queries []KNNRequest `json:"queries"`
+}
+
+// Neighbor is one kNN result entry.
+type Neighbor struct {
+	// ID is the indexed object's identifier.
+	ID int64 `json:"id"`
+	// Dist is its distance to the query point.
+	Dist float64 `json:"dist"`
+}
+
+// QueryStats is the per-query work accounting embedded in responses. For
+// a cache hit it describes the computation that originally produced the
+// cached result, keeping hits byte-identical to the miss that filled
+// them.
+type QueryStats struct {
+	// DistComputations counts distance evaluations.
+	DistComputations int64 `json:"dist_computations"`
+	// PartitionsScanned counts Voronoi cells examined.
+	PartitionsScanned int `json:"partitions_scanned"`
+	// PartitionsPruned counts cells skipped by the paper's bounds.
+	PartitionsPruned int `json:"partitions_pruned"`
+}
+
+// KNNResponse is the body of /knn answers.
+type KNNResponse struct {
+	// Neighbors in ascending distance order, ties by ID.
+	Neighbors []Neighbor `json:"neighbors"`
+	// Stats is the query's work accounting.
+	Stats QueryStats `json:"stats"`
+}
+
+// RangeObject is one /range result entry.
+type RangeObject struct {
+	// ID is the indexed object's identifier.
+	ID int64 `json:"id"`
+	// Point is the object's coordinates.
+	Point vector.Point `json:"point"`
+}
+
+// RangeResponse is the body of /range answers, objects in ID order.
+type RangeResponse struct {
+	// Objects within the radius, in ascending ID order.
+	Objects []RangeObject `json:"objects"`
+	// Stats is the query's work accounting.
+	Stats QueryStats `json:"stats"`
+}
+
+// BatchResponse is the body of /knn/batch answers.
+type BatchResponse struct {
+	// Results holds one marshaled KNNResponse per query, in request
+	// order; kept raw so each is byte-identical to the /knn answer for
+	// the same (point, k).
+	Results []json.RawMessage `json:"results"`
+}
+
+// ReloadRequest is the body of /reload. An empty path re-reads the
+// snapshot's original index file.
+type ReloadRequest struct {
+	// Path is the index file to load (written by knnindex build).
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports what /reload swapped in.
+type ReloadResponse struct {
+	// Objects and Partitions describe the new index.
+	Objects int `json:"objects"`
+	// Partitions is the new index's pivot count.
+	Partitions int `json:"partitions"`
+	// Source is the file the new snapshot was loaded from.
+	Source string `json:"source"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable reason.
+	Error string `json:"error"`
+}
+
+// MarshalKNN renders the canonical /knn response body for a result
+// computed by vindex. The serve handlers and the load-generator's
+// sequential verification both use it, which is what makes "server
+// answers are byte-identical to sequential vindex queries" a checkable
+// property rather than a claim. It errors when a distance is
+// non-finite (JSON cannot carry it), which happens only when the
+// indexed dataset itself contains non-finite coordinates.
+func MarshalKNN(cands []nnheap.Candidate, st vindex.Stats) ([]byte, error) {
+	resp := KNNResponse{
+		Neighbors: make([]Neighbor, len(cands)),
+		Stats:     queryStats(st),
+	}
+	for i, c := range cands {
+		resp.Neighbors[i] = Neighbor{ID: c.ID, Dist: c.Dist}
+	}
+	return json.Marshal(resp)
+}
+
+func queryStats(st vindex.Stats) QueryStats {
+	return QueryStats{
+		DistComputations:  st.DistComputations,
+		PartitionsScanned: st.PartitionsScanned,
+		PartitionsPruned:  st.PartitionsPruned,
+	}
+}
+
+// validatePoint rejects queries the index cannot answer meaningfully:
+// empty points, dimension mismatches, and non-finite coordinates.
+func validatePoint(q vector.Point, dim int) error {
+	if len(q) == 0 {
+		return fmt.Errorf("empty query point")
+	}
+	if len(q) != dim {
+		return fmt.Errorf("query point has %d dimensions, index has %d", len(q), dim)
+	}
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("query point has a non-finite coordinate")
+		}
+	}
+	return nil
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errCount.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// decode reads a request body into dst under the configured byte
+// budget, answering 413/400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// clampK bounds k by the index size: an index can never return more
+// than Len neighbors, and the vindex heaps allocate O(k), so the clamp
+// keeps a hostile k from forcing a huge allocation. Results for any
+// clamped k are the complete neighbor list.
+func clampK(k, n int) int {
+	if k > n {
+		return n
+	}
+	return k
+}
+
+// queryKNN answers one kNN query against snap on the worker pool,
+// returning the response body and whether it was served from cache.
+func (s *Server) queryKNN(snap *snapshot, q vector.Point, k int) ([]byte, bool, error) {
+	key := ""
+	if snap.cache != nil {
+		key = cacheKey(q, k)
+		if body, ok := snap.cache.get(key); ok {
+			return body, true, nil
+		}
+	}
+	s.sem <- struct{}{}
+	res, st := snap.ix.KNNWithStats(q, k)
+	<-s.sem
+	s.distComps.Add(st.DistComputations)
+	body, err := MarshalKNN(res, st)
+	if err != nil {
+		return nil, false, err
+	}
+	if snap.cache != nil {
+		snap.cache.put(key, body)
+	}
+	return body, false, nil
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	snap := s.snap.Load()
+	if err := validatePoint(req.Point, snap.ix.Dim()); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.K < 1 {
+		s.writeErr(w, http.StatusBadRequest, "k must be at least 1, got %d", req.K)
+		return
+	}
+	t0 := time.Now()
+	body, _, err := s.queryKNN(snap, req.Point, clampK(req.K, snap.ix.Len()))
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
+		return
+	}
+	s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
+	s.knnCount.Add(1)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	snap := s.snap.Load()
+	if err := validatePoint(req.Point, snap.ix.Dim()); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Radius < 0 || math.IsNaN(req.Radius) {
+		s.writeErr(w, http.StatusBadRequest, "radius must be non-negative, got %v", req.Radius)
+		return
+	}
+	t0 := time.Now()
+	s.sem <- struct{}{}
+	objs, st := snap.ix.RangeWithStats(req.Point, req.Radius)
+	<-s.sem
+	s.distComps.Add(st.DistComputations)
+	resp := RangeResponse{Objects: make([]RangeObject, len(objs)), Stats: queryStats(st)}
+	for i, o := range objs {
+		resp.Objects[i] = RangeObject{ID: o.ID, Point: o.Point}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
+		return
+	}
+	s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
+	s.rangeCount.Add(1)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds the %d limit",
+			len(req.Queries), s.cfg.MaxBatch)
+		return
+	}
+	// One snapshot for the whole batch: a concurrent reload must not
+	// split a batch across index generations.
+	snap := s.snap.Load()
+	for i, q := range req.Queries {
+		if err := validatePoint(q.Point, snap.ix.Dim()); err != nil {
+			s.writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		if q.K < 1 {
+			s.writeErr(w, http.StatusBadRequest, "query %d: k must be at least 1, got %d", i, q.K)
+			return
+		}
+	}
+	results := make([]json.RawMessage, len(req.Queries))
+	queryErrs := make([]error, len(req.Queries))
+	var wg sync.WaitGroup
+	for i, q := range req.Queries {
+		wg.Add(1)
+		go func(i int, q KNNRequest) {
+			defer wg.Done()
+			t0 := time.Now()
+			body, _, err := s.queryKNN(snap, q.Point, clampK(q.K, snap.ix.Len()))
+			if err != nil {
+				queryErrs[i] = err
+				return
+			}
+			s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
+			results[i] = body
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range queryErrs {
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, "query %d: marshal response: %v", i, err)
+			return
+		}
+	}
+	s.batchCount.Add(1)
+	s.batchQueries.Add(int64(len(req.Queries)))
+	body, err := json.Marshal(BatchResponse{Results: results})
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	path := req.Path
+	if path == "" {
+		path = s.snap.Load().source
+	}
+	if path == "" {
+		s.writeErr(w, http.StatusBadRequest,
+			"no path given and the current snapshot was not loaded from a file")
+		return
+	}
+	ix, err := vindex.LoadFile(path)
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, "loading %s: %v", path, err)
+		return
+	}
+	s.Swap(ix, path)
+	body, _ := json.Marshal(ReloadResponse{
+		Objects: ix.Len(), Partitions: ix.NumPartitions(), Source: path,
+	})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// QueryCounts breaks the served query totals down by endpoint.
+type QueryCounts struct {
+	// KNN counts /knn requests; Range /range; Batch whole /knn/batch
+	// requests and BatchQueries the queries inside them; Errors every
+	// non-2xx answer.
+	KNN int64 `json:"knn"`
+	// Range counts /range requests.
+	Range int64 `json:"range"`
+	// Batch counts /knn/batch requests.
+	Batch int64 `json:"batch"`
+	// BatchQueries counts individual queries inside batches.
+	BatchQueries int64 `json:"batch_queries"`
+	// Errors counts non-2xx answers across all endpoints.
+	Errors int64 `json:"errors"`
+}
+
+// LatencyQuantiles summarizes the latency ring in milliseconds.
+type LatencyQuantiles struct {
+	// Count is the number of recorded query latencies (capped at the
+	// ring size for the quantiles themselves).
+	Count int64 `json:"count"`
+	// P50, P90 and P99 are nearest-rank quantiles over the ring.
+	P50 float64 `json:"p50"`
+	// P90 is the 90th-percentile latency.
+	P90 float64 `json:"p90"`
+	// P99 is the 99th-percentile latency.
+	P99 float64 `json:"p99"`
+}
+
+// CacheStats reports the current snapshot's result cache.
+type CacheStats struct {
+	// Hits and Misses count lookups against the current snapshot's cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses int64 `json:"misses"`
+	// HitRate is Hits/(Hits+Misses), 0 when no lookups happened.
+	HitRate float64 `json:"hit_rate"`
+	// Entries is the live entry count; Capacity the configured bound.
+	Entries int `json:"entries"`
+	// Capacity is the configured maximum entry count (0 = disabled).
+	Capacity int `json:"capacity"`
+}
+
+// IndexInfo describes the current snapshot.
+type IndexInfo struct {
+	// Objects is the indexed object count.
+	Objects int `json:"objects"`
+	// Partitions is the pivot count.
+	Partitions int `json:"partitions"`
+	// Dim is the dimensionality of the indexed points.
+	Dim int `json:"dim"`
+	// Source is the index file backing the snapshot ("" if built
+	// in-process).
+	Source string `json:"source,omitempty"`
+}
+
+// StatsResponse is the body of /stats.
+type StatsResponse struct {
+	// UptimeSeconds is the time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Queries are the per-endpoint counters.
+	Queries QueryCounts `json:"queries"`
+	// LatencyMs are the per-query latency quantiles.
+	LatencyMs LatencyQuantiles `json:"latency_ms"`
+	// Cache reports the current snapshot's result cache.
+	Cache CacheStats `json:"cache"`
+	// DistComputations totals the distance evaluations of every cache
+	// miss served so far.
+	DistComputations int64 `json:"dist_computations"`
+	// Reloads counts snapshot swaps.
+	Reloads int64 `json:"reloads"`
+	// Index describes the current snapshot.
+	Index IndexInfo `json:"index"`
+}
+
+// Stats assembles the current /stats payload (exported so tools can
+// read it without an HTTP round trip).
+func (s *Server) Stats() StatsResponse {
+	snap := s.snap.Load()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries: QueryCounts{
+			KNN:          s.knnCount.Load(),
+			Range:        s.rangeCount.Load(),
+			Batch:        s.batchCount.Load(),
+			BatchQueries: s.batchQueries.Load(),
+			Errors:       s.errCount.Load(),
+		},
+		DistComputations: s.distComps.Load(),
+		Reloads:          s.reloads.Load(),
+		Index: IndexInfo{
+			Objects:    snap.ix.Len(),
+			Partitions: snap.ix.NumPartitions(),
+			Dim:        snap.ix.Dim(),
+			Source:     snap.source,
+		},
+	}
+	resp.LatencyMs.Count, resp.LatencyMs.P50, resp.LatencyMs.P90, resp.LatencyMs.P99 = s.lat.quantiles()
+	if snap.cache != nil {
+		hits, misses, entries := snap.cache.stats()
+		resp.Cache = CacheStats{Hits: hits, Misses: misses, Entries: entries, Capacity: s.cfg.CacheSize}
+		if total := hits + misses; total > 0 {
+			resp.Cache.HitRate = float64(hits) / float64(total)
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(s.Stats())
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "marshal stats: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// HealthResponse is the body of /healthz.
+type HealthResponse struct {
+	// Status is "ok" whenever an index is loaded.
+	Status string `json:"status"`
+	// Objects is the current snapshot's object count.
+	Objects int `json:"objects"`
+	// Partitions is the current snapshot's pivot count.
+	Partitions int `json:"partitions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil || snap.ix == nil {
+		s.writeErr(w, http.StatusServiceUnavailable, "no index loaded")
+		return
+	}
+	body, _ := json.Marshal(HealthResponse{
+		Status: "ok", Objects: snap.ix.Len(), Partitions: snap.ix.NumPartitions(),
+	})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// latencyRing retains the most recent per-query latencies (milliseconds)
+// in a fixed ring so /stats quantiles reflect recent traffic, not the
+// whole process lifetime.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count int64 // total recorded, may exceed len(buf)
+}
+
+func (l *latencyRing) add(ms float64) {
+	l.mu.Lock()
+	l.buf[l.next] = ms
+	l.next = (l.next + 1) % len(l.buf)
+	l.count++
+	l.mu.Unlock()
+}
+
+func (l *latencyRing) quantiles() (count int64, p50, p90, p99 float64) {
+	l.mu.Lock()
+	n := int(l.count)
+	if n > len(l.buf) {
+		n = len(l.buf)
+	}
+	sample := append([]float64(nil), l.buf[:n]...)
+	count = l.count
+	l.mu.Unlock()
+	if n == 0 {
+		return count, 0, 0, 0
+	}
+	// One sort, three nearest-rank reads — /stats is polled by monitors,
+	// so don't re-sort per quantile (stats.Quantile copies and sorts its
+	// input on every call).
+	sort.Float64s(sample)
+	rank := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sample[idx]
+	}
+	return count, rank(0.50), rank(0.90), rank(0.99)
+}

@@ -104,32 +104,39 @@ func (r *Report) String() string {
 		FormatBytes(r.ShuffleBytes), r.AvgReplication())
 }
 
-// ParseBytes parses a human byte count: a plain integer, or an integer
-// (or decimal) with a binary suffix K/M/G/T, case-insensitive, with an
-// optional trailing "iB"/"B" ("64M", "1.5GiB", "4096"). The inverse of
+// byteUnits maps every accepted (upper-cased) unit suffix to its
+// multiplier. All units are binary, so "KB" is an alias of "KiB" — the
+// convention FormatBytes emits.
+var byteUnits = map[string]int64{
+	"": 1, "B": 1,
+	"K": 1 << 10, "KB": 1 << 10, "KIB": 1 << 10,
+	"M": 1 << 20, "MB": 1 << 20, "MIB": 1 << 20,
+	"G": 1 << 30, "GB": 1 << 30, "GIB": 1 << 30,
+	"T": 1 << 40, "TB": 1 << 40, "TIB": 1 << 40,
+}
+
+// ParseBytes parses a human byte count: a plain non-negative integer, or
+// an integer (or decimal) with a binary unit K/M/G/T, case-insensitive,
+// with an optional trailing "iB"/"B" ("64M", "1.5GiB", "4096"). Spaces
+// around the number and unit are ignored ("16 MiB"). The inverse of
 // FormatBytes for CLI flags like -mem-limit.
+//
+// The whole suffix must be a valid unit: malformed inputs whose trailing
+// letters merely contain unit-like fragments ("5ib", "7b k") are
+// rejected rather than silently read as a bare number.
 func ParseBytes(s string) (int64, error) {
 	t := strings.TrimSpace(s)
-	mult := int64(1)
-	upper := strings.ToUpper(t)
-	upper = strings.TrimSuffix(upper, "IB")
-	upper = strings.TrimSuffix(upper, "B")
-	if n := len(upper); n > 0 {
-		switch upper[n-1] {
-		case 'K':
-			mult = 1 << 10
-		case 'M':
-			mult = 1 << 20
-		case 'G':
-			mult = 1 << 30
-		case 'T':
-			mult = 1 << 40
-		}
-		if mult > 1 {
-			upper = upper[:n-1]
-		}
+	// Split into the longest leading number and the unit suffix.
+	cut := 0
+	for cut < len(t) && (t[cut] == '.' || ('0' <= t[cut] && t[cut] <= '9')) {
+		cut++
 	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	unit := strings.ToUpper(strings.TrimSpace(t[cut:]))
+	mult, ok := byteUnits[unit]
+	if !ok {
+		return 0, fmt.Errorf("stats: bad byte count %q (unknown unit %q)", s, t[cut:])
+	}
+	v, err := strconv.ParseFloat(t[:cut], 64)
 	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) ||
 		v*float64(mult) >= math.MaxInt64 {
 		return 0, fmt.Errorf("stats: bad byte count %q", s)

@@ -220,7 +220,14 @@ func TestParseBytes(t *testing.T) {
 			t.Fatalf("ParseBytes(%q) = %d, want %d", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "x", "-1", "12Q", "B", "16000000T", "9e30", "8388608T", "9223372036854775808"} {
+	for _, bad := range []string{
+		"", "x", "-1", "12Q", "B", "16000000T", "9e30", "8388608T",
+		"9223372036854775808",
+		// Malformed suffixes that the old parser silently accepted by
+		// trimming "iB"/"B" before validating the unit letter.
+		"5ib", "1.5ib", "7b k", "7bk", "5kk", "5bib", "5 i b", "4096 junk",
+		"5.5.5", "5..", ".",
+	} {
 		if _, err := ParseBytes(bad); err == nil {
 			t.Fatalf("ParseBytes(%q) did not fail", bad)
 		}

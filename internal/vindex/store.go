@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/vector"
@@ -71,6 +72,18 @@ func (ix *Index) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// LoadFile reads an index file written by Save — the shared open/load/
+// close path of every consumer that loads indexes from disk (knnindex,
+// knnserve startup, the serve layer's /reload).
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Load reads an index written by Save.

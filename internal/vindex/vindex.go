@@ -63,17 +63,42 @@ func intSqrt(n int) int {
 	return x
 }
 
-// Index is an immutable pivot-partitioned index over a dataset.
+// Index is an immutable pivot-partitioned index over a dataset. After
+// Build (or Load) returns, queries never mutate the Index, so any number
+// of goroutines may call KNN, Range, and the *WithStats variants on one
+// shared Index concurrently.
 type Index struct {
 	pp   *voronoi.Partitioner
 	sum  *voronoi.Summary
 	part [][]codec.Tagged // per-partition objects, sorted by pivot distance
 	size int
 	opts Options
+}
 
-	// DistCount accumulates distance computations across queries,
-	// matching the paper's selectivity bookkeeping.
-	DistCount int64
+// Stats reports the work one query performed. The accounting that used
+// to accumulate on a shared Index field (and made concurrent queries a
+// data race) is instead returned per call, keeping queries side-effect
+// free.
+type Stats struct {
+	// DistComputations counts distance evaluations — object–pivot
+	// probes and object–object verifications — the paper's selectivity
+	// bookkeeping (Equation 13).
+	DistComputations int64
+	// PartitionsScanned counts Voronoi cells whose Theorem-2 window was
+	// actually examined; PartitionsPruned counts cells skipped wholesale
+	// by Corollary 1 or an empty window. KNN queries fill both; Range
+	// reports only DistComputations.
+	PartitionsScanned int
+	// PartitionsPruned counts cells skipped without touching objects.
+	PartitionsPruned int
+}
+
+// Add folds another query's stats into s, for callers aggregating
+// across a batch of queries.
+func (s *Stats) Add(o Stats) {
+	s.DistComputations += o.DistComputations
+	s.PartitionsScanned += o.PartitionsScanned
+	s.PartitionsPruned += o.PartitionsPruned
 }
 
 // Build constructs an index over objs. The objects are copied into
@@ -108,20 +133,32 @@ func (ix *Index) Len() int { return ix.size }
 // NumPartitions returns the pivot count.
 func (ix *Index) NumPartitions() int { return ix.pp.NumPartitions() }
 
+// Dim returns the dimensionality of the indexed points.
+func (ix *Index) Dim() int { return ix.pp.Pivots[0].Dim() }
+
 // KNN returns the k nearest indexed objects to q in ascending distance
 // order (distance ties by ID). Fewer than k are returned only when the
-// index holds fewer objects.
+// index holds fewer objects. It is a thin wrapper over KNNWithStats for
+// callers that do not need the per-query accounting.
 func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
+	res, _ := ix.KNNWithStats(q, k)
+	return res
+}
+
+// KNNWithStats is KNN plus the per-query work accounting. It performs no
+// writes to the Index, so concurrent calls on one shared Index are safe.
+func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats) {
+	var st Stats
 	if k <= 0 {
-		return nil
+		return nil, st
 	}
 	m := ix.opts.Metric
-	qPart, qDist := ix.pp.Assign(q, &ix.DistCount)
+	qPart, qDist := ix.pp.Assign(q, &st.DistComputations)
 
 	// Starting bound: Algorithm 1 with the query's "partition" being the
 	// degenerate cell {q} (U = 0), i.e. θ = k-th smallest of
 	// |q,p_j| + p_j.d_i over the summary's per-partition kNN lists.
-	theta := ix.startingBound(q, k)
+	theta := ix.startingBound(q, k, &st.DistComputations)
 
 	// Visit partitions in ascending pivot-distance order (Algorithm 3's
 	// line-14 heuristic specialized to one query).
@@ -133,7 +170,7 @@ func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
 			gaps[j] = qDist
 		} else {
 			gaps[j] = m.Dist(q, ix.pp.Pivots[j])
-			ix.DistCount++
+			st.DistComputations++
 		}
 	}
 	sort.Slice(order, func(a, b int) bool { return gaps[order[a]] < gaps[order[b]] })
@@ -148,30 +185,34 @@ func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
 		// Corollary 1: prune the whole cell when the hyperplane between
 		// the query's cell and cell j is farther than θ.
 		if j != qPart && voronoi.HyperplaneDist(qToPj, qDist, ix.pp.PivotDist(qPart, j), m) > theta {
+			st.PartitionsPruned++
 			continue
 		}
 		lo, hi, ok := voronoi.Theorem2Window(ix.sum.S[j], qToPj, theta)
 		if !ok {
+			st.PartitionsPruned++
 			continue
 		}
+		st.PartitionsScanned++
 		from, to := voronoi.WindowIndices(part, lo, hi)
 		for x := from; x < to; x++ {
 			d := m.Dist(q, part[x].Point)
-			ix.DistCount++
+			st.DistComputations++
 			heap.Push(nnheap.Candidate{ID: part[x].ID, Dist: d})
 			if t := heap.Threshold(theta); t < theta {
 				theta = t
 			}
 		}
 	}
-	return heap.Sorted()
+	return heap.Sorted(), st
 }
 
 // startingBound computes a valid upper bound on the k-th NN distance of q
 // from the summary alone: ub = |q,p_j| + d for each of partition j's k
 // smallest pivot distances d (triangle inequality). Returns +Inf when the
-// summary cannot cover k objects (k > BoundK coverage).
-func (ix *Index) startingBound(q vector.Point, k int) float64 {
+// summary cannot cover k objects (k > BoundK coverage). Distance
+// computations accrue into distCount.
+func (ix *Index) startingBound(q vector.Point, k int, distCount *int64) float64 {
 	pq := nnheap.NewKHeap(k)
 	m := ix.opts.Metric
 	for j := range ix.sum.S {
@@ -180,7 +221,7 @@ func (ix *Index) startingBound(q vector.Point, k int) float64 {
 			continue
 		}
 		qToPj := m.Dist(q, ix.pp.Pivots[j])
-		ix.DistCount++
+		*distCount++
 		for _, d := range kd { // ascending
 			ub := qToPj + d
 			if pq.Full() && ub >= pq.Top().Dist {
@@ -196,13 +237,21 @@ func (ix *Index) startingBound(q vector.Point, k int) float64 {
 }
 
 // Range returns all indexed objects within radius of q, in ID order,
-// using RangeSelect's pruning.
+// using RangeSelect's pruning. It is a thin wrapper over RangeWithStats.
 func (ix *Index) Range(q vector.Point, radius float64) []codec.Object {
-	got := ix.pp.RangeSelect(ix.part, ix.sum, q, radius, &ix.DistCount)
+	res, _ := ix.RangeWithStats(q, radius)
+	return res
+}
+
+// RangeWithStats is Range plus the per-query work accounting. Like
+// KNNWithStats it performs no writes to the Index.
+func (ix *Index) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, Stats) {
+	var st Stats
+	got := ix.pp.RangeSelect(ix.part, ix.sum, q, radius, &st.DistComputations)
 	out := make([]codec.Object, len(got))
 	for i, t := range got {
 		out[i] = t.Object
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out
+	return out, st
 }

@@ -158,14 +158,18 @@ func TestKNNPrunes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.DistCount = 0
 	const queries = 20
+	var total Stats
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < queries; i++ {
 		q := objs[rng.Intn(len(objs))].Point
-		ix.KNN(q, 10)
+		_, st := ix.KNNWithStats(q, 10)
+		if st.PartitionsScanned == 0 {
+			t.Fatal("no partition scanned yet results expected")
+		}
+		total.Add(st)
 	}
-	perQuery := ix.DistCount / queries
+	perQuery := total.DistComputations / queries
 	if perQuery > int64(len(objs))/2 {
 		t.Fatalf("avg %d distances per query over %d objects — pruning ineffective", perQuery, len(objs))
 	}
