@@ -1,12 +1,15 @@
 // Command datagen generates the synthetic datasets used throughout the
 // repository (CoverType-like "forest", OSM-like spatial data, uniform
-// noise) as CSV files with one "id,x1,x2,..." line per object.
+// noise, Gaussian cluster mixtures, Zipf-skewed density) as CSV files
+// with one "id,x1,x2,..." line per object.
 //
 // Usage:
 //
 //	datagen -kind forest -n 20000 -expand 10 -o forest10.csv
 //	datagen -kind osm -n 100000 -o osm.csv
 //	datagen -kind uniform -n 5000 -dims 4 -o cloud.csv
+//	datagen -kind gaussian -n 5000 -dims 4 -clusters 8 -stddev 3 -o blobs.csv
+//	datagen -kind zipf -n 5000 -dims 2 -clusters 64 -o skewed.csv
 package main
 
 import (
@@ -27,11 +30,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
-	kind := fs.String("kind", "forest", "dataset kind: forest | osm | uniform")
+	kind := fs.String("kind", "forest", "dataset kind: forest | osm | uniform | gaussian | zipf")
 	n := fs.Int("n", 20000, "number of base objects")
 	expand := fs.Int("expand", 1, "expansion factor (forest only; the paper's ×t datasets)")
-	dims := fs.Int("dims", 4, "dimensionality (uniform only)")
-	scale := fs.Float64("scale", 100, "coordinate range (uniform only)")
+	dims := fs.Int("dims", 4, "dimensionality (uniform, gaussian, zipf)")
+	scale := fs.Float64("scale", 100, "coordinate range (uniform, gaussian, zipf)")
+	clusters := fs.Int("clusters", 8, "gaussian: mixture components; zipf: anchor sites (0 = default)")
+	stddev := fs.Float64("stddev", 0, "gaussian: per-coordinate cluster spread (0 = scale/20)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -55,8 +60,18 @@ func run(args []string) error {
 			return fmt.Errorf("-dims must be positive")
 		}
 		objs = dataset.Uniform(*n, *dims, *scale, *seed)
+	case "gaussian":
+		if *dims <= 0 {
+			return fmt.Errorf("-dims must be positive")
+		}
+		objs = dataset.Gaussian(*n, *dims, *clusters, *stddev, *scale, *seed)
+	case "zipf":
+		if *dims <= 0 {
+			return fmt.Errorf("-dims must be positive")
+		}
+		objs = dataset.Zipf(*n, *dims, *clusters, *scale, *seed)
 	default:
-		return fmt.Errorf("unknown -kind %q (want forest, osm or uniform)", *kind)
+		return fmt.Errorf("unknown -kind %q (want forest, osm, uniform, gaussian or zipf)", *kind)
 	}
 
 	w := os.Stdout

@@ -20,6 +20,8 @@ func TestRunGeneratesEachKind(t *testing.T) {
 		{"forest-expanded", []string{"-kind", "forest", "-n", "20", "-expand", "3"}, 60, 10},
 		{"osm", []string{"-kind", "osm", "-n", "40"}, 40, 2},
 		{"uniform", []string{"-kind", "uniform", "-n", "30", "-dims", "5"}, 30, 5},
+		{"gaussian", []string{"-kind", "gaussian", "-n", "40", "-dims", "3", "-clusters", "4"}, 40, 3},
+		{"zipf", []string{"-kind", "zipf", "-n", "40", "-dims", "2", "-clusters", "16"}, 40, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -51,6 +53,8 @@ func TestRunErrors(t *testing.T) {
 		{"-kind", "marble"},
 		{"-n", "0"},
 		{"-kind", "uniform", "-dims", "0"},
+		{"-kind", "gaussian", "-dims", "0"},
+		{"-kind", "zipf", "-dims", "-1"},
 		{"-bogus-flag"},
 	} {
 		if err := run(args); err == nil {
@@ -60,17 +64,33 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunDeterministicForSeed(t *testing.T) {
-	dir := t.TempDir()
-	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
-	if err := run([]string{"-kind", "osm", "-n", "25", "-seed", "7", "-o", a}); err != nil {
-		t.Fatal(err)
+	kinds := [][]string{
+		{"-kind", "osm", "-n", "25"},
+		{"-kind", "gaussian", "-n", "25", "-dims", "3", "-clusters", "4"},
+		{"-kind", "zipf", "-n", "25", "-dims", "2", "-clusters", "8"},
 	}
-	if err := run([]string{"-kind", "osm", "-n", "25", "-seed", "7", "-o", b}); err != nil {
-		t.Fatal(err)
-	}
-	da, _ := os.ReadFile(a)
-	db, _ := os.ReadFile(b)
-	if string(da) != string(db) {
-		t.Fatal("same seed produced different files")
+	for _, base := range kinds {
+		t.Run(base[1], func(t *testing.T) {
+			dir := t.TempDir()
+			a, b, c := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv"), filepath.Join(dir, "c.csv")
+			if err := run(append(append([]string{}, base...), "-seed", "7", "-o", a)); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(append(append([]string{}, base...), "-seed", "7", "-o", b)); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(append(append([]string{}, base...), "-seed", "8", "-o", c)); err != nil {
+				t.Fatal(err)
+			}
+			da, _ := os.ReadFile(a)
+			db, _ := os.ReadFile(b)
+			dc, _ := os.ReadFile(c)
+			if string(da) != string(db) {
+				t.Fatal("same seed produced different files")
+			}
+			if string(da) == string(dc) {
+				t.Fatal("different seeds produced identical files")
+			}
+		})
 	}
 }

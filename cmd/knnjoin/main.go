@@ -8,6 +8,8 @@
 //	knnjoin -r pts.csv -self -k 5 -algo hbrj -stats-only
 //	knnjoin -r pts.csv -self -k 20 -pairs -exclude-self -unordered
 //	knnjoin -r huge.csv -self -k 10 -mem-limit 256M   # out-of-core backend
+//	knnjoin -r pts.csv -self -k 10 -algo auto          # cost-based planner picks
+//	knnjoin -r pts.csv -self -k 10 -explain            # print ranked plans, run nothing
 //
 // Input files hold one "id,x1,x2,..." line per object (see cmd/datagen).
 // Output lines are "rID,sID,distance", one per result pair — ordered by
@@ -23,6 +25,7 @@ import (
 
 	"knnjoin"
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/planner"
 	"knnjoin/internal/stats"
 )
 
@@ -39,7 +42,7 @@ func run(args []string) error {
 	sPath := fs.String("s", "", "CSV file of the inner dataset S")
 	self := fs.Bool("self", false, "self-join: use R as S")
 	k := fs.Int("k", 10, "number of nearest neighbors")
-	algoName := fs.String("algo", "pgbj", "algorithm: pgbj | pbj | hbrj | broadcast | theta | bruteforce | zknn | lsh")
+	algoName := fs.String("algo", "pgbj", "algorithm: pgbj | pbj | hbrj | broadcast | theta | bruteforce | zknn | lsh | auto")
 	metricName := fs.String("metric", "l2", "distance metric: l2 | l1 | linf")
 	nodes := fs.Int("nodes", 4, "simulated cluster nodes")
 	numPivots := fs.Int("pivots", 0, "number of pivots (0 = auto)")
@@ -54,6 +57,7 @@ func run(args []string) error {
 	covtype := fs.Bool("covtype", false, "inputs are UCI covtype.data[.gz] files (10 quantitative attributes)")
 	spillDir := fs.String("spill-dir", "", "out-of-core backend: spill DFS chunks and shuffle runs under this directory")
 	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget, e.g. 64M (spills to -spill-dir or a temp dir)")
+	explain := fs.Bool("explain", false, "print the planner's ranked candidate plans and exit without joining")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +101,23 @@ func run(args []string) error {
 		if s, err = readInput(*sPath, *covtype); err != nil {
 			return fmt.Errorf("reading S: %w", err)
 		}
+	}
+
+	if *explain {
+		popts := planner.Options{
+			K: *k, Nodes: *nodes, Metric: metric, MemLimit: memLimit,
+			Seed: *seed, NumPivots: *numPivots,
+		}
+		ds, err := planner.Measure(r, s, popts)
+		if err != nil {
+			return err
+		}
+		plans, err := planner.Plans(ds, popts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(planner.Explain(ds, plans))
+		return nil
 	}
 
 	if *radius > 0 {
@@ -147,6 +168,9 @@ func run(args []string) error {
 		return err
 	}
 
+	if st.Plan != nil {
+		fmt.Fprintln(os.Stderr, st.Plan.String())
+	}
 	fmt.Fprintln(os.Stderr, st.String())
 	for _, p := range st.Phases {
 		fmt.Fprintf(os.Stderr, "  %-20s %v\n", p.Name, p.Wall)

@@ -196,3 +196,44 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAutoAlgo(t *testing.T) {
+	csv := writeTestCSV(t, 150, 9)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "2", "-algo", "auto", "-nodes", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 300 {
+		t.Fatalf("got %d result lines, want 300", n)
+	}
+	// Auto must match the manually picked algorithms bit for bit.
+	direct, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "2", "-algo", "bruteforce", "-nodes", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != direct {
+		t.Fatal("auto output differs from the exact join")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	csv := writeTestCSV(t, 200, 10)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-r", csv, "-self", "-k", "3", "-explain"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"|R|=200", "score", "bruteforce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ",0,0") {
+		t.Error("explain mode still printed result pairs")
+	}
+}

@@ -1,0 +1,151 @@
+// Command knnplan is EXPLAIN for kNN joins: it samples the input
+// datasets, runs the cost-based planner, and prints the measured
+// statistics plus every candidate plan ranked by predicted cost —
+// without executing any join. The top exact plan is what
+// `knnjoin -algo auto` would run.
+//
+// Usage:
+//
+//	knnplan -r r.csv -s s.csv -k 10
+//	knnplan -r pts.csv -self -k 10 -nodes 16 -top 5
+//	knnplan -r pts.csv -self -k 10 -mem-limit 64M -json
+//
+// Input files hold one "id,x1,x2,..." line per object (see cmd/datagen).
+// The text output is the ranked plan table; -json emits the statistics
+// and plans machine-readably instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/planner"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
+)
+
+// jsonPlan is the machine-readable form of one ranked plan.
+type jsonPlan struct {
+	Rank        int                `json:"rank"`
+	Config      string             `json:"config"`
+	Algo        string             `json:"algo"`
+	NumPivots   int                `json:"num_pivots,omitempty"`
+	Approximate bool               `json:"approximate,omitempty"`
+	Score       float64            `json:"score"`
+	Predicted   planner.Prediction `json:"predicted"`
+	Why         string             `json:"why"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	RSize        int        `json:"r_size"`
+	SSize        int        `json:"s_size"`
+	Dims         int        `json:"dims"`
+	IntrinsicDim float64    `json:"intrinsic_dim"`
+	ClusterSkew  float64    `json:"cluster_skew"`
+	Plans        []jsonPlan `json:"plans"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "knnplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("knnplan", flag.ContinueOnError)
+	rPath := fs.String("r", "", "CSV file of the outer dataset R (required)")
+	sPath := fs.String("s", "", "CSV file of the inner dataset S")
+	self := fs.Bool("self", false, "self-join: use R as S")
+	k := fs.Int("k", 10, "number of nearest neighbors")
+	metricName := fs.String("metric", "l2", "distance metric: l2 | l1 | linf")
+	nodes := fs.Int("nodes", 4, "simulated cluster nodes")
+	numPivots := fs.Int("pivots", 0, "pin the pivot grid to this count (0 = sweep)")
+	sample := fs.Int("sample", 0, "reservoir sample size per dataset (0 = default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	top := fs.Int("top", 0, "print only the best N plans (0 = all)")
+	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget, e.g. 64M (prices spill pressure)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of the text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rPath == "" {
+		return fmt.Errorf("-r is required")
+	}
+	if *sPath == "" && !*self {
+		return fmt.Errorf("provide -s or -self")
+	}
+	metric, err := vector.ParseMetric(*metricName)
+	if err != nil {
+		return err
+	}
+	var memLimit int64
+	if *memLimitFlag != "" {
+		if memLimit, err = stats.ParseBytes(*memLimitFlag); err != nil {
+			return fmt.Errorf("-mem-limit: %w", err)
+		}
+	}
+
+	r, err := readCSV(*rPath)
+	if err != nil {
+		return fmt.Errorf("reading R: %w", err)
+	}
+	s := r
+	if !*self {
+		if s, err = readCSV(*sPath); err != nil {
+			return fmt.Errorf("reading S: %w", err)
+		}
+	}
+
+	opts := planner.Options{
+		K: *k, Nodes: *nodes, Metric: metric, MemLimit: memLimit,
+		SampleSize: *sample, Seed: *seed, NumPivots: *numPivots,
+	}
+	ds, err := planner.Measure(r, s, opts)
+	if err != nil {
+		return err
+	}
+	plans, err := planner.Plans(ds, opts)
+	if err != nil {
+		return err
+	}
+	if *top > 0 && *top < len(plans) {
+		plans = plans[:*top]
+	}
+
+	if *asJSON {
+		rep := jsonReport{
+			RSize: ds.RSize, SSize: ds.SSize, Dims: ds.Dims,
+			IntrinsicDim: ds.IntrinsicDim, ClusterSkew: ds.ClusterSkew,
+		}
+		for i, p := range plans {
+			rep.Plans = append(rep.Plans, jsonPlan{
+				Rank: i + 1, Config: p.Config(), Algo: p.Algo, NumPivots: p.NumPivots,
+				Approximate: p.Approximate, Score: p.Score, Predicted: p.Predicted, Why: p.Why,
+			})
+		}
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(enc))
+		return err
+	}
+	_, err = fmt.Fprint(w, planner.Explain(ds, plans))
+	return err
+}
+
+func readCSV(path string) ([]codec.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}

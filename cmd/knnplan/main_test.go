@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+// writeDataset generates a CSV input for the CLI tests.
+func writeDataset(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, dataset.Gaussian(n, 4, 6, 0, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs the CLI and returns what it wrote.
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunExplainsPlans(t *testing.T) {
+	path := writeDataset(t, 1200)
+	got := capture(t, []string{"-r", path, "-self", "-k", "5", "-top", "6"})
+	for _, want := range []string{"|R|=1200", "intrinsic", "pgbj", "score"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// -top must bound the table: header+separator+6 rows+stats line+blank.
+	if lines := strings.Count(strings.TrimSpace(got), "\n"); lines > 11 {
+		t.Errorf("-top 6 printed %d lines:\n%s", lines, got)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := writeDataset(t, 1200)
+	got := capture(t, []string{"-r", path, "-self", "-k", "5", "-json"})
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(got), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, got)
+	}
+	if rep.RSize != 1200 || rep.Dims != 4 || len(rep.Plans) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Plans[0].Rank != 1 || rep.Plans[0].Score <= 0 {
+		t.Fatalf("bad first plan: %+v", rep.Plans[0])
+	}
+	for i := 1; i < len(rep.Plans); i++ {
+		if rep.Plans[i].Score < rep.Plans[i-1].Score {
+			t.Fatal("JSON plans not ranked")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDataset(t, 100)
+	for _, args := range [][]string{
+		{},
+		{"-r", path},
+		{"-r", path, "-self", "-metric", "chebyshov"},
+		{"-r", path, "-self", "-mem-limit", "5ib"},
+		{"-r", "/does/not/exist.csv", "-self"},
+		{"-r", path, "-self", "-k", "0"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+	// Mismatched dimensionalities must error, not panic mid-planning.
+	mismatched := filepath.Join(t.TempDir(), "r2.csv")
+	f2, err := os.Create(mismatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f2, dataset.Uniform(50, 2, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if err := run([]string{"-r", path, "-s", mismatched, "-k", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("mismatched dimensionalities accepted")
+	}
+}

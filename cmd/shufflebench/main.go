@@ -14,7 +14,11 @@
 //     N concurrent clients firing kNN queries (plus batch requests) at
 //     an in-process server, measuring throughput, p50/p90/p99 latency
 //     and cache hit rate while verifying every response is
-//     byte-identical to a sequential vindex query.
+//     byte-identical to a sequential vindex query;
+//   - "plan" (BENCH_plan.json): the cost-based planner against a grid of
+//     fixed plans on four workload shapes (uniform, gaussian, zipf,
+//     lopsided |R|≪|S|) — hard-failing when the planner's pick measures
+//     more than 1.5× slower than the best fixed plan.
 //
 // Usage:
 //
@@ -24,6 +28,8 @@
 //	shufflebench -suite spill -mem-limit 128K
 //	shufflebench -suite serve -out BENCH_serve.json
 //	shufflebench -suite serve -clients 16 -requests 5000
+//	shufflebench -suite plan -out BENCH_plan.json
+//	shufflebench -suite plan -plan-n 1500         # CI-sized plan suite
 //	shufflebench -benchtime 50                    # inner iterations per measurement
 package main
 
@@ -170,12 +176,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
-	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve")
+	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve | plan")
 	memLimitFlag := fs.String("mem-limit", "256K", "spill suite: resident shuffle budget")
 	spillDir := fs.String("spill-dir", "", "spill suite: run-file directory (default: a temp dir)")
 	clients := fs.Int("clients", 8, "serve suite: concurrent load-generator clients")
 	requests := fs.Int("requests", 2000, "serve suite: kNN requests per measurement row")
-	k := fs.Int("k", 10, "serve suite: neighbors per query")
+	k := fs.Int("k", 10, "serve and plan suites: neighbors per query")
+	planN := fs.Int("plan-n", 4000, "plan suite: objects per workload shape")
+	planNodes := fs.Int("plan-nodes", 4, "plan suite: simulated cluster nodes")
+	planReps := fs.Int("plan-reps", 2, "plan suite: runs per configuration (fastest kept)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,8 +211,13 @@ func run(args []string) error {
 			return fmt.Errorf("-k must be at least 1, got %d", *k)
 		}
 		report, err = runServeSuite(*clients, *requests, *k)
+	case "plan":
+		if *planN < 160 || *k < 1 || *planNodes < 1 || *planReps < 1 {
+			return fmt.Errorf("plan suite needs -plan-n ≥ 160, -k ≥ 1, -plan-nodes ≥ 1, -plan-reps ≥ 1")
+		}
+		report, err = runPlanSuite(*planN, *k, *planNodes, *planReps)
 	default:
-		return fmt.Errorf("unknown suite %q (want shuffle, spill or serve)", *suite)
+		return fmt.Errorf("unknown suite %q (want shuffle, spill, serve or plan)", *suite)
 	}
 	if err != nil {
 		return err

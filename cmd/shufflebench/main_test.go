@@ -125,3 +125,48 @@ func TestServeSuiteRejectsBadFlags(t *testing.T) {
 		t.Fatal("zero k accepted")
 	}
 }
+
+func TestPlanSuiteWritesValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan suite measures real joins")
+	}
+	out := filepath.Join(t.TempDir(), "plan.json")
+	if err := run([]string{"-suite", "plan", "-out", out,
+		"-plan-n", "800", "-plan-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PlanReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Suite != "planner-vs-grid" || len(rep.Workloads) != 4 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, w := range rep.Workloads {
+		if w.Planned == "" || w.PlannedWallNs <= 0 || w.BestWallNs <= 0 || len(w.Fixed) != 7 {
+			t.Fatalf("implausible workload row: %+v", w)
+		}
+		if w.WorstWallNs < w.BestWallNs {
+			t.Fatalf("worst %f < best %f", w.WorstWallNs, w.BestWallNs)
+		}
+		if w.PredictedDistComps <= 0 || w.PlannedDistComps <= 0 {
+			t.Fatalf("missing predicted/actual dist comps: %+v", w)
+		}
+	}
+}
+
+func TestPlanSuiteRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-suite", "plan", "-plan-n", "10"},
+		{"-suite", "plan", "-plan-reps", "0"},
+		{"-suite", "plan", "-k", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

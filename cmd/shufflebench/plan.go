@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"knnjoin"
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dataset"
+)
+
+// planRatioGate is the suite's acceptance bound: the planner's pick must
+// never measure more than this factor slower than the best fixed plan in
+// the grid. planSlackNs absorbs sub-millisecond timer noise on runs so
+// short that a ratio alone would be meaningless.
+const (
+	planRatioGate = 1.5
+	planSlackNs   = 5e6
+)
+
+// FixedPlan is one grid configuration's measurement.
+type FixedPlan struct {
+	Name         string  `json:"name"`
+	WallNs       float64 `json:"wall_ns"`
+	ShuffleBytes int64   `json:"shuffle_bytes"`
+	DistComps    int64   `json:"dist_comps"`
+}
+
+// PlanWorkload is one workload shape's row in BENCH_plan.json: what the
+// planner picked, how it measured, and the full fixed grid it was judged
+// against.
+type PlanWorkload struct {
+	Name  string `json:"name"`
+	RSize int    `json:"r_size"`
+	SSize int    `json:"s_size"`
+	Dims  int    `json:"dims"`
+
+	Planned               string  `json:"planned"`
+	PlanningWallNs        float64 `json:"planning_wall_ns"`
+	PlannedWallNs         float64 `json:"planned_wall_ns"`
+	PlannedShuffleBytes   int64   `json:"planned_shuffle_bytes"`
+	PredictedShuffleBytes int64   `json:"predicted_shuffle_bytes"`
+	PlannedDistComps      int64   `json:"planned_dist_comps"`
+	PredictedDistComps    int64   `json:"predicted_dist_comps"`
+
+	BestFixed   string      `json:"best_fixed"`
+	BestWallNs  float64     `json:"best_wall_ns"`
+	WorstFixed  string      `json:"worst_fixed"`
+	WorstWallNs float64     `json:"worst_wall_ns"`
+	RatioToBest float64     `json:"ratio_to_best"`
+	Fixed       []FixedPlan `json:"fixed"`
+}
+
+// PlanReport is the plan suite's JSON document.
+type PlanReport struct {
+	Suite     string         `json:"suite"`
+	N         int            `json:"n"`
+	K         int            `json:"k"`
+	Nodes     int            `json:"nodes"`
+	Workloads []PlanWorkload `json:"workloads"`
+}
+
+// planWorkloads builds the four shapes the acceptance criteria name:
+// uniform noise, Gaussian clusters, Zipf-skewed density, and a lopsided
+// |R| ≪ |S| join.
+func planWorkloads(n int) []struct {
+	name string
+	r, s []codec.Object
+} {
+	return []struct {
+		name string
+		r, s []codec.Object
+	}{
+		{"uniform", dataset.Uniform(n, 4, 100, 1), nil},
+		{"gaussian", dataset.Gaussian(n, 4, 8, 0, 100, 1), nil},
+		{"zipf", dataset.Zipf(n, 2, 64, 100, 1), nil},
+		{"lopsided", dataset.Uniform(n/16, 4, 100, 1), dataset.Uniform(n, 4, 100, 2)},
+	}
+}
+
+// measureJoin runs one configuration `reps` times and keeps the fastest
+// wall plus its stats — the standard way to strip scheduler noise from
+// a deterministic computation.
+func measureJoin(r, s []codec.Object, opts knnjoin.Options, reps int) (float64, *knnjoin.Stats, error) {
+	best := -1.0
+	var bestStats *knnjoin.Stats
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		_, st, err := knnjoin.Join(r, s, opts)
+		wall := float64(time.Since(start).Nanoseconds())
+		if err != nil {
+			return 0, nil, err
+		}
+		if best < 0 || wall < best {
+			best, bestStats = wall, st
+		}
+	}
+	return best, bestStats, nil
+}
+
+func runPlanSuite(n, k, nodes, reps int) (*PlanReport, error) {
+	report := &PlanReport{Suite: "planner-vs-grid", N: n, K: k, Nodes: nodes}
+	grid := []struct {
+		name string
+		opts knnjoin.Options
+	}{
+		{"pgbj/geometric", knnjoin.Options{Algorithm: knnjoin.PGBJ, GroupStrategy: knnjoin.GeometricGrouping}},
+		{"pgbj/greedy", knnjoin.Options{Algorithm: knnjoin.PGBJ, GroupStrategy: knnjoin.GreedyGrouping}},
+		{"pbj", knnjoin.Options{Algorithm: knnjoin.PBJ}},
+		{"hbrj", knnjoin.Options{Algorithm: knnjoin.HBRJ}},
+		{"broadcast", knnjoin.Options{Algorithm: knnjoin.Broadcast}},
+		{"theta", knnjoin.Options{Algorithm: knnjoin.Theta}},
+		{"bruteforce", knnjoin.Options{Algorithm: knnjoin.BruteForce}},
+	}
+	for _, w := range planWorkloads(n) {
+		s := w.s
+		if s == nil {
+			s = w.r
+		}
+		row := PlanWorkload{Name: w.name, RSize: len(w.r), SSize: len(s), Dims: w.r[0].Point.Dim()}
+
+		for _, g := range grid {
+			opts := g.opts
+			opts.K, opts.Nodes, opts.Seed = k, nodes, 1
+			wall, st, err := measureJoin(w.r, s, opts, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.name, g.name, err)
+			}
+			row.Fixed = append(row.Fixed, FixedPlan{
+				Name: g.name, WallNs: wall, ShuffleBytes: st.ShuffleBytes, DistComps: st.Pairs,
+			})
+			if row.BestWallNs == 0 || wall < row.BestWallNs {
+				row.BestFixed, row.BestWallNs = g.name, wall
+			}
+			if wall > row.WorstWallNs {
+				row.WorstFixed, row.WorstWallNs = g.name, wall
+			}
+		}
+
+		// Plan once (timed separately — planning is a one-shot cost the
+		// caller amortizes over the join), then measure the picked plan's
+		// execution like any fixed grid entry.
+		planStart := time.Now()
+		plans, err := knnjoin.AutoPlan(w.r, s, knnjoin.Options{K: k, Nodes: nodes, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s/plan: %w", w.name, err)
+		}
+		row.PlanningWallNs = float64(time.Since(planStart).Nanoseconds())
+		var pick *knnjoin.Plan
+		for i := range plans {
+			if !plans[i].Approximate {
+				pick = &plans[i]
+				break
+			}
+		}
+		if pick == nil {
+			return nil, fmt.Errorf("%s: planner returned no exact plan", w.name)
+		}
+		algo, err := knnjoin.ParseAlgorithm(pick.Algo)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		wall, st, err := measureJoin(w.r, s, knnjoin.Options{
+			K: k, Algorithm: algo, Nodes: nodes, Seed: 1, NumPivots: pick.NumPivots,
+			PivotStrategy: pick.PivotStrategy, GroupStrategy: pick.GroupStrategy,
+		}, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.name, pick.Config(), err)
+		}
+		row.Planned = pick.Config()
+		row.PlannedWallNs = wall
+		row.PlannedShuffleBytes = st.ShuffleBytes
+		row.PredictedShuffleBytes = pick.Predicted.ShuffleBytes
+		row.PlannedDistComps = st.Pairs
+		row.PredictedDistComps = pick.Predicted.DistComps
+		row.RatioToBest = wall / row.BestWallNs
+
+		if wall > row.BestWallNs*planRatioGate && wall-row.BestWallNs > planSlackNs {
+			return nil, fmt.Errorf(
+				"%s: planner pick %q measured %.1fms, %.2f× the best fixed plan %q (%.1fms) — gate is %.1f×",
+				w.name, row.Planned, wall/1e6, row.RatioToBest, row.BestFixed,
+				row.BestWallNs/1e6, planRatioGate)
+		}
+		report.Workloads = append(report.Workloads, row)
+	}
+	return report, nil
+}

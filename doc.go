@@ -30,10 +30,20 @@
 //
 // Every operator also returns a *Stats carrying the paper's evaluation
 // measures — per-phase wall time, distance-computation selectivity
-// (Equation 13), shuffle bytes, S-replication and reducer skew — so the
-// trade-offs are observable on your own data. Helpers round the surface
-// out: ExcludeSelf post-processes self-join results, the Parse*
-// functions turn CLI strings into the option enums.
+// (Equation 13), shuffle bytes, S-replication, reducer skew, and the
+// per-MapReduce-job breakdown in Stats.Jobs — so the trade-offs are
+// observable on your own data. Helpers round the surface out:
+// ExcludeSelf post-processes self-join results, the Parse* functions
+// turn CLI strings into the option enums.
+//
+// Callers who would rather not hand-pick the configuration can set
+// Options.Algorithm to Auto: the cost-based planner samples both
+// datasets, evaluates the paper's cost model (Theorem-7 replication,
+// Theorem-2 window selectivity, shuffle volume, spill pressure) across
+// every exact algorithm and a grid of tuning knobs, executes the
+// cheapest plan, and records the choice with its predictions in
+// Stats.Plan. AutoPlan returns the full ranked candidate list without
+// executing anything — EXPLAIN for kNN joins (cmd/knnplan is its CLI).
 //
 // Joins larger than memory run on the out-of-core execution backend:
 // setting Options.SpillDir (or just Options.MemLimit) moves dataset

@@ -176,6 +176,90 @@ func OSM(n int, seed int64) []codec.Object {
 	return out
 }
 
+// Gaussian generates n objects from a mixture of `clusters` spherical
+// Gaussian blobs in dim dimensions: cluster centers are uniform in
+// [0.15·scale, 0.85·scale]^dim and every cluster contributes roughly
+// n/clusters points with the given per-coordinate standard deviation.
+// stddev ≤ 0 selects scale/20. This is the "clustered" workload shape of
+// the planner's evaluation: Voronoi partitioning thrives on it, and the
+// intrinsic-dimensionality and skew estimates must tell it apart from
+// uniform noise.
+func Gaussian(n, dim, clusters int, stddev, scale float64, seed int64) []codec.Object {
+	if clusters <= 0 {
+		clusters = 8
+	}
+	if clusters > n {
+		clusters = n
+	}
+	if stddev <= 0 {
+		stddev = scale / 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, clusters)
+	for c := range centers {
+		ctr := make([]float64, dim)
+		for d := range ctr {
+			ctr[d] = (0.15 + 0.7*rng.Float64()) * scale
+		}
+		centers[c] = ctr
+	}
+	out := make([]codec.Object, n)
+	for i := range out {
+		ctr := centers[rng.Intn(clusters)]
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = ctr[d] + rng.NormFloat64()*stddev
+		}
+		out[i] = codec.Object{ID: int64(i), Point: p}
+	}
+	return out
+}
+
+// Zipf generates n objects with Zipf-skewed density: `sites` anchor
+// points uniform in [0, scale)^dim receive objects with rank-r
+// probability ∝ 1/r^1.3 (the OSM generator's exponent), each object
+// jittered around its site by a Gaussian of one third of the mean
+// inter-site spacing. The first-ranked site ends up holding a large
+// constant fraction of the data — the partition-size skew that breaks
+// fixed-configuration joins and that the planner's ClusterSkew statistic
+// must detect. sites ≤ 0 selects 64.
+func Zipf(n, dim, sites int, scale float64, seed int64) []codec.Object {
+	if sites <= 0 {
+		sites = 64
+	}
+	if sites > n {
+		sites = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	anchors := make([][]float64, sites)
+	for s := range anchors {
+		a := make([]float64, dim)
+		for d := range a {
+			a[d] = rng.Float64() * scale
+		}
+		anchors[s] = a
+	}
+	var zipf *rand.Zipf
+	if sites > 1 {
+		zipf = rand.NewZipf(rng, 1.3, 1, uint64(sites-1))
+	}
+	spacing := scale / math.Pow(float64(sites), 1/float64(dim))
+	out := make([]codec.Object, n)
+	for i := range out {
+		var site uint64
+		if zipf != nil {
+			site = zipf.Uint64()
+		}
+		a := anchors[site]
+		p := make(vector.Point, dim)
+		for d := range p {
+			p[d] = a[d] + rng.NormFloat64()*spacing/3
+		}
+		out[i] = codec.Object{ID: int64(i), Point: p}
+	}
+	return out
+}
+
 // Uniform generates n objects uniform in [0, scale)^dim; the simplest
 // workload for tests and micro-benchmarks.
 func Uniform(n, dim int, scale float64, seed int64) []codec.Object {

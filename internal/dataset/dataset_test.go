@@ -329,3 +329,86 @@ func BenchmarkExpand10x(b *testing.B) {
 		Expand(base, 10)
 	}
 }
+
+func TestGaussianShape(t *testing.T) {
+	objs := Gaussian(2000, 3, 4, 2, 100, 42)
+	if len(objs) != 2000 {
+		t.Fatalf("got %d objects, want 2000", len(objs))
+	}
+	if objs[0].Point.Dim() != 3 {
+		t.Fatalf("dims = %d, want 3", objs[0].Point.Dim())
+	}
+	// A tight 4-cluster mixture occupies far less of the 4×4×4 coarse
+	// grid than uniform noise would: count occupied cells.
+	cells := map[[3]int]int{}
+	for _, o := range objs {
+		var c [3]int
+		for d := 0; d < 3; d++ {
+			c[d] = int(o.Point[d] / 25)
+		}
+		cells[c]++
+	}
+	if len(cells) > 24 {
+		t.Fatalf("gaussian mixture occupies %d of 64 coarse cells; expected concentration", len(cells))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n = 2000
+	objs := Zipf(n, 2, 64, 100, 42)
+	if len(objs) != n {
+		t.Fatalf("got %d objects, want %d", len(objs), n)
+	}
+	// The rank-1 site must dominate: the fullest cell of a 4×4 grid has
+	// to hold far more than the uniform expectation n/16.
+	cells := map[[2]int]int{}
+	for _, o := range objs {
+		var c [2]int
+		for d := 0; d < 2; d++ {
+			v := int(o.Point[d] / 25)
+			if v < 0 {
+				v = 0
+			}
+			if v > 3 {
+				v = 3
+			}
+			c[d] = v
+		}
+		cells[c]++
+	}
+	max := 0
+	for _, cnt := range cells {
+		if cnt > max {
+			max = cnt
+		}
+	}
+	if max < 2*n/16 {
+		t.Fatalf("fullest cell holds %d of %d; want Zipf skew ≥ 2× the uniform %d", max, n, n/16)
+	}
+}
+
+func TestGaussianZipfDeterministic(t *testing.T) {
+	equal := func(a, b []codec.Object) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || !a[i].Point.Equal(b[i].Point) {
+				return false
+			}
+		}
+		return true
+	}
+	for name, gen := range map[string]func(seed int64) []codec.Object{
+		"gaussian": func(seed int64) []codec.Object { return Gaussian(300, 4, 8, 0, 100, seed) },
+		"zipf":     func(seed int64) []codec.Object { return Zipf(300, 3, 0, 100, seed) },
+	} {
+		a, b, c := gen(5), gen(5), gen(6)
+		if !equal(a, b) {
+			t.Errorf("%s: same seed differs", name)
+		}
+		if equal(a, c) {
+			t.Errorf("%s: different seeds identical", name)
+		}
+	}
+}

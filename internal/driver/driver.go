@@ -22,6 +22,7 @@ import (
 	"knnjoin/internal/dfs"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
+	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
 )
 
@@ -184,6 +185,29 @@ func ReadResults(fs dfs.Store, name string) ([]codec.Result, error) {
 	}
 	SortResults(out)
 	return out, nil
+}
+
+// AddJobStats appends one MapReduce job's measured actuals to the
+// report's per-job breakdown. Every algorithm calls it after each
+// cluster.Run, so the public Stats expose where shuffle bytes and
+// distance computations were actually spent, job by job. Distance
+// computations are read from the conventional "pairs" counter; jobs
+// that count comparisons under another name use AddJobStatsCounter.
+func AddJobStats(rep *stats.Report, js *mapreduce.JobStats) {
+	AddJobStatsCounter(rep, js, "pairs")
+}
+
+// AddJobStatsCounter is AddJobStats with the job's comparison counter
+// named explicitly (e.g. setsim's "verified").
+func AddJobStatsCounter(rep *stats.Report, js *mapreduce.JobStats, distCounter string) {
+	rep.AddJob(stats.JobStat{
+		Name:           js.Job,
+		ShuffleRecords: js.ShuffleRecords,
+		ShuffleBytes:   js.ShuffleBytes,
+		DistComps:      js.Counters[distCounter],
+		SpilledBytes:   js.SpilledBytes,
+		Wall:           js.Wall(),
+	})
 }
 
 // CollectRSBlocks streams one reducer group of Tagged values into two

@@ -148,6 +148,7 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 		return nil, err
 	}
 	report.AddPhase("KNN Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs = js.Counters["pairs"]
 	report.ShuffleBytes = js.ShuffleBytes
 	report.ShuffleRecords = js.ShuffleRecords

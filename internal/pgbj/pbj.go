@@ -6,6 +6,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
@@ -99,6 +100,7 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 		return nil, err
 	}
 	report.AddPhase("KNN Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords
@@ -112,6 +114,7 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 		return nil, err
 	}
 	report.AddPhase("Result Merging", ms.Wall())
+	driver.AddJobStats(report, ms)
 	report.ShuffleBytes += ms.ShuffleBytes
 	report.ShuffleRecords += ms.ShuffleRecords
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan

@@ -205,6 +205,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, err
 	}
 	report.AddPhase("KNN Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords
@@ -275,6 +276,7 @@ func runPartitionJob(cluster *mapreduce.Cluster, pp *voronoi.Partitioner, inputs
 		return err
 	}
 	report.AddPhase("Data Partitioning", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.SimMakespan += js.SimMapMakespan
 	return nil

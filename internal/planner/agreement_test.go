@@ -1,0 +1,122 @@
+package planner_test
+
+import (
+	"testing"
+
+	"knnjoin"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/planner"
+)
+
+// TestPredictionsMatchMeasuredReplication checks the sampled Theorem-7
+// estimate against the real pipeline: across a pivot sweep, predicted
+// S-replication must land within tolerance of the measured actual and
+// preserve its ordering. This is the falsifiability contract: the model
+// is code, the pipeline is the experiment.
+func TestPredictionsMatchMeasuredReplication(t *testing.T) {
+	objs := dataset.Uniform(4000, 4, 100, 1)
+	opts := planner.Options{K: 5, Nodes: 16, Seed: 1}
+	ds, err := planner.Measure(objs, objs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct {
+		pivots              int
+		predicted, measured int64
+	}
+	var pts []point
+	for _, p := range []int{16, 64, 256} {
+		pinned := opts
+		pinned.NumPivots = p
+		plans, err := planner.Plans(ds, pinned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pred int64 = -1
+		for _, pl := range plans {
+			if pl.Algo == "pgbj" && pl.PivotStrategy.String() == "random" && pl.GroupStrategy.String() == "geometric" {
+				pred = pl.Predicted.ReplicasS
+				break
+			}
+		}
+		if pred < 0 {
+			t.Fatalf("no pgbj random/geometric candidate at pivots=%d", p)
+		}
+		_, st, err := knnjoin.Join(objs, objs, knnjoin.Options{
+			K: 5, Algorithm: knnjoin.PGBJ, Nodes: 16, NumPivots: p, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{p, pred, st.ReplicasS})
+		ratio := float64(pred) / float64(st.ReplicasS)
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Errorf("pivots=%d: predicted replicas %d vs measured %d (ratio %.2f outside [0.75, 1.35])",
+				p, pred, st.ReplicasS, ratio)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		predDown := pts[i].predicted <= pts[i-1].predicted
+		measDown := pts[i].measured <= pts[i-1].measured
+		if predDown != measDown {
+			t.Errorf("pivots %d → %d: predicted direction (down=%v) disagrees with measured (down=%v)",
+				pts[i-1].pivots, pts[i].pivots, predDown, measDown)
+		}
+	}
+}
+
+// TestRankingAgreesWithMeasuredCost sweeps seeds and checks that the
+// ranking's strong preferences are real: whenever the model scores one
+// exact algorithm at least 1.8× cheaper than another, the measured
+// deterministic cost proxy (shuffle bytes plus distance computations,
+// priced at the model's own weights) must not order them the other way
+// by more than 25%. Wall clocks stay out of it so the test cannot
+// flake.
+func TestRankingAgreesWithMeasuredCost(t *testing.T) {
+	algos := []knnjoin.Algorithm{knnjoin.PGBJ, knnjoin.HBRJ, knnjoin.Broadcast, knnjoin.Theta}
+	for _, seed := range []int64{1, 2, 3} {
+		objs := dataset.Gaussian(1500, 4, 6, 0, 100, seed)
+		opts := planner.Options{K: 8, Nodes: 4, Seed: seed}
+		ds, err := planner.Measure(objs, objs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, err := planner.Plans(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestScore := map[string]float64{}
+		for _, p := range plans {
+			if _, ok := bestScore[p.Algo]; !ok {
+				bestScore[p.Algo] = p.Score
+			}
+		}
+		measured := map[string]float64{}
+		for _, a := range algos {
+			_, st, err := knnjoin.Join(objs, objs, knnjoin.Options{
+				K: 8, Algorithm: a, Nodes: 4, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The same cost collapse the score uses, fed with actuals
+			// (fused-kernel distance pricing at dims=4 plus the shuffle
+			// byte rate — mirror the cost.go weights).
+			measured[a.String()] = float64(st.Pairs)*14 + float64(st.ShuffleBytes)*20
+		}
+		for i, a := range algos {
+			for _, b := range algos[i+1:] {
+				sa, sb := bestScore[a.String()], bestScore[b.String()]
+				ma, mb := measured[a.String()], measured[b.String()]
+				if sa < sb/1.8 && ma > mb*1.25 {
+					t.Errorf("seed %d: model prefers %s (%.3g) over %s (%.3g) but measured cost says %0.f vs %0.f",
+						seed, a, sa, b, sb, ma, mb)
+				}
+				if sb < sa/1.8 && mb > ma*1.25 {
+					t.Errorf("seed %d: model prefers %s (%.3g) over %s (%.3g) but measured cost says %0.f vs %0.f",
+						seed, b, sb, a, sa, mb, ma)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/dfs"
+)
+
+// Reservoir is a one-pass uniform random sampler (Vitter's Algorithm R):
+// feed it any number of objects and it retains a uniform sample of at
+// most its capacity, using O(capacity) memory. It is the planner's way
+// of looking at a dataset — an in-memory slice or a DFS file — without
+// ever holding more than the sample.
+type Reservoir struct {
+	cap  int
+	rng  *rand.Rand
+	seen int64
+	objs []codec.Object
+}
+
+// NewReservoir returns a sampler retaining at most capacity objects.
+// The seed fixes which objects survive, so sampling is deterministic.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		panic("planner: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one object to the reservoir.
+func (r *Reservoir) Add(o codec.Object) {
+	r.seen++
+	if len(r.objs) < r.cap {
+		r.objs = append(r.objs, o)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.objs[j] = o
+	}
+}
+
+// Seen returns how many objects were offered in total.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the retained sample (at most the capacity, exactly the
+// offered count when fewer were offered). The returned slice is the
+// reservoir's own storage; callers must not Add afterwards.
+func (r *Reservoir) Sample() []codec.Object { return r.objs }
+
+// SampleObjects draws a deterministic uniform sample of at most n
+// objects from objs in one pass.
+func SampleObjects(objs []codec.Object, n int, seed int64) []codec.Object {
+	res := NewReservoir(n, seed)
+	for _, o := range objs {
+		res.Add(o)
+	}
+	return res.Sample()
+}
+
+// SampleStore draws a deterministic uniform sample of at most n objects
+// from a DFS file of Tagged records, loading one input split at a time —
+// so sampling a disk-backed Store never holds more than one chunk plus
+// the sample in memory. It returns the sample and the file's total
+// object count.
+func SampleStore(fs dfs.Store, name string, n int, seed int64) ([]codec.Object, int, error) {
+	splits, err := fs.Splits(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	res := NewReservoir(n, seed)
+	for _, sp := range splits {
+		recs, err := sp.Load()
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, rec := range recs {
+			t, err := codec.DecodeTagged(rec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("planner: record %d of %q: %w", i, name, err)
+			}
+			res.Add(t.Object)
+		}
+	}
+	return res.Sample(), int(res.Seen()), nil
+}

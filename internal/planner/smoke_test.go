@@ -1,0 +1,55 @@
+package planner_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"knnjoin"
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/planner"
+)
+
+// TestSmokeExplain is an exploratory harness: -v prints the ranked plans
+// and measured walls for each workload shape.
+func TestSmokeExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploratory")
+	}
+	const n = 4000
+	shapes := []struct {
+		name string
+		r, s []knnjoin.Object
+	}{
+		{"uniform", dataset.Uniform(n, 4, 100, 1), nil},
+		{"gaussian", dataset.Gaussian(n, 4, 8, 0, 100, 1), nil},
+		{"zipf", dataset.Zipf(n, 2, 64, 100, 1), nil},
+		{"lopsided", dataset.Uniform(n/16, 4, 100, 1), dataset.Uniform(n, 4, 100, 2)},
+	}
+	for _, sh := range shapes {
+		s := sh.s
+		if s == nil {
+			s = sh.r
+		}
+		opts := planner.Options{K: 10, Nodes: 4, Seed: 1}
+		ds, err := planner.Measure(sh.r, s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, err := planner.Plans(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("=== %s ===\n%s", sh.name, planner.Explain(ds, plans[:8]))
+		// Measure a few fixed algorithms for comparison.
+		for _, algo := range []knnjoin.Algorithm{knnjoin.PGBJ, knnjoin.HBRJ, knnjoin.Broadcast, knnjoin.Theta, knnjoin.BruteForce} {
+			start := time.Now()
+			_, st, err := knnjoin.Join(sh.r, s, knnjoin.Options{K: 10, Algorithm: algo, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%-10s %-12s wall=%-12v shuffle=%-12d pairs=%d\n",
+				sh.name, algo, time.Since(start).Round(time.Millisecond), st.ShuffleBytes, st.Pairs)
+		}
+	}
+}

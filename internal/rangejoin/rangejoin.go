@@ -145,6 +145,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	}
 	defer cluster.FS().Remove(partFile)
 	report.AddPhase("Data Partitioning", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.SimMakespan += js.SimMapMakespan
 
@@ -202,6 +203,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, err
 	}
 	report.AddPhase("Range Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords

@@ -33,6 +33,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/driver"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/stats"
 )
@@ -204,6 +205,7 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 	if err != nil {
 		return nil, nil, err
 	}
+	driver.AddJobStats(report, js)
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords
 	report.SimMakespan += js.SimMapMakespan + js.SimReduceMakespan
@@ -252,6 +254,7 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 		return nil, nil, err
 	}
 	report.AddPhase("RID-Pair Generation", time.Since(start))
+	driver.AddJobStatsCounter(report, js, "verified")
 	report.Pairs += js.Counters["verified"]
 	report.ReplicasS = js.Counters["prefix_replicas"]
 	report.ShuffleBytes += js.ShuffleBytes
@@ -287,6 +290,7 @@ func Run(cluster *mapreduce.Cluster, inFile, outFile string, opts Options) ([]Si
 		return nil, nil, err
 	}
 	report.AddPhase("Deduplication", time.Since(start))
+	driver.AddJobStats(report, ms)
 	report.ShuffleBytes += ms.ShuffleBytes
 	report.ShuffleRecords += ms.ShuffleRecords
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan

@@ -19,6 +19,18 @@ func runJoin(t testing.TB, records []Record, threshold float64, nodes int) ([]Si
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Per-job actuals contract: three jobs, comparison counts summing to
+	// the aggregate (only the RID-pair job verifies candidates).
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("recorded %d jobs, want 3", len(rep.Jobs))
+	}
+	var comps int64
+	for _, j := range rep.Jobs {
+		comps += j.DistComps
+	}
+	if comps != rep.Pairs {
+		t.Fatalf("per-job comparisons %d != aggregate %d", comps, rep.Pairs)
+	}
 	return pairs, rep.Pairs
 }
 

@@ -22,6 +22,69 @@ type Phase struct {
 	Wall time.Duration
 }
 
+// JobStat holds one MapReduce job's measured actuals: the per-job
+// breakdown of the aggregate shuffle and distance-computation counters a
+// Report carries. Every algorithm records one entry per job it runs, in
+// execution order, so callers of the public API can see exactly where
+// shuffle bytes and distance computations were spent — and so the
+// planner's per-job predictions are falsifiable against them.
+type JobStat struct {
+	// Name is the job's name ("pgbj-join", "knn-merge", ...).
+	Name string
+	// ShuffleRecords and ShuffleBytes are the records and key+value bytes
+	// that crossed this job's shuffle (zero for map-only jobs).
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// DistComps is the job's "pairs" counter: distance computations
+	// performed by its map and reduce tasks, per the Equation-13 note.
+	DistComps int64
+	// SpilledBytes counts shuffle bytes written to run files on disk by
+	// the out-of-core backend (zero on the in-memory backend).
+	SpilledBytes int64
+	// Wall is the job's map plus reduce wall time.
+	Wall time.Duration
+}
+
+// PlanInfo records what the cost-based planner chose and predicted for a
+// run whose configuration was planned rather than hand-picked (Algorithm
+// Auto, or an explicit AutoPlan). Predicted values are the cost model's
+// estimates; the Report's ShuffleBytes, Pairs and ReplicasS fields hold
+// the measured actuals the predictions are checked against.
+type PlanInfo struct {
+	// Algorithm, NumPivots, PivotStrategy and GroupStrategy are the
+	// chosen configuration (strategy fields are empty for algorithms
+	// without pivots).
+	Algorithm     string
+	NumPivots     int
+	PivotStrategy string
+	GroupStrategy string
+	// Score is the plan's predicted cost in the planner's nanosecond-like
+	// cost units; lower is better. Candidates is how many plans the
+	// chosen one was ranked against.
+	Score      float64
+	Candidates int
+	// PredictedShuffleBytes, PredictedDistComps and PredictedReplicasS
+	// are the cost model's estimates for the chosen plan.
+	PredictedShuffleBytes int64
+	PredictedDistComps    int64
+	PredictedReplicasS    int64
+	// Why is the planner's one-line human-readable justification.
+	Why string
+}
+
+// String renders the chosen plan and its predictions on one line.
+func (p *PlanInfo) String() string {
+	cfg := p.Algorithm
+	if p.NumPivots > 0 {
+		cfg = fmt.Sprintf("%s pivots=%d/%s", p.Algorithm, p.NumPivots, p.PivotStrategy)
+		if p.GroupStrategy != "" {
+			cfg += "/" + p.GroupStrategy
+		}
+	}
+	return fmt.Sprintf("plan %s score=%.3g predicted: shuffle=%s dist=%d repl=%d",
+		cfg, p.Score, FormatBytes(p.PredictedShuffleBytes), p.PredictedDistComps, p.PredictedReplicasS)
+}
+
 // Report aggregates everything one join run measures.
 type Report struct {
 	Algorithm string
@@ -52,6 +115,20 @@ type Report struct {
 	OutputPairs int64
 
 	Phases []Phase
+
+	// Jobs holds the per-MapReduce-job actuals in execution order; the
+	// aggregate counters above sum over it (plus driver-side work such as
+	// pivot selection, which belongs to no job).
+	Jobs []JobStat
+
+	// Plan is set when the run's configuration was chosen by the
+	// cost-based planner (Algorithm Auto); nil for hand-picked runs.
+	Plan *PlanInfo
+}
+
+// AddJob appends one job's measured actuals.
+func (r *Report) AddJob(j JobStat) {
+	r.Jobs = append(r.Jobs, j)
 }
 
 // AddPhase appends a timed phase.

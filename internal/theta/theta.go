@@ -149,6 +149,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, err
 	}
 	report.AddPhase("Region Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords
@@ -162,6 +163,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, err
 	}
 	report.AddPhase("Result Merging", ms.Wall())
+	driver.AddJobStats(report, ms)
 	report.ShuffleBytes += ms.ShuffleBytes
 	report.ShuffleRecords += ms.ShuffleRecords
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan

@@ -256,6 +256,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, nil, err
 	}
 	report.AddPhase("Pair Join", time.Since(start))
+	driver.AddJobStats(report, js)
 	report.Pairs += js.Counters["pairs"]
 	report.ShuffleBytes += js.ShuffleBytes
 	report.ShuffleRecords += js.ShuffleRecords
@@ -297,6 +298,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, nil, err
 	}
 	report.AddPhase("Top-k Merge", time.Since(start))
+	driver.AddJobStats(report, ms)
 	report.ShuffleBytes += ms.ShuffleBytes
 	report.ShuffleRecords += ms.ShuffleRecords
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan

@@ -12,6 +12,7 @@ import (
 	"knnjoin/internal/naive"
 	"knnjoin/internal/pgbj"
 	"knnjoin/internal/pivot"
+	"knnjoin/internal/planner"
 	"knnjoin/internal/rangejoin"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/theta"
@@ -76,6 +77,12 @@ const (
 	// et al., LSDS-IR'10; ref [15]): APPROXIMATE like ZKNN, with recall
 	// governed by the table count rather than the shift count.
 	LSH
+	// Auto delegates the choice to the cost-based planner: the join
+	// samples both datasets, evaluates the paper's cost model across
+	// every exact algorithm and its tuning grid, executes the cheapest
+	// plan, and records the chosen plan plus its predictions in Stats
+	// (see AutoPlan).
+	Auto
 )
 
 // String returns the algorithm's conventional name.
@@ -97,6 +104,8 @@ func (a Algorithm) String() string {
 		return "theta"
 	case LSH:
 		return "lsh"
+	case Auto:
+		return "auto"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -120,6 +129,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return Theta, nil
 	case "lsh", "rankreduce":
 		return LSH, nil
+	case "auto", "plan":
+		return Auto, nil
 	}
 	return PGBJ, fmt.Errorf("knnjoin: unknown algorithm %q", s)
 }
@@ -210,12 +221,90 @@ func (o Options) withDefaults(rSize int) (Options, error) {
 	return o, nil
 }
 
+// Plan is one ranked candidate configuration produced by the cost-based
+// planner: a concrete algorithm plus tuning knobs, the model's
+// prediction, and the score the ranking sorts by (lower is better).
+type Plan = planner.Plan
+
+// Prediction is the cost model's estimate attached to each Plan: jobs,
+// shuffle volume, S replication, distance computations and spill
+// pressure.
+type Prediction = planner.Prediction
+
+// AutoPlan ranks every candidate configuration for joining r and s with
+// the given options: it samples both datasets, measures their shape
+// (intrinsic dimensionality, cluster skew), evaluates the paper's cost
+// model — Theorem-7 replication, Theorem-2 window selectivity, shuffle
+// volume, spill pressure under MemLimit — for each algorithm across a
+// grid of NumPivots, PivotStrategy and GroupStrategy, and returns the
+// plans sorted by ascending predicted cost. Approximate algorithms
+// (ZKNN, LSH) are ranked but flagged; Join with Algorithm Auto executes
+// the first exact plan. Options.NumPivots, when positive, pins the
+// pivot grid to that value; K is required and Seed makes planning
+// deterministic.
+func AutoPlan(r, s []Object, opts Options) ([]Plan, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("knnjoin: Options.K must be positive, got %d", opts.K)
+	}
+	po := planner.Options{
+		K: opts.K, Nodes: opts.Nodes, Metric: opts.Metric,
+		MemLimit: opts.MemLimit, Seed: opts.Seed, NumPivots: opts.NumPivots,
+	}
+	ds, err := planner.Measure(r, s, po)
+	if err != nil {
+		return nil, err
+	}
+	return planner.Plans(ds, po)
+}
+
+// resolveAuto runs the planner and pins the options to the winning
+// plan's configuration, returning the plan record Join stores in Stats.
+func resolveAuto(r, s []Object, opts Options) (Options, *stats.PlanInfo, error) {
+	if len(r) == 0 || len(s) == 0 {
+		// Nothing to sample; the centralized join handles the degenerate
+		// input without cluster overhead.
+		opts.Algorithm = BruteForce
+		return opts, nil, nil
+	}
+	plans, err := AutoPlan(r, s, opts)
+	if err != nil {
+		return opts, nil, err
+	}
+	best := planner.Best(plans, false)
+	if best == nil {
+		return opts, nil, fmt.Errorf("knnjoin: planner produced no executable plan")
+	}
+	algo, err := ParseAlgorithm(best.Algo)
+	if err != nil {
+		return opts, nil, err
+	}
+	opts.Algorithm = algo
+	if best.NumPivots > 0 {
+		opts.NumPivots = best.NumPivots
+		opts.PivotStrategy = best.PivotStrategy
+		opts.GroupStrategy = best.GroupStrategy
+	}
+	return opts, best.PlanInfo(len(plans)), nil
+}
+
 // Join computes the kNN join of r and s — exact for every algorithm but
 // ZKNN and LSH. Results are ordered by R object ID; each holds
 // min(K, |S|) neighbors ascending by distance (the approximate
 // algorithms may return fewer when their candidate structures miss).
-// The returned Stats expose the run's cost measures.
+// The returned Stats expose the run's cost measures. With Algorithm
+// Auto the cost-based planner picks the algorithm and knobs first, and
+// Stats.Plan records the choice with its predictions.
 func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
+	var planInfo *stats.PlanInfo
+	if opts.Algorithm == Auto {
+		if opts.K <= 0 {
+			return nil, nil, fmt.Errorf("knnjoin: Options.K must be positive, got %d", opts.K)
+		}
+		var err error
+		if opts, planInfo, err = resolveAuto(r, s, opts); err != nil {
+			return nil, nil, err
+		}
+	}
 	opts, err := opts.withDefaults(len(r))
 	if err != nil {
 		return nil, nil, err
@@ -231,6 +320,7 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		results, pairs := naive.BruteForce(r, s, opts.K, opts.Metric)
 		rep := &Stats{Algorithm: "bruteforce", K: opts.K, RSize: len(r), SSize: len(s),
 			Dims: r[0].Point.Dim(), Nodes: 1, Pairs: pairs, OutputPairs: countPairs(results)}
+		rep.Plan = planInfo
 		return results, rep, nil
 	}
 
@@ -282,6 +372,7 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 	rep.Dims = r[0].Point.Dim()
+	rep.Plan = planInfo
 	results, err := env.Results()
 	if err != nil {
 		return nil, nil, err
