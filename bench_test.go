@@ -320,6 +320,31 @@ func BenchmarkDistPGBJReduce(b *testing.B) {
 	}
 }
 
+// BenchmarkDistKernelTiers is the kernel tier matrix on the same
+// PGBJ-reducer workload, through the query-batched kernels — the rows
+// `distbench -suite kernels` records in BENCH_dist.json.
+func BenchmarkDistKernelTiers(b *testing.B) {
+	const k, queries = 10, 64
+	for _, dim := range []int{2, 8, 32} {
+		recs := benchjobs.DistInput(10000, dim, 1)
+		qs := benchjobs.DistQueries(queries, dim, 2)
+		theta, err := benchjobs.DistTheta(recs, benchjobs.DistWindowFrac)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kern := range []Kernel{KernelScalar, KernelBlock, KernelF32, KernelQuantized} {
+			b.Run(fmt.Sprintf("%v/d=%d", kern, dim), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := benchjobs.JoinKernelBatch(recs, qs, k, theta, kern); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // Guard: the full experiment suite stays runnable end to end.
 func BenchmarkAllExperimentsTiny(b *testing.B) {
 	cfg := experiments.Config{Scale: 0.008, Seed: 1, Nodes: 4, K: 5}

@@ -1,18 +1,22 @@
 // Command distbench runs the distance-path micro-benchmarks — reducer
 // value-group decode and the PGBJ-reducer-shaped join — through both the
-// legacy per-Object path and the columnar Block path, and writes the
-// paired results as JSON (committed as BENCH_dist.json at the repository
-// root), so the distance path's performance trajectory is tracked across
-// changes next to the shuffle's. The workloads are the same
-// internal/benchjobs functions bench_test.go measures with `go test
-// -bench`; both paths run identical candidate sets and their outputs are
-// cross-checked before timing.
+// legacy per-Object path and the columnar Block path, plus the kernel
+// tier matrix (scalar / block / f32 / quantized across dimensionalities)
+// through the query-batched kernels — and writes the results as JSON
+// (committed as BENCH_dist.json at the repository root), so the distance
+// path's performance trajectory is tracked across changes next to the
+// shuffle's. The workloads are the same internal/benchjobs functions
+// bench_test.go measures with `go test -bench`; every path and every
+// kernel tier runs identical candidate sets and their outputs are
+// cross-checked (down to the distance bits) before timing.
 //
 // Usage:
 //
-//	distbench                     # print JSON to stdout
+//	distbench                     # both suites, JSON to stdout
 //	distbench -out BENCH_dist.json
-//	distbench -queries 64         # queries per join measurement
+//	distbench -suite kernels      # only the kernel tier matrix
+//	distbench -suite kernels -smoke  # cross-check outputs only, no timing (CI)
+//	distbench -queries 64         # override the per-suite query defaults (dist 64, kernels 512)
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"testing"
 
 	"knnjoin/internal/benchjobs"
+	"knnjoin/internal/vector"
 )
 
 // Path is one side's measurement: the scalar (per-Object) or block
@@ -51,13 +56,34 @@ type Result struct {
 	AllocRatio float64 `json:"alloc_ratio"`
 }
 
+// KernelRow is one (n, dim) cell of the kernel tier matrix: the
+// PGBJ-reducer-shaped join measured through the query-batched kernels at
+// every tier, with the headline speedups quoted against the exact block
+// tier. Every tier's output is cross-checked against the per-Object
+// scalar join before timing — bit-identical down to the distance bits.
+type KernelRow struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	// Tiers maps kernel name → measurement.
+	Tiers map[string]Path `json:"tiers"`
+	// SpeedupF32 and SpeedupQuantized are ns/op ratios vs the block tier.
+	SpeedupF32       float64 `json:"speedup_f32_vs_block"`
+	SpeedupQuantized float64 `json:"speedup_quantized_vs_block"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
-	Suite   string   `json:"suite"`
-	Kernel  string   `json:"kernel"`
-	K       int      `json:"k"`
-	Queries int      `json:"queries"`
-	Results []Result `json:"results"`
+	Suite  string `json:"suite"`
+	Kernel string `json:"kernel"`
+	K      int    `json:"k"`
+	// Queries is the dist suite's per-join query count; KernelQueries is
+	// the kernels suite's reducer-sized batch (see run's flag handling).
+	Queries       int      `json:"queries"`
+	KernelQueries int      `json:"kernel_queries,omitempty"`
+	Results       []Result `json:"results,omitempty"`
+	// Kernels is the tier matrix (suite "kernels" or "all").
+	Kernels []KernelRow `json:"kernels,omitempty"`
 }
 
 func measure(fn func() error) (Path, error) {
@@ -92,13 +118,27 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("distbench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	k := fs.Int("k", 10, "neighbors per query in the join workloads")
-	queries := fs.Int("queries", 64, "queries per join measurement")
+	queries := fs.Int("queries", 0, "queries per join measurement (0 = suite default: 64 for dist, 512 for kernels)")
 	sizes := fs.String("sizes", "10000,100000", "comma-separated group sizes n")
+	suite := fs.String("suite", "all", "which suite to run: dist | kernels | all")
+	smoke := fs.Bool("smoke", false, "cross-check outputs only, skip timing (CI equality gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *k < 1 || *queries < 1 {
-		return fmt.Errorf("-k and -queries must be at least 1")
+	if *k < 1 || *queries < 0 {
+		return fmt.Errorf("-k must be at least 1 and -queries non-negative")
+	}
+	// The kernels suite times the pgbj-reduce task shape: decode + tier
+	// build once, then the whole R partition of queries against the
+	// block. Its default batch is therefore reducer-sized (512) rather
+	// than the dist suite's 64, so one-time build costs amortize the way
+	// they do in a real reduce task.
+	distQ, kernQ := *queries, *queries
+	if *queries == 0 {
+		distQ, kernQ = 64, 512
+	}
+	if *suite != "dist" && *suite != "kernels" && *suite != "all" {
+		return fmt.Errorf("-suite must be dist, kernels, or all, got %q", *suite)
 	}
 	var ns []int
 	for _, f := range strings.Split(*sizes, ",") {
@@ -116,19 +156,30 @@ func run(args []string) error {
 		return fmt.Errorf("-sizes is empty")
 	}
 
-	report := Report{Suite: "distance-path", Kernel: "columnar-block", K: *k, Queries: *queries}
+	report := Report{Suite: "distance-path", Kernel: "columnar-block", K: *k, Queries: distQ}
+	if *suite == "kernels" {
+		report.Suite = "kernels"
+	}
+	if *suite != "dist" {
+		report.KernelQueries = kernQ
+	}
 	dims := []int{2, 8, 32}
+	tiers := []vector.Kernel{
+		vector.KernelScalar, vector.KernelBlock, vector.KernelF32, vector.KernelQuantized,
+	}
 	for _, n := range ns {
 		for _, dim := range dims {
 			recs := benchjobs.DistInput(n, dim, 1)
-			qs := benchjobs.DistQueries(*queries, dim, 2)
+			qs := benchjobs.DistQueries(distQ, dim, 2)
 			theta, err := benchjobs.DistTheta(recs, benchjobs.DistWindowFrac)
 			if err != nil {
 				return err
 			}
 
-			// Cross-check the two paths before timing them: the block
-			// kernels must reproduce the scalar join exactly.
+			// Cross-check every path before timing anything: the block
+			// path and every kernel tier must reproduce the scalar join
+			// bit-for-bit (ids, order, and distance bits — see
+			// benchjobs.checksum). This check IS the -smoke mode.
 			want, err := benchjobs.JoinScalar(recs, qs, *k, theta)
 			if err != nil {
 				return err
@@ -140,21 +191,68 @@ func run(args []string) error {
 			if got != want {
 				return fmt.Errorf("join paths disagree at n=%d dim=%d: scalar %d, block %d", n, dim, want, got)
 			}
+			for _, kern := range tiers {
+				got, err := benchjobs.JoinKernelBatch(recs, qs, *k, theta, kern)
+				if err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("kernel %v join differs from float64 baseline at n=%d dim=%d: %d, want %d",
+						kern, n, dim, got, want)
+				}
+			}
+			if *smoke {
+				continue
+			}
 
-			dec, err := pair(fmt.Sprintf("decode/d=%d/n=%d", dim, n), n, dim,
-				func() error { _, err := benchjobs.DecodeScalar(recs); return err },
-				func() error { _, err := benchjobs.DecodeBlock(recs); return err })
-			if err != nil {
-				return err
+			if *suite != "kernels" {
+				dec, err := pair(fmt.Sprintf("decode/d=%d/n=%d", dim, n), n, dim,
+					func() error { _, err := benchjobs.DecodeScalar(recs); return err },
+					func() error { _, err := benchjobs.DecodeBlock(recs); return err })
+				if err != nil {
+					return err
+				}
+				join, err := pair(fmt.Sprintf("pgbj-reduce/d=%d/n=%d", dim, n), n, dim,
+					func() error { _, err := benchjobs.JoinScalar(recs, qs, *k, theta); return err },
+					func() error { _, err := benchjobs.JoinBlock(recs, qs, *k, theta); return err })
+				if err != nil {
+					return err
+				}
+				report.Results = append(report.Results, dec, join)
 			}
-			join, err := pair(fmt.Sprintf("pgbj-reduce/d=%d/n=%d", dim, n), n, dim,
-				func() error { _, err := benchjobs.JoinScalar(recs, qs, *k, theta); return err },
-				func() error { _, err := benchjobs.JoinBlock(recs, qs, *k, theta); return err })
-			if err != nil {
-				return err
+			if *suite != "dist" {
+				qsK := qs
+				if kernQ != distQ {
+					qsK = benchjobs.DistQueries(kernQ, dim, 2)
+				}
+				row := KernelRow{
+					Name:  fmt.Sprintf("pgbj-reduce/d=%d/n=%d", dim, n),
+					N:     n,
+					Dim:   dim,
+					Tiers: make(map[string]Path, len(tiers)),
+				}
+				for _, kern := range tiers {
+					kern := kern
+					m, err := measure(func() error {
+						_, err := benchjobs.JoinKernelBatch(recs, qsK, *k, theta, kern)
+						return err
+					})
+					if err != nil {
+						return fmt.Errorf("%s/%v: %w", row.Name, kern, err)
+					}
+					row.Tiers[kern.String()] = m
+				}
+				blockNs := row.Tiers[vector.KernelBlock.String()].NsPerOp
+				row.SpeedupF32 = ratio(blockNs, row.Tiers[vector.KernelF32.String()].NsPerOp)
+				row.SpeedupQuantized = ratio(blockNs, row.Tiers[vector.KernelQuantized.String()].NsPerOp)
+				report.Kernels = append(report.Kernels, row)
 			}
-			report.Results = append(report.Results, dec, join)
 		}
+	}
+	if *smoke {
+		fmt.Fprintf(os.Stderr, "distbench: smoke ok — all kernel tiers match the float64 baseline (%d sizes × %d dims)\n",
+			len(ns), len(dims))
+		return nil
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")

@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesValidJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"-out", out, "-sizes", "400", "-queries", "4", "-k", "3"}); err != nil {
+	if err := run([]string{"-out", out, "-suite", "dist", "-sizes", "400", "-queries", "4", "-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -33,6 +33,15 @@ func TestRunWritesValidJSON(t *testing.T) {
 	}
 }
 
+// The smoke mode is CI's equality gate: every kernel tier's join output
+// must match the float64 baseline bit-for-bit. It times nothing, so it
+// stays fast enough to run on every push.
+func TestKernelSmoke(t *testing.T) {
+	if err := run([]string{"-suite", "kernels", "-smoke", "-sizes", "600", "-queries", "8", "-k", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-nonsense"}); err == nil {
 		t.Fatal("bad flag accepted")
@@ -45,5 +54,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-sizes", ""}); err == nil {
 		t.Fatal("empty sizes accepted")
+	}
+	if err := run([]string{"-suite", "nope"}); err == nil {
+		t.Fatal("unknown suite accepted")
 	}
 }

@@ -58,6 +58,7 @@ func run(args []string) error {
 	spillDir := fs.String("spill-dir", "", "out-of-core backend: spill DFS chunks and shuffle runs under this directory")
 	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget, e.g. 64M (spills to -spill-dir or a temp dir)")
 	explain := fs.Bool("explain", false, "print the planner's ranked candidate plans and exit without joining")
+	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +92,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	kernel, err := knnjoin.ParseKernel(*kernelName)
+	if err != nil {
+		return err
+	}
 
 	r, err := readInput(*rPath, *covtype)
 	if err != nil {
@@ -106,7 +111,7 @@ func run(args []string) error {
 	if *explain {
 		popts := planner.Options{
 			K: *k, Nodes: *nodes, Metric: metric, MemLimit: memLimit,
-			Seed: *seed, NumPivots: *numPivots,
+			Seed: *seed, NumPivots: *numPivots, Kernel: kernel,
 		}
 		ds, err := planner.Measure(r, s, popts)
 		if err != nil {
@@ -124,7 +129,7 @@ func run(args []string) error {
 		results, st, err := knnjoin.RangeJoin(r, s, knnjoin.RangeOptions{
 			Radius: *radius, Metric: metric, Nodes: *nodes,
 			NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed,
-			SpillDir: *spillDir, MemLimit: memLimit,
+			SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel,
 		})
 		if err != nil {
 			return err
@@ -162,7 +167,7 @@ func run(args []string) error {
 	results, st, err := knnjoin.Join(r, s, knnjoin.Options{
 		K: *k, Algorithm: algo, Metric: metric, Nodes: *nodes,
 		NumPivots: *numPivots, PivotStrategy: ps, GroupStrategy: gs, Seed: *seed,
-		SpillDir: *spillDir, MemLimit: memLimit,
+		SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel,
 	})
 	if err != nil {
 		return err

@@ -61,11 +61,16 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	workers := fs.Int("workers", 0, "concurrent query execution bound (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 1024, "LRU result cache entries (0 disables)")
 	maxBatch := fs.Int("max-batch", 1024, "maximum queries per /knn/batch request")
+	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*idxPath == "") == (*data == "") {
 		return fmt.Errorf("need exactly one of -index or -data")
+	}
+	kernel, err := vector.ParseKernel(*kernelName)
+	if err != nil {
+		return err
 	}
 
 	var ix *vindex.Index
@@ -109,7 +114,7 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 		*cacheSize = -1
 	}
 	s := serve.New(ix, source, serve.Config{
-		Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch,
+		Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch, Kernel: kernel,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -185,6 +185,40 @@ func JoinBlock(recs [][]byte, queries []vector.Point, k int, theta float64) (int
 	return sink, nil
 }
 
+// JoinKernelBatch runs the same PGBJ-reducer-shaped join through the
+// query-batched kernels at a selected tier: one codec.DecodeBlock plus
+// Prepare(kern) for the group (mirror builds are part of the measured
+// cost — reducers pay them per group), Theorem-2 windows for every
+// query, then a single NearestKBatchRanges sweep that streams each
+// S panel across the whole query batch. The checksum must equal
+// JoinScalar's for every tier — the filter tiers only skip rows their
+// certified lower bound proves out, and survivors re-rank exactly.
+func JoinKernelBatch(recs [][]byte, queries []vector.Point, k int, theta float64, kern vector.Kernel) (int64, error) {
+	blk, _, _, err := codec.DecodeBlock(recs)
+	if err != nil {
+		return 0, err
+	}
+	blk.Prepare(kern)
+	lows := make([]int, len(queries))
+	highs := make([]int, len(queries))
+	heaps := make([]*nnheap.KHeap, len(queries))
+	for i, q := range queries {
+		qpd := norm(q)
+		lows[i], highs[i] = blk.PivotDistWindow(0, blk.Len(), qpd-theta, qpd+theta)
+		heaps[i] = nnheap.NewKHeap(k)
+	}
+	blk.NearestKBatchRanges(queries, lows, highs, vector.L2, heaps)
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
+	var sink int64
+	for _, h := range heaps {
+		cbuf = h.AppendSorted(cbuf[:0])
+		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, true)
+		sink += checksum(nbuf)
+	}
+	return sink, nil
+}
+
 // checksum folds a neighbor list — ids, order, AND distance bits — into
 // an order-sensitive integer, so the scalar and block paths can be
 // asserted to produce identical results, including the emit-time sqrt.

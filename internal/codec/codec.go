@@ -204,6 +204,19 @@ func DecodeBlock(recs [][]byte) (*vector.Block, []Source, []int32, error) {
 	return b, srcs, parts, nil
 }
 
+// DecodeBlockKernel is DecodeBlock plus kernel tier attachment: the
+// decoded block is Prepared for the requested scan tier (see
+// vector.Kernel), so reducers pick their kernel at block construction —
+// one conversion pass at decode, reused by every scan over the group.
+func DecodeBlockKernel(recs [][]byte, k vector.Kernel) (*vector.Block, []Source, []int32, error) {
+	b, srcs, parts, err := DecodeBlock(recs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b.Prepare(k)
+	return b, srcs, parts, nil
+}
+
 // BlockObjects materializes a block as objects whose Points alias the
 // block's backing array — one slice allocation, zero coordinate copies.
 // The views are valid while the block is not appended to.

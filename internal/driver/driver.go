@@ -230,7 +230,73 @@ func CollectRSBlocks(values *mapreduce.Values) (rs, ss *vector.Block, err error)
 			return nil, nil, err
 		}
 	}
+	// The per-side appends only enforce one dimensionality per block; a
+	// group whose R and S sides disagree would otherwise meet inside a
+	// distance kernel, which treats the mix as a programming-error
+	// invariant (panic). Catch it here, the CheckDims treatment at the
+	// block-build site, so a malformed group fails the job instead.
+	if rs.Len() > 0 && ss.Len() > 0 && rs.Dim != ss.Dim {
+		return nil, nil, fmt.Errorf("driver: reducer group mixes %d-dim R rows with %d-dim S rows", rs.Dim, ss.Dim)
+	}
 	return rs, ss, nil
+}
+
+// CollectRSBlocksKernel is CollectRSBlocks plus kernel tier attachment
+// on the scanned side: the S block — the one the distance kernels sweep
+// — is Prepared for the requested tier (see vector.Kernel). The R block
+// only sources queries and keeps its plain float64 rows.
+func CollectRSBlocksKernel(values *mapreduce.Values, k vector.Kernel) (rs, ss *vector.Block, err error) {
+	rs, ss, err = CollectRSBlocks(values)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss.Prepare(k)
+	return rs, ss, nil
+}
+
+// joinBatchRows is the R-row batch width of JoinBlocksKNN: enough
+// queries to amortize streaming an S panel across the batch, few enough
+// that the per-query heaps stay cache-resident.
+const joinBatchRows = 64
+
+// JoinBlocksKNN emits one Result per R row — the row's k nearest S rows
+// — sweeping S in cache-sized panels across batches of R rows via the
+// query-batched kernels. It is the shared reduce loop of every region/
+// bucket reducer whose join is a full rBlk × sBlk nested loop
+// (1-Bucket-Theta regions, broadcast, LSH buckets): each S panel is
+// loaded once per batch of queries instead of once per query, and the
+// per-query results are bit-identical to the sequential NearestK loop.
+// Returns the scanned pair count for the "pairs" counter.
+func JoinBlocksKNN(rBlk, sBlk *vector.Block, k int, m vector.Metric, emit mapreduce.Emit) int64 {
+	squared := m == vector.L2
+	var heaps []*nnheap.KHeap
+	var qs []vector.Point
+	var cbuf []nnheap.Candidate
+	var nbuf []codec.Neighbor
+	var pairs int64
+	for base := 0; base < rBlk.Len(); base += joinBatchRows {
+		end := base + joinBatchRows
+		if end > rBlk.Len() {
+			end = rBlk.Len()
+		}
+		qs = qs[:0]
+		for row := base; row < end; row++ {
+			qs = append(qs, rBlk.At(row))
+		}
+		for len(heaps) < len(qs) {
+			heaps = append(heaps, nnheap.NewKHeap(k))
+		}
+		for _, h := range heaps[:len(qs)] {
+			h.Reset()
+		}
+		pairs += sBlk.NearestKBatch(qs, m, heaps[:len(qs)])
+		for i, row := 0, base; row < end; i, row = i+1, row+1 {
+			cbuf = heaps[i].AppendSorted(cbuf[:0])
+			nbuf = AppendNeighbors(nbuf[:0], cbuf, squared)
+			emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
+		}
+	}
+	return pairs
 }
 
 // AppendNeighbors converts sorted candidates into result neighbors,

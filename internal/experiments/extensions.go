@@ -45,7 +45,8 @@ func (r *Runner) LSH() (*ExpResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := lsh.Run(env.Cluster, "R", "S", "out", lsh.Options{K: k, Tables: tables, Seed: r.cfg.Seed})
+		rep, err := lsh.Run(env.Cluster, "R", "S", "out",
+			lsh.Options{K: k, Tables: tables, Seed: r.cfg.Seed, Kernel: r.cfg.Kernel})
 		if err != nil {
 			env.Close()
 			return nil, err
@@ -105,7 +106,8 @@ func (r *Runner) Baselines() (*ExpResult, error) {
 				return nil, err
 			}
 			defer env.Close()
-			return naive.Broadcast(env.Cluster, "R", "S", "out", naive.BroadcastOptions{K: k})
+			return naive.Broadcast(env.Cluster, "R", "S", "out",
+				naive.BroadcastOptions{K: k, Kernel: r.cfg.Kernel})
 		}},
 		{"1-Bucket-Theta", func() (*stats.Report, error) {
 			env, err := r.newSelfJoinEnv(objs, nodes)
@@ -113,7 +115,8 @@ func (r *Runner) Baselines() (*ExpResult, error) {
 				return nil, err
 			}
 			defer env.Close()
-			return theta.Run(env.Cluster, "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+			return theta.Run(env.Cluster, "R", "S", "out",
+				theta.Options{K: k, Seed: r.cfg.Seed, Kernel: r.cfg.Kernel})
 		}},
 		{"H-BRJ", func() (*stats.Report, error) {
 			return r.runAlgo("H-BRJ", objs, k, nodes, 0)
@@ -224,7 +227,8 @@ func (r *Runner) Skew() (*ExpResult, error) {
 		return nil, err
 	}
 	defer thetaEnv.Close()
-	thetaRep, err := theta.Run(thetaEnv.Cluster, "R", "S", "out", theta.Options{K: k, Seed: r.cfg.Seed})
+	thetaRep, err := theta.Run(thetaEnv.Cluster, "R", "S", "out",
+		theta.Options{K: k, Seed: r.cfg.Seed, Kernel: r.cfg.Kernel})
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +266,7 @@ func (r *Runner) RangeJoinExp() (*ExpResult, error) {
 		}
 		rep, err := rangejoin.Run(env.Cluster, "R", "S", "out", rangejoin.Options{
 			Radius: radius, NumPivots: r.DefaultPivots(), Seed: r.cfg.Seed,
+			Kernel: r.cfg.Kernel,
 		})
 		if err != nil {
 			env.Close()

@@ -54,6 +54,9 @@ type Options struct {
 	SampleSize int
 	// Seed fixes the hash functions and the sampling.
 	Seed int64
+	// Kernel selects the reduce-side distance scan tier (see
+	// vector.Kernel); the zero value keeps the fused float64 kernels.
+	Kernel vector.Kernel
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -215,25 +218,16 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 // bucketReduce verifies one bucket's candidates: every R object in it is
 // paired with every S object in it, true L2 distances computed with the
-// fused block kernel (squared until the emit-time sqrt). Each r gets a
-// partial Result — empty when the bucket holds no S objects, so the
-// merge job still emits a line for it.
+// query-batched block kernels via driver.JoinBlocksKNN (squared until
+// the emit-time sqrt). Each r gets a partial Result — empty when the
+// bucket holds no S objects, so the merge job still emits a line for it.
 func bucketReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	rBlk, sBlk, err := driver.CollectRSBlocks(values)
+	rBlk, sBlk, err := driver.CollectRSBlocksKernel(values, opts.Kernel)
 	if err != nil {
 		return err
 	}
-	heap := nnheap.NewKHeap(opts.K)
-	var cbuf []nnheap.Candidate
-	var nbuf []codec.Neighbor
-	for row := 0; row < rBlk.Len(); row++ {
-		heap.Reset()
-		sBlk.NearestK(rBlk.At(row), vector.L2, heap)
-		cbuf = heap.AppendSorted(cbuf[:0])
-		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, true)
-		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
-	}
+	driver.JoinBlocksKNN(rBlk, sBlk, opts.K, vector.L2, emit)
 	pairs := int64(rBlk.Len()) * int64(sBlk.Len())
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)

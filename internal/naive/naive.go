@@ -79,6 +79,9 @@ func SortResults(rs []codec.Result) { driver.SortResults(rs) }
 type BroadcastOptions struct {
 	K      int
 	Metric vector.Metric
+	// Kernel selects the reduce-side distance scan tier (see
+	// vector.Kernel); the zero value keeps the fused float64 kernels.
+	Kernel vector.Kernel
 }
 
 // Broadcast runs the §3 basic strategy on the cluster: one MapReduce job
@@ -122,23 +125,13 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 			return nil
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			rBlk, sBlk, err := driver.CollectRSBlocks(values)
+			rBlk, sBlk, err := driver.CollectRSBlocksKernel(values, opts.Kernel)
 			if err != nil {
 				return err
 			}
-			squared := opts.Metric == vector.L2
-			heap := nnheap.NewKHeap(opts.K)
-			var cbuf []nnheap.Candidate
-			var nbuf []codec.Neighbor
-			for row := 0; row < rBlk.Len(); row++ {
-				heap.Reset()
-				scanned := sBlk.NearestK(rBlk.At(row), opts.Metric, heap)
-				ctx.Counter("pairs", int64(scanned))
-				ctx.AddWork(int64(scanned))
-				cbuf = heap.AppendSorted(cbuf[:0])
-				nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
-				emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
-			}
+			scanned := driver.JoinBlocksKNN(rBlk, sBlk, opts.K, opts.Metric, emit)
+			ctx.Counter("pairs", scanned)
+			ctx.AddWork(scanned)
 			return nil
 		},
 	}

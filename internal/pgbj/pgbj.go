@@ -80,6 +80,13 @@ type Options struct {
 	// node count (the paper's one-reducer-per-node configuration).
 	NumGroups int
 
+	// Kernel selects the reduce-side distance scan tier (see
+	// vector.Kernel): the group block is Prepared for this tier at
+	// collection, and the Algorithm-3 candidate loop dispatches to it.
+	// The zero value keeps the fused float64 block kernels. Every tier
+	// produces bit-identical join results.
+	Kernel vector.Kernel
+
 	// Ablation switches (not in the paper's interface; used by the
 	// ablation benchmarks to quantify each pruning rule's contribution).
 	DisableHyperplanePruning bool // skip Corollary 1 in the reducer
@@ -423,6 +430,18 @@ func CollectGroupBlock(values *mapreduce.Values) (*GroupBlock, error) {
 	return gb, nil
 }
 
+// CollectGroupBlockKernel is CollectGroupBlock plus kernel tier
+// attachment (vector.Block.Prepare) on the collected block, so the
+// reducer's candidate loops run on the requested scan tier.
+func CollectGroupBlockKernel(values *mapreduce.Values, k vector.Kernel) (*GroupBlock, error) {
+	gb, err := CollectGroupBlock(values)
+	if err != nil {
+		return nil, err
+	}
+	gb.Block.Prepare(k)
+	return gb, nil
+}
+
 // pgbjJoinReduce is the reduce function of job 2: Algorithm 3 lines 12–25
 // over one group of R-partitions and its replica set S_i.
 func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
@@ -431,7 +450,7 @@ func pgbjJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Valu
 	thetas := ctx.Side(sideThetas).([]float64)
 	opts := ctx.Side(sideOpts).(Options)
 
-	gb, err := CollectGroupBlock(values)
+	gb, err := CollectGroupBlockKernel(values, opts.Kernel)
 	if err != nil {
 		return err
 	}
@@ -470,7 +489,24 @@ func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *vo
 
 	blk := gb.Block
 	squared := opts.Metric == vector.L2 // kernels defer the sqrt under L2
-	heap := nnheap.NewKHeap(opts.K)
+
+	// R rows are processed in query batches so each Theorem-2 window of
+	// S is swept panel by panel across the whole batch (NearestKBatch-
+	// Ranges) instead of once per row. Every row keeps its own heap and
+	// its own running θ, the S-partition visit order and the per-row
+	// prune decisions depend only on state that evolves exactly as in
+	// the sequential loop, so the emitted results are bit-identical —
+	// the batch only changes which row's window touches an S panel next.
+	const batchRows = 64
+	heaps := make([]*nnheap.KHeap, batchRows)
+	for i := range heaps {
+		heaps[i] = nnheap.NewKHeap(opts.K)
+	}
+	qs := make([]vector.Point, batchRows)
+	rowTheta := make([]float64, batchRows)
+	lows := make([]int, batchRows)
+	highs := make([]int, batchRows)
+
 	order := make([]PartRange, len(gb.SParts))
 	var cbuf []nnheap.Candidate
 	var nbuf []codec.Neighbor
@@ -480,6 +516,8 @@ func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *vo
 		// Line 14: order S-partitions by ascending pivot gap to p_i, so
 		// near partitions refine θ early. The ablation switch falls back
 		// to plain partition-id order (which the ranges already are in).
+		// The sort keys depend only on the R partition, not the row, so
+		// one sort serves every row (and batch) of the partition.
 		copy(order, gb.SParts)
 		if !opts.DisableNearestFirstOrder {
 			sort.Slice(order, func(a, b int) bool {
@@ -491,43 +529,58 @@ func joinPartitions(ctx *mapreduce.TaskContext, pp *voronoi.Partitioner, sum *vo
 			})
 		}
 		thetaI := thetas[ri]
-		for row := rp.Lo; row < rp.Hi; row++ {
-			r := blk.At(row)
-			rPivotDist := blk.PivotDist[row]
-			heap.Reset()
-			theta := thetaI
+		for base := rp.Lo; base < rp.Hi; base += batchRows {
+			end := base + batchRows
+			if end > rp.Hi {
+				end = rp.Hi
+			}
+			nq := end - base
+			for i := 0; i < nq; i++ {
+				qs[i] = blk.At(base + i)
+				heaps[i].Reset()
+				rowTheta[i] = thetaI
+			}
 			for _, sp := range order {
 				gap := pp.PivotDist(int(ri), int(sp.ID))
-				// |r, p_j| serves both Corollary 1 and Theorem 2; it is an
-				// object–pivot distance, counted per the paper's Eq. 13 note.
-				rToPj := opts.Metric.Dist(r, pp.Pivots[sp.ID])
-				pairs++
-				if !opts.DisableHyperplanePruning && sp.ID != ri {
-					if voronoi.HyperplaneDist(rToPj, rPivotDist, gap, opts.Metric) > theta {
-						continue // line 19–20: the whole partition is out
+				for i := 0; i < nq; i++ {
+					lows[i], highs[i] = 0, 0 // empty window unless the row survives the prunes
+					r := qs[i]
+					// |r, p_j| serves both Corollary 1 and Theorem 2; it is an
+					// object–pivot distance, counted per the paper's Eq. 13 note.
+					rToPj := opts.Metric.Dist(r, pp.Pivots[sp.ID])
+					pairs++
+					if !opts.DisableHyperplanePruning && sp.ID != ri {
+						if voronoi.HyperplaneDist(rToPj, blk.PivotDist[base+i], gap, opts.Metric) > rowTheta[i] {
+							continue // line 19–20: the whole partition is out
+						}
 					}
-				}
-				lo, hi := sp.Lo, sp.Hi
-				if !opts.DisableWindowPruning {
-					wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, theta)
-					if !ok {
-						continue
+					lo, hi := sp.Lo, sp.Hi
+					if !opts.DisableWindowPruning {
+						wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, rowTheta[i])
+						if !ok {
+							continue
+						}
+						lo, hi = blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
 					}
-					lo, hi = blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
+					lows[i], highs[i] = lo, hi
 				}
-				pairs += int64(blk.NearestKRange(r, lo, hi, opts.Metric, heap))
+				pairs += blk.NearestKBatchRanges(qs[:nq], lows[:nq], highs[:nq], opts.Metric, heaps[:nq])
 				// Line 24: θ tightens to the running k-th best, but the
 				// window may admit candidates beyond θ_i, so never let θ
 				// grow past the partition bound. θ is only read at the next
 				// partition, so one update per partition suffices.
-				if t := thresholdDist(heap, thetaI, squared); t < theta {
-					theta = t
+				for i := 0; i < nq; i++ {
+					if t := thresholdDist(heaps[i], thetaI, squared); t < rowTheta[i] {
+						rowTheta[i] = t
+					}
 				}
 			}
-			cbuf = heap.AppendSorted(cbuf[:0])
-			nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
-			resultPairs += int64(len(nbuf))
-			emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[row], Neighbors: nbuf}))
+			for i := 0; i < nq; i++ {
+				cbuf = heaps[i].AppendSorted(cbuf[:0])
+				nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
+				resultPairs += int64(len(nbuf))
+				emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[base+i], Neighbors: nbuf}))
+			}
 		}
 	}
 	ctx.Counter("pairs", pairs)

@@ -13,6 +13,7 @@ import (
 	"knnjoin/internal/pivot"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/theta"
+	"knnjoin/internal/vector"
 	"knnjoin/internal/voronoi"
 )
 
@@ -64,6 +65,36 @@ func distCost(n int64, dims int) float64 {
 // scalarDistCost prices n distance computations on the scalar paths.
 func scalarDistCost(n int64, dims int) float64 {
 	return float64(n) * (costDistScalarBase + costDistScalarDim*float64(dims))
+}
+
+// kernelFactor scales the fused-kernel distance price for the selected
+// scan tier, calibrated against the BENCH_dist kernel suite: the
+// float32 mirror trims bandwidth but pays refine traffic (~0.9×), the
+// quantized uint8 first pass cuts filter bandwidth 8× and wins once the
+// scan is bandwidth-bound (~0.5× from d=8 up, ~0.9× below), and the
+// reference scalar tier costs ~2× the fused loop. KernelAuto resolves
+// exactly the way vector.Block's per-block choice does — quantized at
+// d ≥ 8, fused below — so Auto plans are priced as what will run.
+func kernelFactor(k vector.Kernel, dims int) float64 {
+	if k == vector.KernelAuto {
+		if dims >= 8 {
+			k = vector.KernelQuantized
+		} else {
+			k = vector.KernelBlock
+		}
+	}
+	switch k {
+	case vector.KernelScalar:
+		return 2.0
+	case vector.KernelF32:
+		return 0.9
+	case vector.KernelQuantized:
+		if dims >= 8 {
+			return 0.5
+		}
+		return 0.9
+	}
+	return 1.0
 }
 
 // Prediction is the cost model's estimate of what one plan would do —
@@ -359,7 +390,9 @@ func score(p Prediction, ds *DataStats, opts Options, reducers int, scalar bool)
 	if reducers < 1 {
 		reducers = 1
 	}
-	price := distCost
+	price := func(n int64, dims int) float64 {
+		return distCost(n, dims) * kernelFactor(opts.Kernel, dims)
+	}
 	if scalar {
 		price = scalarDistCost
 	}

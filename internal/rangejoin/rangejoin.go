@@ -48,6 +48,9 @@ type Options struct {
 	NumGroups int
 	// Seed fixes pivot selection.
 	Seed int64
+	// Kernel selects the reduce-side distance scan tier (see
+	// vector.Kernel); the zero value keeps the fused float64 kernels.
+	Kernel vector.Kernel
 }
 
 func (o Options) validate(cluster *mapreduce.Cluster) (Options, error) {
@@ -249,50 +252,70 @@ func joinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, 
 	// The composite-key stream arrives R before S with partition ids
 	// ascending, and each S partition already in SortByPivotDist order —
 	// the shuffle's secondary sort did the work this reducer used to do.
-	// The group decodes into one columnar block; the candidate loop runs
-	// on its fused kernels. RangeTo compares true (sqrt'd) distances so
-	// the radius edge matches Metric.Dist bit for bit.
-	gb, err := pgbj.CollectGroupBlock(values)
+	// The group decodes into one columnar block Prepared for the
+	// requested kernel tier; R rows run in query batches so each
+	// Theorem-2 window of S is swept panel by panel across the whole
+	// batch (RangeToBatchRanges). θ is the fixed radius — no per-row
+	// feedback — so batching cannot change any prune decision, and
+	// RangeTo compares true (sqrt'd) distances so the radius edge
+	// matches Metric.Dist bit for bit on every tier.
+	gb, err := pgbj.CollectGroupBlockKernel(values, opts.Kernel)
 	if err != nil {
 		return err
 	}
 	blk := gb.Block
 
-	var cbuf []nnheap.Candidate
+	const batchRows = 64
+	qs := make([]vector.Point, batchRows)
+	lows := make([]int, batchRows)
+	highs := make([]int, batchRows)
+	bufs := make([][]nnheap.Candidate, batchRows)
 	var nbuf []codec.Neighbor
 	var pairs, resultPairs int64
 	for _, rp := range gb.RParts {
-		for row := rp.Lo; row < rp.Hi; row++ {
-			r := blk.At(row)
-			rPivotDist := blk.PivotDist[row]
-			cbuf = cbuf[:0]
+		for base := rp.Lo; base < rp.Hi; base += batchRows {
+			end := base + batchRows
+			if end > rp.Hi {
+				end = rp.Hi
+			}
+			nq := end - base
+			for i := 0; i < nq; i++ {
+				qs[i] = blk.At(base + i)
+				bufs[i] = bufs[i][:0]
+			}
 			for _, sp := range gb.SParts {
 				gap := pp.PivotDist(int(rp.ID), int(sp.ID))
-				rToPj := opts.Metric.Dist(r, pp.Pivots[sp.ID])
-				pairs++
-				if sp.ID != rp.ID &&
-					voronoi.HyperplaneDist(rToPj, rPivotDist, gap, opts.Metric) > theta {
-					continue // Corollary 1: the whole partition is out of range
+				for i := 0; i < nq; i++ {
+					lows[i], highs[i] = 0, 0 // empty window unless the row survives the prunes
+					rToPj := opts.Metric.Dist(qs[i], pp.Pivots[sp.ID])
+					pairs++
+					if sp.ID != rp.ID &&
+						voronoi.HyperplaneDist(rToPj, blk.PivotDist[base+i], gap, opts.Metric) > theta {
+						continue // Corollary 1: the whole partition is out of range
+					}
+					wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, theta)
+					if !ok {
+						continue
+					}
+					lows[i], highs[i] = blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
 				}
-				wlo, whi, ok := voronoi.Theorem2Window(sum.S[sp.ID], rToPj, theta)
-				if !ok {
+				blk.RangeToBatchRanges(qs[:nq], lows[:nq], highs[:nq], opts.Metric, theta, bufs[:nq], &pairs)
+			}
+			for i := 0; i < nq; i++ {
+				cbuf := bufs[i]
+				if len(cbuf) == 0 {
 					continue
 				}
-				lo, hi := blk.PivotDistWindow(sp.Lo, sp.Hi, wlo, whi)
-				cbuf = blk.RangeTo(r, lo, hi, opts.Metric, theta, cbuf, &pairs)
+				sort.Slice(cbuf, func(a, b int) bool {
+					if cbuf[a].Dist != cbuf[b].Dist {
+						return cbuf[a].Dist < cbuf[b].Dist
+					}
+					return cbuf[a].ID < cbuf[b].ID
+				})
+				nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, false)
+				resultPairs += int64(len(nbuf))
+				emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[base+i], Neighbors: nbuf}))
 			}
-			if len(cbuf) == 0 {
-				continue
-			}
-			sort.Slice(cbuf, func(a, b int) bool {
-				if cbuf[a].Dist != cbuf[b].Dist {
-					return cbuf[a].Dist < cbuf[b].Dist
-				}
-				return cbuf[a].ID < cbuf[b].ID
-			})
-			nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, false)
-			resultPairs += int64(len(nbuf))
-			emit(nil, codec.EncodeResult(codec.Result{RID: blk.IDs[row], Neighbors: nbuf}))
 		}
 	}
 	ctx.Counter("pairs", pairs)

@@ -55,6 +55,11 @@ type Config struct {
 	// LatencyWindow is the number of recent per-query latencies retained
 	// for the /stats quantiles (default 4096).
 	LatencyWindow int
+	// Kernel selects the index's distance scan tier (see vector.Kernel);
+	// it is applied to every snapshot the server takes ownership of —
+	// the initial index and each /reload. The zero value keeps the fused
+	// float64 kernels.
+	Kernel vector.Kernel
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +127,12 @@ func New(ix *vindex.Index, source string, cfg Config) *Server {
 }
 
 func newSnapshot(ix *vindex.Index, source string, cfg Config) *snapshot {
+	// The server takes ownership of ix: applying the configured kernel
+	// tier mutates the index, which is safe here because the snapshot is
+	// not yet published and queries only ever see stored snapshots.
+	if ix.Kernel() != cfg.Kernel {
+		ix.SetKernel(cfg.Kernel)
+	}
 	var cache *lruCache
 	if cfg.CacheSize > 0 {
 		cache = newLRU(cfg.CacheSize)
@@ -334,6 +345,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// batchChunk is how many cache-missing batch queries share one round-
+// lockstep index call (and one worker-pool token). Large enough that
+// co-located queries amortize partition panel sweeps, small enough that
+// a MaxBatch-sized request still fans out across the worker pool.
+const batchChunk = 32
+
 // clampK bounds k by the index size: an index can never return more
 // than Len neighbors, and the vindex heaps allocate O(k), so the clamp
 // keeps a hostile k from forcing a huge allocation. Results for any
@@ -454,22 +471,64 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Cache pass first, then the misses ride the index's round-lockstep
+	// batch API in chunks: queries of one chunk share each partition's
+	// cache-sized panel sweeps (one worker token per chunk, so a big
+	// batch still spreads across the pool). Per-query results and stats
+	// are exactly those of sequential KNNWithStats calls, so a batch-
+	// filled cache entry is byte-identical to the /knn miss that would
+	// have filled it.
 	results := make([]json.RawMessage, len(req.Queries))
 	queryErrs := make([]error, len(req.Queries))
-	var wg sync.WaitGroup
+	keys := make([]string, len(req.Queries))
+	misses := make([]int, 0, len(req.Queries))
 	for i, q := range req.Queries {
-		wg.Add(1)
-		go func(i int, q KNNRequest) {
-			defer wg.Done()
-			t0 := time.Now()
-			body, _, err := s.queryKNN(snap, q.Point, clampK(q.K, snap.ix.Len()))
-			if err != nil {
-				queryErrs[i] = err
-				return
-			}
+		if snap.cache == nil {
+			misses = append(misses, i)
+			continue
+		}
+		t0 := time.Now()
+		keys[i] = cacheKey(q.Point, clampK(q.K, snap.ix.Len()))
+		if body, ok := snap.cache.get(keys[i]); ok {
 			s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
 			results[i] = body
-		}(i, q)
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < len(misses); c += batchChunk {
+		chunk := misses[c:min(c+batchChunk, len(misses))]
+		wg.Add(1)
+		go func(chunk []int) {
+			defer wg.Done()
+			t0 := time.Now()
+			pts := make([]vector.Point, len(chunk))
+			ks := make([]int, len(chunk))
+			for x, i := range chunk {
+				pts[x] = req.Queries[i].Point
+				ks[x] = clampK(req.Queries[i].K, snap.ix.Len())
+			}
+			s.sem <- struct{}{}
+			res, sts := snap.ix.KNNBatchWithStats(pts, ks)
+			<-s.sem
+			// Each query of the chunk waited the chunk's wall time for
+			// its answer, so that is its recorded latency.
+			elapsed := float64(time.Since(t0).Nanoseconds()) / 1e6
+			for x, i := range chunk {
+				s.distComps.Add(sts[x].DistComputations)
+				body, err := MarshalKNN(res[x], sts[x])
+				if err != nil {
+					queryErrs[i] = err
+					continue
+				}
+				if snap.cache != nil {
+					snap.cache.put(keys[i], body)
+				}
+				results[i] = body
+				s.lat.add(elapsed)
+			}
+		}(chunk)
 	}
 	wg.Wait()
 	for i, err := range queryErrs {
@@ -570,6 +629,9 @@ type IndexInfo struct {
 	// Source is the index file backing the snapshot ("" if built
 	// in-process).
 	Source string `json:"source,omitempty"`
+	// Kernel is the active distance scan tier ("block", "f32",
+	// "quantized", ...; "auto" resolves per partition block).
+	Kernel string `json:"kernel"`
 }
 
 // StatsResponse is the body of /stats.
@@ -611,6 +673,7 @@ func (s *Server) Stats() StatsResponse {
 			Partitions: snap.ix.NumPartitions(),
 			Dim:        snap.ix.Dim(),
 			Source:     snap.source,
+			Kernel:     snap.ix.Kernel().String(),
 		},
 	}
 	resp.LatencyMs.Count, resp.LatencyMs.P50, resp.LatencyMs.P90, resp.LatencyMs.P99 = s.lat.quantiles()

@@ -253,6 +253,40 @@ func TestBatchMatchesIndividualQueries(t *testing.T) {
 	}
 }
 
+// A multi-chunk batch on a filter-tier kernel must still answer every
+// query byte-identically to a sequential vindex query on the same
+// index, and /stats must report the configured tier.
+func TestBatchKernelMatchesSequential(t *testing.T) {
+	objs := dataset.Uniform(800, 8, 100, 17)
+	ix := buildIndex(t, objs)
+	s := New(ix, "", Config{Workers: 4, Kernel: vector.KernelQuantized, CacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if got := s.Stats().Index.Kernel; got != "quantized" {
+		t.Fatalf("stats kernel %q, want quantized", got)
+	}
+	var batch BatchRequest
+	for i := 0; i < 3*batchChunk+5; i++ { // forces several chunks
+		q := dataset.Uniform(1, 8, 100, int64(i)+900)[0].Point
+		batch.Queries = append(batch.Queries, KNNRequest{Point: q, K: i%7 + 1})
+	}
+	reqBody, _ := json.Marshal(batch)
+	code, body := post(t, ts, "/knn/batch", string(reqBody))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range batch.Queries {
+		if want := wantKNNBody(t, ix, q.Point, q.K); !bytes.Equal(resp.Results[i], want) {
+			t.Fatalf("batch result %d differs from sequential vindex query", i)
+		}
+	}
+}
+
 func TestRangeEndpointMatchesVindex(t *testing.T) {
 	objs := dataset.Uniform(400, 2, 50, 13)
 	ix := buildIndex(t, objs)

@@ -30,7 +30,6 @@ import (
 	"knnjoin/internal/driver"
 	"knnjoin/internal/hbrj"
 	"knnjoin/internal/mapreduce"
-	"knnjoin/internal/nnheap"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
 )
@@ -46,6 +45,9 @@ type Options struct {
 	Rows, Cols int
 	// Seed fixes the random row/column assignment.
 	Seed int64
+	// Kernel selects the reduce-side distance scan tier (see
+	// vector.Kernel); the zero value keeps the fused float64 kernels.
+	Kernel vector.Kernel
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -174,25 +176,16 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 // regionReduce joins one matrix region: the local kNN of its R rows
 // against its S columns, by nested loop with a bounded heap — the
 // framework assumes nothing about the join condition, so no index. The
-// loop runs on the columnar block kernels: one decode per group,
-// squared distances under L2 until the emit-time sqrt.
+// loop runs on the query-batched block kernels via driver.JoinBlocksKNN:
+// one decode per group, S swept in cache-sized panels across batches of
+// R rows, squared distances under L2 until the emit-time sqrt.
 func regionReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
 	opts := ctx.Side("opts").(Options)
-	rBlk, sBlk, err := driver.CollectRSBlocks(values)
+	rBlk, sBlk, err := driver.CollectRSBlocksKernel(values, opts.Kernel)
 	if err != nil {
 		return err
 	}
-	squared := opts.Metric == vector.L2
-	heap := nnheap.NewKHeap(opts.K)
-	var cbuf []nnheap.Candidate
-	var nbuf []codec.Neighbor
-	for row := 0; row < rBlk.Len(); row++ {
-		heap.Reset()
-		sBlk.NearestK(rBlk.At(row), opts.Metric, heap)
-		cbuf = heap.AppendSorted(cbuf[:0])
-		nbuf = driver.AppendNeighbors(nbuf[:0], cbuf, squared)
-		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
-	}
+	driver.JoinBlocksKNN(rBlk, sBlk, opts.K, opts.Metric, emit)
 	pairs := int64(rBlk.Len()) * int64(sBlk.Len())
 	ctx.Counter("pairs", pairs)
 	ctx.AddWork(pairs)

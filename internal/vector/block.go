@@ -33,6 +33,21 @@ type Block struct {
 	// Coords is the row-major backing store: row i occupies
 	// Coords[i*Dim : (i+1)*Dim].
 	Coords []float64
+
+	// Kernel tier state, attached by Prepare (kernel.go). kern is the
+	// resolved scan tier; the remaining fields are the filter
+	// representations and their certified error bounds. All are nil /
+	// zero for an unprepared block, which scans with the exact fused
+	// float64 kernel as before.
+	kern     Kernel
+	coords32 []float32 // float32 mirror of Coords (KernelF32)
+	errF32   []float64 // per-row ‖x − x32‖·errInflate
+	codes    []uint8   // per-block affine uint8 codes (KernelQuantized)
+	qStride  int       // code row width: Dim padded to a multiple of 8
+	errQ     []float64 // per-row ‖x − x̂‖·errInflate
+	qMin     float64   // affine grid origin
+	qScale   float64   // affine grid step ((max−min)/255)
+	qRecErr  float64   // absolute slack for reconstruction roundings
 }
 
 // Len returns the number of rows.
@@ -45,16 +60,25 @@ func (b *Block) At(i int) Point {
 }
 
 // Append adds one row. The first row stamps the block's dimensionality;
-// later rows must match it.
-func (b *Block) Append(id int64, pivotDist float64, p Point) {
+// a later row of a different dimensionality is a data error and is
+// reported instead of corrupting the block — the driver.CheckDims
+// treatment, so a malformed reducer group fails the job rather than
+// panicking the worker. Appending also drops any filter mirrors a
+// previous Prepare attached (they would be stale); call Prepare again
+// after the last row.
+func (b *Block) Append(id int64, pivotDist float64, p Point) error {
 	if len(b.IDs) == 0 {
 		b.Dim = len(p)
 	} else if len(p) != b.Dim {
-		panic(fmt.Sprintf("vector: appending %d-dim point to %d-dim block", len(p), b.Dim))
+		return fmt.Errorf("vector: appending %d-dim point to %d-dim block", len(p), b.Dim)
+	}
+	if b.kern != KernelBlock || b.coords32 != nil || b.codes != nil {
+		b.Prepare(KernelBlock)
 	}
 	b.IDs = append(b.IDs, id)
 	b.PivotDist = append(b.PivotDist, pivotDist)
 	b.Coords = append(b.Coords, p...)
+	return nil
 }
 
 // SqDistTo returns the squared Euclidean distance between row i and q —
@@ -87,62 +111,42 @@ func (b *Block) NearestK(q Point, m Metric, h *nnheap.KHeap) int {
 }
 
 // NearestKRange is NearestK restricted to rows [lo, hi) — the loop body
-// of Algorithm 3 line 22 after Theorem-2 windowing.
+// of Algorithm 3 line 22 after Theorem-2 windowing. Under L2 it
+// dispatches to the block's active kernel tier (see kernel.go); every
+// tier retains a bit-identical candidate set. The fused float64 loop
+// (scanF64) inlines the sqDistL2 kernel with a local copy of the heap's
+// rejection bound, so a candidate that a full heap would reject never
+// pays the Push call. The stride and summation order replicate sqDistL2
+// exactly, so every retained squared distance is bit-identical to the
+// scalar path's. One caveat: comparisons happen in squared space, so if
+// two DISTINCT squared distances round to the same float64 under sqrt
+// (adjacent doubles at the k-th-best boundary — never observed in the
+// seed sweeps), the retained ID may differ from the scalar path's; the
+// emitted distances are equal either way, a tie Definition 1 permits to
+// resolve arbitrarily. (A partial-sum early-abandon variant measured
+// slower up to d=32: the per-stride bound compare serializes the four
+// accumulator chains for more than the skipped elements save.)
 func (b *Block) NearestKRange(q Point, lo, hi int, m Metric, h *nnheap.KHeap) int {
+	return b.NearestKRangeScratch(q, lo, hi, m, h, nil)
+}
+
+// NearestKRangeScratch is NearestKRange with caller-owned kernel
+// scratch, so query loops on the filter tiers (f32/quantized) reuse the
+// query-side conversion buffers instead of allocating per call. sc may
+// be nil.
+func (b *Block) NearestKRangeScratch(q Point, lo, hi int, m Metric, h *nnheap.KHeap, sc *Scratch) int {
 	if lo >= hi {
 		return 0
 	}
 	if len(q) != b.Dim {
 		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", b.Dim, len(q)))
 	}
-	dim := b.Dim
 	switch m {
 	case L2:
-		// Fused loop: the sqDistL2 kernel inlined (no call per row) with
-		// a local copy of the heap's rejection bound, so a candidate that
-		// a full heap would reject never pays the Push call. The stride
-		// and summation order replicate sqDistL2 exactly, so every
-		// retained squared distance is bit-identical to the scalar
-		// path's. One caveat: comparisons happen in squared space, so if
-		// two DISTINCT squared distances round to the same float64 under
-		// sqrt (adjacent doubles at the k-th-best boundary — never
-		// observed in the seed sweeps), the retained ID may differ from
-		// the scalar path's; the emitted distances are equal either way,
-		// a tie Definition 1 permits to resolve arbitrarily. (A
-		// partial-sum early-abandon variant measured slower up to d=32:
-		// the per-stride bound compare serializes the four accumulator
-		// chains for more than the skipped elements save.)
-		bound := math.Inf(1)
-		if h.Full() {
-			bound = h.Top().Dist
+		if sc == nil {
+			sc = &Scratch{}
 		}
-		for i := lo; i < hi; i++ {
-			row := b.Coords[i*dim : i*dim+len(q)]
-			var s0, s1, s2, s3 float64
-			j := 0
-			for ; j+4 <= len(row); j += 4 {
-				d0 := row[j] - q[j]
-				d1 := row[j+1] - q[j+1]
-				d2 := row[j+2] - q[j+2]
-				d3 := row[j+3] - q[j+3]
-				s0 += d0 * d0
-				s1 += d1 * d1
-				s2 += d2 * d2
-				s3 += d3 * d3
-			}
-			for ; j < len(row); j++ {
-				d := row[j] - q[j]
-				s0 += d * d
-			}
-			s := (s0 + s1) + (s2 + s3)
-			if s >= bound {
-				continue
-			}
-			h.Push(nnheap.Candidate{ID: b.IDs[i], Dist: s})
-			if h.Full() {
-				bound = h.Top().Dist
-			}
-		}
+		b.nearestKGuts(q, lo, hi, h, sc)
 	case L1, LInf:
 		bound := math.Inf(1)
 		if h.Full() {
@@ -178,17 +182,13 @@ func (b *Block) RangeTo(q Point, lo, hi int, m Metric, theta float64, dst []nnhe
 	if scanned != nil {
 		*scanned += int64(hi - lo)
 	}
-	dim := b.Dim
 	if m == L2 {
 		// The accept boundary is decided on the true (sqrt'd) distance so
-		// results match Metric.Dist bit for bit at the radius edge.
-		for i := lo; i < hi; i++ {
-			s := sqDistL2(b.Coords[i*dim:i*dim+len(q)], q)
-			if d := math.Sqrt(s); d <= theta {
-				dst = append(dst, nnheap.Candidate{ID: b.IDs[i], Dist: d})
-			}
-		}
-		return dst
+		// results match Metric.Dist bit for bit at the radius edge. The
+		// filter tiers (f32/quantized) first skip rows whose certified
+		// lower bound exceeds theta — rows the exact test would also
+		// reject — so the appended set is identical for every tier.
+		return b.rangeGuts(q, lo, hi, theta, dst, &Scratch{})
 	}
 	for i := lo; i < hi; i++ {
 		if d := b.DistTo(i, q, m); d <= theta {

@@ -28,7 +28,9 @@ func randBlock(rng *rand.Rand, n, dim int) (*Block, []Point) {
 	sort.Float64s(pds)
 	b := &Block{}
 	for i, p := range pts {
-		b.Append(int64(i*7+1), pds[i], p)
+		if err := b.Append(int64(i*7+1), pds[i], p); err != nil {
+			panic(err)
+		}
 	}
 	return b, pts
 }
@@ -154,26 +156,45 @@ func TestBlockRangeToMatchesScalar(t *testing.T) {
 
 func TestBlockAppend(t *testing.T) {
 	b := &Block{}
-	b.Append(1, 0.5, Point{1, 2})
+	if err := b.Append(1, 0.5, Point{1, 2}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
 	if b.Dim != 2 || b.Len() != 1 {
 		t.Fatalf("dim=%d len=%d", b.Dim, b.Len())
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("mixed-dim append did not panic")
-			}
-		}()
-		b.Append(2, 0.5, Point{1, 2, 3})
-	}()
+	if err := b.Append(2, 0.5, Point{1, 2, 3}); err == nil {
+		t.Fatal("mixed-dim append did not report an error")
+	}
 	if b.Len() != 1 {
 		t.Fatalf("failed append mutated the block: len=%d", b.Len())
 	}
 }
 
+// Appending after Prepare must drop the filter mirrors (they would be
+// stale) and fall back to the exact kernel.
+func TestBlockAppendDropsKernelMirrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, _ := randBlock(rng, 64, 8)
+	b.Prepare(KernelQuantized)
+	if b.ActiveKernel() != KernelQuantized {
+		t.Fatalf("ActiveKernel = %v, want quantized", b.ActiveKernel())
+	}
+	if err := b.Append(999, 1000, make(Point, 8)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if b.ActiveKernel() != KernelBlock {
+		t.Fatalf("ActiveKernel after append = %v, want block", b.ActiveKernel())
+	}
+	if b.codes != nil || b.coords32 != nil {
+		t.Fatal("append left stale filter mirrors attached")
+	}
+}
+
 func TestBlockKernelsPanicOnDimMismatch(t *testing.T) {
 	b := &Block{}
-	b.Append(1, 0, Point{1, 2})
+	if err := b.Append(1, 0, Point{1, 2}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
 	for name, fn := range map[string]func(){
 		"SqDistTo": func() { b.SqDistTo(0, Point{1}) },
 		"DistTo":   func() { b.DistTo(0, Point{1}, L2) },

@@ -1,0 +1,29 @@
+//go:build amd64
+
+package vector
+
+// quantSqRowsAsm is the SSE2 code-space distance kernel
+// (quantsq_amd64.s): for each of rows consecutive code rows of width
+// stride it writes out[r] = Σ_j (codes[r·stride+j] − q[j])². SSE2 is
+// part of the amd64 baseline, so no feature detection is needed.
+//
+//go:noescape
+func quantSqRowsAsm(codes, q *uint8, stride, rows int, out *int64)
+
+// quantSqRows computes the exact code-space squared distance of every
+// row in codes (rows rows of width stride) to the query codes cq,
+// writing one int64 per row into out. stride must be a positive
+// multiple of 8 (buildQuant pads rows to that shape) and at most
+// quantMaxDim rounded up, which keeps the kernel's int32 lane
+// accumulation exact. Integer arithmetic has a single possible answer,
+// so the assembly and generic paths agree bit for bit — the property
+// test in quantsq_test.go pins it.
+func quantSqRows(codes, cq []uint8, stride, rows int, out []int64) {
+	if rows == 0 {
+		return
+	}
+	_ = codes[rows*stride-1]
+	_ = cq[stride-1]
+	_ = out[rows-1]
+	quantSqRowsAsm(&codes[0], &cq[0], stride, rows, &out[0])
+}

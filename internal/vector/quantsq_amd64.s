@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func quantSqRowsAsm(codes, q *uint8, stride, rows int, out *int64)
+//
+// For each of rows consecutive code rows of width stride (a positive
+// multiple of 8), writes out[r] = Σ_j (codes[r·stride+j] − q[j])².
+//
+// Per 16 codes: unpack bytes to words against zero, PSUBW the query
+// words, then PMADDWL squares the int16 differences (|d| ≤ 255, so
+// d² ≤ 65025 and each pair sum fits int32) and adds adjacent pairs
+// into 4 int32 lanes. Lanes accumulate ≤ 2·255²·stride/16 per loop
+// trip; with stride capped at quantMaxDim (16384) the lane totals and
+// the final 4-lane horizontal sum stay below 2³¹, so every add is
+// exact. SSE2 only — no CPU feature detection required on amd64.
+TEXT ·quantSqRowsAsm(SB), NOSPLIT, $0-40
+	MOVQ codes+0(FP), SI
+	MOVQ q+8(FP), DX
+	MOVQ stride+16(FP), R8
+	MOVQ rows+24(FP), R9
+	MOVQ out+32(FP), DI
+	PXOR X7, X7              // zero, for byte→word unpacks
+	TESTQ R9, R9
+	JLE  done
+
+rowloop:
+	MOVQ DX, BX              // query cursor
+	MOVQ R8, CX              // coords remaining in this row
+	PXOR X6, X6              // row accumulator: 4 × int32
+
+chunk16:
+	CMPQ CX, $16
+	JL   chunk8
+	MOVOU (SI), X0           // 16 row codes
+	MOVOU (BX), X1           // 16 query codes
+	MOVOU X0, X2
+	MOVOU X1, X3
+	PUNPCKLBW X7, X0         // low 8 codes → words
+	PUNPCKLBW X7, X1
+	PUNPCKHBW X7, X2         // high 8 codes → words
+	PUNPCKHBW X7, X3
+	PSUBW X1, X0             // int16 diffs
+	PSUBW X3, X2
+	PMADDWL X0, X0           // d² pairs summed → 4 × int32
+	PMADDWL X2, X2
+	PADDL X0, X6
+	PADDL X2, X6
+	ADDQ $16, SI
+	ADDQ $16, BX
+	SUBQ $16, CX
+	JMP  chunk16
+
+chunk8:
+	CMPQ CX, $8
+	JL   rowdone
+	MOVQ (SI), X0            // 8 row codes
+	MOVQ (BX), X1            // 8 query codes
+	PUNPCKLBW X7, X0
+	PUNPCKLBW X7, X1
+	PSUBW X1, X0
+	PMADDWL X0, X0
+	PADDL X0, X6
+	ADDQ $8, SI
+	ADDQ $8, BX
+	SUBQ $8, CX
+	JMP  chunk8
+
+rowdone:
+	// Horizontal sum of the 4 int32 lanes (total < 2³¹, see above).
+	PSHUFL $0xEE, X6, X0     // lanes 2,3
+	PADDL X0, X6
+	PSHUFL $0x55, X6, X0     // lane 1
+	PADDL X0, X6
+	MOVQ X6, AX              // lane 0 in low 32 bits
+	MOVL AX, AX              // zero-extend: lane 1 residue discarded
+	MOVQ AX, (DI)
+	ADDQ $8, DI
+	DECQ R9
+	JG   rowloop
+
+done:
+	RET

@@ -1,0 +1,30 @@
+//go:build !amd64
+
+package vector
+
+// quantSqRows is the portable code-space distance kernel: for each of
+// rows consecutive code rows of width stride it writes
+// out[r] = Σ_j (codes[r·stride+j] − cq[j])². stride must be a positive
+// multiple of 8 (buildQuant pads rows to that shape). The sum is exact
+// integer arithmetic, so this path and the amd64 SSE2 path return
+// identical values by construction.
+func quantSqRows(codes, cq []uint8, stride, rows int, out []int64) {
+	for r := 0; r < rows; r++ {
+		row := codes[r*stride : r*stride+stride]
+		q := cq[:len(row)]
+		var s0, s1, s2, s3 int64
+		for len(row) >= 4 {
+			q = q[:len(row)]
+			d0 := int32(row[0]) - int32(q[0])
+			d1 := int32(row[1]) - int32(q[1])
+			d2 := int32(row[2]) - int32(q[2])
+			d3 := int32(row[3]) - int32(q[3])
+			s0 += int64(d0 * d0)
+			s1 += int64(d1 * d1)
+			s2 += int64(d2 * d2)
+			s3 += int64(d3 * d3)
+			row, q = row[4:], q[4:]
+		}
+		out[r] = (s0 + s1) + (s2 + s3)
+	}
+}

@@ -1,0 +1,61 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// quantSqRowsRef is the trivially-correct reference for quantSqRows:
+// exact integer arithmetic means every implementation must agree with
+// it bit for bit.
+func quantSqRowsRef(codes, cq []uint8, stride, rows int, out []int64) {
+	for r := 0; r < rows; r++ {
+		var s int64
+		for j := 0; j < stride; j++ {
+			d := int64(codes[r*stride+j]) - int64(cq[j])
+			s += d * d
+		}
+		out[r] = s
+	}
+}
+
+func TestQuantSqRowsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, stride := range []int{8, 16, 24, 32, 40, 64, 128, 136} {
+		for _, rows := range []int{0, 1, 2, 3, 7, 65} {
+			codes := make([]uint8, rows*stride)
+			cq := make([]uint8, stride)
+			for i := range codes {
+				codes[i] = uint8(rng.Intn(256))
+			}
+			for i := range cq {
+				cq[i] = uint8(rng.Intn(256))
+			}
+			got := make([]int64, rows)
+			want := make([]int64, rows)
+			quantSqRows(codes, cq, stride, rows, got)
+			quantSqRowsRef(codes, cq, stride, rows, want)
+			for r := range got {
+				if got[r] != want[r] {
+					t.Fatalf("stride=%d rows=%d row %d: got %d want %d", stride, rows, r, got[r], want[r])
+				}
+			}
+		}
+	}
+	// Extremes: all-0 rows vs all-255 query at the max supported width
+	// exercise the lane-accumulation headroom (255²·16384 < 2³¹).
+	stride := quantMaxDim
+	codes := make([]uint8, 2*stride)
+	cq := make([]uint8, stride)
+	for i := range cq {
+		cq[i] = 255
+	}
+	for i := stride; i < 2*stride; i++ {
+		codes[i] = 255
+	}
+	out := make([]int64, 2)
+	quantSqRows(codes, cq, stride, 2, out)
+	if want := int64(255*255) * int64(stride); out[0] != want || out[1] != 0 {
+		t.Fatalf("extremes: got %v want [%d 0]", out, want)
+	}
+}

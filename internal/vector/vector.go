@@ -162,22 +162,29 @@ func SqDist(p, q Point) float64 {
 // Four accumulators break the loop-carried dependency on the running
 // sum, letting the FPU pipeline the adds (~3–4× on wide rows); the
 // summation order is fixed, deterministic, and shared by construction.
+// The chunk-advance shape (slice off four elements per step instead of
+// indexing i..i+3) is what lets the prove pass eliminate every element
+// bounds check on this toolchain; the per-chunk `q = q[:len(p)]`
+// re-teaches it len(q) == len(p), which it forgets across the loop phi.
+// scripts/check_bce.sh gates the elimination.
 func sqDistL2(p, q []float64) float64 {
 	q = q[:len(p)] // bounds-check elimination; callers guarantee equal length
 	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(p); i += 4 {
-		d0 := p[i] - q[i]
-		d1 := p[i+1] - q[i+1]
-		d2 := p[i+2] - q[i+2]
-		d3 := p[i+3] - q[i+3]
+	for len(p) >= 4 {
+		q = q[:len(p)]
+		d0 := p[0] - q[0]
+		d1 := p[1] - q[1]
+		d2 := p[2] - q[2]
+		d3 := p[3] - q[3]
 		s0 += d0 * d0
 		s1 += d1 * d1
 		s2 += d2 * d2
 		s3 += d3 * d3
+		p, q = p[4:], q[4:]
 	}
-	for ; i < len(p); i++ {
-		d := p[i] - q[i]
+	q = q[:len(p)]
+	for i, v := range p {
+		d := v - q[i]
 		s0 += d * d
 	}
 	return (s0 + s1) + (s2 + s3)

@@ -1,0 +1,161 @@
+package vindex
+
+import (
+	"fmt"
+
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// KNNBatch answers one kNN query per element of qs with a shared k,
+// preserving order. It is a thin wrapper over KNNBatchWithStats.
+func (ix *Index) KNNBatch(qs []vector.Point, k int) [][]nnheap.Candidate {
+	ks := make([]int, len(qs))
+	for i := range ks {
+		ks[i] = k
+	}
+	res, _ := ix.KNNBatchWithStats(qs, ks)
+	return res
+}
+
+// KNNBatchWithStats answers len(qs) independent kNN queries together,
+// in round lockstep: in round t every live query visits the t-th
+// partition of its OWN ascending pivot-distance order, and the queries
+// that land on the same partition in the same round share one
+// query-batched kernel sweep (vector.NearestKBatchRanges), so each
+// cache-sized panel of the partition is loaded once per group instead
+// of once per query. Each query's partition visit order, per-partition
+// θ evolution, pruning decisions, and Theorem-2 windows are exactly
+// those of a sequential KNNWithStats call, so results[i] and stats[i]
+// match ix.KNNWithStats(qs[i], ks[i]) — the lockstep only changes the
+// interleaving across queries, never the work of one query.
+//
+// Like every query method it performs no writes to the Index, so
+// concurrent batches (and mixed batch/single calls) on one shared
+// Index are safe.
+func (ix *Index) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []Stats) {
+	if len(qs) != len(ks) {
+		panic(fmt.Sprintf("vindex: KNNBatchWithStats: %d queries, %d ks", len(qs), len(ks)))
+	}
+	nq := len(qs)
+	results := make([][]nnheap.Candidate, nq)
+	stats := make([]Stats, nq)
+	if nq == 0 {
+		return results, stats
+	}
+	m := ix.opts.Metric
+	squared := m == vector.L2
+	numPart := ix.pp.NumPartitions()
+
+	// Per-query state: the same Assign → startingBound → sorted-order
+	// setup KNNWithStats performs, flattened across the batch.
+	heaps := make([]*nnheap.KHeap, nq)
+	thetas := make([]float64, nq)
+	qParts := make([]int, nq)
+	qDists := make([]float64, nq)
+	orderFlat := make([]int, nq*numPart)
+	gapsFlat := make([]float64, nq*numPart)
+	live := make([]int, 0, nq) // queries with k ≥ 1
+	for i, q := range qs {
+		if ks[i] <= 0 {
+			continue
+		}
+		live = append(live, i)
+		st := &stats[i]
+		qParts[i], qDists[i] = ix.pp.Assign(q, &st.DistComputations)
+		thetas[i] = ix.startingBound(q, ks[i], &st.DistComputations)
+		order := orderFlat[i*numPart : (i+1)*numPart]
+		gaps := gapsFlat[i*numPart : (i+1)*numPart]
+		for j := range order {
+			order[j] = j
+			if j == qParts[i] {
+				gaps[j] = qDists[i]
+			} else {
+				gaps[j] = m.Dist(q, ix.pp.Pivots[j])
+				st.DistComputations++
+			}
+		}
+		sortOrderByGap(order, gaps)
+		heaps[i] = nnheap.NewKHeap(ks[i])
+	}
+
+	// Round lockstep. byPart groups this round's queries by the
+	// partition they visit; group slices are reused across rounds.
+	byPart := make([][]int, numPart)
+	batchQ := make([]vector.Point, 0, nq)
+	batchH := make([]*nnheap.KHeap, 0, nq)
+	batchIdx := make([]int, 0, nq)
+	lows := make([]int, 0, nq)
+	highs := make([]int, 0, nq)
+	touched := make([]int, 0, nq)
+	for t := 0; t < numPart; t++ {
+		touched = touched[:0]
+		for _, i := range live {
+			j := orderFlat[i*numPart+t]
+			if len(byPart[j]) == 0 {
+				touched = append(touched, j)
+			}
+			byPart[j] = append(byPart[j], i)
+		}
+		for _, j := range touched {
+			members := byPart[j]
+			byPart[j] = members[:0]
+			blk := ix.blocks[j]
+			if blk.Len() == 0 {
+				continue
+			}
+			batchQ, batchH, batchIdx = batchQ[:0], batchH[:0], batchIdx[:0]
+			lows, highs = lows[:0], highs[:0]
+			for _, i := range members {
+				st := &stats[i]
+				qToPj := gapsFlat[i*numPart+j]
+				if j != qParts[i] && voronoi.HyperplaneDist(qToPj, qDists[i], ix.pp.PivotDist(qParts[i], j), m) > thetas[i] {
+					st.PartitionsPruned++
+					continue
+				}
+				wLo, wHi, ok := voronoi.Theorem2Window(ix.sum.S[j], qToPj, thetas[i])
+				if !ok {
+					st.PartitionsPruned++
+					continue
+				}
+				st.PartitionsScanned++
+				from, to := blk.PivotDistWindow(0, blk.Len(), wLo, wHi)
+				st.DistComputations += int64(to - from)
+				batchQ = append(batchQ, qs[i])
+				batchH = append(batchH, heaps[i])
+				batchIdx = append(batchIdx, i)
+				lows = append(lows, from)
+				highs = append(highs, to)
+			}
+			if len(batchQ) == 0 {
+				continue
+			}
+			blk.NearestKBatchRanges(batchQ, lows, highs, m, batchH)
+			for _, i := range batchIdx {
+				if t2 := thresholdDist(heaps[i], thetas[i], squared); t2 < thetas[i] {
+					thetas[i] = t2
+				}
+			}
+		}
+	}
+	for _, i := range live {
+		results[i] = sortedDists(heaps[i], squared)
+	}
+	return results, stats
+}
+
+// sortOrderByGap sorts the partition indices in order by ascending gap
+// (insertion sort over the typically small pivot count — the batched
+// path runs it once per query).
+func sortOrderByGap(order []int, gaps []float64) {
+	for a := 1; a < len(order); a++ {
+		j := order[a]
+		g := gaps[j]
+		b := a - 1
+		for ; b >= 0 && gaps[order[b]] > g; b-- {
+			order[b+1] = order[b]
+		}
+		order[b+1] = j
+	}
+}

@@ -225,11 +225,19 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("vindex: stored index is empty")
 	}
 
+	// The format predates the kernel tiers and does not record one; the
+	// loaded index starts on the default fused float64 kernel and the
+	// caller applies its configured tier with SetKernel.
+	blocks, err := blocksFromParts(parts, vector.KernelBlock)
+	if err != nil {
+		return nil, err
+	}
 	return &Index{
-		pp:   voronoi.NewPartitioner(pivots, metric),
-		sum:  sum,
-		part: parts,
-		size: size,
-		opts: Options{Metric: metric, NumPivots: int(numPivots), BoundK: int(boundK)},
+		pp:     voronoi.NewPartitioner(pivots, metric),
+		sum:    sum,
+		part:   parts,
+		blocks: blocks,
+		size:   size,
+		opts:   Options{Metric: metric, NumPivots: int(numPivots), BoundK: int(boundK)},
 	}, nil
 }

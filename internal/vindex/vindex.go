@@ -37,6 +37,10 @@ type Options struct {
 	// get tight Algorithm-1 starting bounds; larger k still works but
 	// starts unbounded. Default 16.
 	BoundK int
+	// Kernel selects the distance scan tier of the per-partition blocks
+	// (see vector.Kernel); the zero value keeps the fused float64
+	// kernels. SetKernel changes it after Build or Load.
+	Kernel vector.Kernel
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -71,8 +75,13 @@ type Index struct {
 	pp   *voronoi.Partitioner
 	sum  *voronoi.Summary
 	part [][]codec.Tagged // per-partition objects, sorted by pivot distance
-	size int
-	opts Options
+	// blocks mirrors part in the columnar vector.Block layout the reduce
+	// side scans — one block per partition, rows in pivot-distance order —
+	// so kNN queries run on the same tiered kernels as the joins. part is
+	// kept alongside: Save and RangeSelect still walk Tagged records.
+	blocks []*vector.Block
+	size   int
+	opts   Options
 }
 
 // Stats reports the work one query performed. The accounting that used
@@ -124,8 +133,45 @@ func Build(objs []codec.Object, opts Options) (*Index, error) {
 		}
 		voronoi.SortByPivotDist(g)
 	}
-	return &Index{pp: pp, sum: b.Finalize(), part: parts, size: len(objs), opts: opts}, nil
+	blocks, err := blocksFromParts(parts, opts.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{pp: pp, sum: b.Finalize(), part: parts, blocks: blocks, size: len(objs), opts: opts}, nil
 }
+
+// blocksFromParts assembles the columnar per-partition blocks and
+// attaches the scan tier. Partition rows must already be sorted by
+// pivot distance so PivotDistWindow stays valid on the blocks.
+func blocksFromParts(parts [][]codec.Tagged, kern vector.Kernel) ([]*vector.Block, error) {
+	blocks := make([]*vector.Block, len(parts))
+	for j, part := range parts {
+		blk := &vector.Block{}
+		for _, t := range part {
+			if err := blk.Append(t.ID, t.PivotDist, t.Point); err != nil {
+				return nil, fmt.Errorf("vindex: partition %d: %w", j, err)
+			}
+		}
+		blk.Prepare(kern)
+		blocks[j] = blk
+	}
+	return blocks, nil
+}
+
+// SetKernel re-resolves the scan tier of every partition block (and
+// records it in the options). It MUTATES the index — call it right
+// after Build or Load, before the index is shared across goroutines;
+// never concurrently with queries.
+func (ix *Index) SetKernel(k vector.Kernel) {
+	ix.opts.Kernel = k
+	for _, blk := range ix.blocks {
+		blk.Prepare(k)
+	}
+}
+
+// Kernel reports the configured scan tier (KernelAuto resolves per
+// block; this returns the requested tier, not the per-block outcome).
+func (ix *Index) Kernel() vector.Kernel { return ix.opts.Kernel }
 
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.size }
@@ -173,12 +219,28 @@ func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats)
 			st.DistComputations++
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return gaps[order[a]] < gaps[order[b]] })
+	// Ties broken by partition index so the visit order is deterministic
+	// and identical to the batched path's (KNNBatchWithStats) — the
+	// per-query Stats depend on it.
+	sort.Slice(order, func(a, b int) bool {
+		if gaps[order[a]] != gaps[order[b]] {
+			return gaps[order[a]] < gaps[order[b]]
+		}
+		return order[a] < order[b]
+	})
 
+	// Scan on the partition blocks with the active kernel tier. Under L2
+	// the heap holds SQUARED distances (the kernels' native space) and θ
+	// stays in true-distance space for the windowing math; the sqrt per
+	// survivor happens once at return. Tightening θ once per partition is
+	// equivalent to the former per-push update: θ is only read by the
+	// next partition's pruning checks.
 	heap := nnheap.NewKHeap(k)
+	squared := m == vector.L2
+	var sc vector.Scratch
 	for _, j := range order {
-		part := ix.part[j]
-		if len(part) == 0 {
+		blk := ix.blocks[j]
+		if blk.Len() == 0 {
 			continue
 		}
 		qToPj := gaps[j]
@@ -194,17 +256,38 @@ func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats)
 			continue
 		}
 		st.PartitionsScanned++
-		from, to := voronoi.WindowIndices(part, lo, hi)
-		for x := from; x < to; x++ {
-			d := m.Dist(q, part[x].Point)
-			st.DistComputations++
-			heap.Push(nnheap.Candidate{ID: part[x].ID, Dist: d})
-			if t := heap.Threshold(theta); t < theta {
-				theta = t
-			}
+		from, to := blk.PivotDistWindow(0, blk.Len(), lo, hi)
+		st.DistComputations += int64(blk.NearestKRangeScratch(q, from, to, m, heap, &sc))
+		if t := thresholdDist(heap, theta, squared); t < theta {
+			theta = t
 		}
 	}
-	return heap.Sorted(), st
+	return sortedDists(heap, squared), st
+}
+
+// thresholdDist converts the heap's rejection threshold into
+// true-distance space: the k-th best when the heap is full, else def.
+func thresholdDist(heap *nnheap.KHeap, def float64, squared bool) float64 {
+	if !heap.Full() {
+		return def
+	}
+	t := heap.Top().Dist
+	if squared {
+		t = math.Sqrt(t)
+	}
+	return t
+}
+
+// sortedDists drains the heap in ascending order, converting squared
+// distances back to true distances when the scan ran in squared space.
+func sortedDists(heap *nnheap.KHeap, squared bool) []nnheap.Candidate {
+	res := heap.Sorted()
+	if squared {
+		for i := range res {
+			res[i].Dist = math.Sqrt(res[i].Dist)
+		}
+	}
+	return res
 }
 
 // startingBound computes a valid upper bound on the k-th NN distance of q

@@ -1,0 +1,72 @@
+package knnjoin
+
+import (
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+var allKernels = []Kernel{KernelBlock, KernelScalar, KernelF32, KernelQuantized, KernelAuto}
+
+// Every kernel tier must produce byte-identical join output: the f32 and
+// quantized tiers only filter — survivors are re-ranked with the exact
+// float64 kernel — so even the last distance bit must agree with the
+// default block tier, for every algorithm that owns a reduce-side scan.
+func TestKernelTiersIdenticalJoins(t *testing.T) {
+	objs := forest(500, 3)
+	for _, alg := range []Algorithm{PGBJ, PBJ, Broadcast, Theta, LSH} {
+		base := Options{K: 5, Algorithm: alg, Nodes: 9, Seed: 1}
+		want, _, err := SelfJoin(objs, base)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for _, kern := range allKernels {
+			opts := base
+			opts.Kernel = kern
+			got, _, err := SelfJoin(objs, opts)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", alg, kern, err)
+			}
+			assertIdentical(t, kern.String(), got, want)
+		}
+	}
+}
+
+// Same contract for the θ-range join.
+func TestKernelTiersIdenticalRangeJoin(t *testing.T) {
+	objs := dataset.Uniform(700, 4, 50, 7)
+	base := RangeOptions{Radius: 8, Nodes: 4, Seed: 1}
+	want, _, err := RangeJoin(objs, objs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range allKernels {
+		opts := base
+		opts.Kernel = kern
+		got, _, err := RangeJoin(objs, objs, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", kern, err)
+		}
+		assertIdentical(t, kern.String(), got, want)
+	}
+}
+
+// The Auto algorithm threads the kernel through the planner and into
+// whatever plan it picks; the output contract still holds.
+func TestKernelWithAutoAlgorithm(t *testing.T) {
+	objs := forest(400, 5)
+	want, _, err := SelfJoin(objs, Options{K: 4, Algorithm: Auto, Nodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := SelfJoin(objs, Options{
+		K: 4, Algorithm: Auto, Nodes: 4, Seed: 1, Kernel: KernelQuantized,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan == nil {
+		t.Fatal("Auto produced no plan info")
+	}
+	assertIdentical(t, KernelQuantized.String(), got, want)
+}
