@@ -1,0 +1,48 @@
+package knnjoin
+
+import "knnjoin/internal/mapreduce"
+
+// Cluster mode: with Options.Workers > 0 every MapReduce job runs on
+// separate worker processes — re-executions of the current binary —
+// coordinated over an HTTP/JSON RPC protocol, with lease-based failure
+// detection and task re-execution. Output is byte-identical to the
+// default in-process engine; the mode exists to exercise and measure
+// the coordination itself (see internal/mapreduce).
+
+// RunWorkerIfSpawned turns the current process into a MapReduce worker
+// when it was spawned as one (the coordinator re-executes the binary
+// with a private environment variable) and never returns in that case.
+// In the ordinary parent process it is a no-op.
+//
+// Any program that sets Options.Workers, RangeOptions.Workers or
+// PairOptions.Workers must call it first thing in main — before flag
+// parsing or any other work — and any test binary in its TestMain.
+func RunWorkerIfSpawned() { mapreduce.RunWorkerIfSpawned() }
+
+// FaultPlan is a deterministic fault-injection plan for worker
+// processes: a testing hook that kills, stalls, freezes or corrupts
+// workers at fixed task checkpoints. See the mapreduce package for the
+// event fields.
+type FaultPlan = mapreduce.FaultPlan
+
+// FaultEvent is one injected fault of a FaultPlan.
+type FaultEvent = mapreduce.FaultEvent
+
+// FaultPoint locates a fault within a task attempt's lifecycle.
+type FaultPoint = mapreduce.FaultPoint
+
+// FaultAction is what an injected fault does to the worker.
+type FaultAction = mapreduce.FaultAction
+
+// Fault checkpoints and actions, re-exported for FaultPlan literals.
+const (
+	AtTaskStart  = mapreduce.AtTaskStart
+	AtMidTask    = mapreduce.AtMidTask
+	AtPreCommit  = mapreduce.AtPreCommit
+	AtPostCommit = mapreduce.AtPostCommit
+
+	ActKill        = mapreduce.ActKill
+	ActSleep       = mapreduce.ActSleep
+	ActFreeze      = mapreduce.ActFreeze
+	ActTruncateRun = mapreduce.ActTruncateRun
+)

@@ -1,0 +1,144 @@
+package knnjoin
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+// TestMain lets re-executions of this test binary serve as MapReduce
+// worker processes for the Workers > 0 tests below.
+func TestMain(m *testing.M) {
+	RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}
+
+func skipClusterShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("cluster mode spawns worker processes; skipped with -short")
+	}
+}
+
+// assertRanOnWorkers fails unless every MapReduce job of the run
+// committed all its tasks on worker processes — the proof the run did
+// not silently fall back to the in-process engine.
+func assertRanOnWorkers(t *testing.T, st *Stats) {
+	t.Helper()
+	if len(st.Jobs) == 0 {
+		t.Fatal("no per-job stats recorded")
+	}
+	for _, j := range st.Jobs {
+		if j.WorkerTasks == 0 {
+			t.Fatalf("job %q committed no tasks on worker processes", j.Name)
+		}
+	}
+}
+
+// TestClusterModeMatchesInProcess runs every join algorithm once on the
+// in-process engine and once on three worker processes: the multi-
+// process engine must return byte-identical results — same neighbor
+// IDs, same distances, same order.
+func TestClusterModeMatchesInProcess(t *testing.T) {
+	skipClusterShort(t)
+	r := dataset.Uniform(300, 4, 100, 11)
+	s := dataset.Uniform(340, 4, 100, 12)
+	for _, alg := range []Algorithm{PGBJ, PBJ, HBRJ, Broadcast, ZKNN, Theta, LSH} {
+		t.Run(alg.String(), func(t *testing.T) {
+			opts := Options{K: 3, Algorithm: alg, Nodes: 4, Seed: 5}
+			want, _, err := Join(r, s, opts)
+			if err != nil {
+				t.Fatalf("in-process: %v", err)
+			}
+			opts.Workers = 3
+			got, st, err := Join(r, s, opts)
+			if err != nil {
+				t.Fatalf("3 workers: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: cluster-mode output differs from in-process output", alg)
+			}
+			assertRanOnWorkers(t, st)
+		})
+	}
+}
+
+// TestClusterModeRangeJoin covers the range-join pipeline, whose join
+// job is a distinct registered kind from the kNN jobs.
+func TestClusterModeRangeJoin(t *testing.T) {
+	skipClusterShort(t)
+	r := dataset.Uniform(250, 3, 100, 21)
+	s := dataset.Uniform(280, 3, 100, 22)
+	opts := RangeOptions{Radius: 18, Nodes: 4, Seed: 3}
+	want, _, err := RangeJoin(r, s, opts)
+	if err != nil {
+		t.Fatalf("in-process: %v", err)
+	}
+	opts.Workers = 3
+	got, st, err := RangeJoin(r, s, opts)
+	if err != nil {
+		t.Fatalf("3 workers: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cluster-mode range join differs from in-process output")
+	}
+	assertRanOnWorkers(t, st)
+}
+
+// TestClusterModeClosestPairs covers the top-k pair pipeline.
+func TestClusterModeClosestPairs(t *testing.T) {
+	skipClusterShort(t)
+	r := dataset.Uniform(220, 3, 100, 31)
+	s := dataset.Uniform(240, 3, 100, 32)
+	opts := PairOptions{K: 10, Nodes: 4, Seed: 9}
+	want, _, err := ClosestPairs(r, s, opts)
+	if err != nil {
+		t.Fatalf("in-process: %v", err)
+	}
+	opts.Workers = 3
+	got, st, err := ClosestPairs(r, s, opts)
+	if err != nil {
+		t.Fatalf("3 workers: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cluster-mode closest pairs differ from in-process output")
+	}
+	assertRanOnWorkers(t, st)
+}
+
+// TestClusterModeRecoversFromKilledWorker is the ISSUE's acceptance
+// scenario end to end: a kNN join on three worker processes, one of
+// them killed mid-job, completes via task re-execution with results
+// byte-identical to the single-process engine. Attempt is pinned to 1
+// so the re-dispatched attempt is not killed again.
+func TestClusterModeRecoversFromKilledWorker(t *testing.T) {
+	skipClusterShort(t)
+	r := dataset.Uniform(300, 4, 100, 41)
+	s := dataset.Uniform(340, 4, 100, 42)
+	opts := Options{K: 3, Algorithm: PGBJ, Nodes: 4, Seed: 5}
+	want, _, err := Join(r, s, opts)
+	if err != nil {
+		t.Fatalf("in-process: %v", err)
+	}
+	opts.Workers = 3
+	opts.Faults = &FaultPlan{Events: []FaultEvent{
+		{Worker: -1, Task: "pgbj-join/map/0", Attempt: 1, Point: AtMidTask, Action: ActKill},
+	}}
+	got, st, err := Join(r, s, opts)
+	if err != nil {
+		t.Fatalf("3 workers with mid-join kill: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("output differs after a worker was killed mid-join")
+	}
+	assertRanOnWorkers(t, st)
+	var reexec int64
+	for _, j := range st.Jobs {
+		reexec += j.ReexecutedAttempts
+	}
+	if reexec < 1 {
+		t.Fatalf("ReexecutedAttempts = %d, want >= 1 after the kill", reexec)
+	}
+}

@@ -10,6 +10,7 @@
 //	knnjoin -r huge.csv -self -k 10 -mem-limit 256M   # out-of-core backend
 //	knnjoin -r pts.csv -self -k 10 -algo auto          # cost-based planner picks
 //	knnjoin -r pts.csv -self -k 10 -explain            # print ranked plans, run nothing
+//	knnjoin -r pts.csv -self -k 10 -workers 4          # multi-process cluster mode
 //
 // Input files hold one "id,x1,x2,..." line per object (see cmd/datagen).
 // Output lines are "rID,sID,distance", one per result pair — ordered by
@@ -30,6 +31,10 @@ import (
 )
 
 func main() {
+	// With -workers N the coordinator re-executes this binary as its
+	// worker processes; spawned copies must turn into workers before
+	// anything else runs.
+	knnjoin.RunWorkerIfSpawned()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "knnjoin:", err)
 		os.Exit(1)
@@ -59,6 +64,7 @@ func run(args []string) error {
 	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget, e.g. 64M (spills to -spill-dir or a temp dir)")
 	explain := fs.Bool("explain", false, "print the planner's ranked candidate plans and exit without joining")
 	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
+	workers := fs.Int("workers", 0, "run MapReduce jobs on this many worker processes (0 = in-process engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +136,7 @@ func run(args []string) error {
 			Radius: *radius, Metric: metric, Nodes: *nodes,
 			NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed,
 			SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel,
+			Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -145,7 +152,7 @@ func run(args []string) error {
 		pairs, st, err := knnjoin.ClosestPairs(r, s, knnjoin.PairOptions{
 			K: *k, Metric: metric, Nodes: *nodes,
 			ExcludeSelf: *excludeSelf, Unordered: *unordered, Seed: *seed,
-			SpillDir: *spillDir, MemLimit: memLimit,
+			SpillDir: *spillDir, MemLimit: memLimit, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -167,7 +174,7 @@ func run(args []string) error {
 	results, st, err := knnjoin.Join(r, s, knnjoin.Options{
 		K: *k, Algorithm: algo, Metric: metric, Nodes: *nodes,
 		NumPivots: *numPivots, PivotStrategy: ps, GroupStrategy: gs, Seed: *seed,
-		SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel,
+		SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel, Workers: *workers,
 	})
 	if err != nil {
 		return err

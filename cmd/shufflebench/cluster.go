@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"knnjoin"
+	"knnjoin/internal/dataset"
+)
+
+// The cluster suite measures the multi-process MapReduce engine against
+// the in-process engine on one kNN self-join workload: wall time and
+// shuffle volume as the worker count grows, plus one fault-injected row
+// where a worker is killed mid-join and the job must recover by task
+// re-execution. Every row's results are checked byte-identical to the
+// in-process run — a mismatch hard-fails the suite.
+
+// ClusterResult is one engine configuration's outcome.
+type ClusterResult struct {
+	// Name identifies the row: "in-process", "workers=N" or
+	// "workers=N/kill-one".
+	Name string `json:"name"`
+	// Workers is the worker-process count; zero is the in-process engine.
+	Workers int `json:"workers"`
+	// WallNs is the join's end-to-end wall time.
+	WallNs int64 `json:"wall_ns"`
+	// ShuffleRecords and ShuffleBytes are summed over the join's jobs.
+	ShuffleRecords int64 `json:"shuffle_records"`
+	ShuffleBytes   int64 `json:"shuffle_bytes"`
+	// WorkerTasks counts task attempts committed by worker processes,
+	// summed over jobs (zero in-process).
+	WorkerTasks int `json:"worker_tasks,omitempty"`
+	// ReexecutedAttempts counts lease- or damage-driven task
+	// re-dispatches, summed over jobs — the recovery row must show at
+	// least one.
+	ReexecutedAttempts int64 `json:"reexecuted_attempts,omitempty"`
+}
+
+// ClusterReport is the BENCH_cluster.json document.
+type ClusterReport struct {
+	Suite   string          `json:"suite"`
+	Algo    string          `json:"algo"`
+	Records int             `json:"records"`
+	K       int             `json:"k"`
+	Nodes   int             `json:"nodes"`
+	Results []ClusterResult `json:"results"`
+}
+
+func clusterRow(name string, opts knnjoin.Options, objs []knnjoin.Object,
+	want []knnjoin.Result) (ClusterResult, error) {
+	start := time.Now()
+	got, st, err := knnjoin.SelfJoin(objs, opts)
+	wall := time.Since(start)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	if want != nil && !reflect.DeepEqual(got, want) {
+		return ClusterResult{}, fmt.Errorf("%s: output differs from the in-process engine", name)
+	}
+	row := ClusterResult{Name: name, Workers: opts.Workers, WallNs: wall.Nanoseconds()}
+	for _, j := range st.Jobs {
+		row.ShuffleRecords += j.ShuffleRecords
+		row.ShuffleBytes += j.ShuffleBytes
+		row.WorkerTasks += j.WorkerTasks
+		row.ReexecutedAttempts += j.ReexecutedAttempts
+	}
+	return row, nil
+}
+
+func runClusterSuite(records, k, nodes int) (*ClusterReport, error) {
+	objs := dataset.Uniform(records, 4, 100, 17)
+	opts := knnjoin.Options{K: k, Algorithm: knnjoin.PGBJ, Nodes: nodes, Seed: 5}
+
+	report := &ClusterReport{
+		Suite: "mapreduce-cluster", Algo: opts.Algorithm.String(),
+		Records: records, K: k, Nodes: nodes,
+	}
+
+	// Baseline: the in-process engine defines the expected bytes.
+	want, _, err := knnjoin.SelfJoin(objs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("in-process: %w", err)
+	}
+	base, err := clusterRow("in-process", opts, objs, nil)
+	if err != nil {
+		return nil, err
+	}
+	report.Results = append(report.Results, base)
+
+	for _, w := range []int{1, 2, 3} {
+		wopts := opts
+		wopts.Workers = w
+		row, err := clusterRow(fmt.Sprintf("workers=%d", w), wopts, objs, want)
+		if err != nil {
+			return nil, err
+		}
+		if row.WorkerTasks == 0 {
+			return nil, fmt.Errorf("workers=%d: no tasks committed on worker processes", w)
+		}
+		report.Results = append(report.Results, row)
+	}
+
+	// Recovery: three workers, one killed mid-join (attempt 1 only, so
+	// the re-dispatched attempt survives). The job must still finish
+	// with identical bytes, via at least one re-execution.
+	fopts := opts
+	fopts.Workers = 3
+	fopts.Faults = &knnjoin.FaultPlan{Events: []knnjoin.FaultEvent{
+		{Worker: -1, Task: "pgbj-join/map/0", Attempt: 1,
+			Point: knnjoin.AtMidTask, Action: knnjoin.ActKill},
+	}}
+	row, err := clusterRow("workers=3/kill-one", fopts, objs, want)
+	if err != nil {
+		return nil, err
+	}
+	if row.ReexecutedAttempts < 1 {
+		return nil, fmt.Errorf("kill-one row: ReexecutedAttempts = %d, want >= 1", row.ReexecutedAttempts)
+	}
+	report.Results = append(report.Results, row)
+	return report, nil
+}

@@ -18,7 +18,12 @@
 //   - "plan" (BENCH_plan.json): the cost-based planner against a grid of
 //     fixed plans on four workload shapes (uniform, gaussian, zipf,
 //     lopsided |R|≪|S|) — hard-failing when the planner's pick measures
-//     more than 1.5× slower than the best fixed plan.
+//     more than 1.5× slower than the best fixed plan;
+//   - "cluster" (BENCH_cluster.json): the multi-process coordinator/worker
+//     engine versus the in-process engine on one kNN self-join — wall time
+//     and shuffle volume at 1/2/3 worker processes plus a recovery row
+//     where a worker is killed mid-join, every row verified byte-identical
+//     to the in-process result.
 //
 // Usage:
 //
@@ -30,6 +35,7 @@
 //	shufflebench -suite serve -clients 16 -requests 5000
 //	shufflebench -suite plan -out BENCH_plan.json
 //	shufflebench -suite plan -plan-n 1500         # CI-sized plan suite
+//	shufflebench -suite cluster -out BENCH_cluster.json
 //	shufflebench -benchtime 50                    # inner iterations per measurement
 package main
 
@@ -40,6 +46,7 @@ import (
 	"os"
 	"testing"
 
+	"knnjoin"
 	"knnjoin/internal/benchjobs"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/stats"
@@ -176,7 +183,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
-	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve | plan")
+	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve | plan | cluster")
 	memLimitFlag := fs.String("mem-limit", "256K", "spill suite: resident shuffle budget")
 	spillDir := fs.String("spill-dir", "", "spill suite: run-file directory (default: a temp dir)")
 	clients := fs.Int("clients", 8, "serve suite: concurrent load-generator clients")
@@ -185,6 +192,8 @@ func run(args []string) error {
 	planN := fs.Int("plan-n", 4000, "plan suite: objects per workload shape")
 	planNodes := fs.Int("plan-nodes", 4, "plan suite: simulated cluster nodes")
 	planReps := fs.Int("plan-reps", 2, "plan suite: runs per configuration (fastest kept)")
+	clusterN := fs.Int("cluster-n", 1500, "cluster suite: objects in the self-join workload")
+	clusterNodes := fs.Int("cluster-nodes", 4, "cluster suite: simulated cluster nodes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,8 +225,13 @@ func run(args []string) error {
 			return fmt.Errorf("plan suite needs -plan-n ≥ 160, -k ≥ 1, -plan-nodes ≥ 1, -plan-reps ≥ 1")
 		}
 		report, err = runPlanSuite(*planN, *k, *planNodes, *planReps)
+	case "cluster":
+		if *clusterN < 100 || *k < 1 || *clusterNodes < 1 {
+			return fmt.Errorf("cluster suite needs -cluster-n ≥ 100, -k ≥ 1, -cluster-nodes ≥ 1")
+		}
+		report, err = runClusterSuite(*clusterN, *k, *clusterNodes)
 	default:
-		return fmt.Errorf("unknown suite %q (want shuffle, spill, serve or plan)", *suite)
+		return fmt.Errorf("unknown suite %q (want shuffle, spill, serve, plan or cluster)", *suite)
 	}
 	if err != nil {
 		return err
@@ -236,6 +250,8 @@ func run(args []string) error {
 }
 
 func main() {
+	// The cluster suite re-executes this binary as worker processes.
+	knnjoin.RunWorkerIfSpawned()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "shufflebench:", err)
 		os.Exit(1)

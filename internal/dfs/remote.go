@@ -1,0 +1,333 @@
+package dfs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// This file promotes a Store to a shared chunk service: Server exposes
+// any Store over HTTP, and Remote is a Store-shaped client for it. The
+// pair is what lets MapReduce worker processes read input splits (and
+// drivers in other processes read whole files) from the coordinator's
+// store — the role HDFS datanodes play for Hadoop tasks. Records travel
+// as the same uvarint-length-prefixed frames every on-disk file in this
+// repository uses, so the wire format is the run-file format.
+//
+// Endpoints (relative to the mount point):
+//
+//	GET  /config                   → JSON {Chunk}
+//	GET  /meta?name=F              → JSON {Exists, Count, Bytes}
+//	GET  /list                     → JSON [names...]
+//	GET  /chunk?name=F&index=I     → framed records of input split I
+//	GET  /read?name=F              → framed records of the whole file
+//	POST /write?name=F             ← framed records (replace)
+//	POST /append?name=F            ← framed records (append)
+//	POST /remove?name=F
+//
+// The service carries no authentication and is meant to be bound to
+// loopback, like the rest of the repo's local serving tiers.
+
+// Server exposes a Store over HTTP as a chunk service.
+type Server struct {
+	store Store
+}
+
+// NewServer returns an http.Handler serving the chunk-service protocol
+// over store.
+func NewServer(store Store) *Server { return &Server{store: store} }
+
+// FileMeta is the /meta response: existence and size of one file.
+type FileMeta struct {
+	Exists bool
+	Count  int
+	Bytes  int64
+}
+
+// storeConfig is the /config response.
+type storeConfig struct {
+	Chunk int
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/")
+	name := r.URL.Query().Get("name")
+	switch op {
+	case "config":
+		writeJSON(w, storeConfig{Chunk: s.store.ChunkRecords()})
+	case "meta":
+		m := FileMeta{Count: s.store.Size(name), Bytes: s.store.Bytes(name)}
+		for _, n := range s.store.List() {
+			if n == name {
+				m.Exists = true
+				break
+			}
+		}
+		writeJSON(w, m)
+	case "list":
+		writeJSON(w, s.store.List())
+	case "chunk":
+		index, err := strconv.Atoi(r.URL.Query().Get("index"))
+		if err != nil {
+			http.Error(w, "bad index", http.StatusBadRequest)
+			return
+		}
+		splits, err := s.store.Splits(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if index < 0 || index >= len(splits) {
+			http.Error(w, fmt.Sprintf("dfs: %q has no split %d", name, index), http.StatusNotFound)
+			return
+		}
+		recs, err := splits[index].Load()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeFramed(w, recs)
+	case "read":
+		recs, err := s.store.Read(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeFramed(w, recs)
+	case "write", "append":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		recs, err := DecodeRecords(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if op == "write" {
+			err = s.store.Write(name, recs)
+		} else {
+			err = s.store.Append(name, recs)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "remove":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		s.store.Remove(name)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeFramed(w http.ResponseWriter, recs []Record) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if err := WriteFrame(bw, rec); err != nil {
+			return // client gone; nothing useful to report
+		}
+	}
+	bw.Flush()
+}
+
+// EncodeRecords frames records into a buffer — the request-body encoding
+// of /write and /append.
+func EncodeRecords(recs []Record) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for _, rec := range recs {
+		WriteFrame(w, rec) // bytes.Buffer writes cannot fail
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// DecodeRecords reads framed records until EOF — the inverse of
+// EncodeRecords and of the /chunk and /read response bodies.
+func DecodeRecords(r io.Reader) ([]Record, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []Record
+	for {
+		rec, err := ReadFrame(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dfs: framed stream: %w", err)
+		}
+		out = append(out, Record(rec))
+	}
+}
+
+// Remote is a Store backed by a chunk service at a base URL. Every
+// method is one HTTP round trip; Splits returns lazy splits that fetch
+// their chunk when a map task loads them, so a worker process holds at
+// most the splits it is actively running.
+type Remote struct {
+	base   string
+	chunk  int
+	client *http.Client
+}
+
+// NewRemote connects to the chunk service mounted at base (e.g.
+// "http://127.0.0.1:PORT/dfs") and learns its chunk size.
+func NewRemote(base string) (*Remote, error) {
+	r := &Remote{base: strings.TrimSuffix(base, "/"), client: &http.Client{}}
+	var cfg storeConfig
+	if err := r.getJSON("/config", &cfg); err != nil {
+		return nil, err
+	}
+	r.chunk = cfg.Chunk
+	return r, nil
+}
+
+func (r *Remote) getJSON(path string, v any) error {
+	body, err := r.do(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	return json.NewDecoder(body).Decode(v)
+}
+
+func (r *Remote) do(method, path string, body []byte) (io.ReadCloser, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: remote: %w", err)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: remote: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("dfs: remote %s: %s", path, strings.TrimSpace(string(msg)))
+	}
+	return resp.Body, nil
+}
+
+// ChunkRecords returns the service's records-per-chunk.
+func (r *Remote) ChunkRecords() int { return r.chunk }
+
+// Write stores records under name, replacing any existing file.
+func (r *Remote) Write(name string, records []Record) error {
+	body, err := r.do(http.MethodPost, "/write?name="+escape(name), EncodeRecords(records))
+	if err != nil {
+		return err
+	}
+	return body.Close()
+}
+
+// Append adds records to an existing or new file.
+func (r *Remote) Append(name string, records []Record) error {
+	body, err := r.do(http.MethodPost, "/append?name="+escape(name), EncodeRecords(records))
+	if err != nil {
+		return err
+	}
+	return body.Close()
+}
+
+// Read returns all records of the named file.
+func (r *Remote) Read(name string) ([]Record, error) {
+	body, err := r.do(http.MethodGet, "/read?name="+escape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return DecodeRecords(body)
+}
+
+// Remove deletes the named file; failures are swallowed to match the
+// Store contract's idempotent, error-free Remove.
+func (r *Remote) Remove(name string) {
+	if body, err := r.do(http.MethodPost, "/remove?name="+escape(name), nil); err == nil {
+		body.Close()
+	}
+}
+
+// List returns the names of all files in lexicographic order.
+func (r *Remote) List() []string {
+	var names []string
+	if err := r.getJSON("/list", &names); err != nil {
+		return nil
+	}
+	return names
+}
+
+// meta fetches existence and sizes of one file.
+func (r *Remote) meta(name string) (FileMeta, error) {
+	var m FileMeta
+	err := r.getJSON("/meta?name="+escape(name), &m)
+	return m, err
+}
+
+// Size returns the number of records in the named file, or 0 if absent.
+func (r *Remote) Size(name string) int {
+	m, _ := r.meta(name)
+	return m.Count
+}
+
+// Bytes returns the total payload bytes of the named file.
+func (r *Remote) Bytes(name string) int64 {
+	m, _ := r.meta(name)
+	return m.Bytes
+}
+
+// Splits chops the named files into lazy input splits of at most
+// ChunkRecords records each; a split fetches its chunk from the service
+// when loaded, and re-fetches on every Load so a retried map task starts
+// from clean input.
+func (r *Remote) Splits(names ...string) ([]Split, error) {
+	var out []Split
+	for _, name := range names {
+		m, err := r.meta(name)
+		if err != nil {
+			return nil, err
+		}
+		if !m.Exists {
+			return nil, fmt.Errorf("dfs: no such file %q", name)
+		}
+		for i := 0; i < m.Count; i += r.chunk {
+			end := i + r.chunk
+			if end > m.Count {
+				end = m.Count
+			}
+			name, idx := name, i/r.chunk
+			out = append(out, Split{File: name, Index: idx, count: end - i,
+				load: func() ([]Record, error) {
+					body, err := r.do(http.MethodGet,
+						fmt.Sprintf("/chunk?name=%s&index=%d", escape(name), idx), nil)
+					if err != nil {
+						return nil, err
+					}
+					defer body.Close()
+					return DecodeRecords(body)
+				}})
+		}
+	}
+	return out, nil
+}
+
+// escape percent-escapes a file name for use as a query value.
+func escape(name string) string { return url.QueryEscape(name) }

@@ -1,0 +1,121 @@
+package dfs
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// remotePair starts a chunk service over a fresh in-memory store and
+// returns a Remote connected to it.
+func remotePair(t *testing.T, chunk int) (*FS, *Remote) {
+	t.Helper()
+	fs := New(chunk)
+	srv := httptest.NewServer(NewServer(fs))
+	t.Cleanup(srv.Close)
+	r, err := NewRemote(srv.URL)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	return fs, r
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	_, r := remotePair(t, 2)
+	if r.ChunkRecords() != 2 {
+		t.Fatalf("ChunkRecords = %d, want 2", r.ChunkRecords())
+	}
+	if err := r.Write("a", recs("x", "yy", "zzz")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := r.Append("a", recs("w")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, err := r.Read("a")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs("x", "yy", "zzz", "w")) {
+		t.Fatalf("Read = %q", got)
+	}
+	if n := r.Size("a"); n != 4 {
+		t.Fatalf("Size = %d, want 4", n)
+	}
+	if b := r.Bytes("a"); b != 7 {
+		t.Fatalf("Bytes = %d, want 7", b)
+	}
+	if names := r.List(); !reflect.DeepEqual(names, []string{"a"}) {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestRemoteSplitsLazyLoad(t *testing.T) {
+	fs, r := remotePair(t, 2)
+	if err := fs.Write("f", recs("1", "2", "3", "4", "5")); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := r.Splits("f")
+	if err != nil {
+		t.Fatalf("Splits: %v", err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("got %d splits, want 3", len(splits))
+	}
+	if splits[2].Count() != 1 {
+		t.Fatalf("last split Count = %d, want 1", splits[2].Count())
+	}
+	var all []Record
+	for _, sp := range splits {
+		got, err := sp.Load()
+		if err != nil {
+			t.Fatalf("Load split %d: %v", sp.Index, err)
+		}
+		if len(got) != sp.Count() {
+			t.Fatalf("split %d loaded %d records, Count says %d", sp.Index, len(got), sp.Count())
+		}
+		all = append(all, got...)
+	}
+	if !reflect.DeepEqual(all, recs("1", "2", "3", "4", "5")) {
+		t.Fatalf("splits reassembled to %q", all)
+	}
+}
+
+func TestRemoteMissingFile(t *testing.T) {
+	_, r := remotePair(t, 0)
+	if _, err := r.Read("nope"); err == nil {
+		t.Fatal("Read of missing file succeeded")
+	}
+	if _, err := r.Splits("nope"); err == nil {
+		t.Fatal("Splits of missing file succeeded")
+	}
+	if n := r.Size("nope"); n != 0 {
+		t.Fatalf("Size of missing file = %d", n)
+	}
+}
+
+func TestRemoteRemove(t *testing.T) {
+	fs, r := remotePair(t, 0)
+	if err := r.Write("gone", recs("a")); err != nil {
+		t.Fatal(err)
+	}
+	r.Remove("gone")
+	if n := fs.Size("gone"); n != 0 {
+		t.Fatalf("file survived Remove: %d records", n)
+	}
+	r.Remove("gone") // idempotent
+}
+
+func TestRemoteEscapedNames(t *testing.T) {
+	_, r := remotePair(t, 0)
+	name := "out.partial&v=1 100%"
+	if err := r.Write(name, recs("v")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := r.Read(name)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs("v")) {
+		t.Fatalf("Read = %q", got)
+	}
+}

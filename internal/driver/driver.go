@@ -60,6 +60,16 @@ type Config struct {
 	// empty SpillDir makes the Env create — and remove on Close — a
 	// temporary spill directory.
 	MemLimit int64
+	// Workers, when positive, runs every job on that many worker
+	// processes coordinated over RPC (see mapreduce.NewDistCluster)
+	// instead of the in-process engine. Output is byte-identical either
+	// way. Workers takes the place of the MemLimit spill engine: the
+	// distributed engine always stages intermediate runs on disk.
+	Workers int
+	// Faults is an optional deterministic fault-injection plan for the
+	// worker processes; nil injects nothing. Only meaningful with
+	// Workers > 0.
+	Faults *mapreduce.FaultPlan
 }
 
 // New builds an in-memory environment with nodes simulated nodes and the
@@ -77,6 +87,17 @@ func New(nodes, chunkRecords int) *Env {
 // spill root without colliding. Call Close when the run's results have
 // been read.
 func NewEnv(cfg Config) (*Env, error) {
+	if cfg.Workers > 0 {
+		fs := dfs.New(cfg.ChunkRecords)
+		cluster, err := mapreduce.NewDistCluster(fs, cfg.Nodes, mapreduce.DistConfig{
+			Workers: cfg.Workers,
+			Faults:  cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Env{FS: fs, Cluster: cluster}, nil
+	}
 	if cfg.SpillDir == "" && cfg.MemLimit <= 0 {
 		return New(cfg.Nodes, cfg.ChunkRecords), nil
 	}
@@ -117,6 +138,9 @@ func NewEnv(cfg Config) (*Env, error) {
 // itself is left in place). Closing an in-memory Env is a no-op, so
 // callers may defer it unconditionally.
 func (e *Env) Close() {
+	if e.Cluster != nil {
+		e.Cluster.Close()
+	}
 	if e.ownedDir != "" {
 		os.RemoveAll(e.ownedDir)
 		e.ownedDir = ""
@@ -201,12 +225,14 @@ func AddJobStats(rep *stats.Report, js *mapreduce.JobStats) {
 // named explicitly (e.g. setsim's "verified").
 func AddJobStatsCounter(rep *stats.Report, js *mapreduce.JobStats, distCounter string) {
 	rep.AddJob(stats.JobStat{
-		Name:           js.Job,
-		ShuffleRecords: js.ShuffleRecords,
-		ShuffleBytes:   js.ShuffleBytes,
-		DistComps:      js.Counters[distCounter],
-		SpilledBytes:   js.SpilledBytes,
-		Wall:           js.Wall(),
+		Name:               js.Job,
+		ShuffleRecords:     js.ShuffleRecords,
+		ShuffleBytes:       js.ShuffleBytes,
+		DistComps:          js.Counters[distCounter],
+		SpilledBytes:       js.SpilledBytes,
+		Wall:               js.Wall(),
+		WorkerTasks:        js.WorkerTasks,
+		ReexecutedAttempts: js.ReexecutedAttempts,
 	})
 }
 

@@ -67,58 +67,13 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	}
 
 	partialFile := outFile + ".partial"
-	job := &mapreduce.Job{
-		Name:        "hbrj-block-join",
-		Input:       []string{rFile, sFile},
-		Output:      partialFile,
-		NumReducers: b * b,
-		Partition:   mapreduce.Uint32Partition,
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			switch t.Src {
-			case codec.FromR:
-				// R-block a joins every S-block: reducers (a, 0..b-1).
-				a := blockOf(t.ID, b)
-				for col := 0; col < b; col++ {
-					emit(codec.RegionKey(a*b+col, t), rec)
-				}
-			case codec.FromS:
-				col := blockOf(t.ID, b)
-				ctx.Counter("replicas_s", int64(b))
-				for a := 0; a < b; a++ {
-					emit(codec.RegionKey(a*b+col, t), rec)
-				}
-			}
-			return nil
-		},
-		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
-		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			// Columnar decode; the R-tree's leaf points are views into the
-			// S block's flat backing store, so the bulk load copies no
-			// coordinates and the group costs a constant number of decode
-			// allocations.
-			rBlk, sBlk, err := driver.CollectRSBlocks(values)
-			if err != nil {
-				return err
-			}
-			tree := rtree.Bulk(codec.BlockObjects(sBlk), rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
-			var nbuf []codec.Neighbor
-			for row := 0; row < rBlk.Len(); row++ {
-				cands := tree.KNN(rBlk.At(row), opts.K)
-				nbuf = nbuf[:0]
-				for _, c := range cands {
-					nbuf = append(nbuf, codec.Neighbor{ID: c.ID, Dist: c.Dist})
-				}
-				emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
-			}
-			ctx.Counter("pairs", tree.DistCount)
-			ctx.AddWork(tree.DistCount)
-			return nil
-		},
-	}
+	job := blockJoinKind.New(blockJoinSpec{
+		RFile:  rFile,
+		SFile:  sFile,
+		Output: partialFile,
+		Blocks: b,
+		Opts:   opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -147,6 +102,90 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	return report, nil
 }
 
+// blockJoinSpec rebuilds the block-join job in a worker process. The
+// blocking factor and options travel through Side so the map and reduce
+// functions are capture-free.
+type blockJoinSpec struct {
+	RFile, SFile string
+	Output       string
+	Blocks       int
+	Opts         Options
+}
+
+const (
+	sideBlocks = "blocks"
+	sideOpts   = "opts"
+)
+
+var blockJoinKind = mapreduce.DefineKind("hbrj-block-join", buildBlockJoinJob)
+
+func buildBlockJoinJob(s blockJoinSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "hbrj-block-join",
+		Input:          []string{s.RFile, s.SFile},
+		Output:         s.Output,
+		NumReducers:    s.Blocks * s.Blocks,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
+		Side: map[string]any{
+			sideBlocks: s.Blocks,
+			sideOpts:   s.Opts,
+		},
+		Map:    blockRouteMap,
+		Reduce: blockJoinReduce,
+	}
+}
+
+// blockRouteMap replicates each object to its row or column of the b×b
+// reducer grid.
+func blockRouteMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	b := ctx.Side(sideBlocks).(int)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	switch t.Src {
+	case codec.FromR:
+		// R-block a joins every S-block: reducers (a, 0..b-1).
+		a := blockOf(t.ID, b)
+		for col := 0; col < b; col++ {
+			emit(codec.RegionKey(a*b+col, t), rec)
+		}
+	case codec.FromS:
+		col := blockOf(t.ID, b)
+		ctx.Counter("replicas_s", int64(b))
+		for a := 0; a < b; a++ {
+			emit(codec.RegionKey(a*b+col, t), rec)
+		}
+	}
+	return nil
+}
+
+func blockJoinReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+	opts := ctx.Side(sideOpts).(Options)
+	// Columnar decode; the R-tree's leaf points are views into the
+	// S block's flat backing store, so the bulk load copies no
+	// coordinates and the group costs a constant number of decode
+	// allocations.
+	rBlk, sBlk, err := driver.CollectRSBlocks(values)
+	if err != nil {
+		return err
+	}
+	tree := rtree.Bulk(codec.BlockObjects(sBlk), rtree.Options{Metric: opts.Metric, Fanout: opts.Fanout})
+	var nbuf []codec.Neighbor
+	for row := 0; row < rBlk.Len(); row++ {
+		cands := tree.KNN(rBlk.At(row), opts.K)
+		nbuf = nbuf[:0]
+		for _, c := range cands {
+			nbuf = append(nbuf, codec.Neighbor{ID: c.ID, Dist: c.Dist})
+		}
+		emit(nil, codec.EncodeResult(codec.Result{RID: rBlk.IDs[row], Neighbors: nbuf}))
+	}
+	ctx.Counter("pairs", tree.DistCount)
+	ctx.AddWork(tree.DistCount)
+	return nil
+}
+
 // MergeResults is the second MapReduce job shared by H-BRJ and PBJ: it
 // groups partial kNN lists by R object — keyed by the object id's
 // order-preserving binary encoding, so each reducer emits its share in
@@ -155,53 +194,72 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 // global best. The input file holds codec.Result records; so does the
 // output.
 func MergeResults(cluster *mapreduce.Cluster, inFile, outFile string, k int) (*mapreduce.JobStats, error) {
-	job := &mapreduce.Job{
+	return cluster.Run(mergeKind.New(mergeSpec{Input: inFile, Output: outFile, K: k}))
+}
+
+// mergeSpec rebuilds the merge job in a worker process.
+type mergeSpec struct {
+	Input, Output string
+	K             int
+}
+
+const sideK = "k"
+
+var mergeKind = mapreduce.DefineKind("knn-merge", buildMergeJob)
+
+func buildMergeJob(s mergeSpec) *mapreduce.Job {
+	return &mapreduce.Job{
 		Name:   "knn-merge",
-		Input:  []string{inFile},
-		Output: outFile,
-		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			res, err := codec.DecodeResult(rec)
-			if err != nil {
-				return err
-			}
-			emit(codec.Int64Key(res.RID), rec)
-			return nil
-		},
-		Reduce: func(ctx *mapreduce.TaskContext, key []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			rid := codec.KeyInt64(key)
-			// Partial lists may overlap (e.g. H-zkNNJ finds the same s
-			// under several shifts); a kNN list is a set, so dedupe by
-			// neighbor ID before ranking.
-			best := make(map[int64]float64)
-			for v, ok := values.Next(); ok; v, ok = values.Next() {
-				res, err := codec.DecodeResult(v)
-				if err != nil {
-					return err
-				}
-				for _, nb := range res.Neighbors {
-					if d, ok := best[nb.ID]; !ok || nb.Dist < d {
-						best[nb.ID] = nb.Dist
-					}
-				}
-			}
-			ids := make([]int64, 0, len(best))
-			for id := range best {
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-			heap := nnheap.NewKHeap(k)
-			for _, id := range ids {
-				heap.Push(nnheap.Candidate{ID: id, Dist: best[id]})
-			}
-			cands := heap.Sorted()
-			nbs := make([]codec.Neighbor, len(cands))
-			for i, c := range cands {
-				nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
-			}
-			ctx.Counter("result_pairs", int64(len(nbs)))
-			emit(nil, codec.EncodeResult(codec.Result{RID: rid, Neighbors: nbs}))
-			return nil
-		},
+		Input:  []string{s.Input},
+		Output: s.Output,
+		Side:   map[string]any{sideK: s.K},
+		Map:    mergeMap,
+		Reduce: mergeReduce,
 	}
-	return cluster.Run(job)
+}
+
+func mergeMap(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	res, err := codec.DecodeResult(rec)
+	if err != nil {
+		return err
+	}
+	emit(codec.Int64Key(res.RID), rec)
+	return nil
+}
+
+func mergeReduce(ctx *mapreduce.TaskContext, key []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+	k := ctx.Side(sideK).(int)
+	rid := codec.KeyInt64(key)
+	// Partial lists may overlap (e.g. H-zkNNJ finds the same s
+	// under several shifts); a kNN list is a set, so dedupe by
+	// neighbor ID before ranking.
+	best := make(map[int64]float64)
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		res, err := codec.DecodeResult(v)
+		if err != nil {
+			return err
+		}
+		for _, nb := range res.Neighbors {
+			if d, ok := best[nb.ID]; !ok || nb.Dist < d {
+				best[nb.ID] = nb.Dist
+			}
+		}
+	}
+	ids := make([]int64, 0, len(best))
+	for id := range best {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	heap := nnheap.NewKHeap(k)
+	for _, id := range ids {
+		heap.Push(nnheap.Candidate{ID: id, Dist: best[id]})
+	}
+	cands := heap.Sorted()
+	nbs := make([]codec.Neighbor, len(cands))
+	for i, c := range cands {
+		nbs[i] = codec.Neighbor{ID: c.ID, Dist: c.Dist}
+	}
+	ctx.Counter("result_pairs", int64(len(nbs)))
+	emit(nil, codec.EncodeResult(codec.Result{RID: rid, Neighbors: nbs}))
+	return nil
 }

@@ -79,22 +79,24 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 // table is one p-stable hash table: m Gaussian projection vectors and
-// their uniform offsets. Signatures are ⌊(a_i·v + b_i)/w⌋ for each i.
+// their uniform offsets. Signatures are ⌊(A_i·v + B_i)/w⌋ for each i.
+// Fields are exported so tables survive the gob trip to worker
+// processes.
 type table struct {
-	a [][]float64
-	b []float64
+	A [][]float64
+	B []float64
 }
 
 // signature writes v's bucket signature under t into dst (reused across
 // calls) and returns it.
 func (t *table) signature(dst []int64, v vector.Point, w float64) []int64 {
 	dst = dst[:0]
-	for i, a := range t.a {
+	for i, a := range t.A {
 		var dot float64
 		for d, x := range v {
 			dot += a[d] * x
 		}
-		dst = append(dst, int64(math.Floor((dot+t.b[i])/w)))
+		dst = append(dst, int64(math.Floor((dot+t.B[i])/w)))
 	}
 	return dst
 }
@@ -103,15 +105,15 @@ func (t *table) signature(dst []int64, v vector.Point, w float64) []int64 {
 func newTables(rng *rand.Rand, l, m, dim int, w float64) []table {
 	ts := make([]table, l)
 	for t := range ts {
-		ts[t].a = make([][]float64, m)
-		ts[t].b = make([]float64, m)
+		ts[t].A = make([][]float64, m)
+		ts[t].B = make([]float64, m)
 		for i := 0; i < m; i++ {
 			a := make([]float64, dim)
 			for d := range a {
 				a[d] = rng.NormFloat64()
 			}
-			ts[t].a[i] = a
-			ts[t].b[i] = rng.Float64() * w
+			ts[t].A[i] = a
+			ts[t].B[i] = rng.Float64() * w
 		}
 	}
 	return ts
@@ -163,30 +165,14 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 	// ---- Job 1: hash into buckets, join within buckets -----------------
 	partialFile := outFile + ".partial"
-	job := &mapreduce.Job{
-		Name:   "lsh-bucket-join",
-		Input:  []string{rFile, sFile},
+	job := bucketKind.New(bucketSpec{
+		RFile:  rFile,
+		SFile:  sFile,
 		Output: partialFile,
-		Side:   map[string]any{"tables": tables, "w": w, "opts": opts},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			tables := ctx.Side("tables").([]table)
-			w := ctx.Side("w").(float64)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			sig := make([]int64, 0, opts.Hashes)
-			for ti := range tables {
-				sig = tables[ti].signature(sig, t.Point, w)
-				emit(bucketKey(ti, sig), rec)
-				if t.Src == codec.FromS {
-					ctx.Counter("replicas_s", 1)
-				}
-			}
-			return nil
-		},
-		Reduce: bucketReduce,
-	}
+		Tables: tables,
+		W:      w,
+		Opts:   opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -214,6 +200,48 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
 	report.OutputPairs = ms.Counters["result_pairs"]
 	return report, nil
+}
+
+// bucketSpec rebuilds the bucket-join job in a worker process.
+type bucketSpec struct {
+	RFile, SFile string
+	Output       string
+	Tables       []table
+	W            float64
+	Opts         Options
+}
+
+var bucketKind = mapreduce.DefineKind("lsh-bucket-join", buildBucketJob)
+
+func buildBucketJob(s bucketSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:   "lsh-bucket-join",
+		Input:  []string{s.RFile, s.SFile},
+		Output: s.Output,
+		Side:   map[string]any{"tables": s.Tables, "w": s.W, "opts": s.Opts},
+		Map:    bucketMap,
+		Reduce: bucketReduce,
+	}
+}
+
+// bucketMap hashes each object into its bucket under every table.
+func bucketMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	tables := ctx.Side("tables").([]table)
+	w := ctx.Side("w").(float64)
+	opts := ctx.Side("opts").(Options)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	sig := make([]int64, 0, opts.Hashes)
+	for ti := range tables {
+		sig = tables[ti].signature(sig, t.Point, w)
+		emit(bucketKey(ti, sig), rec)
+		if t.Src == codec.FromS {
+			ctx.Counter("replicas_s", 1)
+		}
+	}
+	return nil
 }
 
 // bucketReduce verifies one bucket's candidates: every R object in it is

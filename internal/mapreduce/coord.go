@@ -1,0 +1,502 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"knnjoin/internal/dfs"
+)
+
+// The coordinator side of the distributed engine: job/task state, lease
+// bookkeeping, and the scheduling decisions behind /poll, /done and
+// /heartbeat. All state is guarded by distEngine.mu; handlers do no I/O
+// under the lock — output assembly happens on the job's driving
+// goroutine after the last task commits.
+//
+// Task lifecycle: pending → running → done. A running task carries one
+// or more active attempts (more than one only under speculation). An
+// attempt disappears by reporting completion, or by missing heartbeats
+// past its lease — in which case the task returns to pending and is
+// re-dispatched. Completion is a commit gate: the first successful
+// report wins the task, later reports (a presumed-dead worker coming
+// back, or the loser of a speculative race) are acknowledged and
+// discarded, which is what makes task attempts exactly-once in effect
+// even though execution is at-least-once.
+
+// Task states of the distributed scheduler.
+const (
+	taskPending = iota
+	taskRunning
+	taskDone
+)
+
+// attemptRec is one in-flight attempt's lease record.
+type attemptRec struct {
+	attempt  int
+	worker   int
+	started  time.Time
+	deadline time.Time
+}
+
+// distTask is the coordinator's state for one map or reduce task.
+type distTask struct {
+	phase    string
+	index    int
+	state    int
+	attempts int // attempts dispatched so far
+	failures int // error-reported attempts (not lease losses)
+	active   []attemptRec
+
+	// Committed results, valid once state == taskDone.
+	mapRuns      []wireMapRun
+	output       wireRun
+	records      int64
+	groups       int64
+	work         int64
+	spilledRuns  int64
+	spilledBytes int64
+	counters     map[string]int64
+}
+
+// coordJob is the coordinator's state for the one running job.
+type coordJob struct {
+	id          int64
+	job         *Job
+	nReduce     int
+	mapOnly     bool
+	maxAttempts int
+	dir         string
+
+	maps        []distTask
+	reduces     []distTask
+	mapsDone    int
+	reducesDone int
+
+	// runProducer maps a committed run file path to the map task that
+	// produced it, so a reducer reporting a damaged run names the task
+	// to re-execute.
+	runProducer map[string]int
+
+	redispatches  int
+	maxRedispatch int
+
+	err       error
+	completed bool
+	finished  chan struct{}
+
+	start     time.Time
+	mapDoneAt time.Time
+	stats     JobStats
+}
+
+// task returns the addressed task, or nil.
+func (j *coordJob) task(phase string, index int) *distTask {
+	var ts []distTask
+	switch phase {
+	case "map":
+		ts = j.maps
+	case "reduce":
+		ts = j.reduces
+	default:
+		return nil
+	}
+	if index < 0 || index >= len(ts) {
+		return nil
+	}
+	return &ts[index]
+}
+
+// finishLocked ends the job exactly once. Caller holds e.mu.
+func (e *distEngine) finishLocked(j *coordJob, err error) {
+	if j.completed {
+		return
+	}
+	j.completed = true
+	j.err = err
+	close(j.finished)
+}
+
+// expireLeases drops attempts whose lease lapsed and returns their
+// tasks to pending for re-dispatch. A job that keeps losing attempts
+// (e.g. a fault plan killing every worker that touches a task) fails
+// once the re-dispatch budget is exhausted rather than spinning forever.
+// Caller holds e.mu.
+func (e *distEngine) expireLeases(j *coordJob, now time.Time) {
+	for _, tasks := range [][]distTask{j.maps, j.reduces} {
+		for i := range tasks {
+			t := &tasks[i]
+			if t.state != taskRunning {
+				continue
+			}
+			kept := t.active[:0]
+			for _, a := range t.active {
+				if a.deadline.After(now) {
+					kept = append(kept, a)
+				}
+			}
+			if len(kept) == len(t.active) {
+				continue
+			}
+			t.active = kept
+			if len(t.active) == 0 {
+				t.state = taskPending
+				j.stats.ReexecutedAttempts++
+				j.redispatches++
+				if j.redispatches > j.maxRedispatch {
+					e.finishLocked(j, fmt.Errorf("mapreduce: job %q: task %s/%d re-dispatched %d times — giving up",
+						j.job.Name, t.phase, t.index, j.redispatches))
+					return
+				}
+			}
+		}
+	}
+}
+
+// assign answers one /poll: a pending map task first, then — once every
+// map has committed — a pending reduce task, then (when configured) a
+// speculative backup attempt against the longest-running straggler.
+func (e *distEngine) assign(worker int) pollResponse {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return pollResponse{Shutdown: true}
+	}
+	j := e.cur
+	if j == nil || j.completed {
+		return pollResponse{WaitMs: 10}
+	}
+	now := time.Now()
+	e.expireLeases(j, now)
+	if j.completed {
+		return pollResponse{WaitMs: 10}
+	}
+	for i := range j.maps {
+		if t := &j.maps[i]; t.state == taskPending {
+			return pollResponse{Task: e.assignTask(j, t, worker, now)}
+		}
+	}
+	if j.mapsDone == len(j.maps) {
+		for i := range j.reduces {
+			if t := &j.reduces[i]; t.state == taskPending {
+				return pollResponse{Task: e.assignTask(j, t, worker, now)}
+			}
+		}
+	}
+	if e.cfg.SpeculativeAfter > 0 {
+		cands := j.maps
+		if j.mapsDone == len(j.maps) {
+			cands = j.reduces
+		}
+		for i := range cands {
+			t := &cands[i]
+			// Back up a task only when its sole attempt has been running
+			// past the speculation threshold on some other worker.
+			if t.state == taskRunning && len(t.active) == 1 &&
+				t.active[0].worker != worker &&
+				now.Sub(t.active[0].started) >= e.cfg.SpeculativeAfter {
+				j.stats.SpeculativeAttempts++
+				return pollResponse{Task: e.assignTask(j, t, worker, now)}
+			}
+		}
+	}
+	return pollResponse{WaitMs: 10}
+}
+
+// assignTask dispatches a new attempt of t to worker. Caller holds e.mu.
+func (e *distEngine) assignTask(j *coordJob, t *distTask, worker int, now time.Time) *wireTask {
+	t.attempts++
+	att := t.attempts
+	t.state = taskRunning
+	lease := e.lease()
+	t.active = append(t.active, attemptRec{attempt: att, worker: worker,
+		started: now, deadline: now.Add(lease)})
+	wt := &wireTask{
+		JobID: j.id, JobName: j.job.Name, Kind: j.job.Kind, Spec: j.job.Spec,
+		Phase: t.phase, Index: t.index, Attempt: att,
+		NumReducers: j.nReduce, MapOnly: j.mapOnly,
+		SplitIndex: t.index,
+		RunDir:     filepath.Join(j.dir, fmt.Sprintf("%s%d-a%d-w%d", t.phase, t.index, att, worker)),
+		LeaseMs:    lease.Milliseconds(),
+	}
+	if t.phase == "reduce" {
+		// The fan-in list is derived at assignment time from currently
+		// committed map runs, so an attempt dispatched after a bad-run
+		// repair sees the re-executed producer's fresh files.
+		for mi := range j.maps {
+			for _, mr := range j.maps[mi].mapRuns {
+				if mr.Reducer == t.index {
+					wt.Runs = append(wt.Runs, wireRun{Path: mr.Path, Records: mr.Records, Bytes: mr.Bytes})
+				}
+			}
+		}
+	}
+	return wt
+}
+
+// complete processes one /done report.
+func (e *distEngine) complete(c *completion) completionResponse {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := e.cur
+	if j == nil || j.completed || c.JobID != j.id {
+		return completionResponse{}
+	}
+	t := j.task(c.Phase, c.Index)
+	if t == nil {
+		return completionResponse{}
+	}
+	for i, a := range t.active {
+		if a.attempt == c.Attempt {
+			t.active = append(t.active[:i], t.active[i+1:]...)
+			break
+		}
+	}
+	if c.Err != "" {
+		if len(c.BadRuns) > 0 {
+			// Damaged intermediates are an environment failure, not a task
+			// failure: un-commit the producing map tasks so they re-execute,
+			// and retry this task without charging its failure budget.
+			for _, path := range c.BadRuns {
+				mi, ok := j.runProducer[path]
+				if !ok {
+					continue
+				}
+				m := &j.maps[mi]
+				if m.state != taskDone {
+					continue
+				}
+				for _, mr := range m.mapRuns {
+					delete(j.runProducer, mr.Path)
+				}
+				m.mapRuns = nil
+				m.counters = nil
+				m.state = taskPending
+				j.mapsDone--
+				j.stats.ReexecutedAttempts++
+			}
+			j.stats.ReexecutedAttempts++
+		} else {
+			t.failures++
+			if t.failures >= j.maxAttempts {
+				e.finishLocked(j, fmt.Errorf("mapreduce: task %s/%s/%d failed after %d attempts: %s",
+					j.job.Name, c.Phase, c.Index, t.failures, c.Err))
+				return completionResponse{}
+			}
+		}
+		if t.state == taskRunning && len(t.active) == 0 {
+			t.state = taskPending
+		}
+		return completionResponse{}
+	}
+	if t.state == taskDone {
+		// Duplicate completion — a speculative loser or a presumed-dead
+		// worker coming back. The first commit won; discard this one.
+		return completionResponse{}
+	}
+	t.state = taskDone
+	t.active = nil
+	t.mapRuns = c.MapRuns
+	t.output = c.Output
+	t.records = c.Records
+	t.groups = c.Groups
+	t.work = c.Work
+	t.spilledRuns = c.SpilledRuns
+	t.spilledBytes = c.SpilledBytes
+	t.counters = c.Counters
+	j.stats.WorkerTasks++
+	if c.Phase == "map" {
+		for _, mr := range c.MapRuns {
+			j.runProducer[mr.Path] = c.Index
+		}
+		j.mapsDone++
+		if j.mapsDone == len(j.maps) && j.mapDoneAt.IsZero() {
+			j.mapDoneAt = time.Now()
+		}
+	} else {
+		j.reducesDone++
+	}
+	if j.mapsDone == len(j.maps) && j.reducesDone == len(j.reduces) {
+		e.finishLocked(j, nil)
+	}
+	return completionResponse{Accepted: true}
+}
+
+// heartbeat renews an attempt's lease.
+func (e *distEngine) heartbeat(h *heartbeatMsg) heartbeatResponse {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := e.cur
+	if j == nil || j.completed || h.JobID != j.id {
+		return heartbeatResponse{Abandoned: true}
+	}
+	t := j.task(h.Phase, h.Index)
+	if t == nil || t.state != taskRunning {
+		return heartbeatResponse{Abandoned: true}
+	}
+	for i := range t.active {
+		if t.active[i].attempt == h.Attempt {
+			t.active[i].deadline = time.Now().Add(e.lease())
+			return heartbeatResponse{}
+		}
+	}
+	return heartbeatResponse{Abandoned: true}
+}
+
+// run executes one job on the worker pool: install the task table, wait
+// for the commit of every task (watchdogging leases and worker
+// liveness), then assemble the output and statistics from the committed
+// attempts — and only from those, which is why job output is
+// byte-identical to the in-process engine no matter how many attempts
+// died or duplicated along the way.
+func (e *distEngine) run(job *Job, nReduce, maxAttempts int) (*JobStats, error) {
+	splits, err := e.fs.Splits(job.Input...)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	id := e.jobSeq.Add(1)
+	j := &coordJob{
+		id: id, job: job, nReduce: nReduce, mapOnly: job.Reduce == nil,
+		maxAttempts: maxAttempts,
+		dir:         filepath.Join(e.dir, fmt.Sprintf("job-%d", id)),
+		runProducer: make(map[string]int),
+		finished:    make(chan struct{}),
+		start:       time.Now(),
+	}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	defer os.RemoveAll(j.dir)
+	j.maps = make([]distTask, len(splits))
+	for i := range j.maps {
+		j.maps[i] = distTask{phase: "map", index: i, state: taskPending}
+	}
+	if !j.mapOnly {
+		j.reduces = make([]distTask, nReduce)
+		for i := range j.reduces {
+			j.reduces[i] = distTask{phase: "reduce", index: i, state: taskPending}
+		}
+	}
+	j.maxRedispatch = 16 + 8*(len(j.maps)+len(j.reduces))
+	j.stats = JobStats{Job: job.Name, MapTasks: len(j.maps), ReduceTasks: len(j.reduces)}
+
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("mapreduce: job %q: cluster closed", job.Name)
+	}
+	if e.cur != nil {
+		name := e.cur.job.Name
+		e.mu.Unlock()
+		return nil, fmt.Errorf("mapreduce: job %q: cluster already running job %q", job.Name, name)
+	}
+	if len(j.maps)+len(j.reduces) == 0 {
+		j.completed = true
+		close(j.finished)
+	}
+	e.cur = j
+	e.mu.Unlock()
+
+	// Drive the job: tasks commit via /done; the watchdog expires leases
+	// even when no worker is polling, and aborts if every worker died.
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for running := true; running; {
+		select {
+		case <-j.finished:
+			running = false
+		case <-tick.C:
+			e.mu.Lock()
+			if !j.completed {
+				if e.live.Load() == 0 {
+					e.finishLocked(j, fmt.Errorf("mapreduce: job %q: all %d worker processes exited",
+						job.Name, e.cfg.Workers))
+				} else {
+					e.expireLeases(j, time.Now())
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
+	e.mu.Lock()
+	e.cur = nil
+	jerr := j.err
+	e.mu.Unlock()
+	if jerr != nil {
+		return nil, jerr
+	}
+	return e.assemble(j)
+}
+
+// assemble reads the committed output files — map tasks in index order
+// for map-only jobs, reduce tasks in index order otherwise, the exact
+// concatenation order of the in-process engine — writes the job output,
+// and folds the committed attempts' metrics into JobStats.
+func (e *distEngine) assemble(j *coordJob) (*JobStats, error) {
+	stats := &j.stats
+	outTasks := j.reduces
+	if j.mapOnly {
+		outTasks = j.maps
+	}
+	var out []dfs.Record
+	for i := range outTasks {
+		t := &outTasks[i]
+		if t.output.Path == "" {
+			continue
+		}
+		recs, err := readFramedFile(t.output.Path, t.output.Records)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: %w", j.job.Name, err)
+		}
+		out = append(out, recs...)
+	}
+	if err := e.fs.Write(j.job.Output, out); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.job.Name, err)
+	}
+	stats.OutputRecords = int64(len(out))
+
+	counters := NewCounterSet()
+	mapWork := make([]int64, len(j.maps))
+	if !j.mapOnly {
+		stats.ReduceInputRecords = make([]int64, j.nReduce)
+	}
+	for i := range j.maps {
+		t := &j.maps[i]
+		stats.MapInputRecords += t.records
+		mapWork[i] = t.work
+		stats.SpilledRuns += t.spilledRuns
+		stats.SpilledBytes += t.spilledBytes
+		for _, mr := range t.mapRuns {
+			stats.ShuffleBytes += mr.Bytes
+			stats.ShuffleRecords += mr.Records
+			stats.ReduceInputRecords[mr.Reducer] += mr.Records
+		}
+		for name, v := range t.counters {
+			counters.Add(name, v)
+		}
+	}
+	stats.SimMapMakespan = makespan(mapWork, e.nodes)
+	if !j.mapOnly {
+		reduceWork := make([]int64, len(j.reduces))
+		for i := range j.reduces {
+			t := &j.reduces[i]
+			stats.ReduceGroups += t.groups
+			reduceWork[i] = t.work
+			stats.SpilledRuns += t.spilledRuns
+			stats.SpilledBytes += t.spilledBytes
+			for name, v := range t.counters {
+				counters.Add(name, v)
+			}
+		}
+		stats.SimReduceMakespan = makespan(reduceWork, e.nodes)
+	}
+	stats.Counters = counters.Snapshot()
+	end := time.Now()
+	if j.mapDoneAt.IsZero() {
+		j.mapDoneAt = end
+	}
+	stats.MapWall = j.mapDoneAt.Sub(j.start)
+	stats.ReduceWall = end.Sub(j.mapDoneAt)
+	return stats, nil
+}

@@ -1,0 +1,229 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knnjoin/internal/dfs"
+)
+
+// DistConfig configures a distributed cluster: a coordinator in this
+// process plus Workers spawned worker processes (re-executions of the
+// current binary — main or TestMain must call RunWorkerIfSpawned). Jobs
+// submitted through Cluster.Run execute on the workers when they carry a
+// registered Kind; kindless jobs fall back to the in-process backend.
+type DistConfig struct {
+	// Workers is the number of worker processes; required, positive.
+	Workers int
+
+	// Dir is the shared scratch directory for intermediate run files;
+	// empty creates (and removes on Close) a temporary directory.
+	// Coordinator and workers must see the same filesystem — the
+	// engine distributes compute across processes, not machines.
+	Dir string
+
+	// LeaseTimeout is how long a task attempt may go without a
+	// heartbeat before it is presumed dead and its task re-dispatched.
+	// Zero selects 800ms.
+	LeaseTimeout time.Duration
+
+	// SpeculativeAfter, when positive, launches a backup attempt for a
+	// task whose sole attempt has been running at least this long while
+	// the cluster is otherwise idle — straggler re-execution, §3.6 of
+	// the MapReduce paper. Zero disables speculation.
+	SpeculativeAfter time.Duration
+
+	// Faults is an optional deterministic fault-injection plan shipped
+	// to every worker; see FaultPlan. Nil injects nothing.
+	Faults *FaultPlan
+}
+
+// defaultLease is the lease timeout when DistConfig leaves it zero.
+const defaultLease = 800 * time.Millisecond
+
+// distEngine is the coordinator: an HTTP server workers poll for tasks,
+// plus the spawned worker processes themselves.
+type distEngine struct {
+	cfg    DistConfig
+	fs     dfs.Store
+	nodes  int
+	dir    string
+	ownDir bool
+
+	srv  *http.Server
+	base string
+
+	workers []*exec.Cmd
+	exited  []chan struct{}
+	live    atomic.Int32
+
+	closed atomic.Bool
+	mu     sync.Mutex
+	cur    *coordJob
+	jobSeq atomic.Int64
+}
+
+// lease returns the configured lease timeout.
+func (e *distEngine) lease() time.Duration {
+	if e.cfg.LeaseTimeout > 0 {
+		return e.cfg.LeaseTimeout
+	}
+	return defaultLease
+}
+
+// NewDistCluster starts a distributed cluster over fs: a coordinator
+// serving on loopback and cfg.Workers worker processes. The caller must
+// Close the cluster to reap the workers and the scratch directory. The
+// simulated node count n still governs NumReducers defaults and
+// makespan accounting, exactly as on the in-process backends.
+func NewDistCluster(fs dfs.Store, n int, cfg DistConfig) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("mapreduce: DistConfig.Workers must be positive, got %d", cfg.Workers)
+	}
+	c := NewCluster(fs, n)
+	eng, err := startDistEngine(fs, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.dist = eng
+	return c, nil
+}
+
+func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, error) {
+	e := &distEngine{cfg: cfg, fs: fs, nodes: nodes}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "knnjoin-mr-*")
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: scratch dir: %w", err)
+		}
+		e.dir, e.ownDir = dir, true
+	} else {
+		abs, err := filepath.Abs(cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: scratch dir: %w", err)
+		}
+		if err := os.MkdirAll(abs, 0o755); err != nil {
+			return nil, fmt.Errorf("mapreduce: scratch dir: %w", err)
+		}
+		e.dir = abs
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		e.cleanupDir()
+		return nil, fmt.Errorf("mapreduce: coordinator listen: %w", err)
+	}
+	e.base = "http://" + ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/poll", jsonHandler(func(r *pollRequest) pollResponse { return e.assign(r.Worker) }))
+	mux.HandleFunc("/done", jsonHandler(func(c *completion) completionResponse { return e.complete(c) }))
+	mux.HandleFunc("/heartbeat", jsonHandler(func(h *heartbeatMsg) heartbeatResponse { return e.heartbeat(h) }))
+	mux.Handle("/dfs/", http.StripPrefix("/dfs", dfs.NewServer(fs)))
+	e.srv = &http.Server{Handler: mux}
+	go e.srv.Serve(ln)
+
+	exe, err := os.Executable()
+	if err != nil {
+		e.shutdown()
+		return nil, fmt.Errorf("mapreduce: locate own binary for worker re-exec: %w", err)
+	}
+	hb := e.lease() / 4
+	for i := 0; i < cfg.Workers; i++ {
+		wc := workerConfig{URL: e.base, Index: i, HeartbeatMs: hb.Milliseconds(), Faults: cfg.Faults}
+		raw, err := json.Marshal(wc)
+		if err != nil {
+			e.shutdown()
+			return nil, fmt.Errorf("mapreduce: worker config: %w", err)
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), workerEnv+"="+string(raw))
+		// Workers share the parent's stderr; stdout stays clean for CLIs
+		// that write results there.
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			e.shutdown()
+			return nil, fmt.Errorf("mapreduce: spawn worker %d: %w", i, err)
+		}
+		done := make(chan struct{})
+		e.workers = append(e.workers, cmd)
+		e.exited = append(e.exited, done)
+		e.live.Add(1)
+		go func() {
+			cmd.Wait()
+			e.live.Add(-1)
+			close(done)
+		}()
+	}
+	return e, nil
+}
+
+// jsonHandler adapts a request/response function to an HTTP endpoint.
+func jsonHandler[Req, Resp any](fn func(*Req) Resp) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fn(&req))
+	}
+}
+
+// close shuts the cluster down: fails any in-flight job, kills the
+// workers, stops the coordinator server, and removes an owned scratch
+// directory once every worker has been reaped.
+func (e *distEngine) close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.mu.Lock()
+	if e.cur != nil {
+		e.finishLocked(e.cur, errors.New("mapreduce: cluster closed"))
+	}
+	e.mu.Unlock()
+	for _, cmd := range e.workers {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, done := range e.exited {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	e.srv.Close()
+	e.cleanupDir()
+	return nil
+}
+
+func (e *distEngine) cleanupDir() {
+	if e.ownDir {
+		os.RemoveAll(e.dir)
+	}
+}
+
+// shutdown tears down a partially started engine.
+func (e *distEngine) shutdown() {
+	e.closed.Store(true)
+	for _, cmd := range e.workers {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	if e.srv != nil {
+		e.srv.Close()
+	}
+	e.cleanupDir()
+}

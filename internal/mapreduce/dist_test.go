@@ -1,0 +1,393 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/dfs"
+)
+
+// TestMain turns re-executions of this test binary into worker
+// processes: a distributed cluster spawns copies of os.Executable, and
+// RunWorkerIfSpawned routes them into the worker loop (and exits)
+// before any test runs.
+func TestMain(m *testing.M) {
+	RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}
+
+// testJobSpec parameterizes the toy jobs the distributed tests run.
+// One kind with a Mode switch keeps the registry surface small while
+// covering combiners, secondary sort, grouping prefixes and map-only
+// output contracts.
+type testJobSpec struct {
+	In, Out     string
+	NumReducers int
+	Mode        string // "wordcount" | "grouped" | "maponly"
+	MaxAttempts int
+	FailTask    string // inject a task error: fail this task ...
+	FailBelow   int    // ... on attempts below this number
+}
+
+var testKind = DefineKind("mr-test-job", buildTestJob)
+
+func buildTestJob(s testJobSpec) *Job {
+	job := &Job{
+		Name:        "t-" + s.Mode,
+		Input:       []string{s.In},
+		Output:      s.Out,
+		NumReducers: s.NumReducers,
+		MaxAttempts: s.MaxAttempts,
+	}
+	if s.FailTask != "" {
+		ft, below := s.FailTask, s.FailBelow
+		job.FailTask = func(taskID string, attempt int) error {
+			if taskID == ft && attempt < below {
+				return fmt.Errorf("injected error: %s attempt %d", taskID, attempt)
+			}
+			return nil
+		}
+	}
+	count := func(n int64) []byte {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(n))
+		return b[:]
+	}
+	sum := func(ctx *TaskContext, key []byte, values *Values, emit Emit) error {
+		var n int64
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			n += int64(binary.BigEndian.Uint64(v))
+		}
+		emit(key, count(n))
+		return nil
+	}
+	switch s.Mode {
+	case "wordcount":
+		job.Map = func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit([]byte(w), count(1))
+				ctx.Counter("words", 1)
+			}
+			return nil
+		}
+		job.Combine = sum
+		job.Reduce = func(ctx *TaskContext, key []byte, values *Values, emit Emit) error {
+			var n int64
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				n += int64(binary.BigEndian.Uint64(v))
+			}
+			ctx.AddWork(n)
+			emit(nil, []byte(fmt.Sprintf("%s=%d", key, n)))
+			return nil
+		}
+	case "grouped":
+		// Composite keys [group byte | record suffix], grouped on the
+		// first byte with values secondary-sorted by payload — the shape
+		// of the join drivers' pivot-distance ordering.
+		job.GroupKeyPrefix = 1
+		job.ValueCompare = bytes.Compare
+		job.Map = func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
+			if len(rec) < 2 {
+				return fmt.Errorf("short record %q", rec)
+			}
+			emit([]byte{rec[0], rec[1]}, []byte(rec[1:]))
+			return nil
+		}
+		job.Reduce = func(ctx *TaskContext, key []byte, values *Values, emit Emit) error {
+			var parts []string
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				parts = append(parts, string(v))
+			}
+			emit(nil, []byte(fmt.Sprintf("%c:%s", key[0], strings.Join(parts, ","))))
+			return nil
+		}
+	case "maponly":
+		job.Map = func(ctx *TaskContext, rec dfs.Record, emit Emit) error {
+			emit(rec, []byte(strings.ToUpper(string(rec))))
+			return nil
+		}
+	default:
+		panic("unknown test job mode " + s.Mode)
+	}
+	return job
+}
+
+// wordRecords writes n deterministic pseudo-random word records.
+func wordRecords(name string, n int) func(dfs.Store) {
+	return func(fs dfs.Store) {
+		rnd := rand.New(rand.NewSource(7))
+		recs := make([]dfs.Record, n)
+		for i := range recs {
+			recs[i] = dfs.Record(fmt.Sprintf("w%02d w%02d w%02d",
+				rnd.Intn(20), rnd.Intn(20), rnd.Intn(20)))
+		}
+		fs.Write(name, recs)
+	}
+}
+
+// groupRecords writes records of the form <group char><payload>.
+func groupRecords(name string, n int) func(dfs.Store) {
+	return func(fs dfs.Store) {
+		rnd := rand.New(rand.NewSource(11))
+		recs := make([]dfs.Record, n)
+		for i := range recs {
+			recs[i] = dfs.Record(fmt.Sprintf("%c%03d", 'a'+rnd.Intn(5), rnd.Intn(1000)))
+		}
+		fs.Write(name, recs)
+	}
+}
+
+// runInProcess executes the spec's job on the in-process engine.
+func runInProcess(t *testing.T, spec testJobSpec, input func(dfs.Store)) ([]dfs.Record, *JobStats) {
+	t.Helper()
+	fs := dfs.New(8)
+	input(fs)
+	js, err := NewCluster(fs, 4).Run(testKind.New(spec))
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+	out, err := fs.Read(spec.Out)
+	if err != nil {
+		t.Fatalf("in-process output: %v", err)
+	}
+	return out, js
+}
+
+// runDist executes the spec's job on a fresh distributed cluster.
+func runDist(t *testing.T, spec testJobSpec, input func(dfs.Store), cfg DistConfig) ([]dfs.Record, *JobStats, error) {
+	t.Helper()
+	fs := dfs.New(8)
+	input(fs)
+	if cfg.Workers == 0 {
+		cfg.Workers = 3
+	}
+	c, err := NewDistCluster(fs, 4, cfg)
+	if err != nil {
+		t.Fatalf("NewDistCluster: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	js, err := c.Run(testKind.New(spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := fs.Read(spec.Out)
+	if err != nil {
+		t.Fatalf("distributed output: %v", err)
+	}
+	return out, js, nil
+}
+
+// assertIdentical compares a distributed run against the in-process
+// reference: byte-identical output and matching deterministic stats.
+func assertIdentical(t *testing.T, spec testJobSpec, input func(dfs.Store), cfg DistConfig) (*JobStats, *JobStats) {
+	t.Helper()
+	want, wantJS := runInProcess(t, spec, input)
+	got, gotJS, err := runDist(t, spec, input, cfg)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed output differs from in-process:\n got %d records\nwant %d records\nfirst got %q",
+			len(got), len(want), firstDiff(got, want))
+	}
+	if gotJS.OutputRecords != wantJS.OutputRecords {
+		t.Fatalf("OutputRecords = %d, want %d", gotJS.OutputRecords, wantJS.OutputRecords)
+	}
+	if gotJS.MapInputRecords != wantJS.MapInputRecords {
+		t.Fatalf("MapInputRecords = %d, want %d", gotJS.MapInputRecords, wantJS.MapInputRecords)
+	}
+	if gotJS.WorkerTasks != gotJS.MapTasks+gotJS.ReduceTasks {
+		t.Fatalf("WorkerTasks = %d, want %d map + %d reduce — job fell back in-process?",
+			gotJS.WorkerTasks, gotJS.MapTasks, gotJS.ReduceTasks)
+	}
+	return gotJS, wantJS
+}
+
+func firstDiff(got, want []dfs.Record) string {
+	for i := range got {
+		if i >= len(want) {
+			return fmt.Sprintf("extra record %d: %q", i, got[i])
+		}
+		if !bytes.Equal(got[i], want[i]) {
+			return fmt.Sprintf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	return "distributed output is a prefix of in-process output"
+}
+
+func TestDistWordCountMatchesInProcess(t *testing.T) {
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 4, Mode: "wordcount"}
+	gotJS, wantJS := assertIdentical(t, spec, wordRecords("in", 200), DistConfig{})
+	// The combiner makes shuffle volume deterministic, so it must agree
+	// across engines too.
+	if gotJS.ShuffleRecords != wantJS.ShuffleRecords || gotJS.ShuffleBytes != wantJS.ShuffleBytes {
+		t.Fatalf("shuffle = %d recs/%d bytes, want %d/%d",
+			gotJS.ShuffleRecords, gotJS.ShuffleBytes, wantJS.ShuffleRecords, wantJS.ShuffleBytes)
+	}
+	if gotJS.ReduceGroups != wantJS.ReduceGroups {
+		t.Fatalf("ReduceGroups = %d, want %d", gotJS.ReduceGroups, wantJS.ReduceGroups)
+	}
+	if !reflect.DeepEqual(gotJS.Counters, wantJS.Counters) {
+		t.Fatalf("Counters = %v, want %v", gotJS.Counters, wantJS.Counters)
+	}
+	if !reflect.DeepEqual(gotJS.ReduceInputRecords, wantJS.ReduceInputRecords) {
+		t.Fatalf("ReduceInputRecords = %v, want %v", gotJS.ReduceInputRecords, wantJS.ReduceInputRecords)
+	}
+	if gotJS.ReexecutedAttempts != 0 || gotJS.SpeculativeAttempts != 0 {
+		t.Fatalf("fault-free run reports %d re-executed, %d speculative attempts",
+			gotJS.ReexecutedAttempts, gotJS.SpeculativeAttempts)
+	}
+}
+
+func TestDistGroupedSecondarySortMatchesInProcess(t *testing.T) {
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 3, Mode: "grouped"}
+	assertIdentical(t, spec, groupRecords("in", 150), DistConfig{})
+}
+
+func TestDistMapOnlyMatchesInProcess(t *testing.T) {
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "maponly"}
+	assertIdentical(t, spec, wordRecords("in", 90), DistConfig{})
+}
+
+func TestDistEmptyInput(t *testing.T) {
+	empty := func(fs dfs.Store) { fs.Write("in", nil) }
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "wordcount"}
+	got, _, err := runDist(t, spec, empty, DistConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %d records", len(got))
+	}
+}
+
+func TestDistKindlessJobFallsBackInProcess(t *testing.T) {
+	fs := dfs.New(8)
+	wordRecords("in", 40)(fs)
+	c, err := NewDistCluster(fs, 4, DistConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := buildTestJob(testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "wordcount"})
+	if job.Kind != "" {
+		t.Fatal("test premise broken: job has a kind")
+	}
+	js, err := c.Run(job)
+	if err != nil {
+		t.Fatalf("kindless run: %v", err)
+	}
+	if js.WorkerTasks != 0 {
+		t.Fatalf("kindless job reports %d worker tasks", js.WorkerTasks)
+	}
+	want, _ := runInProcess(t, testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "wordcount"}, wordRecords("in", 40))
+	got, _ := fs.Read("out")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback output differs: %s", firstDiff(got, want))
+	}
+}
+
+func TestDistTaskErrorRetriesThenSucceeds(t *testing.T) {
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "wordcount",
+		MaxAttempts: 3, FailTask: "t-wordcount/map/0", FailBelow: 3}
+	assertIdentical(t, spec, wordRecords("in", 60), DistConfig{})
+}
+
+func TestDistTaskErrorExhaustsAttempts(t *testing.T) {
+	spec := testJobSpec{In: "in", Out: "out", NumReducers: 2, Mode: "wordcount",
+		MaxAttempts: 2, FailTask: "t-wordcount/reduce/1", FailBelow: 100}
+	_, _, err := runDist(t, spec, wordRecords("in", 60), DistConfig{Workers: 2})
+	if err == nil {
+		t.Fatal("job with an always-failing task succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDistSequentialJobsOneCluster(t *testing.T) {
+	fs := dfs.New(8)
+	wordRecords("in", 80)(fs)
+	c, err := NewDistCluster(fs, 4, DistConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		out := fmt.Sprintf("out-%d", i)
+		js, err := c.Run(testKind.New(testJobSpec{In: "in", Out: out, NumReducers: 3, Mode: "wordcount"}))
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if js.WorkerTasks == 0 {
+			t.Fatalf("job %d ran in-process", i)
+		}
+	}
+	first, _ := fs.Read("out-0")
+	for i := 1; i < 3; i++ {
+		got, _ := fs.Read(fmt.Sprintf("out-%d", i))
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("job %d output differs from job 0", i)
+		}
+	}
+}
+
+func TestDistClusterCloseIsIdempotent(t *testing.T) {
+	c, err := NewDistCluster(dfs.New(8), 2, DistConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Distributed() {
+		t.Fatal("Distributed() = false on a distributed cluster")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if NewCluster(dfs.New(8), 2).Distributed() {
+		t.Fatal("Distributed() = true on an in-process cluster")
+	}
+}
+
+func TestFaultEventMatching(t *testing.T) {
+	ev := FaultEvent{Worker: -1, Task: "j/map/*", Attempt: 1, Point: AtMidTask}
+	if !ev.matches(2, "j/map/7", 1, AtMidTask) {
+		t.Fatal("wildcard worker + prefix task should match")
+	}
+	if ev.matches(2, "j/reduce/0", 1, AtMidTask) {
+		t.Fatal("prefix mismatch should not match")
+	}
+	if ev.matches(2, "j/map/7", 2, AtMidTask) {
+		t.Fatal("attempt mismatch should not match")
+	}
+	if ev.matches(2, "j/map/7", 1, AtPreCommit) {
+		t.Fatal("point mismatch should not match")
+	}
+	pinned := FaultEvent{Worker: 1, Point: AtTaskStart}
+	if pinned.matches(0, "x", 5, AtTaskStart) {
+		t.Fatal("worker mismatch should not match")
+	}
+	if !pinned.matches(1, "x", 5, AtTaskStart) {
+		t.Fatal("pinned worker should match any task/attempt")
+	}
+}

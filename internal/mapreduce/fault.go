@@ -1,0 +1,164 @@
+package mapreduce
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection for the distributed engine. A FaultPlan
+// is a list of events, each naming a checkpoint in a task attempt's
+// lifecycle (worker, task, attempt, point) and an action to take there —
+// kill the process, stall with or without heartbeats, or corrupt a
+// committed run file. The plan is shipped to every worker process and
+// evaluated at fixed checkpoints on the task execution path, never from
+// timers or randomness, so a recovery scenario replays identically on
+// every run. Tests drive the whole matrix of §6-style failures (worker
+// killed mid-map, mid-reduce, mid-commit; stragglers; truncated
+// intermediates) from plans alone.
+
+// FaultPoint identifies a checkpoint in a task attempt's lifecycle where
+// a FaultEvent can fire.
+type FaultPoint int
+
+// The checkpoints, in execution order. AtMidTask fires halfway through a
+// map task's input records, or after a reduce task's first key group.
+// AtPreCommit fires after compute, before any output file is written;
+// AtPostCommit fires after the attempt's output files are durable but
+// before its completion is reported to the coordinator.
+const (
+	AtTaskStart FaultPoint = iota
+	AtMidTask
+	AtPreCommit
+	AtPostCommit
+)
+
+// FaultAction is what a triggered FaultEvent does to the worker.
+type FaultAction int
+
+// The actions. ActKill exits the worker process immediately — the
+// crash-stop failure the coordinator's lease machinery must recover
+// from. ActSleep stalls the task for Delay while heartbeats continue (a
+// straggler, triggering speculative re-execution but never lease
+// expiry). ActFreeze stalls the task for Delay with heartbeats
+// suspended, so the coordinator presumes the worker dead and re-runs the
+// task, then receives a late duplicate completion when the freeze lifts.
+// ActTruncateRun chops TruncateBytes off the attempt's last committed
+// map-run file (fires at AtPostCommit), planting the torn intermediate
+// that reducers must detect and the coordinator must repair by
+// re-running the producing map task.
+const (
+	ActKill FaultAction = iota
+	ActSleep
+	ActFreeze
+	ActTruncateRun
+)
+
+// FaultEvent matches one task-attempt checkpoint and performs an action
+// there. Zero-valued selector fields are wildcards, except Worker, where
+// only -1 is (worker indexes start at 0).
+type FaultEvent struct {
+	// Worker selects the worker process by index; -1 matches any worker.
+	Worker int
+	// Task selects the task by ID (e.g. "myjob/map/0"); "" matches any
+	// task, and a trailing '*' matches by prefix ("myjob/reduce/*").
+	Task string
+	// Attempt selects the coordinator-assigned attempt number; 0 matches
+	// any attempt.
+	Attempt int
+	// Point is the lifecycle checkpoint the event fires at.
+	Point FaultPoint
+	// Action is what happens when the event fires.
+	Action FaultAction
+	// Delay is the stall duration of ActSleep and ActFreeze.
+	Delay time.Duration
+	// TruncateBytes is how many trailing bytes ActTruncateRun removes.
+	TruncateBytes int64
+}
+
+// matches reports whether the event selects the given checkpoint.
+func (e FaultEvent) matches(worker int, task string, attempt int, point FaultPoint) bool {
+	if e.Point != point {
+		return false
+	}
+	if e.Worker != -1 && e.Worker != worker {
+		return false
+	}
+	if e.Attempt != 0 && e.Attempt != attempt {
+		return false
+	}
+	if e.Task != "" {
+		if p, ok := strings.CutSuffix(e.Task, "*"); ok {
+			return strings.HasPrefix(task, p)
+		}
+		return e.Task == task
+	}
+	return true
+}
+
+// FaultPlan is a deterministic fault-injection script for the
+// distributed engine: each event fires at most once per worker process,
+// at a fixed checkpoint of the task execution path. A nil plan injects
+// nothing.
+type FaultPlan struct {
+	// Events are evaluated in order at every checkpoint; the first
+	// unfired match fires.
+	Events []FaultEvent
+}
+
+// injector evaluates a worker's fault plan at task checkpoints.
+type injector struct {
+	worker int
+	events []FaultEvent
+	mu     sync.Mutex
+	fired  []bool
+	// pauseHB suspends and resumes the worker's heartbeats (ActFreeze).
+	pauseHB func(bool)
+}
+
+func newInjector(worker int, plan *FaultPlan, pauseHB func(bool)) *injector {
+	in := &injector{worker: worker, pauseHB: pauseHB}
+	if plan != nil {
+		in.events = plan.Events
+		in.fired = make([]bool, len(plan.Events))
+	}
+	return in
+}
+
+// at fires the first unfired event matching this checkpoint. Kill,
+// sleep and freeze actions happen here; a matched ActTruncateRun is
+// returned for the caller (which knows the run file paths) to apply.
+func (in *injector) at(task string, attempt int, point FaultPoint) *FaultEvent {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var ev *FaultEvent
+	for i := range in.events {
+		if !in.fired[i] && in.events[i].matches(in.worker, task, attempt, point) {
+			in.fired[i] = true
+			ev = &in.events[i]
+			break
+		}
+	}
+	in.mu.Unlock()
+	if ev == nil {
+		return nil
+	}
+	switch ev.Action {
+	case ActKill:
+		os.Exit(faultKillExitCode)
+	case ActSleep:
+		time.Sleep(ev.Delay)
+	case ActFreeze:
+		in.pauseHB(true)
+		time.Sleep(ev.Delay)
+		in.pauseHB(false)
+	}
+	return ev
+}
+
+// faultKillExitCode distinguishes fault-plan kills from crashes in
+// worker exit diagnostics.
+const faultKillExitCode = 3

@@ -105,6 +105,16 @@ type Job struct {
 	Input  []string // DFS input files
 	Output string   // DFS output file; reduce (or map-only) emissions land here
 
+	// Kind names the registered job constructor (see DefineKind) that can
+	// rebuild this job — functions and side data included — in another
+	// process, and Spec is the gob-encoded argument it rebuilds from.
+	// Functions cannot cross a process boundary, so only jobs built
+	// through a Kind run on worker processes; a distributed cluster
+	// executes kindless jobs locally on the coordinator instead. The
+	// in-process engine ignores both fields.
+	Kind string
+	Spec []byte
+
 	Map         MapFunc
 	MapSetup    SetupFunc
 	Reduce      ReduceFunc // nil ⇒ map-only job
@@ -139,6 +149,20 @@ type Job struct {
 	// FailTask, when non-nil, is consulted before each task attempt and
 	// may return an injected error — used by tests to exercise retries.
 	FailTask func(taskID string, attempt int) error
+}
+
+// resolvePartition returns the job's partitioner, defaulting to FNV
+// hashing of the grouping view of the key. Both execution backends (and
+// worker processes) resolve through here, so routing is identical
+// everywhere.
+func resolvePartition(job *Job) PartitionFunc {
+	if job.Partition != nil {
+		return job.Partition
+	}
+	prefix := job.GroupKeyPrefix
+	return func(key []byte, n int) int {
+		return DefaultPartition(groupOf(key, prefix), n)
+	}
 }
 
 // groupOf returns the grouping view of key: its first prefix bytes when
@@ -232,9 +256,22 @@ type JobStats struct {
 	// PeakResidentBytes is the high-water mark of shuffle bytes held in
 	// memory: retained runs plus open merge read-ahead buffers. On the
 	// in-memory backend this reaches the full shuffle size; on the spill
-	// backend it stays within the engine's MemLimit.
+	// backend it stays within the engine's MemLimit. The distributed
+	// backend reports 0 — residency is per worker process there.
 	PeakResidentBytes int64
-	Counters          map[string]int64
+	// WorkerTasks counts tasks committed by worker processes — zero
+	// unless the job ran on a distributed cluster, where it equals
+	// MapTasks + ReduceTasks (proof the job did not fall back to the
+	// in-process path).
+	WorkerTasks int
+	// ReexecutedAttempts counts task re-dispatches forced by failure:
+	// lost leases (dead or frozen workers) and damaged intermediate
+	// runs. Zero on a fault-free run.
+	ReexecutedAttempts int64
+	// SpeculativeAttempts counts backup attempts launched against
+	// stragglers (DistConfig.SpeculativeAfter).
+	SpeculativeAttempts int64
+	Counters            map[string]int64
 }
 
 // ReduceSkew returns the max-over-mean ratio of reduce-task input sizes:
@@ -267,6 +304,7 @@ type Cluster struct {
 	fs    dfs.Store
 	nodes int
 	eng   Engine
+	dist  *distEngine
 }
 
 // NewCluster creates an in-memory-shuffle cluster of n nodes over fs.
@@ -294,6 +332,21 @@ func (c *Cluster) FS() dfs.Store { return c.fs }
 
 // Nodes returns the number of simulated nodes.
 func (c *Cluster) Nodes() int { return c.nodes }
+
+// Distributed reports whether jobs with a registered Kind execute on
+// worker processes (see NewDistCluster).
+func (c *Cluster) Distributed() bool { return c.dist != nil }
+
+// Close releases the cluster's execution backend. On a distributed
+// cluster it kills the worker processes, stops the coordinator and
+// removes the scratch directory; on the in-process backends it is a
+// no-op. Close is idempotent.
+func (c *Cluster) Close() error {
+	if c.dist != nil {
+		return c.dist.close()
+	}
+	return nil
+}
 
 // taskResult carries one finished map task's output: one sorted run per
 // reducer (map-only jobs skip the sort and keep emission order), each
@@ -323,16 +376,18 @@ func (c *Cluster) Run(job *Job) (*JobStats, error) {
 	if nReduce <= 0 {
 		nReduce = c.nodes
 	}
-	partition := job.Partition
-	if partition == nil {
-		prefix := job.GroupKeyPrefix
-		partition = func(key []byte, n int) int {
-			return DefaultPartition(groupOf(key, prefix), n)
-		}
-	}
+	partition := resolvePartition(job)
 	maxAttempts := job.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 1
+	}
+
+	if c.dist != nil && job.Kind != "" {
+		// Distributed backend: tasks execute on worker processes, which
+		// rebuild the job from its registered kind. Jobs without a kind
+		// (no way to rebuild their functions elsewhere) fall through to
+		// the in-process path below.
+		return c.dist.run(job, nReduce, maxAttempts)
 	}
 
 	splits, err := c.fs.Splits(job.Input...)

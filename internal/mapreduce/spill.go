@@ -263,6 +263,21 @@ func writeRunFile(rs *runState, kvs []KV) (*runFile, error) {
 	return rw.finish()
 }
 
+// runBadError marks a run file that could not be opened or that ended
+// mid-record — evidence the producing attempt's output is damaged. The
+// distributed engine's reducers report the path back to the coordinator,
+// which re-executes the producing map task.
+type runBadError struct {
+	path string
+	msg  string
+	err  error
+}
+
+func (e *runBadError) Error() string {
+	return fmt.Sprintf("mapreduce: run %s %s: %v", e.path, e.msg, e.err)
+}
+func (e *runBadError) Unwrap() error { return e.err }
+
 // cursor is one sorted-run stream feeding the k-way merge: the current
 // record, a way to advance, and a sticky error for streams that can fail
 // mid-read (disk runs). The merge drops an erroring cursor and surfaces
@@ -310,7 +325,7 @@ func openRunCursor(rs *runState, rf *runFile) *fileCursor {
 	c := &fileCursor{rs: rs, path: rf.path, left: rf.records}
 	f, err := os.Open(rf.path)
 	if err != nil {
-		c.failure = fmt.Errorf("mapreduce: open run %s: %w", rf.path, err)
+		c.failure = &runBadError{path: rf.path, msg: "unreadable", err: err}
 		return c
 	}
 	c.f = f
@@ -338,7 +353,7 @@ func (c *fileCursor) advance() {
 	}
 	// A run file that ends early was partially written or truncated —
 	// surface it instead of silently merging a prefix.
-	c.failure = fmt.Errorf("mapreduce: run %s truncated mid-record: %w", c.path, err)
+	c.failure = &runBadError{path: c.path, msg: "truncated mid-record", err: err}
 }
 
 func (c *fileCursor) err() error { return c.failure }

@@ -1,0 +1,138 @@
+package mapreduce
+
+// The coordinator/worker wire protocol: HTTP POSTs with JSON bodies, in
+// the style of internal/serve. Workers pull — the coordinator never
+// dials a worker — so a dead worker is simply one that stops polling and
+// heartbeating, and recovery is entirely lease-driven:
+//
+//	POST /poll      pollRequest      → pollResponse (a task, or a wait)
+//	POST /done      completion       → completionResponse
+//	POST /heartbeat heartbeatMsg     → heartbeatResponse
+//	GET  /dfs/...   chunk service    (dfs.Server over the cluster store)
+//
+// Intermediate run files are exchanged by path: coordinator and workers
+// share the cluster's scratch directory (one machine, many processes —
+// the shape of the paper's one-box "cluster"), while job input and
+// output records go through the mounted dfs chunk service.
+
+// wireRun names one committed sorted-run file a reduce task must merge.
+type wireRun struct {
+	Path    string
+	Records int64
+	Bytes   int64
+}
+
+// wireMapRun is one committed map-side run: wireRun plus the reducer it
+// is destined for.
+type wireMapRun struct {
+	Reducer int
+	Path    string
+	Records int64
+	Bytes   int64
+}
+
+// wireTask is one task assignment, self-contained: the job identity
+// (kind + spec, enough to rebuild the job's functions in the worker),
+// the task coordinates, and the attempt's private run directory.
+type wireTask struct {
+	JobID   int64
+	JobName string
+	Kind    string
+	Spec    []byte
+
+	Phase   string // "map" or "reduce"
+	Index   int
+	Attempt int
+
+	NumReducers int
+	MapOnly     bool
+
+	// SplitIndex locates a map task's input split in the job's global
+	// split list (the worker re-derives the list from job.Input through
+	// the chunk service, which cuts splits identically).
+	SplitIndex int
+
+	// Runs lists a reduce task's fan-in: the committed map runs for this
+	// reducer, in map-task order — the merge's tie-breaking seq order,
+	// identical to the in-process engine's.
+	Runs []wireRun
+
+	// RunDir is the attempt-private directory for run and output files.
+	// Attempts never share a directory, so a dead attempt's half-written
+	// files are simply never referenced — idempotency by isolation, on
+	// top of each file's own tmp+rename commit.
+	RunDir string
+
+	// LeaseMs is how long the coordinator will wait between heartbeats
+	// before presuming the attempt dead and re-dispatching the task.
+	LeaseMs int64
+}
+
+// pollRequest asks for a task.
+type pollRequest struct {
+	Worker int
+}
+
+// pollResponse carries an assignment, a backoff hint, or a shutdown.
+type pollResponse struct {
+	Task     *wireTask
+	WaitMs   int64
+	Shutdown bool
+}
+
+// completion reports a finished attempt, success or failure.
+type completion struct {
+	Worker  int
+	JobID   int64
+	Phase   string
+	Index   int
+	Attempt int
+
+	// Err is the failure message; empty means success.
+	Err string
+	// BadRuns lists input run files found truncated or unreadable — the
+	// coordinator re-executes their producing map tasks.
+	BadRuns []string
+
+	// MapRuns are a map attempt's committed per-reducer runs.
+	MapRuns []wireMapRun
+	// Output is a reduce (or map-only) attempt's committed output file
+	// of framed records.
+	Output wireRun
+
+	Records      int64 // map input records consumed
+	Groups       int64 // reduce key groups
+	Work         int64
+	SpilledRuns  int64
+	SpilledBytes int64
+	Counters     map[string]int64
+}
+
+// completionResponse acknowledges a report; Accepted is false for
+// duplicates and stale attempts, which the coordinator ignores.
+type completionResponse struct {
+	Accepted bool
+}
+
+// heartbeatMsg renews an attempt's lease.
+type heartbeatMsg struct {
+	Worker  int
+	JobID   int64
+	Phase   string
+	Index   int
+	Attempt int
+}
+
+// heartbeatResponse tells a worker whether its attempt is still wanted.
+type heartbeatResponse struct {
+	Abandoned bool
+}
+
+// workerConfig is shipped to a spawned worker process via environment
+// variable, everything it needs to join the cluster.
+type workerConfig struct {
+	URL         string // coordinator base URL
+	Index       int    // this worker's index
+	HeartbeatMs int64
+	Faults      *FaultPlan
+}

@@ -1,0 +1,431 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"knnjoin/internal/dfs"
+)
+
+// workerEnv carries a workerConfig (JSON) into a spawned worker process.
+// Worker processes are re-executed copies of the parent binary, so the
+// same job-kind registrations are linked in; RunWorkerIfSpawned turns
+// the re-exec into a worker loop before the program's own main logic.
+const workerEnv = "KNNJOIN_MR_WORKER"
+
+// RunWorkerIfSpawned checks whether this process was spawned as a
+// MapReduce worker and, if so, runs the worker loop and exits — it never
+// returns in that case. Call it first thing in main (and in TestMain for
+// test binaries that use a distributed cluster); it is a no-op in
+// ordinary processes.
+func RunWorkerIfSpawned() {
+	raw := os.Getenv(workerEnv)
+	if raw == "" {
+		return
+	}
+	var cfg workerConfig
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mapreduce worker: bad config: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(runWorker(cfg))
+}
+
+// worker is one task-executing process attached to a coordinator.
+type worker struct {
+	cfg      workerConfig
+	client   *http.Client
+	store    *dfs.Remote
+	inj      *injector
+	hbPaused atomic.Bool
+
+	cachedJobID int64
+	cachedJob   *Job
+}
+
+func runWorker(cfg workerConfig) int {
+	w := &worker{cfg: cfg, client: &http.Client{}}
+	w.inj = newInjector(cfg.Index, cfg.Faults, func(p bool) { w.hbPaused.Store(p) })
+	store, err := dfs.NewRemote(cfg.URL + "/dfs")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapreduce worker %d: chunk service: %v\n", cfg.Index, err)
+		return 1
+	}
+	w.store = store
+	failures := 0
+	for {
+		var resp pollResponse
+		if err := w.post("/poll", pollRequest{Worker: cfg.Index}, &resp); err != nil {
+			// The coordinator being unreachable for a sustained stretch
+			// means the job (or the whole cluster) is gone; exit rather
+			// than poll forever.
+			if failures++; failures > 200 {
+				return 1
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		failures = 0
+		if resp.Shutdown {
+			return 0
+		}
+		if resp.Task == nil {
+			wait := resp.WaitMs
+			if wait <= 0 {
+				wait = 10
+			}
+			time.Sleep(time.Duration(wait) * time.Millisecond)
+			continue
+		}
+		w.runTask(resp.Task)
+	}
+}
+
+// post sends one JSON request to the coordinator and decodes the reply.
+func (w *worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := w.client.Post(w.cfg.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("mapreduce worker: %s: HTTP %d", path, r.StatusCode)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// jobFor rebuilds the task's job from the kind registry, caching the
+// result — the cluster runs jobs sequentially, so one entry suffices.
+func (w *worker) jobFor(t *wireTask) (*Job, error) {
+	if w.cachedJob != nil && w.cachedJobID == t.JobID {
+		return w.cachedJob, nil
+	}
+	job, err := buildKindJob(t.Kind, t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	w.cachedJobID, w.cachedJob = t.JobID, job
+	return job, nil
+}
+
+// runTask executes one assignment end to end: heartbeats while working,
+// then reports the completion (retrying the report itself, which must
+// not be lost to a transient connection error when the work is durable).
+func (w *worker) runTask(t *wireTask) {
+	stop := make(chan struct{})
+	go w.heartbeatLoop(t, stop)
+	comp := w.execute(t)
+	close(stop)
+	comp.Worker = w.cfg.Index
+	comp.JobID = t.JobID
+	comp.Phase = t.Phase
+	comp.Index = t.Index
+	comp.Attempt = t.Attempt
+	for i := 0; i < 3; i++ {
+		var resp completionResponse
+		if err := w.post("/done", comp, &resp); err == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// heartbeatLoop renews the attempt's lease until the task finishes.
+// ActFreeze pauses it, simulating a worker presumed dead.
+func (w *worker) heartbeatLoop(t *wireTask, stop chan struct{}) {
+	every := time.Duration(w.cfg.HeartbeatMs) * time.Millisecond
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if w.hbPaused.Load() {
+				continue
+			}
+			var resp heartbeatResponse
+			msg := heartbeatMsg{Worker: w.cfg.Index, JobID: t.JobID,
+				Phase: t.Phase, Index: t.Index, Attempt: t.Attempt}
+			w.post("/heartbeat", msg, &resp) // best-effort; an abandoned attempt just wastes work
+		}
+	}
+}
+
+// execute runs the attempt and returns its completion report.
+func (w *worker) execute(t *wireTask) completion {
+	var comp completion
+	job, err := w.jobFor(t)
+	if err != nil {
+		comp.Err = err.Error()
+		return comp
+	}
+	taskID := fmt.Sprintf("%s/%s/%d", t.JobName, t.Phase, t.Index)
+	if job.FailTask != nil {
+		if err := job.FailTask(taskID, t.Attempt); err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+	}
+	if err := os.MkdirAll(t.RunDir, 0o755); err != nil {
+		comp.Err = err.Error()
+		return comp
+	}
+	w.inj.at(taskID, t.Attempt, AtTaskStart)
+	if t.Phase == "map" {
+		err = w.executeMap(t, job, taskID, &comp)
+	} else {
+		err = w.executeReduce(t, job, taskID, &comp)
+	}
+	if err != nil {
+		comp.Err = err.Error()
+	}
+	return comp
+}
+
+// executeMap runs one map attempt: load the split through the chunk
+// service, map every record into per-reducer buckets, then either
+// sort/combine/commit the buckets as run files (reduce jobs) or commit
+// the bucket-concatenated values as the task's output (map-only jobs) —
+// bucket order, exactly like the in-process engine.
+func (w *worker) executeMap(t *wireTask, job *Job, taskID string, comp *completion) error {
+	splits, err := w.store.Splits(job.Input...)
+	if err != nil {
+		return err
+	}
+	if t.SplitIndex < 0 || t.SplitIndex >= len(splits) {
+		return fmt.Errorf("mapreduce: split %d out of range (%d splits)", t.SplitIndex, len(splits))
+	}
+	records, err := splits[t.SplitIndex].Load()
+	if err != nil {
+		return err
+	}
+	ctx := &TaskContext{JobName: t.JobName, TaskID: taskID, side: job.Side, counters: NewCounterSet()}
+	if job.MapSetup != nil {
+		if err := job.MapSetup(ctx); err != nil {
+			return fmt.Errorf("map setup: %w", err)
+		}
+	}
+	partition := resolvePartition(job)
+	buckets := make([][]KV, t.NumReducers)
+	emit := func(key, value []byte) {
+		r := 0
+		if t.NumReducers > 1 {
+			r = partition(key, t.NumReducers)
+			if r < 0 || r >= t.NumReducers {
+				panic(fmt.Sprintf("mapreduce: partition function returned %d for %d reducers", r, t.NumReducers))
+			}
+		}
+		buckets[r] = append(buckets[r], KV{Key: key, Value: value})
+	}
+	for i, rec := range records {
+		if i == len(records)/2 {
+			w.inj.at(taskID, t.Attempt, AtMidTask)
+		}
+		if err := job.Map(ctx, rec, emit); err != nil {
+			return fmt.Errorf("map record: %w", err)
+		}
+	}
+	comp.Records = int64(len(records))
+
+	if t.MapOnly {
+		w.inj.at(taskID, t.Attempt, AtPreCommit)
+		var out []dfs.Record
+		for _, b := range buckets {
+			for _, kv := range b {
+				out = append(out, dfs.Record(kv.Value))
+			}
+		}
+		path := filepath.Join(t.RunDir, "out")
+		if err := writeFramedFile(path, out); err != nil {
+			return err
+		}
+		comp.Output = wireRun{Path: path, Records: int64(len(out))}
+		w.inj.at(taskID, t.Attempt, AtPostCommit)
+		comp.Work = ctx.work
+		comp.Counters = ctx.counters.Snapshot()
+		return nil
+	}
+
+	rs := &runState{spillDir: t.RunDir, fanIn: defaultFanIn, bufSize: spillBufSize}
+	for r := range buckets {
+		sortRun(buckets[r], job.ValueCompare)
+		if job.Combine != nil {
+			combined, err := combineRun(ctx, job, buckets[r])
+			if err != nil {
+				return fmt.Errorf("combine: %w", err)
+			}
+			buckets[r] = combined
+		}
+	}
+	w.inj.at(taskID, t.Attempt, AtPreCommit)
+	for r, kvs := range buckets {
+		if len(kvs) == 0 {
+			continue
+		}
+		rf, err := writeRunFile(rs, kvs)
+		if err != nil {
+			return err
+		}
+		comp.MapRuns = append(comp.MapRuns, wireMapRun{Reducer: r, Path: rf.path,
+			Records: rf.records, Bytes: rf.bytes})
+	}
+	if ev := w.inj.at(taskID, t.Attempt, AtPostCommit); ev != nil && ev.Action == ActTruncateRun {
+		if n := len(comp.MapRuns); n > 0 {
+			truncateTail(comp.MapRuns[n-1].Path, ev.TruncateBytes)
+		}
+	}
+	comp.Work = ctx.work
+	comp.SpilledRuns = rs.spilledRuns.Load()
+	comp.SpilledBytes = rs.spilledBytes.Load()
+	comp.Counters = ctx.counters.Snapshot()
+	return nil
+}
+
+// executeReduce runs one reduce attempt: k-way-merge the committed map
+// runs (in the wire order, which is map-task order — the same
+// tie-breaking seq the in-process engine uses), stream key groups
+// through the reduce function, and commit the output records as one
+// framed file. A truncated or missing input run fails the attempt and is
+// reported in BadRuns so the coordinator re-executes its producer.
+func (w *worker) executeReduce(t *wireTask, job *Job, taskID string, comp *completion) error {
+	ctx := &TaskContext{JobName: t.JobName, TaskID: taskID, side: job.Side, counters: NewCounterSet()}
+	if job.ReduceSetup != nil {
+		if err := job.ReduceSetup(ctx); err != nil {
+			return fmt.Errorf("reduce setup: %w", err)
+		}
+	}
+	rs := &runState{spillDir: t.RunDir, fanIn: defaultFanIn, bufSize: spillBufSize}
+	runs := make([]runData, len(t.Runs))
+	given := make(map[string]bool, len(t.Runs))
+	for i, r := range t.Runs {
+		runs[i] = runData{file: &runFile{path: r.Path, records: r.Records, bytes: r.Bytes}}
+		given[r.Path] = true
+	}
+	reportBad := func(err error) error {
+		var bad *runBadError
+		if errors.As(err, &bad) && given[bad.path] {
+			comp.BadRuns = append(comp.BadRuns, bad.path)
+		}
+		return err
+	}
+	runs, err := reduceFanIn(rs, runs, job.ValueCompare, rs.fanIn)
+	if err != nil {
+		return reportBad(err)
+	}
+	cursors := openRuns(rs, runs)
+	defer func() {
+		for _, cu := range cursors {
+			cu.close()
+		}
+	}()
+	m := newMergerCursors(cursors, job.ValueCompare)
+	var out []dfs.Record
+	emit := func(_, value []byte) {
+		out = append(out, dfs.Record(value))
+	}
+	var groupsSeen int64
+	reduce := func(ctx *TaskContext, key []byte, values *Values, emit Emit) error {
+		if groupsSeen == 1 {
+			w.inj.at(taskID, t.Attempt, AtMidTask)
+		}
+		groupsSeen++
+		return job.Reduce(ctx, key, values, emit)
+	}
+	groups, err := streamGroups(ctx, reduce, m, job.GroupKeyPrefix, emit)
+	if err != nil {
+		return reportBad(err)
+	}
+	if err := m.failure(); err != nil {
+		return reportBad(err)
+	}
+	w.inj.at(taskID, t.Attempt, AtPreCommit)
+	path := filepath.Join(t.RunDir, "out")
+	if err := writeFramedFile(path, out); err != nil {
+		return err
+	}
+	comp.Output = wireRun{Path: path, Records: int64(len(out))}
+	w.inj.at(taskID, t.Attempt, AtPostCommit)
+	comp.Groups = groups
+	comp.Work = ctx.work
+	comp.SpilledRuns = rs.spilledRuns.Load()
+	comp.SpilledBytes = rs.spilledBytes.Load()
+	comp.Counters = ctx.counters.Snapshot()
+	return nil
+}
+
+// truncateTail chops n trailing bytes off the file (fault injection).
+func truncateTail(path string, n int64) {
+	if info, err := os.Stat(path); err == nil {
+		size := info.Size() - n
+		if size < 0 {
+			size = 0
+		}
+		os.Truncate(path, size)
+	}
+}
+
+// writeFramedFile commits records to path as uvarint-framed records,
+// written to a temporary name and renamed into place — a file that
+// exists under its final name is always complete.
+func writeFramedFile(path string, records []dfs.Record) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, spillBufSize)
+	for _, rec := range records {
+		if err = dfs.WriteFrame(w, rec); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(path+".tmp", path)
+	}
+	if err != nil {
+		os.Remove(path + ".tmp")
+		return fmt.Errorf("mapreduce: output file %s: %w", path, err)
+	}
+	return nil
+}
+
+// readFramedFile loads a writeFramedFile-committed file, verifying the
+// expected record count.
+func readFramedFile(path string, records int64) ([]dfs.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, spillBufSize)
+	out := make([]dfs.Record, 0, records)
+	for i := int64(0); i < records; i++ {
+		rec, err := dfs.ReadFrame(r)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: output file %s truncated at record %d: %w", path, i, err)
+		}
+		out = append(out, dfs.Record(rec))
+	}
+	return out, nil
+}

@@ -101,40 +101,13 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 		SSize:     cluster.FS().Size(sFile),
 	}
 
-	job := &mapreduce.Job{
-		Name:           "broadcast-join",
-		Input:          []string{rFile, sFile},
-		Output:         outFile,
-		NumReducers:    n,
-		Partition:      mapreduce.Uint32Partition,
-		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			switch t.Src {
-			case codec.FromR:
-				emit(codec.RegionKey(int(((t.ID%int64(n))+int64(n))%int64(n)), t), rec)
-			case codec.FromS:
-				ctx.Counter("replicas_s", int64(n))
-				for i := 0; i < n; i++ {
-					emit(codec.RegionKey(i, t), rec)
-				}
-			}
-			return nil
-		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			rBlk, sBlk, err := driver.CollectRSBlocksKernel(values, opts.Kernel)
-			if err != nil {
-				return err
-			}
-			scanned := driver.JoinBlocksKNN(rBlk, sBlk, opts.K, opts.Metric, emit)
-			ctx.Counter("pairs", scanned)
-			ctx.AddWork(scanned)
-			return nil
-		},
-	}
+	job := broadcastKind.New(broadcastSpec{
+		RFile:  rFile,
+		SFile:  sFile,
+		Output: outFile,
+		Nodes:  n,
+		Opts:   opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -150,6 +123,70 @@ func Broadcast(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Br
 	report.JoinSkew = js.ReduceSkew()
 	report.OutputPairs = js.OutputRecords * int64(opts.K)
 	return report, nil
+}
+
+// broadcastSpec rebuilds the broadcast job in a worker process.
+type broadcastSpec struct {
+	RFile, SFile string
+	Output       string
+	Nodes        int
+	Opts         BroadcastOptions
+}
+
+const (
+	sideNodes = "nodes"
+	sideOpts  = "opts"
+)
+
+var broadcastKind = mapreduce.DefineKind("broadcast-join", buildBroadcastJob)
+
+func buildBroadcastJob(s broadcastSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "broadcast-join",
+		Input:          []string{s.RFile, s.SFile},
+		Output:         s.Output,
+		NumReducers:    s.Nodes,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
+		Side: map[string]any{
+			sideNodes: s.Nodes,
+			sideOpts:  s.Opts,
+		},
+		Map:    broadcastMap,
+		Reduce: broadcastReduce,
+	}
+}
+
+// broadcastMap hashes each r to one reducer and replicates every s to
+// all of them — the shuffle whose N·|S| term motivates PGBJ.
+func broadcastMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	n := ctx.Side(sideNodes).(int)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	switch t.Src {
+	case codec.FromR:
+		emit(codec.RegionKey(int(((t.ID%int64(n))+int64(n))%int64(n)), t), rec)
+	case codec.FromS:
+		ctx.Counter("replicas_s", int64(n))
+		for i := 0; i < n; i++ {
+			emit(codec.RegionKey(i, t), rec)
+		}
+	}
+	return nil
+}
+
+func broadcastReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+	opts := ctx.Side(sideOpts).(BroadcastOptions)
+	rBlk, sBlk, err := driver.CollectRSBlocksKernel(values, opts.Kernel)
+	if err != nil {
+		return err
+	}
+	scanned := driver.JoinBlocksKNN(rBlk, sBlk, opts.K, opts.Metric, emit)
+	ctx.Counter("pairs", scanned)
+	ctx.AddWork(scanned)
+	return nil
 }
 
 // ReadResults decodes a result file produced by any join job in this

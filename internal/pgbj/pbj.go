@@ -11,6 +11,7 @@ import (
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
 	"knnjoin/internal/stats"
+	"knnjoin/internal/vector"
 	"knnjoin/internal/voronoi"
 )
 
@@ -40,7 +41,7 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 	pp := voronoi.NewPartitioner(pivots, opts.Metric)
 
 	partFile := outFile + ".partitioned"
-	if err := runPartitionJob(cluster, pp, []string{rFile, sFile}, partFile, report); err != nil {
+	if err := runPartitionJob(cluster, pivots, opts.Metric, []string{rFile, sFile}, partFile, report); err != nil {
 		return nil, err
 	}
 	defer cluster.FS().Remove(partFile)
@@ -59,41 +60,14 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 	// suffix streams each block's S partitions to the reducer already
 	// sorted by pivot distance (the order localThetas and the Theorem-2
 	// windows need).
-	job := &mapreduce.Job{
-		Name:           "pbj-block-join",
-		Input:          []string{partFile},
-		Output:         partialFile,
-		NumReducers:    b * b,
-		Partition:      mapreduce.Uint32Partition,
-		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
-		Side: map[string]any{
-			sidePivots:  pp,
-			sideSummary: sum,
-			sideOpts:    opts,
-			"blocks":    b,
-		},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			b := ctx.Side("blocks").(int)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			blk := int(t.Partition) % b
-			switch t.Src {
-			case codec.FromR:
-				for col := 0; col < b; col++ {
-					emit(codec.JoinKey(blk*b+col, t), rec)
-				}
-			case codec.FromS:
-				ctx.Counter("replicas_s", int64(b))
-				for a := 0; a < b; a++ {
-					emit(codec.JoinKey(a*b+blk, t), rec)
-				}
-			}
-			return nil
-		},
-		Reduce: pbjJoinReduce,
-	}
+	job := pbjKind.New(pbjSpec{
+		Input:   partFile,
+		Output:  partialFile,
+		Pivots:  pivots,
+		Summary: sum,
+		Blocks:  b,
+		Opts:    opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -120,6 +94,59 @@ func RunPBJ(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Optio
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
 	report.OutputPairs = ms.Counters["result_pairs"]
 	return report, nil
+}
+
+// pbjSpec rebuilds the PBJ block-join job in a worker process.
+type pbjSpec struct {
+	Input, Output string
+	Pivots        []vector.Point
+	Summary       *voronoi.Summary
+	Blocks        int
+	Opts          Options
+}
+
+var pbjKind = mapreduce.DefineKind("pbj-block-join", buildPBJJob)
+
+func buildPBJJob(s pbjSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "pbj-block-join",
+		Input:          []string{s.Input},
+		Output:         s.Output,
+		NumReducers:    s.Blocks * s.Blocks,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
+		Side: map[string]any{
+			sidePivots:  voronoi.NewPartitioner(s.Pivots, s.Opts.Metric),
+			sideSummary: s.Summary,
+			sideOpts:    s.Opts,
+			sideBlocks:  s.Blocks,
+		},
+		Map:    pbjRouteMap,
+		Reduce: pbjJoinReduce,
+	}
+}
+
+// pbjRouteMap replicates each object to its row or column of the √N×√N
+// block grid: R-partition blocks join every S block and vice versa.
+func pbjRouteMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	b := ctx.Side(sideBlocks).(int)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	blk := int(t.Partition) % b
+	switch t.Src {
+	case codec.FromR:
+		for col := 0; col < b; col++ {
+			emit(codec.JoinKey(blk*b+col, t), rec)
+		}
+	case codec.FromS:
+		ctx.Counter("replicas_s", int64(b))
+		for a := 0; a < b; a++ {
+			emit(codec.JoinKey(a*b+blk, t), rec)
+		}
+	}
+	return nil
 }
 
 // pbjJoinReduce joins one (R-block, S-block) pair. The bound θ for each

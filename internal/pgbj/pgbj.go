@@ -127,7 +127,96 @@ const (
 	sideGroupOf  = "groupOf"
 	sideGroupLBs = "groupLBs"
 	sideOpts     = "opts"
+	sideBlocks   = "blocks"
 )
+
+// partitionSpec rebuilds the map-only Voronoi-partitioning job in a
+// worker process: the Partitioner is reconstructed from the pivots and
+// metric, which is all the map function consumes.
+type partitionSpec struct {
+	Name   string
+	Inputs []string
+	Output string
+	Pivots []vector.Point
+	Metric vector.Metric
+}
+
+var partitionKind = mapreduce.DefineKind("pgbj-partition", buildPartitionJob)
+
+func buildPartitionJob(s partitionSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:   s.Name,
+		Input:  s.Inputs,
+		Output: s.Output,
+		Side:   map[string]any{sidePivots: voronoi.NewPartitioner(s.Pivots, s.Metric)},
+		Map:    partitionMap,
+	}
+}
+
+// partitionMap tags one object of R or S with its nearest pivot
+// (Figure 4).
+func partitionMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	var n int64
+	part, d := pp.Assign(t.Point, &n)
+	ctx.Counter("pairs", n)
+	ctx.AddWork(n)
+	t.Partition = int32(part)
+	t.PivotDist = d
+	emit(nil, codec.EncodeTagged(t))
+	return nil
+}
+
+// PartitionJob builds the Voronoi-partitioning job (MapReduce job 1 of
+// PGBJ, PBJ and the range join) as a registered kind, so it can execute
+// on worker processes of a distributed cluster. name becomes the job
+// name; inputs must hold Tagged records.
+func PartitionJob(name string, inputs []string, output string, pivots []vector.Point, metric vector.Metric) *mapreduce.Job {
+	return partitionKind.New(partitionSpec{
+		Name: name, Inputs: inputs, Output: output, Pivots: pivots, Metric: metric,
+	})
+}
+
+// joinSpec rebuilds MapReduce job 2 in a worker process: pivots (the
+// Partitioner is reconstructed), the summary tables, the grouping
+// products and the options — exactly the side data the map and reduce
+// functions consume.
+type joinSpec struct {
+	Input, Output string
+	Pivots        []vector.Point
+	Summary       *voronoi.Summary
+	Thetas        []float64
+	GroupOf       []int
+	GroupLBs      [][]float64
+	Opts          Options
+}
+
+var joinKind = mapreduce.DefineKind("pgbj-join", buildJoinJob)
+
+func buildJoinJob(s joinSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "pgbj-join",
+		Input:          []string{s.Input},
+		Output:         s.Output,
+		NumReducers:    s.Opts.NumGroups,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
+		Side: map[string]any{
+			sidePivots:   voronoi.NewPartitioner(s.Pivots, s.Opts.Metric),
+			sideSummary:  s.Summary,
+			sideThetas:   s.Thetas,
+			sideGroupOf:  s.GroupOf,
+			sideGroupLBs: s.GroupLBs,
+			sideOpts:     s.Opts,
+		},
+		Map:    pgbjRouteMap,
+		Reduce: pgbjJoinReduce,
+	}
+}
 
 // Run executes the full PGBJ pipeline on the cluster. rFile and sFile must
 // contain Tagged records (dataset.ToDFS); outFile receives codec.Result
@@ -154,7 +243,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 	// ---- Phase 2: MapReduce job 1 — data partitioning -------------------
 	partFile := outFile + ".partitioned"
-	if err := runPartitionJob(cluster, pp, []string{rFile, sFile}, partFile, report); err != nil {
+	if err := runPartitionJob(cluster, pivots, opts.Metric, []string{rFile, sFile}, partFile, report); err != nil {
 		return nil, err
 	}
 	defer cluster.FS().Remove(partFile)
@@ -187,25 +276,18 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	// Keys are codec.JoinKey composites: the 4-byte group prefix selects
 	// the reducer, and the (src, partition, pivot-distance, id) suffix
 	// secondary-sorts the group so every S partition streams into the
-	// reducer already in SortByPivotDist order.
-	job := &mapreduce.Job{
-		Name:           "pgbj-join",
-		Input:          []string{partFile},
-		Output:         outFile,
-		NumReducers:    opts.NumGroups,
-		Partition:      mapreduce.Uint32Partition,
-		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
-		Side: map[string]any{
-			sidePivots:   pp,
-			sideSummary:  sum,
-			sideThetas:   thetas,
-			sideGroupOf:  groups.GroupOf,
-			sideGroupLBs: groupLBs,
-			sideOpts:     opts,
-		},
-		Map:    pgbjRouteMap,
-		Reduce: pgbjJoinReduce,
-	}
+	// reducer already in SortByPivotDist order. Built through the kind
+	// registry so a distributed cluster can rebuild it in workers.
+	job := joinKind.New(joinSpec{
+		Input:    partFile,
+		Output:   outFile,
+		Pivots:   pivots,
+		Summary:  sum,
+		Thetas:   thetas,
+		GroupOf:  groups.GroupOf,
+		GroupLBs: groupLBs,
+		Opts:     opts,
+	})
 	start = time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -255,28 +337,8 @@ func selectPivots(fs dfs.Store, rFile string, opts Options, report *stats.Report
 
 // runPartitionJob is MapReduce job 1: a map-only job that tags every
 // object of R and S with its nearest pivot (Figure 4).
-func runPartitionJob(cluster *mapreduce.Cluster, pp *voronoi.Partitioner, inputs []string, outFile string, report *stats.Report) error {
-	job := &mapreduce.Job{
-		Name:   "pgbj-partition",
-		Input:  inputs,
-		Output: outFile,
-		Side:   map[string]any{sidePivots: pp},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			var n int64
-			part, d := pp.Assign(t.Point, &n)
-			ctx.Counter("pairs", n)
-			ctx.AddWork(n)
-			t.Partition = int32(part)
-			t.PivotDist = d
-			emit(nil, codec.EncodeTagged(t))
-			return nil
-		},
-	}
+func runPartitionJob(cluster *mapreduce.Cluster, pivots []vector.Point, metric vector.Metric, inputs []string, outFile string, report *stats.Report) error {
+	job := PartitionJob("pgbj-partition", inputs, outFile, pivots, metric)
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {

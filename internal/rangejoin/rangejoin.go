@@ -119,28 +119,10 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.AddPhase("Pivot Selection", time.Since(start))
 
 	// ---- Job 1: Voronoi partitioning (map-only) --------------------------
+	// Identical to PGBJ's partition step, so the job is its registered
+	// kind, sharing the worker-side rebuild path.
 	partFile := outFile + ".partitioned"
-	partJob := &mapreduce.Job{
-		Name:   "range-partition",
-		Input:  []string{rFile, sFile},
-		Output: partFile,
-		Side:   map[string]any{sidePivots: pp},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			pp := ctx.Side(sidePivots).(*voronoi.Partitioner)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			var n int64
-			part, d := pp.Assign(t.Point, &n)
-			ctx.Counter("pairs", n)
-			ctx.AddWork(n)
-			t.Partition = int32(part)
-			t.PivotDist = d
-			emit(nil, codec.EncodeTagged(t))
-			return nil
-		},
-	}
+	partJob := pgbj.PartitionJob("range-partition", []string{rFile, sFile}, partFile, pivots, opts.Metric)
 	start = time.Now()
 	js, err := cluster.Run(partJob)
 	if err != nil {
@@ -183,23 +165,15 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	// Composite JoinKeys: the group id picks the reducer, and the key
 	// suffix streams each group's S partitions in SortByPivotDist order —
 	// the shuffle's secondary sort replaces the reducer-side sort.
-	job := &mapreduce.Job{
-		Name:           "range-join",
-		Input:          []string{partFile},
-		Output:         outFile,
-		NumReducers:    opts.NumGroups,
-		Partition:      mapreduce.Uint32Partition,
-		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
-		Side: map[string]any{
-			sidePivots:   pp,
-			sideSummary:  sum,
-			sideGroupOf:  groups.GroupOf,
-			sideGroupLBs: groupLBs,
-			sideOpts:     opts,
-		},
-		Map:    routeMap,
-		Reduce: joinReduce,
-	}
+	job := joinKind.New(joinSpec{
+		Input:    partFile,
+		Output:   outFile,
+		Pivots:   pivots,
+		Summary:  sum,
+		GroupOf:  groups.GroupOf,
+		GroupLBs: groupLBs,
+		Opts:     opts,
+	})
 	start = time.Now()
 	js, err = cluster.Run(job)
 	if err != nil {
@@ -215,6 +189,41 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.JoinSkew = js.ReduceSkew()
 	report.OutputPairs = js.Counters["result_pairs"]
 	return report, nil
+}
+
+// joinSpec rebuilds the range-join job in a worker process. The
+// partitioner is carried as its pivots (NewPartitioner is deterministic)
+// and the per-partition θ is implicit: every partition's bound is the
+// query radius.
+type joinSpec struct {
+	Input, Output string
+	Pivots        []vector.Point
+	Summary       *voronoi.Summary
+	GroupOf       []int
+	GroupLBs      [][]float64
+	Opts          Options
+}
+
+var joinKind = mapreduce.DefineKind("range-join", buildJoinJob)
+
+func buildJoinJob(s joinSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "range-join",
+		Input:          []string{s.Input},
+		Output:         s.Output,
+		NumReducers:    s.Opts.NumGroups,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.JoinKeyGroupPrefix,
+		Side: map[string]any{
+			sidePivots:   voronoi.NewPartitioner(s.Pivots, s.Opts.Metric),
+			sideSummary:  s.Summary,
+			sideGroupOf:  s.GroupOf,
+			sideGroupLBs: s.GroupLBs,
+			sideOpts:     s.Opts,
+		},
+		Map:    routeMap,
+		Reduce: joinReduce,
+	}
 }
 
 // routeMap routes R objects to their group and replicates S objects to

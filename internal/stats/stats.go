@@ -43,6 +43,15 @@ type JobStat struct {
 	SpilledBytes int64
 	// Wall is the job's map plus reduce wall time.
 	Wall time.Duration
+	// WorkerTasks counts task attempts committed by separate worker
+	// processes — zero on the in-process engine, and at least the
+	// job's task count when it ran distributed (more after recovery
+	// re-executions).
+	WorkerTasks int
+	// ReexecutedAttempts counts task attempts re-dispatched after a
+	// worker's lease expired or its output was found damaged; zero on
+	// the in-process engine and on fault-free distributed runs.
+	ReexecutedAttempts int64
 }
 
 // PlanInfo records what the cost-based planner chose and predicted for a

@@ -115,36 +115,14 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	}
 
 	partialFile := outFile + ".partial"
-	job := &mapreduce.Job{
-		Name:           "theta-region-join",
-		Input:          []string{rFile, sFile},
-		Output:         partialFile,
-		NumReducers:    rows * cols,
-		Partition:      mapreduce.Uint32Partition,
-		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
-		Side:           map[string]any{"opts": opts},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			switch t.Src {
-			case codec.FromR:
-				row := assign(t.ID, opts.Seed, rows)
-				for col := 0; col < cols; col++ {
-					emit(codec.RegionKey(row*cols+col, t), rec)
-				}
-			case codec.FromS:
-				col := assign(t.ID, opts.Seed+1, cols)
-				ctx.Counter("replicas_s", int64(rows))
-				for row := 0; row < rows; row++ {
-					emit(codec.RegionKey(row*cols+col, t), rec)
-				}
-			}
-			return nil
-		},
-		Reduce: regionReduce,
-	}
+	job := regionKind.New(regionSpec{
+		RFile:  rFile,
+		SFile:  sFile,
+		Output: partialFile,
+		Rows:   rows,
+		Cols:   cols,
+		Opts:   opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -171,6 +149,60 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
 	report.OutputPairs = ms.Counters["result_pairs"]
 	return report, nil
+}
+
+// regionSpec rebuilds the region-join job in a worker process.
+type regionSpec struct {
+	RFile, SFile string
+	Output       string
+	Rows, Cols   int
+	Opts         Options
+}
+
+var regionKind = mapreduce.DefineKind("theta-region-join", buildRegionJob)
+
+func buildRegionJob(s regionSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:           "theta-region-join",
+		Input:          []string{s.RFile, s.SFile},
+		Output:         s.Output,
+		NumReducers:    s.Rows * s.Cols,
+		Partition:      mapreduce.Uint32Partition,
+		GroupKeyPrefix: codec.RegionKeyGroupPrefix,
+		Side: map[string]any{
+			"opts": s.Opts,
+			"rows": s.Rows,
+			"cols": s.Cols,
+		},
+		Map:    regionMap,
+		Reduce: regionReduce,
+	}
+}
+
+// regionMap ships each r to every region covering its random row and
+// each s to every region covering its random column.
+func regionMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	opts := ctx.Side("opts").(Options)
+	rows := ctx.Side("rows").(int)
+	cols := ctx.Side("cols").(int)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	switch t.Src {
+	case codec.FromR:
+		row := assign(t.ID, opts.Seed, rows)
+		for col := 0; col < cols; col++ {
+			emit(codec.RegionKey(row*cols+col, t), rec)
+		}
+	case codec.FromS:
+		col := assign(t.ID, opts.Seed+1, cols)
+		ctx.Counter("replicas_s", int64(rows))
+		for row := 0; row < rows; row++ {
+			emit(codec.RegionKey(row*cols+col, t), rec)
+		}
+	}
+	return nil
 }
 
 // regionReduce joins one matrix region: the local kNN of its R rows

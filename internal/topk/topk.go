@@ -219,37 +219,15 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 	// ---- Job 1: slab-partitioned pair generation ------------------------
 	partialFile := outFile + ".partial"
-	job := &mapreduce.Job{
-		Name:        "topk-pair-join",
-		Input:       []string{rFile, sFile},
-		Output:      partialFile,
-		NumReducers: len(boundaries) + 1,
-		Partition:   mapreduce.Uint32Partition,
-		Side:        map[string]any{"opts": opts, "tau": tau, "axis": axis, "boundaries": boundaries},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			tau := ctx.Side("tau").(float64)
-			axis := ctx.Side("axis").(int)
-			boundaries := ctx.Side("boundaries").([]float64)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			x := t.Point[axis]
-			switch t.Src {
-			case codec.FromR:
-				emit(codec.Uint32Key(uint32(slabOf(x, boundaries))), rec)
-			case codec.FromS:
-				lo := slabOf(x-tau, boundaries)
-				hi := slabOf(x+tau, boundaries)
-				for slab := lo; slab <= hi; slab++ {
-					emit(codec.Uint32Key(uint32(slab)), rec)
-					ctx.Counter("replicas_s", 1)
-				}
-			}
-			return nil
-		},
-		Reduce: slabReduce,
-	}
+	job := pairJoinKind.New(pairJoinSpec{
+		RFile:      rFile,
+		SFile:      sFile,
+		Output:     partialFile,
+		Tau:        tau,
+		Axis:       axis,
+		Boundaries: boundaries,
+		Opts:       opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -265,32 +243,7 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.JoinSkew = js.ReduceSkew()
 
 	// ---- Job 2: global top-k merge --------------------------------------
-	merge := &mapreduce.Job{
-		Name:        "topk-merge",
-		Input:       []string{partialFile},
-		Output:      outFile,
-		NumReducers: 1,
-		Side:        map[string]any{"opts": opts},
-		Map: func(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			emit(codec.Uint32Key(0), rec)
-			return nil
-		},
-		Reduce: func(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
-			opts := ctx.Side("opts").(Options)
-			heap := newPairHeap(opts.K)
-			for v, ok := values.Next(); ok; v, ok = values.Next() {
-				p, err := DecodePair(v)
-				if err != nil {
-					return err
-				}
-				heap.push(p)
-			}
-			for _, p := range heap.sorted() {
-				emit(nil, EncodePair(p))
-			}
-			return nil
-		},
-	}
+	merge := mergeKind.New(mergeSpec{Input: partialFile, Output: outFile, Opts: opts})
 	start = time.Now()
 	ms, err := cluster.Run(merge)
 	cluster.FS().Remove(partialFile)
@@ -309,6 +262,97 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 		return nil, nil, err
 	}
 	return pairs, report, nil
+}
+
+// pairJoinSpec rebuilds the pair-generation job in a worker process.
+type pairJoinSpec struct {
+	RFile, SFile string
+	Output       string
+	Tau          float64
+	Axis         int
+	Boundaries   []float64
+	Opts         Options
+}
+
+var pairJoinKind = mapreduce.DefineKind("topk-pair-join", buildPairJoinJob)
+
+func buildPairJoinJob(s pairJoinSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "topk-pair-join",
+		Input:       []string{s.RFile, s.SFile},
+		Output:      s.Output,
+		NumReducers: len(s.Boundaries) + 1,
+		Partition:   mapreduce.Uint32Partition,
+		Side:        map[string]any{"opts": s.Opts, "tau": s.Tau, "axis": s.Axis, "boundaries": s.Boundaries},
+		Map:         slabMap,
+		Reduce:      slabReduce,
+	}
+}
+
+// slabMap sends each r to its home slab and replicates each s to every
+// slab its τ-neighborhood on the axis touches.
+func slabMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	tau := ctx.Side("tau").(float64)
+	axis := ctx.Side("axis").(int)
+	boundaries := ctx.Side("boundaries").([]float64)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	x := t.Point[axis]
+	switch t.Src {
+	case codec.FromR:
+		emit(codec.Uint32Key(uint32(slabOf(x, boundaries))), rec)
+	case codec.FromS:
+		lo := slabOf(x-tau, boundaries)
+		hi := slabOf(x+tau, boundaries)
+		for slab := lo; slab <= hi; slab++ {
+			emit(codec.Uint32Key(uint32(slab)), rec)
+			ctx.Counter("replicas_s", 1)
+		}
+	}
+	return nil
+}
+
+// mergeSpec rebuilds the single-reducer top-k merge job.
+type mergeSpec struct {
+	Input, Output string
+	Opts          Options
+}
+
+var mergeKind = mapreduce.DefineKind("topk-merge", buildMergeJob)
+
+func buildMergeJob(s mergeSpec) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "topk-merge",
+		Input:       []string{s.Input},
+		Output:      s.Output,
+		NumReducers: 1,
+		Side:        map[string]any{"opts": s.Opts},
+		Map:         mergeMap,
+		Reduce:      mergeReduce,
+	}
+}
+
+func mergeMap(_ *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	emit(codec.Uint32Key(0), rec)
+	return nil
+}
+
+func mergeReduce(ctx *mapreduce.TaskContext, _ []byte, values *mapreduce.Values, emit mapreduce.Emit) error {
+	opts := ctx.Side("opts").(Options)
+	heap := newPairHeap(opts.K)
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		p, err := DecodePair(v)
+		if err != nil {
+			return err
+		}
+		heap.push(p)
+	}
+	for _, p := range heap.sorted() {
+		emit(nil, EncodePair(p))
+	}
+	return nil
 }
 
 // slabReduce plane-sweeps one slab: R objects against the slab's S

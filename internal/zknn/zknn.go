@@ -123,44 +123,17 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 
 	// ---- Job 1: route shifted copies to ranges, harvest candidates -----
 	partialFile := outFile + ".partial"
-	job := &mapreduce.Job{
-		Name:        "zknn-candidates",
-		Input:       []string{rFile, sFile},
-		Output:      partialFile,
-		NumReducers: opts.Shifts * nRanges,
-		Partition:   mapreduce.Uint32Partition,
-		Side:        map[string]any{"q": q, "shifts": shifts, "boundaries": boundaries, "opts": opts},
-		Map: func(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
-			q := ctx.Side("q").(*quantizer)
-			shifts := ctx.Side("shifts").([][]float64)
-			boundaries := ctx.Side("boundaries").([][]uint64)
-			t, err := codec.DecodeTagged(rec)
-			if err != nil {
-				return err
-			}
-			for i := range shifts {
-				z := q.Z(t.Point, shifts[i])
-				rg := rangeOf(z, boundaries[i])
-				key := i*len(boundaries[i]) + i + rg // shift-major reducer id
-				emit(codec.Uint32Key(uint32(key)), encodeZ(i, z, rec))
-				if t.Src == codec.FromS {
-					ctx.Counter("replicas_s", 1)
-					// Replicate boundary-adjacent S copies so every r sees
-					// its full z-neighborhood despite the range split.
-					if rg > 0 {
-						emit(codec.Uint32Key(uint32(key-1)), encodeZ(i, z, rec))
-						ctx.Counter("replicas_s", 1)
-					}
-					if rg < len(boundaries[i]) {
-						emit(codec.Uint32Key(uint32(key+1)), encodeZ(i, z, rec))
-						ctx.Counter("replicas_s", 1)
-					}
-				}
-			}
-			return nil
-		},
-		Reduce: candidateReduce,
-	}
+	job := candidateKind.New(candidateSpec{
+		RFile:      rFile,
+		SFile:      sFile,
+		Output:     partialFile,
+		Min:        min,
+		Max:        max,
+		ShiftPad:   shiftPad,
+		Shifts:     shifts,
+		Boundaries: boundaries,
+		Opts:       opts,
+	})
 	start := time.Now()
 	js, err := cluster.Run(job)
 	if err != nil {
@@ -188,6 +161,72 @@ func Run(cluster *mapreduce.Cluster, rFile, sFile, outFile string, opts Options)
 	report.SimMakespan += ms.SimMapMakespan + ms.SimReduceMakespan
 	report.OutputPairs = ms.Counters["result_pairs"]
 	return report, nil
+}
+
+// candidateSpec rebuilds the candidate job in a worker process. The
+// quantizer is carried as its construction inputs (min, max, shiftPad)
+// because newQuantizer derives the rest deterministically.
+type candidateSpec struct {
+	RFile, SFile string
+	Output       string
+	Min, Max     []float64
+	ShiftPad     float64
+	Shifts       [][]float64
+	Boundaries   [][]uint64
+	Opts         Options
+}
+
+var candidateKind = mapreduce.DefineKind("zknn-candidates", buildCandidateJob)
+
+func buildCandidateJob(s candidateSpec) *mapreduce.Job {
+	nRanges := len(s.Boundaries[0]) + 1
+	return &mapreduce.Job{
+		Name:        "zknn-candidates",
+		Input:       []string{s.RFile, s.SFile},
+		Output:      s.Output,
+		NumReducers: s.Opts.Shifts * nRanges,
+		Partition:   mapreduce.Uint32Partition,
+		Side: map[string]any{
+			"q":          newQuantizer(s.Min, s.Max, s.ShiftPad),
+			"shifts":     s.Shifts,
+			"boundaries": s.Boundaries,
+			"opts":       s.Opts,
+		},
+		Map:    candidateMap,
+		Reduce: candidateReduce,
+	}
+}
+
+// candidateMap emits one shifted copy per α to its curve range, with
+// boundary-adjacent replication on the S side.
+func candidateMap(ctx *mapreduce.TaskContext, rec dfs.Record, emit mapreduce.Emit) error {
+	q := ctx.Side("q").(*quantizer)
+	shifts := ctx.Side("shifts").([][]float64)
+	boundaries := ctx.Side("boundaries").([][]uint64)
+	t, err := codec.DecodeTagged(rec)
+	if err != nil {
+		return err
+	}
+	for i := range shifts {
+		z := q.Z(t.Point, shifts[i])
+		rg := rangeOf(z, boundaries[i])
+		key := i*len(boundaries[i]) + i + rg // shift-major reducer id
+		emit(codec.Uint32Key(uint32(key)), encodeZ(i, z, rec))
+		if t.Src == codec.FromS {
+			ctx.Counter("replicas_s", 1)
+			// Replicate boundary-adjacent S copies so every r sees
+			// its full z-neighborhood despite the range split.
+			if rg > 0 {
+				emit(codec.Uint32Key(uint32(key-1)), encodeZ(i, z, rec))
+				ctx.Counter("replicas_s", 1)
+			}
+			if rg < len(boundaries[i]) {
+				emit(codec.Uint32Key(uint32(key+1)), encodeZ(i, z, rec))
+				ctx.Counter("replicas_s", 1)
+			}
+		}
+	}
+	return nil
 }
 
 // candidateReduce sorts one curve range and emits, for every r in it, the

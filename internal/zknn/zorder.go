@@ -84,7 +84,7 @@ func (q *quantizer) Z(p vector.Point, shift []float64) uint64 {
 	var z uint64
 	for d := 0; d < dims; d++ {
 		v := p[d]
-		if shift != nil {
+		if len(shift) > 0 {
 			v += shift[d]
 		}
 		c := q.cell(d, v)

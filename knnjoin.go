@@ -226,6 +226,16 @@ type Options struct {
 	// z-order windows) ignore it — their inner loops are not block
 	// scans — as does the centralized BruteForce verification baseline.
 	Kernel Kernel
+	// Workers, when positive, executes the MapReduce jobs on that many
+	// separate worker processes coordinated over RPC instead of the
+	// in-process engine. Results are byte-identical either way. The
+	// program's main (or TestMain) must call RunWorkerIfSpawned first
+	// so re-executions of the binary can serve as workers.
+	Workers int
+	// Faults is an optional deterministic fault-injection plan applied
+	// to the worker processes — testing hook; nil injects nothing.
+	// Only meaningful with Workers > 0.
+	Faults *FaultPlan
 }
 
 func (o Options) withDefaults(rSize int) (Options, error) {
@@ -354,6 +364,7 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, ChunkRecords: opts.ChunkRecords,
 		SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+		Workers: opts.Workers, Faults: opts.Faults,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
@@ -449,6 +460,10 @@ type RangeOptions struct {
 	// Kernel selects the reduce-side distance scan tier (see
 	// Options.Kernel); results are identical for every tier.
 	Kernel Kernel
+	// Workers runs the jobs on worker processes (see Options.Workers).
+	Workers int
+	// Faults is the worker fault-injection plan (see Options.Faults).
+	Faults *FaultPlan
 }
 
 // RangeJoin computes the θ-range join of r and s on the emulated
@@ -478,6 +493,7 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 	}
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+		Workers: opts.Workers, Faults: opts.Faults,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
@@ -525,6 +541,10 @@ type PairOptions struct {
 	SpillDir string
 	// MemLimit bounds resident shuffle bytes (see Options.MemLimit).
 	MemLimit int64
+	// Workers runs the jobs on worker processes (see Options.Workers).
+	Workers int
+	// Faults is the worker fault-injection plan (see Options.Faults).
+	Faults *FaultPlan
 }
 
 // ClosestPairs finds the k closest (r, s) pairs of R × S on the emulated
@@ -545,6 +565,7 @@ func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
 	}
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
+		Workers: opts.Workers, Faults: opts.Faults,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
