@@ -10,7 +10,7 @@
 //
 //  2. In the API-bearing packages — the module root and the runtime core
 //     under internal/ (mapreduce, driver, dfs, codec, vector, grouping,
-//     serve, vindex, planner) — every exported identifier has a doc comment:
+//     serve, vindex, planner, shard) — every exported identifier has a doc comment:
 //     functions, methods
 //     with exported receivers, types, and const/var declarations (a doc
 //     comment on the enclosing const/var block covers its members, the
@@ -48,6 +48,7 @@ var exportedDocDirs = map[string]bool{
 	"internal/serve":     true,
 	"internal/vindex":    true,
 	"internal/planner":   true,
+	"internal/shard":     true,
 }
 
 // problem is one finding: a location and what is missing there. line

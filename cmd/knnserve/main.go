@@ -8,6 +8,12 @@
 //	knnserve -index pts.idx -addr :8080
 //	knnserve -data pts.csv -pivots 200 -addr :8080
 //	knnserve -index pts.idx -workers 8 -cache 4096
+//	knnserve -index pts.idx -shards 4 -replicas 2
+//
+// With -shards N the process becomes the router of a sharded cluster:
+// it re-executes itself N×R times, each child serving a subset of the
+// index's Voronoi cells, and answers the same endpoints with responses
+// byte-identical to the single-process server (see internal/shard).
 //
 // Endpoints:
 //
@@ -34,11 +40,15 @@ import (
 	"knnjoin/internal/dataset"
 	"knnjoin/internal/pivot"
 	"knnjoin/internal/serve"
+	"knnjoin/internal/shard"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
 )
 
 func main() {
+	// Children of -shards mode re-enter this binary; this turns them
+	// into shard replicas and never returns for them.
+	shard.RunShardIfSpawned()
 	if err := run(context.Background(), os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "knnserve:", err)
 		os.Exit(1)
@@ -62,11 +72,19 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	cacheSize := fs.Int("cache", 1024, "LRU result cache entries (0 disables)")
 	maxBatch := fs.Int("max-batch", 1024, "maximum queries per /knn/batch request")
 	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
+	shards := fs.Int("shards", 0, "serve as a sharded cluster of this many shard processes (0 = single process)")
+	replicas := fs.Int("replicas", 1, "with -shards: replica processes per shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*idxPath == "") == (*data == "") {
 		return fmt.Errorf("need exactly one of -index or -data")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
 	}
 	kernel, err := vector.ParseKernel(*kernelName)
 	if err != nil {
@@ -113,9 +131,45 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	if *cacheSize == 0 {
 		*cacheSize = -1
 	}
-	s := serve.New(ix, source, serve.Config{
-		Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch, Kernel: kernel,
-	})
+	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch, Kernel: kernel}
+
+	var s *serve.Server
+	if *shards > 0 {
+		// The shard replicas load their cell subsets from a file; an
+		// index built from -data is persisted first so they can.
+		path := *idxPath
+		if path == "" {
+			f, err := os.CreateTemp("", "knnserve-*.idx")
+			if err != nil {
+				return err
+			}
+			if err := ix.Save(f); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return err
+			}
+			if err := f.Close(); err != nil {
+				os.Remove(f.Name())
+				return err
+			}
+			path = f.Name()
+			defer os.Remove(path)
+		}
+		cluster, err := shard.StartCluster(shard.ClusterConfig{
+			IndexPath: path, Shards: *shards, Replicas: *replicas, Kernel: kernel,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		router := shard.NewRouter(cluster, shard.RouterConfig{ProbeInterval: time.Second})
+		defer router.Close()
+		cfg.Loader = router.Loader
+		s = serve.NewBackend(router, path, cfg)
+		fmt.Fprintf(os.Stderr, "knnserve: routing over %d shards × %d replicas\n", *shards, *replicas)
+	} else {
+		s = serve.New(ix, source, cfg)
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)

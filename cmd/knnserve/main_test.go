@@ -12,7 +12,15 @@ import (
 
 	"knnjoin/internal/dataset"
 	"knnjoin/internal/serve"
+	"knnjoin/internal/shard"
 )
+
+// TestMain lets -shards tests re-exec this test binary as shard
+// replicas, mirroring main().
+func TestMain(m *testing.M) {
+	shard.RunShardIfSpawned()
+	os.Exit(m.Run())
+}
 
 func writeTestCSV(t *testing.T) string {
 	t.Helper()
@@ -37,6 +45,8 @@ func TestFlagValidation(t *testing.T) {
 		{"-data", "/nonexistent.csv"},
 		{"-data", "x.csv", "-metric", "cosine"},
 		{"-data", "x.csv", "-pivot-strategy", "psychic"},
+		{"-index", "a.idx", "-shards", "-1"},  // negative shard count
+		{"-index", "a.idx", "-replicas", "0"}, // replicas below 1
 	} {
 		if err := run(ctx, args, nil); err == nil {
 			t.Errorf("run(%v): expected error", args)
@@ -61,6 +71,69 @@ func TestServeFromCSVEndToEnd(t *testing.T) {
 	case err := <-done:
 		t.Fatalf("server exited before ready: %v", err)
 	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Objects != 400 {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	resp, err = http.Post("http://"+addr+"/knn", "application/json",
+		strings.NewReader(`{"point":[50,50,50],"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr serve.KNNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(kr.Neighbors) != 5 {
+		t.Fatalf("knn status %d, %d neighbors", resp.StatusCode, len(kr.Neighbors))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeShardedEndToEnd boots -shards mode from a CSV: the router
+// spawns shard replicas of this test binary and the endpoints answer
+// over the fanned-out index.
+func TestServeShardedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns shard processes")
+	}
+	csv := writeTestCSV(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-data", csv, "-addr", "127.0.0.1:0", "-pivots", "20",
+			"-shards", "2", "-replicas", "2"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
 		t.Fatal("server never became ready")
 	}
 

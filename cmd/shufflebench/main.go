@@ -23,7 +23,12 @@
 //     engine versus the in-process engine on one kNN self-join — wall time
 //     and shuffle volume at 1/2/3 worker processes plus a recovery row
 //     where a worker is killed mid-join, every row verified byte-identical
-//     to the in-process result.
+//     to the in-process result;
+//   - "shards" (BENCH_shards.json): the sharded serving tier — aggregate
+//     QPS, p50/p99 and shards-contacted-per-query at 1/2/4 shard
+//     processes, plus a recovery row where one replica per shard is
+//     killed mid-stream, every response verified byte-identical to the
+//     single-node server.
 //
 // Usage:
 //
@@ -36,6 +41,8 @@
 //	shufflebench -suite plan -out BENCH_plan.json
 //	shufflebench -suite plan -plan-n 1500         # CI-sized plan suite
 //	shufflebench -suite cluster -out BENCH_cluster.json
+//	shufflebench -suite shards -out BENCH_shards.json
+//	shufflebench -suite shards -shards-n 1500 -requests 400   # CI-sized
 //	shufflebench -benchtime 50                    # inner iterations per measurement
 package main
 
@@ -49,6 +56,7 @@ import (
 	"knnjoin"
 	"knnjoin/internal/benchjobs"
 	"knnjoin/internal/mapreduce"
+	"knnjoin/internal/shard"
 	"knnjoin/internal/stats"
 )
 
@@ -183,7 +191,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("shufflebench", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	iters := fs.Int("benchtime", 10, "inner iterations per measurement")
-	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve | plan | cluster")
+	suite := fs.String("suite", "shuffle", "benchmark suite: shuffle | spill | serve | plan | cluster | shards")
 	memLimitFlag := fs.String("mem-limit", "256K", "spill suite: resident shuffle budget")
 	spillDir := fs.String("spill-dir", "", "spill suite: run-file directory (default: a temp dir)")
 	clients := fs.Int("clients", 8, "serve suite: concurrent load-generator clients")
@@ -194,6 +202,7 @@ func run(args []string) error {
 	planReps := fs.Int("plan-reps", 2, "plan suite: runs per configuration (fastest kept)")
 	clusterN := fs.Int("cluster-n", 1500, "cluster suite: objects in the self-join workload")
 	clusterNodes := fs.Int("cluster-nodes", 4, "cluster suite: simulated cluster nodes")
+	shardsN := fs.Int("shards-n", 6000, "shards suite: objects in the clustered index")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -230,8 +239,13 @@ func run(args []string) error {
 			return fmt.Errorf("cluster suite needs -cluster-n ≥ 100, -k ≥ 1, -cluster-nodes ≥ 1")
 		}
 		report, err = runClusterSuite(*clusterN, *k, *clusterNodes)
+	case "shards":
+		if *shardsN < 200 || *k < 1 || *requests < 32 {
+			return fmt.Errorf("shards suite needs -shards-n ≥ 200, -k ≥ 1, -requests ≥ 32")
+		}
+		report, err = runShardsSuite(*shardsN, *requests, *k)
 	default:
-		return fmt.Errorf("unknown suite %q (want shuffle, spill, serve, plan or cluster)", *suite)
+		return fmt.Errorf("unknown suite %q (want shuffle, spill, serve, plan, cluster or shards)", *suite)
 	}
 	if err != nil {
 		return err
@@ -250,8 +264,11 @@ func run(args []string) error {
 }
 
 func main() {
-	// The cluster suite re-executes this binary as worker processes.
+	// The cluster suite re-executes this binary as worker processes, and
+	// the shards suite as shard replicas; both hooks are env-gated no-ops
+	// in the parent.
 	knnjoin.RunWorkerIfSpawned()
+	shard.RunShardIfSpawned()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "shufflebench:", err)
 		os.Exit(1)

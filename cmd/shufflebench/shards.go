@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/serve"
+	"knnjoin/internal/shard"
+	"knnjoin/internal/stats"
+	"knnjoin/internal/vindex"
+)
+
+// ShardsResult is one sharded-serving measurement in BENCH_shards.json.
+type ShardsResult struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	Replicas      int     `json:"replicas"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// AvgShardsContacted is the router's mean distinct-shards-per-query:
+	// below Shards means the Theorem-1/2 bounds pruned whole shards.
+	AvgShardsContacted float64 `json:"avg_shards_contacted"`
+	// ScanRPCs counts delegated scan calls; Failovers replica failover
+	// transitions (non-zero only in the recovery row).
+	ScanRPCs  int64 `json:"scan_rpcs"`
+	Failovers int64 `json:"failovers"`
+	// Verified is true when every response was byte-identical to the
+	// single-node server's answer (rows fail hard otherwise).
+	Verified bool `json:"verified"`
+}
+
+// ShardsReport is the top-level BENCH_shards.json document.
+type ShardsReport struct {
+	Suite        string         `json:"suite"`
+	IndexObjects int            `json:"index_objects"`
+	Dim          int            `json:"dim"`
+	K            int            `json:"k"`
+	QueryPool    int            `json:"query_pool"`
+	Results      []ShardsResult `json:"results"`
+}
+
+// shardsWorkload is a clustered dataset (where shard pruning has
+// teeth), its saved index file, and the single-node ground-truth bytes
+// every sharded response must reproduce.
+type shardsWorkload struct {
+	idxPath string
+	ix      *vindex.Index
+	bodies  []string
+	want    [][]byte
+	k       int
+	cleanup func()
+}
+
+func newShardsWorkload(objects, pool, k int) (*shardsWorkload, error) {
+	const dim, clusters = 4, 8
+	objs := dataset.Gaussian(objects, dim, clusters, 0.04, 100, 17)
+	ix, err := vindex.Build(objs, vindex.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "shardsbench-*")
+	if err != nil {
+		return nil, err
+	}
+	w := &shardsWorkload{ix: ix, k: k, cleanup: func() { os.RemoveAll(dir) }}
+	w.idxPath = filepath.Join(dir, "bench.idx")
+	f, err := os.Create(w.idxPath)
+	if err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		w.cleanup()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < pool; i++ {
+		q := objs[rng.Intn(len(objs))].Point.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * 2
+		}
+		res, st := ix.KNNWithStats(q, k)
+		body, err := json.Marshal(serve.KNNRequest{Point: q, K: k})
+		if err != nil {
+			w.cleanup()
+			return nil, err
+		}
+		want, err := serve.MarshalKNN(res, st)
+		if err != nil {
+			w.cleanup()
+			return nil, err
+		}
+		w.bodies = append(w.bodies, string(body))
+		w.want = append(w.want, want)
+	}
+	return w, nil
+}
+
+// drive fires requests kNN queries from clients goroutines at url,
+// hard-failing on any response that is not byte-identical to the
+// single-node ground truth, and returns per-request latencies (ms).
+func (w *shardsWorkload) drive(url string, clients, requests int) ([]float64, error) {
+	perClient := requests / clients
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 300))
+			lat := make([]float64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				qi := rng.Intn(len(w.bodies))
+				t0 := time.Now()
+				resp, err := http.Post(url+"/knn", "application/json", strings.NewReader(w.bodies[qi]))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, w.want[qi]) {
+					errs[c] = fmt.Errorf("client %d query %d: sharded response not byte-identical to single-node", c, qi)
+					return
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	return all, nil
+}
+
+// measureShardRow starts a cluster, drives the workload through a
+// serve.Server over the router, and reports the row.
+func (w *shardsWorkload) measureShardRow(name string, shards, replicas, clients, requests int, plan *shard.FaultPlan, rcfg shard.RouterConfig) (ShardsResult, error) {
+	cluster, err := shard.StartCluster(shard.ClusterConfig{
+		IndexPath: w.idxPath, Shards: shards, Replicas: replicas, Faults: plan,
+	})
+	if err != nil {
+		return ShardsResult{}, err
+	}
+	defer cluster.Close()
+	router := shard.NewRouter(cluster, rcfg)
+	defer router.Close()
+	// Cache off: the subject is routing, not the result cache.
+	s := serve.NewBackend(router, w.idxPath, serve.Config{CacheSize: -1, Loader: router.Loader})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	lat, err := w.drive(ts.URL, clients, requests)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ShardsResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	rst := router.Stats()
+	return ShardsResult{
+		Name:               name,
+		Shards:             shards,
+		Replicas:           replicas,
+		Clients:            clients,
+		Requests:           len(lat),
+		ThroughputRPS:      float64(len(lat)) / elapsed.Seconds(),
+		P50Ms:              stats.Quantile(lat, 0.50),
+		P99Ms:              stats.Quantile(lat, 0.99),
+		AvgShardsContacted: rst.AvgShardsContacted,
+		ScanRPCs:           rst.ScanRPCs,
+		Failovers:          rst.Failovers,
+		Verified:           true, // drive fails hard otherwise
+	}, nil
+}
+
+func runShardsSuite(objects, requests, k int) (*ShardsReport, error) {
+	pool := requests / 4
+	if pool < 8 {
+		pool = 8
+	}
+	w, err := newShardsWorkload(objects, pool, k)
+	if err != nil {
+		return nil, err
+	}
+	defer w.cleanup()
+	report := &ShardsReport{
+		Suite:        "knnserve-shards",
+		IndexObjects: w.ix.Len(),
+		Dim:          w.ix.Dim(),
+		K:            k,
+		QueryPool:    pool,
+	}
+	const clients = 4
+
+	// Shard-count ladder: aggregate QPS and shards-contacted versus
+	// shard count, every response pinned to the single-node bytes.
+	for _, shards := range []int{1, 2, 4} {
+		row, err := w.measureShardRow(fmt.Sprintf("knn/shards=%d", shards),
+			shards, 1, clients, requests, nil, shard.RouterConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if shards > 1 && row.AvgShardsContacted >= float64(shards) {
+			return nil, fmt.Errorf("%s: routing never pruned a shard (avg contacted %.2f of %d)",
+				row.Name, row.AvgShardsContacted, shards)
+		}
+		report.Results = append(report.Results, row)
+	}
+
+	// Recovery row: one replica of every shard is killed mid-stream;
+	// byte-identity must hold through the failover.
+	plan := &shard.FaultPlan{Events: []shard.FaultEvent{
+		{Shard: 0, Replica: 0, AfterScans: requests / 8, Action: shard.FaultKill},
+		{Shard: 1, Replica: 0, AfterScans: requests / 8, Action: shard.FaultKill},
+	}}
+	row, err := w.measureShardRow("knn/shards=2/kill-one-replica",
+		2, 2, clients, requests, plan, shard.RouterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if row.Failovers == 0 {
+		return nil, fmt.Errorf("recovery row: fault plan fired no failovers")
+	}
+	report.Results = append(report.Results, row)
+	return report, nil
+}

@@ -7,6 +7,7 @@ package nnheap
 
 import (
 	"container/heap"
+	"fmt"
 	"sort"
 )
 
@@ -107,6 +108,39 @@ func (h *KHeap) AppendSorted(dst []Candidate) []Candidate {
 // Reset empties the heap, retaining capacity, so reducers can reuse one
 // allocation per joined object.
 func (h *KHeap) Reset() { h.items = h.items[:0] }
+
+// Items returns a copy of the retained candidates in the heap's INTERNAL
+// array order (not sorted). Together with RestoreKHeap it transfers the
+// exact heap state across a process boundary: when several retained
+// candidates share the k-th-best distance, which of them a later Push
+// evicts depends on the internal array order, so a reconstruction that
+// re-pushed the candidates as a set could diverge from the original
+// under distance ties. Round-tripping the array verbatim cannot.
+func (h *KHeap) Items() []Candidate {
+	return append([]Candidate(nil), h.items...)
+}
+
+// RestoreKHeap reconstructs the heap whose Items call produced items,
+// byte-for-byte: same bound k, same internal array order. It rejects
+// states no KHeap can reach (more than k candidates, or an array
+// violating the max-heap invariant), which guards the cross-process
+// callers against corrupted or hand-rolled wire data.
+func RestoreKHeap(k int, items []Candidate) (*KHeap, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("nnheap: RestoreKHeap: k must be positive, got %d", k)
+	}
+	if len(items) > k {
+		return nil, fmt.Errorf("nnheap: RestoreKHeap: %d candidates exceed k=%d", len(items), k)
+	}
+	for i := 1; i < len(items); i++ {
+		if items[(i-1)/2].Dist < items[i].Dist {
+			return nil, fmt.Errorf("nnheap: RestoreKHeap: max-heap invariant violated at index %d", i)
+		}
+	}
+	h := &KHeap{k: k, items: make([]Candidate, 0, k)}
+	h.items = append(h.items, items...)
+	return h, nil
+}
 
 func (h *KHeap) up(i int) {
 	for i > 0 {

@@ -32,10 +32,73 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knnjoin/internal/codec"
 	"knnjoin/internal/nnheap"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
 )
+
+// Backend is the query engine a Server fronts. The single-node backend
+// is a *vindex.Index (wrapped to add the error results an in-process
+// index can never produce); the sharded backend is internal/shard's
+// router. Every handler, validation message, cache and marshaling path
+// in this package is shared by all backends, which is what makes
+// "sharded responses are byte-identical to single-node responses" a
+// structural property: only the three query calls differ.
+//
+// The query methods must be safe for concurrent use and must match
+// vindex semantics exactly: KNN results ascending by distance (ties by
+// ID), range results in ascending ID order, Stats accounted per query.
+type Backend interface {
+	// KNNWithStats answers one kNN query.
+	KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error)
+	// KNNBatchWithStats answers len(qs) queries; results[i] and stats[i]
+	// must equal a KNNWithStats(qs[i], ks[i]) call's.
+	KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error)
+	// RangeWithStats answers one range query.
+	RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error)
+	// Len, Dim and NumPartitions describe the indexed dataset.
+	Len() int
+	// Dim is the dimensionality of the indexed points.
+	Dim() int
+	// NumPartitions is the pivot count.
+	NumPartitions() int
+	// Kernel reports the active distance scan tier.
+	Kernel() vector.Kernel
+}
+
+// kernelSetter is implemented by backends whose scan tier the server
+// can re-resolve when a snapshot is taken (the single-node index).
+// Backends without it — the sharded router, whose shard processes fix
+// their kernel at spawn — keep their own.
+type kernelSetter interface {
+	SetKernel(vector.Kernel)
+}
+
+// indexBackend adapts *vindex.Index to Backend: an in-process index
+// cannot fail a query, so the adapter adds nil errors to the embedded
+// index's own methods.
+type indexBackend struct{ *vindex.Index }
+
+func (b indexBackend) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+	res, st := b.Index.KNNWithStats(q, k)
+	return res, st, nil
+}
+
+func (b indexBackend) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+	res, sts := b.Index.KNNBatchWithStats(qs, ks)
+	return res, sts, nil
+}
+
+func (b indexBackend) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+	res, st := b.Index.RangeWithStats(q, radius)
+	return res, st, nil
+}
+
+// errBackend marks a query failure originating in the backend (an
+// unreachable shard, say) rather than in response marshaling, so the
+// handlers can answer 502 instead of 500.
+var errBackend = errors.New("backend query failed")
 
 // Config sizes the server's bounded resources. The zero value picks
 // sensible defaults for every field.
@@ -58,8 +121,14 @@ type Config struct {
 	// Kernel selects the index's distance scan tier (see vector.Kernel);
 	// it is applied to every snapshot the server takes ownership of —
 	// the initial index and each /reload. The zero value keeps the fused
-	// float64 kernels.
+	// float64 kernels. Backends that fix their own tier (the sharded
+	// router) ignore it.
 	Kernel vector.Kernel
+	// Loader produces the backend /reload swaps in for a given index
+	// file path. Nil means the single-node default: vindex.LoadFile. The
+	// sharded router installs a loader that reloads every shard before
+	// swapping the routing table.
+	Loader func(path string) (Backend, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -81,11 +150,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// snapshot is one immutable serving generation: the index and the cache
-// of its results. Reload replaces the whole snapshot atomically, so a
-// query never mixes an old index with a new cache or vice versa.
+// snapshot is one immutable serving generation: the backend and the
+// cache of its results. Reload replaces the whole snapshot atomically,
+// so a query never mixes an old backend with a new cache or vice versa.
 type snapshot struct {
-	ix     *vindex.Index
+	be     Backend
 	cache  *lruCache // nil when caching is disabled
 	source string    // index file the snapshot came from ("" if built in-process)
 }
@@ -115,6 +184,11 @@ type Server struct {
 // (the index file path, or "" when built in-process); /reload without an
 // explicit path re-reads it.
 func New(ix *vindex.Index, source string, cfg Config) *Server {
+	return NewBackend(indexBackend{ix}, source, cfg)
+}
+
+// NewBackend is New for a non-index backend (the sharded router).
+func NewBackend(be Backend, source string, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -122,35 +196,50 @@ func New(ix *vindex.Index, source string, cfg Config) *Server {
 		start: time.Now(),
 		lat:   latencyRing{buf: make([]float64, cfg.LatencyWindow)},
 	}
-	s.snap.Store(newSnapshot(ix, source, cfg))
+	s.snap.Store(newSnapshot(be, source, cfg))
 	return s
 }
 
-func newSnapshot(ix *vindex.Index, source string, cfg Config) *snapshot {
-	// The server takes ownership of ix: applying the configured kernel
-	// tier mutates the index, which is safe here because the snapshot is
-	// not yet published and queries only ever see stored snapshots.
-	if ix.Kernel() != cfg.Kernel {
-		ix.SetKernel(cfg.Kernel)
+func newSnapshot(be Backend, source string, cfg Config) *snapshot {
+	// The server takes ownership of the backend: applying the configured
+	// kernel tier mutates the index, which is safe here because the
+	// snapshot is not yet published and queries only ever see stored
+	// snapshots. Backends that fix their own tier skip this.
+	if ks, ok := be.(kernelSetter); ok && be.Kernel() != cfg.Kernel {
+		ks.SetKernel(cfg.Kernel)
 	}
 	var cache *lruCache
 	if cfg.CacheSize > 0 {
 		cache = newLRU(cfg.CacheSize)
 	}
-	return &snapshot{ix: ix, cache: cache, source: source}
+	return &snapshot{be: be, cache: cache, source: source}
 }
 
 // Swap atomically replaces the serving snapshot with a new index (and a
 // fresh, empty result cache). In-flight queries finish on the snapshot
 // they loaded; new queries see the new index.
 func (s *Server) Swap(ix *vindex.Index, source string) {
-	s.snap.Store(newSnapshot(ix, source, s.cfg))
+	s.SwapBackend(indexBackend{ix}, source)
+}
+
+// SwapBackend is Swap for a non-index backend.
+func (s *Server) SwapBackend(be Backend, source string) {
+	s.snap.Store(newSnapshot(be, source, s.cfg))
 	s.reloads.Add(1)
 }
 
-// Index returns the current snapshot's index (for tests and tools; the
-// returned index is immutable).
-func (s *Server) Index() *vindex.Index { return s.snap.Load().ix }
+// Index returns the current snapshot's index when the backend is a
+// single-node index, nil otherwise (for tests and tools; the returned
+// index is immutable).
+func (s *Server) Index() *vindex.Index {
+	if ib, ok := s.snap.Load().be.(indexBackend); ok {
+		return ib.Index
+	}
+	return nil
+}
+
+// Backend returns the current snapshot's backend.
+func (s *Server) Backend() Backend { return s.snap.Load().be }
 
 // Handler returns the HTTP routing table:
 //
@@ -373,8 +462,11 @@ func (s *Server) queryKNN(snap *snapshot, q vector.Point, k int) ([]byte, bool, 
 		}
 	}
 	s.sem <- struct{}{}
-	res, st := snap.ix.KNNWithStats(q, k)
+	res, st, err := snap.be.KNNWithStats(q, k)
 	<-s.sem
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", errBackend, err)
+	}
 	s.distComps.Add(st.DistComputations)
 	body, err := MarshalKNN(res, st)
 	if err != nil {
@@ -386,13 +478,23 @@ func (s *Server) queryKNN(snap *snapshot, q vector.Point, k int) ([]byte, bool, 
 	return body, false, nil
 }
 
+// writeQueryErr maps a query failure to its status: backend failures
+// (only a remote backend can produce one) are 502, marshal failures 500.
+func (s *Server) writeQueryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBackend) {
+		s.writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
+}
+
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var req KNNRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	snap := s.snap.Load()
-	if err := validatePoint(req.Point, snap.ix.Dim()); err != nil {
+	if err := validatePoint(req.Point, snap.be.Dim()); err != nil {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -401,9 +503,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	body, _, err := s.queryKNN(snap, req.Point, clampK(req.K, snap.ix.Len()))
+	body, _, err := s.queryKNN(snap, req.Point, clampK(req.K, snap.be.Len()))
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
+		s.writeQueryErr(w, err)
 		return
 	}
 	s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
@@ -417,7 +519,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
-	if err := validatePoint(req.Point, snap.ix.Dim()); err != nil {
+	if err := validatePoint(req.Point, snap.be.Dim()); err != nil {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -427,8 +529,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	t0 := time.Now()
 	s.sem <- struct{}{}
-	objs, st := snap.ix.RangeWithStats(req.Point, req.Radius)
+	objs, st, qerr := snap.be.RangeWithStats(req.Point, req.Radius)
 	<-s.sem
+	if qerr != nil {
+		s.writeQueryErr(w, fmt.Errorf("%w: %v", errBackend, qerr))
+		return
+	}
 	s.distComps.Add(st.DistComputations)
 	resp := RangeResponse{Objects: make([]RangeObject, len(objs)), Stats: queryStats(st)}
 	for i, o := range objs {
@@ -462,7 +568,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// split a batch across index generations.
 	snap := s.snap.Load()
 	for i, q := range req.Queries {
-		if err := validatePoint(q.Point, snap.ix.Dim()); err != nil {
+		if err := validatePoint(q.Point, snap.be.Dim()); err != nil {
 			s.writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
 			return
 		}
@@ -488,7 +594,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		t0 := time.Now()
-		keys[i] = cacheKey(q.Point, clampK(q.K, snap.ix.Len()))
+		keys[i] = cacheKey(q.Point, clampK(q.K, snap.be.Len()))
 		if body, ok := snap.cache.get(keys[i]); ok {
 			s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
 			results[i] = body
@@ -507,11 +613,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ks := make([]int, len(chunk))
 			for x, i := range chunk {
 				pts[x] = req.Queries[i].Point
-				ks[x] = clampK(req.Queries[i].K, snap.ix.Len())
+				ks[x] = clampK(req.Queries[i].K, snap.be.Len())
 			}
 			s.sem <- struct{}{}
-			res, sts := snap.ix.KNNBatchWithStats(pts, ks)
+			res, sts, err := snap.be.KNNBatchWithStats(pts, ks)
 			<-s.sem
+			if err != nil {
+				qerr := fmt.Errorf("%w: %v", errBackend, err)
+				for _, i := range chunk {
+					queryErrs[i] = qerr
+				}
+				return
+			}
 			// Each query of the chunk waited the chunk's wall time for
 			// its answer, so that is its recorded latency.
 			elapsed := float64(time.Since(t0).Nanoseconds()) / 1e6
@@ -533,7 +646,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for i, err := range queryErrs {
 		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, "query %d: marshal response: %v", i, err)
+			if errors.Is(err, errBackend) {
+				s.writeErr(w, http.StatusBadGateway, "query %d: %v", i, err)
+			} else {
+				s.writeErr(w, http.StatusInternalServerError, "query %d: marshal response: %v", i, err)
+			}
 			return
 		}
 	}
@@ -563,14 +680,24 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			"no path given and the current snapshot was not loaded from a file")
 		return
 	}
-	ix, err := vindex.LoadFile(path)
+	loader := s.cfg.Loader
+	if loader == nil {
+		loader = func(path string) (Backend, error) {
+			ix, err := vindex.LoadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return indexBackend{ix}, nil
+		}
+	}
+	be, err := loader(path)
 	if err != nil {
 		s.writeErr(w, http.StatusUnprocessableEntity, "loading %s: %v", path, err)
 		return
 	}
-	s.Swap(ix, path)
+	s.SwapBackend(be, path)
 	body, _ := json.Marshal(ReloadResponse{
-		Objects: ix.Len(), Partitions: ix.NumPartitions(), Source: path,
+		Objects: be.Len(), Partitions: be.NumPartitions(), Source: path,
 	})
 	writeJSON(w, http.StatusOK, body)
 }
@@ -669,11 +796,11 @@ func (s *Server) Stats() StatsResponse {
 		DistComputations: s.distComps.Load(),
 		Reloads:          s.reloads.Load(),
 		Index: IndexInfo{
-			Objects:    snap.ix.Len(),
-			Partitions: snap.ix.NumPartitions(),
-			Dim:        snap.ix.Dim(),
+			Objects:    snap.be.Len(),
+			Partitions: snap.be.NumPartitions(),
+			Dim:        snap.be.Dim(),
 			Source:     snap.source,
-			Kernel:     snap.ix.Kernel().String(),
+			Kernel:     snap.be.Kernel().String(),
 		},
 	}
 	resp.LatencyMs.Count, resp.LatencyMs.P50, resp.LatencyMs.P90, resp.LatencyMs.P99 = s.lat.quantiles()
@@ -708,12 +835,12 @@ type HealthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	if snap == nil || snap.ix == nil {
+	if snap == nil || snap.be == nil {
 		s.writeErr(w, http.StatusServiceUnavailable, "no index loaded")
 		return
 	}
 	body, _ := json.Marshal(HealthResponse{
-		Status: "ok", Objects: snap.ix.Len(), Partitions: snap.ix.NumPartitions(),
+		Status: "ok", Objects: snap.be.Len(), Partitions: snap.be.NumPartitions(),
 	})
 	writeJSON(w, http.StatusOK, body)
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/nnheap"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
 )
@@ -108,9 +110,16 @@ func TestKNNBadInputs(t *testing.T) {
 		{"k zero", "/knn", `{"point":[1,2],"k":0}`},
 		{"k negative", "/knn", `{"point":[1,2],"k":-4}`},
 		{"non-numeric coordinate", "/knn", `{"point":[1,"x"],"k":3}`},
+		{"range malformed json", "/range", `{"point":`},
+		{"range empty point", "/range", `{"point":[],"radius":5}`},
 		{"range negative radius", "/range", `{"point":[1,2],"radius":-1}`},
+		{"range non-numeric radius", "/range", `{"point":[1,2],"radius":"x"}`},
 		{"range dim mismatch", "/range", `{"point":[1],"radius":5}`},
+		{"batch malformed json", "/knn/batch", `{"queries":`},
 		{"empty batch", "/knn/batch", `{"queries":[]}`},
+		{"batch member k zero", "/knn/batch", `{"queries":[{"point":[1,2],"k":0}]}`},
+		{"batch member k negative", "/knn/batch", `{"queries":[{"point":[1,2],"k":-3}]}`},
+		{"batch member empty point", "/knn/batch", `{"queries":[{"point":[],"k":1}]}`},
 		{"oversized batch", "/knn/batch",
 			`{"queries":[{"point":[1,2],"k":1},{"point":[1,2],"k":1},{"point":[1,2],"k":1},{"point":[1,2],"k":1},{"point":[1,2],"k":1}]}`},
 		{"batch bad member", "/knn/batch", `{"queries":[{"point":[1,2],"k":1},{"point":[1,2,9],"k":1}]}`},
@@ -548,5 +557,46 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	close(errCh)
 	for msg := range errCh {
 		t.Fatal(msg)
+	}
+}
+
+// failingBackend delegates metadata to a real backend but fails every
+// query — the sharded router's failure mode (all replicas of a shard
+// down) — pinning the handlers' 502 mapping for backend errors.
+type failingBackend struct{ Backend }
+
+var errBoom = errors.New("all replicas down")
+
+func (f failingBackend) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+	return nil, vindex.Stats{}, errBoom
+}
+
+func (f failingBackend) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+	return nil, nil, errBoom
+}
+
+func (f failingBackend) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+	return nil, vindex.Stats{}, errBoom
+}
+
+func TestBackendErrorsAnswer502(t *testing.T) {
+	ix := buildIndex(t, dataset.Uniform(100, 2, 10, 3))
+	s := NewBackend(failingBackend{indexBackend{ix}}, "", Config{CacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, c := range []struct{ name, path, body string }{
+		{"knn", "/knn", `{"point":[1,2],"k":3}`},
+		{"range", "/range", `{"point":[1,2],"radius":5}`},
+		{"batch", "/knn/batch", `{"queries":[{"point":[1,2],"k":1}]}`},
+	} {
+		code, body := post(t, ts, c.path, c.body)
+		if code != http.StatusBadGateway {
+			t.Errorf("%s: status %d (%s), want 502", c.name, code, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "all replicas down") {
+			t.Errorf("%s: error body %q does not surface the backend failure", c.name, body)
+		}
 	}
 }

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"knnjoin/internal/vindex"
+)
+
+// AssignCells groups an index's Voronoi cells into n shards,
+// deterministically, optimizing for the router's access pattern: the
+// walk visits cells in ascending query–pivot distance, so cells that
+// are CLOSE TO EACH OTHER tend to be consecutive in visit order, and
+// co-locating them on one shard turns many small scan RPCs into few
+// large ones (and keeps shards-contacted-per-query below the shard
+// count on clustered data). It returns owner (cell → shard) and the
+// per-shard cell lists (ascending).
+//
+// The grouping is a capacity-bounded greedy k-center: shard centers are
+// chosen by farthest-first traversal over the pivots (maximally spread,
+// deterministic ties by index), then cells are placed — largest object
+// count first — on the nearest center with remaining object capacity.
+// The capacity (20% above a perfectly even split) keeps a hot region
+// from landing entirely on one shard.
+func AssignCells(ix *vindex.Index, n int) (owner []int, cells [][]int) {
+	pivots := ix.Pivots()
+	m := ix.Metric()
+	numCells := len(pivots)
+	if n < 1 {
+		n = 1
+	}
+	// More shards than cells leaves the surplus shards empty (they are
+	// spawned but never contacted).
+	want := n
+	if n > numCells {
+		n = numCells
+	}
+
+	// Farthest-first centers: start at cell 0, then repeatedly take the
+	// pivot farthest from every chosen center (ties by lower index).
+	centers := make([]int, 0, n)
+	minDist := make([]float64, numCells)
+	for j := range minDist {
+		minDist[j] = math.Inf(1)
+	}
+	next := 0
+	for len(centers) < n {
+		centers = append(centers, next)
+		best, bestD := -1, math.Inf(-1)
+		for j := 0; j < numCells; j++ {
+			if d := m.Dist(pivots[j], pivots[next]); d < minDist[j] {
+				minDist[j] = d
+			}
+			if minDist[j] > bestD {
+				best, bestD = j, minDist[j]
+			}
+		}
+		next = best
+	}
+
+	// Place cells largest-first on the nearest center with capacity.
+	total := 0
+	order := make([]int, numCells)
+	for j := range order {
+		order[j] = j
+		total += ix.PartitionLen(j)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := ix.PartitionLen(order[a]), ix.PartitionLen(order[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	capacity := (total*6/5)/n + 1
+	load := make([]int, n)
+	owner = make([]int, numCells)
+	for _, j := range order {
+		cnt := ix.PartitionLen(j)
+		best, bestD := -1, math.Inf(1)
+		fallback, fallbackLoad := 0, math.MaxInt
+		for s, c := range centers {
+			d := m.Dist(pivots[j], pivots[c])
+			if load[s]+cnt <= capacity && d < bestD {
+				best, bestD = s, d
+			}
+			if load[s] < fallbackLoad {
+				fallback, fallbackLoad = s, load[s]
+			}
+		}
+		if best < 0 {
+			best = fallback // every shard over capacity: least-loaded wins
+		}
+		owner[j] = best
+		load[best] += cnt
+	}
+
+	cells = make([][]int, want)
+	for j, s := range owner {
+		cells[s] = append(cells[s], j)
+	}
+	return owner, cells
+}

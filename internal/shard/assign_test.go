@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"knnjoin/internal/dataset"
+)
+
+func TestAssignCellsCoverageAndDeterminism(t *testing.T) {
+	ix := buildIndex(t, dataset.Gaussian(1000, 3, 6, 0.1, 100, 3))
+	numCells := ix.NumPartitions()
+
+	for _, n := range []int{1, 2, 3, 5} {
+		owner, cells := AssignCells(ix, n)
+		if len(owner) != numCells {
+			t.Fatalf("n=%d: owner covers %d cells, index has %d", n, len(owner), numCells)
+		}
+		if len(cells) != n {
+			t.Fatalf("n=%d: got %d shard lists", n, len(cells))
+		}
+		seen := make([]bool, numCells)
+		for s, list := range cells {
+			if !sort.IntsAreSorted(list) {
+				t.Fatalf("n=%d: shard %d cell list not ascending: %v", n, s, list)
+			}
+			for _, j := range list {
+				if owner[j] != s {
+					t.Fatalf("n=%d: cell %d in shard %d's list but owned by %d", n, j, s, owner[j])
+				}
+				if seen[j] {
+					t.Fatalf("n=%d: cell %d assigned twice", n, j)
+				}
+				seen[j] = true
+			}
+		}
+		for j, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: cell %d unassigned", n, j)
+			}
+		}
+
+		owner2, cells2 := AssignCells(ix, n)
+		if !reflect.DeepEqual(owner, owner2) || !reflect.DeepEqual(cells, cells2) {
+			t.Fatalf("n=%d: AssignCells is not deterministic", n)
+		}
+	}
+}
+
+func TestAssignCellsBalance(t *testing.T) {
+	ix := buildIndex(t, dataset.Gaussian(2000, 3, 4, 0.05, 100, 9))
+	const n = 4
+	_, cells := AssignCells(ix, n)
+	total := ix.Len()
+	capacity := (total*6/5)/n + 1
+
+	// Find the largest single cell: the capacity bound can only be
+	// exceeded by the least-loaded fallback, which adds at most one
+	// oversized cell past the limit.
+	maxCell := 0
+	for j := 0; j < ix.NumPartitions(); j++ {
+		if c := ix.PartitionLen(j); c > maxCell {
+			maxCell = c
+		}
+	}
+	for s, list := range cells {
+		load := 0
+		for _, j := range list {
+			load += ix.PartitionLen(j)
+		}
+		if load > capacity+maxCell {
+			t.Fatalf("shard %d holds %d objects, capacity %d (+%d slack)", s, load, capacity, maxCell)
+		}
+		if load == 0 {
+			t.Fatalf("shard %d is empty on clustered data", s)
+		}
+	}
+}
+
+func TestAssignCellsMoreShardsThanCells(t *testing.T) {
+	ix := buildIndex(t, dataset.Uniform(9, 2, 10, 1)) // few objects → few cells
+	n := ix.NumPartitions() + 3
+	owner, cells := AssignCells(ix, n)
+	if len(cells) != n {
+		t.Fatalf("asked for %d shards, got %d lists", n, len(cells))
+	}
+	for j, s := range owner {
+		if s < 0 || s >= n {
+			t.Fatalf("cell %d owned by out-of-range shard %d", j, s)
+		}
+	}
+	nonEmpty := 0
+	for _, list := range cells {
+		if len(list) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no shard owns any cell")
+	}
+}

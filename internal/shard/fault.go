@@ -1,0 +1,48 @@
+package shard
+
+// Deterministic fault injection for the serving tier, in the mold of
+// internal/mapreduce's FaultPlan: a plan is shipped to every shard
+// replica at spawn and evaluated at one fixed checkpoint — the arrival
+// of a /shard/scan request — never from timers or randomness, so a
+// failover scenario replays identically on every run. Because scans
+// are pure and replicas identical, the router's retry reproduces the
+// exact response the failed replica would have sent, which is what
+// lets the failover tests pin byte-identity against a healthy cluster.
+
+// FaultAction is what a triggered FaultEvent does to the shard replica.
+type FaultAction int
+
+// The actions. FaultKill exits the replica process immediately — the
+// crash-stop failure the router's replica retry must absorb.
+// FaultFreeze wedges the replica: the triggering request and every
+// later request (including /healthz) block forever, so the router sees
+// timeouts rather than refusals — the gray-failure case health probing
+// exists for.
+const (
+	FaultKill FaultAction = iota
+	FaultFreeze
+)
+
+// FaultEvent fires an action when a selected replica receives its N-th
+// scan request.
+type FaultEvent struct {
+	// Shard selects the shard by index; -1 matches any shard.
+	Shard int `json:"shard"`
+	// Replica selects the replica by index; -1 matches any replica.
+	Replica int `json:"replica"`
+	// AfterScans is the 1-based count of /shard/scan requests at whose
+	// arrival the event fires (before the scan executes, so the router
+	// observes a failed request, not a torn response).
+	AfterScans int `json:"after_scans"`
+	// Action is what happens when the event fires.
+	Action FaultAction `json:"action"`
+}
+
+// FaultPlan is a deterministic fault-injection script for a shard
+// cluster; each event fires at most once per replica process. A nil
+// plan injects nothing.
+type FaultPlan struct {
+	// Events are evaluated in order at every checkpoint; the first
+	// unfired match fires.
+	Events []FaultEvent `json:"events"`
+}

@@ -1,0 +1,14 @@
+package shard
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary serve as its own shard replica: cluster
+// tests re-exec it, and RunShardIfSpawned turns the child into a shard
+// server before any test runs.
+func TestMain(m *testing.M) {
+	RunShardIfSpawned()
+	os.Exit(m.Run())
+}

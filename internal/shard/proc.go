@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"knnjoin/internal/serve"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+// shardEnv carries a procConfig (JSON) into a spawned shard replica.
+// Replicas are re-executed copies of the parent binary, the same
+// re-exec idiom the MapReduce workers use; RunShardIfSpawned turns the
+// re-exec into a shard server before the program's own main logic.
+const shardEnv = "KNNJOIN_SHARD"
+
+// faultKillExitCode distinguishes fault-plan kills from crashes in
+// replica exit diagnostics (same value as the MapReduce workers').
+const faultKillExitCode = 3
+
+// procConfig is everything a shard replica needs, shipped via shardEnv.
+type procConfig struct {
+	// Index is the index file to load; Cells the owned Voronoi cells.
+	Index string `json:"index"`
+	Cells []int  `json:"cells"`
+	// Shard and Replica locate this process in the cluster (for fault
+	// matching and diagnostics).
+	Shard   int `json:"shard"`
+	Replica int `json:"replica"`
+	// Gen is the initial index generation number.
+	Gen int64 `json:"gen"`
+	// AddrFile is where the replica publishes its bound address.
+	AddrFile string `json:"addr_file"`
+	// Kernel names the distance scan tier (must match the router's
+	// single-node reference for byte-identity).
+	Kernel string `json:"kernel"`
+	// Faults is the deterministic fault-injection plan, if any.
+	Faults *FaultPlan `json:"faults,omitempty"`
+}
+
+// RunShardIfSpawned checks whether this process was spawned as a shard
+// replica and, if so, serves until killed — it never returns in that
+// case. Call it first thing in main (and in TestMain for test binaries
+// that start shard clusters); it is a no-op in ordinary processes.
+func RunShardIfSpawned() {
+	raw := os.Getenv(shardEnv)
+	if raw == "" {
+		return
+	}
+	var cfg procConfig
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shard: bad config: %v\n", err)
+		os.Exit(1)
+	}
+	if err := runShard(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shard %d replica %d: %v\n", cfg.Shard, cfg.Replica, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// shardProc is one shard replica: a serve.Server over the cell subset
+// (so the shard's own /knn, /range, /knn/batch, /healthz work
+// standalone, exact over the objects it holds) plus the /shard/scan,
+// /shard/range and /shard/reload walk-delegation endpoints the router
+// drives.
+type shardProc struct {
+	cfg    procConfig
+	kernel vector.Kernel
+	srv    *serve.Server
+
+	// gens maps generation → subset index. The two most recent
+	// generations are retained so router walks in flight across a
+	// /shard/reload finish on the generation they started with.
+	mu       sync.Mutex
+	gens     map[int64]*vindex.Index
+	genOrder []int64
+
+	scans  atomic.Int64
+	frozen atomic.Bool
+	fireMu sync.Mutex
+	fired  []bool
+}
+
+// loadSubset loads an index file and restricts it to the given cells.
+func loadSubset(path string, cells []int) (*vindex.Index, error) {
+	ix, err := vindex.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Subset(cells)
+}
+
+func runShard(cfg procConfig) error {
+	kernel, err := vector.ParseKernel(cfg.Kernel)
+	if err != nil {
+		return err
+	}
+	sub, err := loadSubset(cfg.Index, cfg.Cells)
+	if err != nil {
+		return err
+	}
+	p := &shardProc{cfg: cfg, kernel: kernel, gens: map[int64]*vindex.Index{}}
+	if cfg.Faults != nil {
+		p.fired = make([]bool, len(cfg.Faults.Events))
+	}
+	// serve.New applies the kernel tier to sub before publishing it, so
+	// the same pointer is scan-ready for the gens map.
+	p.srv = serve.New(sub, cfg.Index, serve.Config{Kernel: kernel})
+	p.putGen(cfg.Gen, sub)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/scan", p.handleScan)
+	mux.HandleFunc("POST /shard/range", p.handleRange)
+	mux.HandleFunc("POST /shard/reload", p.handleReload)
+	mux.Handle("/", p.srv.Handler())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if err := writeAddrFile(cfg.AddrFile, ln.Addr().String()); err != nil {
+		return err
+	}
+	return http.Serve(ln, p.gate(mux))
+}
+
+// writeAddrFile publishes the bound address via tmp+rename, so a
+// polling parent never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// gate wedges every handler once the replica is frozen — including
+// /healthz, which is the point: a frozen replica looks dead only to
+// callers that enforce timeouts.
+func (p *shardProc) gate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p.frozen.Load() {
+			select {}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (p *shardProc) putGen(gen int64, ix *vindex.Index) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gens[gen] = ix
+	p.genOrder = append(p.genOrder, gen)
+	for len(p.genOrder) > 2 {
+		delete(p.gens, p.genOrder[0])
+		p.genOrder = p.genOrder[1:]
+	}
+}
+
+func (p *shardProc) gen(gen int64) *vindex.Index {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gens[gen]
+}
+
+func writeShardErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(serve.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeShardJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// maybeFault evaluates the fault plan at the scan checkpoint; n is the
+// 1-based scan arrival count. The first unfired matching event fires.
+func (p *shardProc) maybeFault(n int64) {
+	plan := p.cfg.Faults
+	if plan == nil {
+		return
+	}
+	p.fireMu.Lock()
+	var act *FaultEvent
+	for i := range plan.Events {
+		e := &plan.Events[i]
+		if p.fired[i] {
+			continue
+		}
+		if e.Shard != -1 && e.Shard != p.cfg.Shard {
+			continue
+		}
+		if e.Replica != -1 && e.Replica != p.cfg.Replica {
+			continue
+		}
+		if int64(e.AfterScans) != n {
+			continue
+		}
+		p.fired[i] = true
+		act = e
+		break
+	}
+	p.fireMu.Unlock()
+	if act == nil {
+		return
+	}
+	switch act.Action {
+	case FaultKill:
+		os.Exit(faultKillExitCode)
+	case FaultFreeze:
+		p.frozen.Store(true)
+		select {} // wedge this request too; gate catches the rest
+	}
+}
+
+func (p *shardProc) handleScan(w http.ResponseWriter, r *http.Request) {
+	p.maybeFault(p.scans.Add(1))
+	var req ScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeShardErr(w, http.StatusBadRequest, "bad scan request: %v", err)
+		return
+	}
+	ix := p.gen(req.Gen)
+	if ix == nil {
+		writeShardErr(w, http.StatusConflict, "unknown index generation %d", req.Gen)
+		return
+	}
+	resp, err := execScan(ix, &req)
+	if err != nil {
+		writeShardErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeShardJSON(w, resp)
+}
+
+func (p *shardProc) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeShardErr(w, http.StatusBadRequest, "bad range request: %v", err)
+		return
+	}
+	ix := p.gen(req.Gen)
+	if ix == nil {
+		writeShardErr(w, http.StatusConflict, "unknown index generation %d", req.Gen)
+		return
+	}
+	resp, err := execRangeScan(ix, &req)
+	if err != nil {
+		writeShardErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeShardJSON(w, resp)
+}
+
+func (p *shardProc) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeShardErr(w, http.StatusBadRequest, "bad reload request: %v", err)
+		return
+	}
+	sub, err := loadSubset(req.Index, req.Cells)
+	if err != nil {
+		writeShardErr(w, http.StatusUnprocessableEntity, "loading %s: %v", req.Index, err)
+		return
+	}
+	// Swap applies the kernel tier before the snapshot publishes; the
+	// gens map gets the same prepared pointer.
+	p.srv.Swap(sub, req.Index)
+	p.putGen(req.Gen, sub)
+	writeShardJSON(w, serve.HealthResponse{Status: "ok", Objects: sub.Len(), Partitions: sub.NumPartitions()})
+}

@@ -1,0 +1,457 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knnjoin/internal/codec"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/serve"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+// scanFunc executes one kNN scan run against a shard. The router's
+// production implementation is an HTTP call with replica failover; the
+// property tests substitute a local function over the full index.
+type scanFunc func(shard int, req *ScanRequest) (*ScanResponse, error)
+
+// rangeFunc is scanFunc's range-query counterpart.
+type rangeFunc func(shard int, req *RangeScanRequest) (*RangeScanResponse, error)
+
+// routerState is the routing table for one index generation, swapped
+// atomically on reload: the metadata-only index view that drives the
+// walk, the cell → shard owner map, and the generation number every
+// delegated request carries.
+type routerState struct {
+	meta  *vindex.Index
+	owner []int
+	gen   int64
+}
+
+// replicaSet tracks one shard's replicas and which one the router
+// currently prefers.
+type replicaSet struct {
+	urls      []string
+	preferred atomic.Int32
+}
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Timeout bounds each shard RPC attempt; on expiry the router fails
+	// over to the next replica (default 5s). This is what turns a frozen
+	// replica into a recoverable fault.
+	Timeout time.Duration
+	// ProbeInterval enables a background health prober that demotes
+	// unresponsive preferred replicas between queries; zero disables it
+	// (queries still fail over on their own).
+	ProbeInterval time.Duration
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// Router fans queries out over a shard cluster while replaying the
+// exact single-node partition walk (see the package comment for why
+// byte-identity forces that design). It implements serve.Backend, so a
+// plain serve.Server in front of it speaks the identical HTTP API —
+// and produces the identical bytes — as one over a local index.
+type Router struct {
+	cluster *Cluster
+	cfg     RouterConfig
+	client  *http.Client
+	probeC  *http.Client
+	state   atomic.Pointer[routerState]
+	reps    []*replicaSet
+
+	queries   atomic.Int64
+	scanRPCs  atomic.Int64
+	contacted atomic.Int64
+	failovers atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over a started cluster and, when
+// ProbeInterval is set, starts its health prober. Close the router
+// before closing the cluster.
+func NewRouter(c *Cluster, cfg RouterConfig) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cluster: c,
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.Timeout},
+		probeC:  &http.Client{Timeout: cfg.Timeout},
+		stop:    make(chan struct{}),
+	}
+	r.state.Store(&routerState{meta: c.Meta(), owner: c.Owner(), gen: c.Gen()})
+	eps := c.Endpoints()
+	r.reps = make([]*replicaSet, len(eps))
+	for s, urls := range eps {
+		r.reps[s] = &replicaSet{urls: urls}
+	}
+	if cfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probe()
+	}
+	return r
+}
+
+// Close stops the background prober (the cluster is closed separately).
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// knnWalk replays the single-node kNN walk over routing metadata,
+// delegating each maximal run of scan-needing partitions on one shard
+// as a single RPC. Local decisions are exact, not approximate: the
+// router's θ equals the single-node θ at every step because θ only
+// changes inside delegated scans, whose results come back before the
+// walk continues. Partitions the walk prunes are consumed locally even
+// mid-run (pruning is monotone in θ — a cell prunable at the current θ
+// stays prunable after the run tightens it — so the decision and its
+// accounting match the single-node walk exactly), which keeps runs
+// long across interleaved foreign cells. Returns the result, the
+// exact single-node Stats, and the number of distinct shards
+// contacted.
+func knnWalk(meta *vindex.Index, owner []int, gen int64, q vector.Point, k int, scan scanFunc) ([]nnheap.Candidate, vindex.Stats, int, error) {
+	var st vindex.Stats
+	if k <= 0 {
+		return nil, st, 0, nil
+	}
+	qPart, qDist := meta.AssignQuery(q, &st.DistComputations)
+	theta := meta.StartingBound(q, k, &st.DistComputations)
+	order, gaps := meta.QueryOrder(q, qPart, qDist, &st.DistComputations)
+	heap := nnheap.NewKHeap(k)
+	contacted := make(map[int]bool)
+
+	i := 0
+	for i < len(order) {
+		j := order[i]
+		if meta.PartitionLen(j) == 0 {
+			i++
+			continue
+		}
+		_, _, kind := meta.RouteStep(j, qPart, qDist, gaps[j], theta)
+		if kind == vindex.StepPruned {
+			st.PartitionsPruned++
+			i++
+			continue
+		}
+		// StepScan: open a run on j's shard and extend it as far as the
+		// visit order allows — consuming empty and prunable cells locally,
+		// stopping at the first foreign cell that needs scanning.
+		sh := owner[j]
+		parts := []ScanPart{{J: j, Gap: math.Float64bits(gaps[j])}}
+		e := i + 1
+		for e < len(order) {
+			je := order[e]
+			if meta.PartitionLen(je) == 0 {
+				e++
+				continue
+			}
+			_, _, kindE := meta.RouteStep(je, qPart, qDist, gaps[je], theta)
+			if kindE == vindex.StepPruned {
+				st.PartitionsPruned++
+				e++
+				continue
+			}
+			if owner[je] != sh {
+				break
+			}
+			parts = append(parts, ScanPart{J: je, Gap: math.Float64bits(gaps[je])})
+			e++
+		}
+		resp, err := scan(sh, &ScanRequest{
+			Gen: gen, K: k, QPart: qPart, QDist: math.Float64bits(qDist),
+			Q: pointBits(q), Theta: math.Float64bits(theta), Heap: heapWire(heap), Parts: parts,
+		})
+		if err != nil {
+			return nil, st, len(contacted), err
+		}
+		theta = math.Float64frombits(resp.Theta)
+		heap, err = wireHeap(k, resp.Heap)
+		if err != nil {
+			return nil, st, len(contacted), fmt.Errorf("shard %d returned a corrupt heap: %w", sh, err)
+		}
+		st.DistComputations += resp.DistComputations
+		st.PartitionsScanned += resp.PartitionsScanned
+		st.PartitionsPruned += resp.PartitionsPruned
+		contacted[sh] = true
+		i = e
+	}
+	return meta.FinishKNN(heap), st, len(contacted), nil
+}
+
+// rangeWalk mirrors voronoi.RangeSelect's accounting over routing
+// metadata, batching each shard's surviving windows into one RPC. The
+// bound θ of a range query is the fixed radius, so unlike kNN there is
+// no sequential dependency — the per-shard window lists are fully
+// determined up front and the row charges are order-independent sums.
+func rangeWalk(meta *vindex.Index, owner []int, gen int64, q vector.Point, radius float64, scan rangeFunc) ([]codec.Object, vindex.Stats, int, error) {
+	var st vindex.Stats
+	qPart, qDist := meta.AssignQuery(q, &st.DistComputations)
+	perShard := make(map[int][]RangePart)
+	for j := 0; j < meta.NumPartitions(); j++ {
+		if meta.PartitionLen(j) == 0 {
+			continue
+		}
+		qToPj := qDist
+		if j != qPart {
+			qToPj = meta.Metric().Dist(q, meta.Pivots()[j])
+			st.DistComputations++
+		}
+		lo, hi, kind := meta.RouteStep(j, qPart, qDist, qToPj, radius)
+		if kind != vindex.StepScan {
+			continue
+		}
+		perShard[owner[j]] = append(perShard[owner[j]], RangePart{J: j, Lo: math.Float64bits(lo), Hi: math.Float64bits(hi)})
+	}
+	shards := make([]int, 0, len(perShard))
+	for sh := range perShard {
+		shards = append(shards, sh)
+	}
+	sort.Ints(shards)
+	var out []codec.Object
+	for _, sh := range shards {
+		resp, err := scan(sh, &RangeScanRequest{Gen: gen, Q: pointBits(q), Radius: math.Float64bits(radius), Parts: perShard[sh]})
+		if err != nil {
+			return nil, st, 0, err
+		}
+		st.DistComputations += resp.Rows
+		out = append(out, wireObjects(resp.Matches)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, st, len(shards), nil
+}
+
+// KNNWithStats implements serve.Backend over the cluster.
+func (r *Router) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+	st := r.state.Load()
+	res, stats, n, err := knnWalk(st.meta, st.owner, st.gen, q, k, r.scanRPC)
+	r.queries.Add(1)
+	r.contacted.Add(int64(n))
+	return res, stats, err
+}
+
+// KNNBatchWithStats answers the batch over ONE routing state, like the
+// single-node server answers a batch over one snapshot, so a reload
+// mid-batch cannot mix generations within a response.
+func (r *Router) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+	st := r.state.Load()
+	results := make([][]nnheap.Candidate, len(qs))
+	stats := make([]vindex.Stats, len(qs))
+	for i, q := range qs {
+		res, s, n, err := knnWalk(st.meta, st.owner, st.gen, q, ks[i], r.scanRPC)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		r.queries.Add(1)
+		r.contacted.Add(int64(n))
+		results[i], stats[i] = res, s
+	}
+	return results, stats, nil
+}
+
+// RangeWithStats implements serve.Backend over the cluster.
+func (r *Router) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+	st := r.state.Load()
+	res, stats, n, err := rangeWalk(st.meta, st.owner, st.gen, q, radius, r.rangeRPC)
+	r.queries.Add(1)
+	r.contacted.Add(int64(n))
+	return res, stats, err
+}
+
+// Len reports the object count of the current generation.
+func (r *Router) Len() int { return r.state.Load().meta.Len() }
+
+// Dim reports the dimensionality of the indexed points.
+func (r *Router) Dim() int { return r.state.Load().meta.Dim() }
+
+// NumPartitions reports the Voronoi cell count.
+func (r *Router) NumPartitions() int { return r.state.Load().meta.NumPartitions() }
+
+// Kernel reports the scan tier the shard replicas run. The router
+// deliberately does not implement SetKernel: the tier is fixed at
+// cluster spawn.
+func (r *Router) Kernel() vector.Kernel { return r.cluster.cfg.Kernel }
+
+// Loader is the serve.Config.Loader for a sharded server: /reload
+// pushes the new index file to every shard replica, then swaps the
+// routing table, so the server's snapshot swap publishes a fully
+// consistent new generation.
+func (r *Router) Loader(path string) (serve.Backend, error) {
+	meta, owner, gen, err := r.cluster.Reload(path)
+	if err != nil {
+		return nil, err
+	}
+	r.state.Store(&routerState{meta: meta, owner: owner, gen: gen})
+	return r, nil
+}
+
+// scanRPC is the production scanFunc: POST /shard/scan with failover.
+func (r *Router) scanRPC(sh int, req *ScanRequest) (*ScanResponse, error) {
+	var resp ScanResponse
+	if err := r.call(sh, "/shard/scan", req, &resp); err != nil {
+		return nil, err
+	}
+	r.scanRPCs.Add(1)
+	return &resp, nil
+}
+
+// rangeRPC is the production rangeFunc: POST /shard/range with failover.
+func (r *Router) rangeRPC(sh int, req *RangeScanRequest) (*RangeScanResponse, error) {
+	var resp RangeScanResponse
+	if err := r.call(sh, "/shard/range", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call POSTs to shard sh's preferred replica, failing over through the
+// remaining replicas on timeout, refusal, or non-200 — safe because
+// scans are pure reads of an immutable generation, so a retried scan
+// returns the same bytes the failed replica would have. A success on a
+// non-preferred replica promotes it for subsequent requests.
+func (r *Router) call(sh int, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	rs := r.reps[sh]
+	n := len(rs.urls)
+	start := int(rs.preferred.Load())
+	var lastErr error
+	for t := 0; t < n; t++ {
+		idx := (start + t) % n
+		raw, err := r.post(rs.urls[idx]+path, body)
+		if err != nil {
+			lastErr = fmt.Errorf("replica %d: %w", idx, err)
+			r.failovers.Add(1)
+			continue
+		}
+		if idx != int(rs.preferred.Load()) {
+			rs.preferred.Store(int32(idx))
+		}
+		return json.Unmarshal(raw, resp)
+	}
+	return fmt.Errorf("shard %d: all %d replicas failed: %w", sh, n, lastErr)
+}
+
+func (r *Router) post(url string, body []byte) ([]byte, error) {
+	resp, err := r.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(raw, 256))
+	}
+	return raw, nil
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// probe periodically health-checks each shard's preferred replica and
+// demotes it to the next healthy one on failure, so queries after a
+// freeze stop paying the timeout on every request.
+func (r *Router) probe() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			for _, rs := range r.reps {
+				p := int(rs.preferred.Load())
+				if r.healthy(rs.urls[p]) {
+					continue
+				}
+				for d := 1; d < len(rs.urls); d++ {
+					cand := (p + d) % len(rs.urls)
+					if r.healthy(rs.urls[cand]) {
+						rs.preferred.CompareAndSwap(int32(p), int32(cand))
+						r.failovers.Add(1)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *Router) healthy(url string) bool {
+	resp, err := r.probeC.Get(url + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// RouterStats is a point-in-time snapshot of the router's counters.
+type RouterStats struct {
+	// Queries is the number of queries routed (batch members counted
+	// individually); ScanRPCs the number of kNN scan RPCs issued.
+	Queries int64 `json:"queries"`
+	// ScanRPCs counts successful /shard/scan calls.
+	ScanRPCs int64 `json:"scan_rpcs"`
+	// ShardsContactedTotal sums distinct-shards-contacted over queries;
+	// AvgShardsContacted is that divided by Queries.
+	ShardsContactedTotal int64 `json:"shards_contacted_total"`
+	// AvgShardsContacted is the per-query mean of distinct shards hit.
+	AvgShardsContacted float64 `json:"avg_shards_contacted"`
+	// Failovers counts replica failover transitions (query-path retries
+	// and prober demotions).
+	Failovers int64 `json:"failovers"`
+	// Gen is the current routing generation; Preferred the current
+	// preferred replica per shard.
+	Gen int64 `json:"gen"`
+	// Preferred is the preferred replica index per shard.
+	Preferred []int `json:"preferred"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Queries:              r.queries.Load(),
+		ScanRPCs:             r.scanRPCs.Load(),
+		ShardsContactedTotal: r.contacted.Load(),
+		Failovers:            r.failovers.Load(),
+		Gen:                  r.state.Load().gen,
+		Preferred:            make([]int, len(r.reps)),
+	}
+	if st.Queries > 0 {
+		st.AvgShardsContacted = float64(st.ShardsContactedTotal) / float64(st.Queries)
+	}
+	for s, rs := range r.reps {
+		st.Preferred[s] = int(rs.preferred.Load())
+	}
+	return st
+}

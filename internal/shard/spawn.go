@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"knnjoin/internal/vector"
+	"knnjoin/internal/vindex"
+)
+
+// ClusterConfig configures StartCluster.
+type ClusterConfig struct {
+	// IndexPath is the index file every replica loads its cell subset
+	// from (built by `knnindex build` or vindex.Save).
+	IndexPath string
+	// Shards is the number of shards the cells are partitioned across.
+	Shards int
+	// Replicas is the number of identical processes per shard (default 1).
+	Replicas int
+	// Kernel is the distance scan tier every replica runs.
+	Kernel vector.Kernel
+	// Faults is the deterministic fault plan shipped to every replica.
+	Faults *FaultPlan
+	// Dir holds the replica address files (default: a temp dir removed
+	// on Close).
+	Dir string
+	// StartTimeout bounds waiting for every replica to publish its
+	// address and pass a health check (default 30s).
+	StartTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Cluster is a running set of Shards×Replicas shard processes plus the
+// cell assignment that routes to them. Start with StartCluster, stop
+// with Close.
+type Cluster struct {
+	cfg    ClusterConfig
+	dir    string
+	ownDir bool
+
+	meta   *vindex.Index // routing-only view of the current generation
+	owner  []int         // cell → shard
+	assign [][]int       // shard → cells
+	gen    int64
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+	eps   [][]string // [shard][replica] base URL
+}
+
+// StartCluster loads the index's metadata, partitions its cells with
+// AssignCells, re-executes the current binary once per replica (the
+// child enters RunShardIfSpawned), and waits until every replica is
+// serving.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", cfg.Shards)
+	}
+	ix, err := vindex.LoadFile(cfg.IndexPath)
+	if err != nil {
+		return nil, err
+	}
+	owner, assign := AssignCells(ix, cfg.Shards)
+	c := &Cluster{cfg: cfg, meta: ix.MetaOnly(), owner: owner, assign: assign, gen: 1, dir: cfg.Dir}
+	if c.dir == "" {
+		if c.dir, err = os.MkdirTemp("", "knnshard-*"); err != nil {
+			return nil, err
+		}
+		c.ownDir = true
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	addrFiles := make([][]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		addrFiles[s] = make([]string, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			addrFiles[s][r] = filepath.Join(c.dir, fmt.Sprintf("shard-%d-%d.addr", s, r))
+			raw, err := json.Marshal(procConfig{
+				Index: cfg.IndexPath, Cells: assign[s], Shard: s, Replica: r,
+				Gen: 1, AddrFile: addrFiles[s][r], Kernel: cfg.Kernel.String(), Faults: cfg.Faults,
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(), shardEnv+"="+string(raw))
+			cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+			if err := cmd.Start(); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("spawning shard %d replica %d: %w", s, r, err)
+			}
+			c.procs = append(c.procs, cmd)
+		}
+	}
+	if err := c.await(addrFiles); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// await polls for every replica's address file, then health-checks it.
+func (c *Cluster) await(addrFiles [][]string) error {
+	deadline := time.Now().Add(c.cfg.StartTimeout)
+	c.eps = make([][]string, len(addrFiles))
+	client := &http.Client{Timeout: 2 * time.Second}
+	for s := range addrFiles {
+		c.eps[s] = make([]string, len(addrFiles[s]))
+		for r, file := range addrFiles[s] {
+			for {
+				raw, err := os.ReadFile(file)
+				if err == nil && len(raw) > 0 {
+					c.eps[s][r] = "http://" + strings.TrimSpace(string(raw))
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("shard %d replica %d: no address after %v", s, r, c.cfg.StartTimeout)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			for {
+				resp, err := client.Get(c.eps[s][r] + "/healthz")
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("shard %d replica %d: unhealthy after %v", s, r, c.cfg.StartTimeout)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+	return nil
+}
+
+// Meta returns the routing-only index view of the generation the
+// cluster started with.
+func (c *Cluster) Meta() *vindex.Index { return c.meta }
+
+// Owner returns the cell → shard map of the initial generation.
+func (c *Cluster) Owner() []int { return c.owner }
+
+// Assignment returns the per-shard cell lists of the initial generation.
+func (c *Cluster) Assignment() [][]int { return c.assign }
+
+// Endpoints returns the per-shard replica base URLs.
+func (c *Cluster) Endpoints() [][]string { return c.eps }
+
+// Gen returns the initial generation number.
+func (c *Cluster) Gen() int64 { return c.gen }
+
+// Reload loads a new index file, recomputes the cell assignment, and
+// pushes the new generation to every replica of every shard (each
+// retains the previous generation, so walks in flight keep completing
+// consistently). It returns the new routing state for the router to
+// swap in atomically. Every replica must be reachable: a reload is an
+// administrative operation against a healthy cluster, and on failure
+// the old generation simply keeps serving everywhere.
+func (c *Cluster) Reload(path string) (meta *vindex.Index, owner []int, gen int64, err error) {
+	ix, err := vindex.LoadFile(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	owner, assign := AssignCells(ix, c.cfg.Shards)
+	c.mu.Lock()
+	c.gen++
+	gen = c.gen
+	c.mu.Unlock()
+	client := &http.Client{Timeout: c.cfg.StartTimeout}
+	for s := range c.eps {
+		body, err := json.Marshal(ReloadShardRequest{Gen: gen, Index: path, Cells: assign[s]})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for r, url := range c.eps[s] {
+			resp, err := client.Post(url+"/shard/reload", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("reloading shard %d replica %d: %w", s, r, err)
+			}
+			raw := make([]byte, 512)
+			n, _ := resp.Body.Read(raw)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, nil, 0, fmt.Errorf("reloading shard %d replica %d: status %d: %s", s, r, resp.StatusCode, raw[:n])
+			}
+		}
+	}
+	return ix.MetaOnly(), owner, gen, nil
+}
+
+func (c *Cluster) cleanup() {
+	if c.ownDir {
+		os.RemoveAll(c.dir)
+	}
+}
+
+// Close kills every replica process, reaps it, and removes the scratch
+// dir when the cluster created it.
+func (c *Cluster) Close() {
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range c.procs {
+		cmd.Wait()
+	}
+	c.cleanup()
+}

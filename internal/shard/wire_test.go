@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
+)
+
+// TestHeapWireRoundTrip: the wire form preserves the heap's internal
+// array VERBATIM — the property byte-identity under distance ties
+// depends on, because KHeap eviction order follows the array layout.
+func TestHeapWireRoundTrip(t *testing.T) {
+	h := nnheap.NewKHeap(4)
+	for _, c := range []nnheap.Candidate{
+		{ID: 1, Dist: 9}, {ID: 2, Dist: 3}, {ID: 3, Dist: 9}, {ID: 4, Dist: 5}, {ID: 5, Dist: 4},
+	} {
+		h.Push(c)
+	}
+	before := h.Items()
+	restored, err := wireHeap(4, heapWire(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := restored.Items()
+	if len(before) != len(after) {
+		t.Fatalf("length changed: %d → %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("slot %d changed: %+v → %+v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestWireHeapRejectsCorruptState(t *testing.T) {
+	if _, err := wireHeap(0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := wireHeap(1, []WireCand{{ID: 1, Dist: 0}, {ID: 2, Dist: 0}}); err == nil {
+		t.Error("overfull heap accepted")
+	}
+	// Max-heap invariant violated: child larger than root.
+	bad := []WireCand{
+		{ID: 1, Dist: math.Float64bits(1)},
+		{ID: 2, Dist: math.Float64bits(5)},
+	}
+	if _, err := wireHeap(4, bad); err == nil {
+		t.Error("invariant-violating heap accepted")
+	}
+}
+
+func TestPointBitsRoundTrip(t *testing.T) {
+	p := vector.Point{1.5, -0.0, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	got := bitsPoint(pointBits(p))
+	for i := range p {
+		if math.Float64bits(got[i]) != math.Float64bits(p[i]) {
+			t.Fatalf("coordinate %d: %x → %x", i, math.Float64bits(p[i]), math.Float64bits(got[i]))
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package vindex
+
+import (
+	"knnjoin/internal/codec"
+	"knnjoin/internal/nnheap"
+	"knnjoin/internal/vector"
+	"knnjoin/internal/voronoi"
+)
+
+// This file exports the kNN walk of KNNWithStats as composable pieces,
+// so the sharded serving tier (internal/shard) can replay the EXACT
+// single-node query — same visit order, same pruning decisions, same θ
+// evolution, same Stats — while delegating only the block scans to
+// remote shard processes. KNNWithStats itself is a composition of these
+// pieces, which is what makes "sharded responses are byte-identical to
+// single-node responses" a structural property instead of a testing
+// aspiration: both paths run this code, the router merely crosses a
+// process boundary between steps.
+
+// StepKind classifies the routing decision RouteStep makes for one
+// partition of the walk.
+type StepKind int
+
+// The decisions. StepSkip is an empty partition — the walk moves on
+// without touching any counter. StepPruned means Corollary 1 or an
+// empty Theorem-2 window eliminated the whole cell (PartitionsPruned
+// accounting). StepScan means the cell's pivot-distance window must be
+// scanned (PartitionsScanned accounting).
+const (
+	StepSkip StepKind = iota
+	StepPruned
+	StepScan
+)
+
+// AssignQuery places q in its Voronoi cell: the nearest pivot's index
+// and the distance to it. The |P| object–pivot probes accrue into
+// distCount when non-nil.
+func (ix *Index) AssignQuery(q vector.Point, distCount *int64) (part int, dist float64) {
+	return ix.pp.Assign(q, distCount)
+}
+
+// StartingBound exposes the Algorithm-1 starting bound θ the walk
+// begins with (see startingBound).
+func (ix *Index) StartingBound(q vector.Point, k int, distCount *int64) float64 {
+	return ix.startingBound(q, k, distCount)
+}
+
+// QueryOrder computes the walk's partition visit order (ascending
+// query–pivot distance, ties by partition index) and the gap slice
+// gaps[j] = |q, p_j| the pruning checks consume. The |P|−1 gap
+// computations accrue into distCount.
+func (ix *Index) QueryOrder(q vector.Point, qPart int, qDist float64, distCount *int64) (order []int, gaps []float64) {
+	m := ix.opts.Metric
+	order = make([]int, ix.pp.NumPartitions())
+	gaps = make([]float64, len(order))
+	for j := range order {
+		order[j] = j
+		if j == qPart {
+			gaps[j] = qDist
+		} else {
+			gaps[j] = m.Dist(q, ix.pp.Pivots[j])
+			*distCount++
+		}
+	}
+	// Ties broken by partition index so the visit order is deterministic
+	// and identical to the batched path's (KNNBatchWithStats) — the
+	// per-query Stats depend on it.
+	sortOrderByGap(order, gaps)
+	return order, gaps
+}
+
+// RouteStep makes the partition-j pruning decision of the walk without
+// touching any object data: skip (empty cell), prune (Corollary 1 or an
+// empty Theorem-2 window), or scan, in which case [lo, hi] is the
+// pivot-distance window to examine. Emptiness comes from the summary
+// (S[j].Count), not the partition block, so a metadata-only view
+// (MetaOnly) routes exactly like the full index.
+func (ix *Index) RouteStep(j, qPart int, qDist, qToPj, theta float64) (lo, hi float64, kind StepKind) {
+	if ix.sum.S[j].Count == 0 {
+		return 0, 0, StepSkip
+	}
+	// Corollary 1: prune the whole cell when the hyperplane between the
+	// query's cell and cell j is farther than θ.
+	if j != qPart && voronoi.HyperplaneDist(qToPj, qDist, ix.pp.PivotDist(qPart, j), ix.opts.Metric) > theta {
+		return 0, 0, StepPruned
+	}
+	lo, hi, ok := voronoi.Theorem2Window(ix.sum.S[j], qToPj, theta)
+	if !ok {
+		return 0, 0, StepPruned
+	}
+	return lo, hi, StepScan
+}
+
+// KNNStep executes the full partition-j step of the walk: the RouteStep
+// decision, its Stats accounting, and — for StepScan — the windowed
+// kernel scan plus θ tightening. It returns the possibly-tightened θ
+// the next step must use. The index must hold partition j's objects
+// (the full index, or a Subset that owns cell j).
+func (ix *Index) KNNStep(j, qPart int, q vector.Point, qDist, qToPj, theta float64, heap *nnheap.KHeap, sc *vector.Scratch, st *Stats) float64 {
+	lo, hi, kind := ix.RouteStep(j, qPart, qDist, qToPj, theta)
+	switch kind {
+	case StepPruned:
+		st.PartitionsPruned++
+	case StepScan:
+		st.PartitionsScanned++
+		blk := ix.blocks[j]
+		from, to := blk.PivotDistWindow(0, blk.Len(), lo, hi)
+		st.DistComputations += int64(blk.NearestKRangeScratch(q, from, to, ix.opts.Metric, heap, sc))
+		if t := thresholdDist(heap, theta, ix.opts.Metric == vector.L2); t < theta {
+			theta = t
+		}
+	}
+	return theta
+}
+
+// FinishKNN drains the walk's heap into the final ascending result,
+// converting squared distances back to true distances under L2 (the
+// kernels' native space).
+func (ix *Index) FinishKNN(heap *nnheap.KHeap) []nnheap.Candidate {
+	return sortedDists(heap, ix.opts.Metric == vector.L2)
+}
+
+// RangeScan scans partition j's rows whose pivot distance lies in
+// [lo, hi] — a window RouteStep (with θ = radius) produced — and
+// returns the objects within radius of q plus the number of rows
+// examined (the caller's distance-computation charge). It mirrors
+// voronoi.RangeSelect's verification loop row for row, so a sharded
+// range query charges exactly the computations the single-node one
+// does.
+func (ix *Index) RangeScan(j int, q vector.Point, lo, hi, radius float64) ([]codec.Object, int) {
+	part := ix.part[j]
+	from, to := voronoi.WindowIndices(part, lo, hi)
+	var out []codec.Object
+	m := ix.opts.Metric
+	for x := from; x < to; x++ {
+		if m.Dist(q, part[x].Point) <= radius {
+			out = append(out, part[x].Object)
+		}
+	}
+	return out, to - from
+}
+
+// PartitionLen returns the number of objects partition j holds
+// according to the summary — on a Subset, zero for cells the subset
+// does not own.
+func (ix *Index) PartitionLen(j int) int { return ix.sum.S[j].Count }
+
+// Pivots returns the partitioner's pivot points. The slice is the
+// index's own storage: callers must treat it as read-only.
+func (ix *Index) Pivots() []vector.Point { return ix.pp.Pivots }
+
+// Metric returns the distance metric the index was built with.
+func (ix *Index) Metric() vector.Metric { return ix.opts.Metric }

@@ -193,12 +193,16 @@ func (ix *Index) KNN(q vector.Point, k int) []nnheap.Candidate {
 
 // KNNWithStats is KNN plus the per-query work accounting. It performs no
 // writes to the Index, so concurrent calls on one shared Index are safe.
+//
+// The walk is a composition of the exported pieces in route.go —
+// AssignQuery, StartingBound, QueryOrder, then one KNNStep per
+// partition in visit order — so the sharded router (internal/shard)
+// replays the identical computation across processes.
 func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats) {
 	var st Stats
 	if k <= 0 {
 		return nil, st
 	}
-	m := ix.opts.Metric
 	qPart, qDist := ix.pp.Assign(q, &st.DistComputations)
 
 	// Starting bound: Algorithm 1 with the query's "partition" being the
@@ -208,26 +212,7 @@ func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats)
 
 	// Visit partitions in ascending pivot-distance order (Algorithm 3's
 	// line-14 heuristic specialized to one query).
-	order := make([]int, ix.pp.NumPartitions())
-	gaps := make([]float64, len(order))
-	for j := range order {
-		order[j] = j
-		if j == qPart {
-			gaps[j] = qDist
-		} else {
-			gaps[j] = m.Dist(q, ix.pp.Pivots[j])
-			st.DistComputations++
-		}
-	}
-	// Ties broken by partition index so the visit order is deterministic
-	// and identical to the batched path's (KNNBatchWithStats) — the
-	// per-query Stats depend on it.
-	sort.Slice(order, func(a, b int) bool {
-		if gaps[order[a]] != gaps[order[b]] {
-			return gaps[order[a]] < gaps[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	order, gaps := ix.QueryOrder(q, qPart, qDist, &st.DistComputations)
 
 	// Scan on the partition blocks with the active kernel tier. Under L2
 	// the heap holds SQUARED distances (the kernels' native space) and θ
@@ -236,33 +221,11 @@ func (ix *Index) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, Stats)
 	// equivalent to the former per-push update: θ is only read by the
 	// next partition's pruning checks.
 	heap := nnheap.NewKHeap(k)
-	squared := m == vector.L2
 	var sc vector.Scratch
 	for _, j := range order {
-		blk := ix.blocks[j]
-		if blk.Len() == 0 {
-			continue
-		}
-		qToPj := gaps[j]
-		// Corollary 1: prune the whole cell when the hyperplane between
-		// the query's cell and cell j is farther than θ.
-		if j != qPart && voronoi.HyperplaneDist(qToPj, qDist, ix.pp.PivotDist(qPart, j), m) > theta {
-			st.PartitionsPruned++
-			continue
-		}
-		lo, hi, ok := voronoi.Theorem2Window(ix.sum.S[j], qToPj, theta)
-		if !ok {
-			st.PartitionsPruned++
-			continue
-		}
-		st.PartitionsScanned++
-		from, to := blk.PivotDistWindow(0, blk.Len(), lo, hi)
-		st.DistComputations += int64(blk.NearestKRangeScratch(q, from, to, m, heap, &sc))
-		if t := thresholdDist(heap, theta, squared); t < theta {
-			theta = t
-		}
+		theta = ix.KNNStep(j, qPart, q, qDist, gaps[j], theta, heap, &sc, &st)
 	}
-	return sortedDists(heap, squared), st
+	return ix.FinishKNN(heap), st
 }
 
 // thresholdDist converts the heap's rejection threshold into
