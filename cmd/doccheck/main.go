@@ -1,249 +1,23 @@
-// Command doccheck is the documentation gate the CI docs job runs
-// alongside `go test -run Example ./...`, so the package map in
-// ARCHITECTURE.md never drifts ahead of godoc. It enforces two rules:
-//
-//  1. Every Go package in the tree has a package comment. A package
-//     passes when at least one of its non-test files carries a doc
-//     comment on the package clause (doc.go or top-of-file, either
-//     works). Test-only packages (package x_test) are exempt: their
-//     documentation lives with the package under test.
-//
-//  2. In the API-bearing packages — the module root and the runtime core
-//     under internal/ (mapreduce, driver, dfs, codec, vector, grouping,
-//     serve, vindex, planner, shard) — every exported identifier has a doc comment:
-//     functions, methods
-//     with exported receivers, types, and const/var declarations (a doc
-//     comment on the enclosing const/var block covers its members, the
-//     stdlib convention for enum-style groups).
+// Command doccheck is a compatibility wrapper kept for muscle memory
+// and old scripts: the documentation rules it used to implement —
+// package comments everywhere, doc comments on every exported
+// identifier in the API-bearing packages — now live in the doccomment
+// analyzer of internal/lint, and cmd/knnlint runs them alongside the
+// rest of the invariant suite. This wrapper runs exactly that one
+// analyzer, so the doc rules have a single implementation.
 //
 // Usage:
 //
-//	doccheck            # check the module rooted in the working directory
-//	doccheck ./internal # check one subtree
+//	doccheck                # check the whole module (./...)
+//	doccheck ./internal/... # check one subtree, as a package pattern
 package main
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"knnjoin/internal/lint"
 )
 
-// exportedDocDirs lists the directories (relative to the checked root,
-// "." is the root package) whose exported identifiers must all carry doc
-// comments. Everything else only needs a package comment.
-var exportedDocDirs = map[string]bool{
-	".":                  true,
-	"internal/mapreduce": true,
-	"internal/driver":    true,
-	"internal/dfs":       true,
-	"internal/codec":     true,
-	"internal/vector":    true,
-	"internal/grouping":  true,
-	"internal/serve":     true,
-	"internal/vindex":    true,
-	"internal/planner":   true,
-	"internal/shard":     true,
-}
-
-// problem is one finding: a location and what is missing there. line
-// and col are kept numeric so findings sort in source order, not in the
-// lexicographic order of the rendered position ("x.go:10" before
-// "x.go:2").
-type problem struct {
-	pos       string
-	file      string
-	line, col int
-	what      string
-}
-
-// hasDoc reports whether a doc comment group carries actual text.
-func hasDoc(g *ast.CommentGroup) bool {
-	return g != nil && strings.TrimSpace(g.Text()) != ""
-}
-
-// receiverExported reports whether a method's receiver type is exported
-// (methods on unexported types are internal API and exempt).
-func receiverExported(fd *ast.FuncDecl) bool {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return true
-	}
-	t := fd.Recv.List[0].Type
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr: // generic receiver T[P]
-			t = x.X
-		case *ast.Ident:
-			return ast.IsExported(x.Name)
-		default:
-			return true
-		}
-	}
-}
-
-// checkExported walks one parsed file and reports exported declarations
-// without doc comments.
-func checkExported(fset *token.FileSet, f *ast.File) []problem {
-	var out []problem
-	add := func(pos token.Pos, what string) {
-		p := fset.Position(pos)
-		out = append(out, problem{
-			pos: p.String(), file: p.Filename, line: p.Line, col: p.Column, what: what,
-		})
-	}
-	for _, decl := range f.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if !d.Name.IsExported() || !receiverExported(d) {
-				continue
-			}
-			if !hasDoc(d.Doc) {
-				kind := "function"
-				if d.Recv != nil {
-					kind = "method"
-				}
-				add(d.Pos(), fmt.Sprintf("exported %s %s has no doc comment", kind, d.Name.Name))
-			}
-		case *ast.GenDecl:
-			switch d.Tok {
-			case token.TYPE:
-				for _, spec := range d.Specs {
-					ts := spec.(*ast.TypeSpec)
-					if !ts.Name.IsExported() {
-						continue
-					}
-					if !hasDoc(ts.Doc) && !hasDoc(d.Doc) {
-						add(ts.Pos(), fmt.Sprintf("exported type %s has no doc comment", ts.Name.Name))
-					}
-				}
-			case token.CONST, token.VAR:
-				// A doc comment on the block covers every member — the
-				// stdlib convention for enum-style const groups.
-				if hasDoc(d.Doc) {
-					continue
-				}
-				for _, spec := range d.Specs {
-					vs := spec.(*ast.ValueSpec)
-					for _, name := range vs.Names {
-						if !name.IsExported() {
-							continue
-						}
-						if !hasDoc(vs.Doc) && !hasDoc(vs.Comment) {
-							add(name.Pos(), fmt.Sprintf("exported %s %s has no doc comment", d.Tok, name.Name))
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-// check walks root and returns every documentation problem found.
-func check(root string) ([]problem, error) {
-	// dir → has any non-test .go file / has a package doc comment.
-	type state struct{ hasGo, hasDoc bool }
-	pkgs := map[string]*state{}
-	var problems []problem
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		rel, rerr := filepath.Rel(root, filepath.Dir(path))
-		if rerr != nil {
-			return rerr
-		}
-		fset := token.NewFileSet()
-		mode := parser.PackageClauseOnly | parser.ParseComments
-		if exportedDocDirs[filepath.ToSlash(rel)] {
-			mode = parser.ParseComments
-		}
-		f, perr := parser.ParseFile(fset, path, nil, mode)
-		if perr != nil {
-			return fmt.Errorf("parse %s: %w", path, perr)
-		}
-		dir := filepath.Dir(path)
-		st := pkgs[dir]
-		if st == nil {
-			st = &state{}
-			pkgs[dir] = st
-		}
-		st.hasGo = true
-		if hasDoc(f.Doc) {
-			st.hasDoc = true
-		}
-		if exportedDocDirs[filepath.ToSlash(rel)] {
-			problems = append(problems, checkExported(fset, f)...)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for dir, st := range pkgs {
-		if st.hasGo && !st.hasDoc {
-			problems = append(problems, problem{
-				pos: dir, file: dir, what: "package has no package comment",
-			})
-		}
-	}
-	sort.Slice(problems, func(i, j int) bool {
-		a, b := problems[i], problems[j]
-		if a.file != b.file {
-			return a.file < b.file
-		}
-		if a.line != b.line {
-			return a.line < b.line
-		}
-		if a.col != b.col {
-			return a.col < b.col
-		}
-		return a.what < b.what
-	})
-	return problems, nil
-}
-
-func run(args []string) error {
-	root := "."
-	if len(args) > 1 {
-		return fmt.Errorf("usage: doccheck [root]")
-	}
-	if len(args) == 1 {
-		root = args[0]
-	}
-	problems, err := check(root)
-	if err != nil {
-		return err
-	}
-	if len(problems) > 0 {
-		for _, p := range problems {
-			fmt.Fprintf(os.Stderr, "doccheck: %s: %s\n", p.pos, p.what)
-		}
-		return fmt.Errorf("%d documentation problem(s)", len(problems))
-	}
-	return nil
-}
-
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "doccheck:", err)
-		os.Exit(1)
-	}
+	os.Exit(lint.RunCLI(os.Stderr, []*lint.Analyzer{lint.DocComment}, os.Args[1:]))
 }

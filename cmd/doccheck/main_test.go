@@ -1,132 +1,33 @@
 package main
 
 import (
-	"os"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"knnjoin/internal/lint"
 )
 
-func write(t *testing.T, path, content string) {
-	t.Helper()
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		t.Fatal(err)
-	}
-}
+// The rule-level behavior (package comments, exported identifiers,
+// block docs, test files) is pinned by the doccomment fixture tests in
+// internal/lint; this wrapper only needs its own seam covered: the
+// exact RunCLI invocation main performs must hold on the repository.
 
-func TestCheckFindsUndocumentedPackage(t *testing.T) {
-	root := t.TempDir()
-	write(t, filepath.Join(root, "good", "doc.go"), "// Package good is documented.\npackage good\n")
-	write(t, filepath.Join(root, "bad", "bad.go"), "package bad\n")
-	// A doc comment on any file of the package suffices.
-	write(t, filepath.Join(root, "split", "a.go"), "package split\n")
-	write(t, filepath.Join(root, "split", "doc.go"), "// Package split is documented elsewhere.\npackage split\n")
-	// Test files never carry the package doc.
-	write(t, filepath.Join(root, "testonly", "x.go"), "package testonly\n")
-	write(t, filepath.Join(root, "testonly", "x_test.go"), "// Not a package doc.\npackage testonly\n")
-
-	problems, err := check(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{filepath.Join(root, "bad"), filepath.Join(root, "testonly")}
-	if len(problems) != len(want) {
-		t.Fatalf("problems = %v, want dirs %v", problems, want)
-	}
-	for i := range want {
-		if problems[i].pos != want[i] || !strings.Contains(problems[i].what, "package comment") {
-			t.Fatalf("problems = %v, want dirs %v", problems, want)
-		}
-	}
-}
-
-// The exported-identifier rule applies inside the API-bearing
-// directories: undocumented exported funcs, methods, types and lone
-// consts are findings; documented const blocks, unexported names and
-// methods on unexported types are not.
-func TestCheckFindsUndocumentedExportedIdentifiers(t *testing.T) {
-	root := t.TempDir()
-	write(t, filepath.Join(root, "internal", "dfs", "x.go"), `// Package dfs is a fixture.
-package dfs
-
-type Exported struct{}
-
-func Undocumented() {}
-
-// Documented does things, documented.
-func Documented() {}
-
-func (Exported) Method() {}
-
-// DocumentedMethod is covered.
-func (Exported) DocumentedMethod() {}
-
-func unexported() {}
-
-type hidden struct{}
-
-func (hidden) ExportedOnHidden() {}
-
-const Lone = 1
-
-// Block doc covers the members, stdlib-style.
-const (
-	A = iota
-	B
-)
-
-var Stray int
-`)
-	// The same gaps outside the enforced directories are fine.
-	write(t, filepath.Join(root, "internal", "other", "y.go"),
-		"// Package other is documented.\npackage other\n\nfunc Free() {}\n")
-
-	problems, err := check(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var got []string
-	for _, p := range problems {
-		got = append(got, p.what)
-	}
-	want := []string{
-		"exported type Exported has no doc comment",
-		"exported function Undocumented has no doc comment",
-		"exported method Method has no doc comment",
-		"exported const Lone has no doc comment",
-		"exported var Stray has no doc comment",
-	}
-	if len(got) != len(want) {
-		t.Fatalf("got %d problems %v, want %d", len(got), got, len(want))
-	}
-	for _, w := range want {
-		found := false
-		for _, g := range got {
-			found = found || g == w
-		}
-		if !found {
-			t.Fatalf("missing finding %q in %v", w, got)
-		}
-	}
-}
-
-// The repository itself must pass: every package carries a comment and
-// the core packages document every exported identifier.
+// TestRepositoryIsFullyDocumented runs the doccomment analyzer over
+// the whole module — every package carries a comment and the
+// API-bearing packages document every exported identifier.
 func TestRepositoryIsFullyDocumented(t *testing.T) {
-	problems, err := check("../..")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(problems) > 0 {
-		t.Fatalf("documentation problems: %v", problems)
+	var sb strings.Builder
+	if code := lint.RunCLI(&sb, []*lint.Analyzer{lint.DocComment}, []string{"knnjoin/..."}); code != 0 {
+		t.Fatalf("doccheck on the repository exited %d:\n%s", code, sb.String())
 	}
 }
 
-func TestRunRejectsExtraArgs(t *testing.T) {
-	if err := run([]string{"a", "b"}); err == nil {
-		t.Fatal("extra args accepted")
+// TestBadPatternFails pins the load-failure exit code the wrapper
+// inherits: an unknown package pattern is an error (2), not a clean
+// run.
+func TestBadPatternFails(t *testing.T) {
+	var sb strings.Builder
+	if code := lint.RunCLI(&sb, []*lint.Analyzer{lint.DocComment}, []string{"knnjoin/doesnotexist"}); code != 2 {
+		t.Fatalf("doccheck on a bad pattern exited %d, want 2:\n%s", code, sb.String())
 	}
 }

@@ -1,0 +1,54 @@
+// Command knnlint runs the project's invariant checkers — the
+// internal/lint analyzer suite — over the packages matching its
+// arguments (default ./...). It is the compile-time gate CI runs on
+// every PR: the invariants it encodes (gob wire-safety of job specs,
+// deterministic map iteration on byte-identity paths, the squared-
+// distance contract, query purity on shared indexes, atomic snapshot
+// discipline, and the documentation rules) have each produced at least
+// one real bug when left to review.
+//
+// Usage:
+//
+//	knnlint [packages]             # run every analyzer
+//	knnlint -only maprange ./...   # run one analyzer
+//	knnlint -list                  # print the analyzers and their docs
+//
+// A finding is suppressed site-by-site with a justified directive on
+// the offending line or the line above it:
+//
+//	//lint:allow <analyzer>: <one-line justification>
+//
+// Directives without a justification (or naming an unknown analyzer)
+// are themselves findings, so the whitelist cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knnjoin/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the named analyzer")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := lint.All
+	if *only != "" {
+		a := lint.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "knnlint: unknown analyzer %q\n", *only)
+			os.Exit(2)
+		}
+		analyzers = []*lint.Analyzer{a}
+	}
+	os.Exit(lint.RunCLI(os.Stdout, analyzers, flag.Args()))
+}

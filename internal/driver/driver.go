@@ -334,7 +334,7 @@ func AppendNeighbors(dst []codec.Neighbor, cands []nnheap.Candidate, squared boo
 	for _, c := range cands {
 		d := c.Dist
 		if squared {
-			d = math.Sqrt(d)
+			d = math.Sqrt(d) //lint:allow sqrtfree: the emit site — neighbors leave the engine in true L2 units
 		}
 		dst = append(dst, codec.Neighbor{ID: c.ID, Dist: d})
 	}

@@ -1,0 +1,190 @@
+package lint
+
+// The fixture harness: an analysistest-style runner on the standard
+// library. Each analyzer owns a directory under testdata/src/<name>/
+// holding one or more fixture packages; packages named in the
+// runFixture call are analyzed, every other sibling directory is a
+// dependency stub type-checked first and made importable by its
+// directory name. Expected findings are `// want "regex"` comments on
+// the offending line, exactly like x/tools analysistest.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// fixtureImporter resolves fixture-local packages by directory name and
+// falls back to compiling the standard library from source (the only
+// importer that works offline without export data for ad-hoc trees).
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.std.Import(path)
+}
+
+// checkFixturePkg parses and type-checks one fixture package directory.
+func checkFixturePkg(t *testing.T, fset *token.FileSet, imp *fixtureImporter, dir, name string) (*types.Package, []*ast.File, *types.Info) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture package %s has no Go files", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", name, err)
+	}
+	return pkg, files, info
+}
+
+// wantRe extracts the quoted regexes from a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants indexes every `// want` comment by file:line, one entry
+// per quoted regex.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := regexp.MustCompile(`^//\s*want\s+(.*)$`).FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					wants[key] = append(wants[key], regexp.MustCompile(pat))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture type-checks the fixture tree for analyzer a and verifies
+// its diagnostics against the want comments in the analyzed packages
+// (default: the package named "a").
+func runFixture(t *testing.T, a *Analyzer, fixture string, analyzed ...string) {
+	t.Helper()
+	if len(analyzed) == 0 {
+		analyzed = []string{"a"}
+	}
+	root := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read fixture root %s: %v", root, err)
+	}
+	isAnalyzed := map[string]bool{}
+	for _, name := range analyzed {
+		isAnalyzed[name] = true
+	}
+
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+	// Dependency stubs first, then the analyzed packages, so imports by
+	// directory name resolve.
+	var depDirs, targetDirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if isAnalyzed[e.Name()] {
+			targetDirs = append(targetDirs, e.Name())
+		} else {
+			depDirs = append(depDirs, e.Name())
+		}
+	}
+	sort.Strings(depDirs)
+	for _, name := range depDirs {
+		pkg, _, _ := checkFixturePkg(t, fset, imp, filepath.Join(root, name), name)
+		imp.local[name] = pkg
+	}
+
+	var diags []Diagnostic
+	for _, name := range targetDirs {
+		pkg, files, info := checkFixturePkg(t, fset, imp, filepath.Join(root, name), name)
+		imp.local[name] = pkg
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+
+		wants := collectWants(t, fset, files)
+		for _, d := range diags {
+			// A want sits on the finding's line, or on the line below
+			// when a same-line comment would change the program under
+			// test (a trailing comment on a var spec IS a doc comment,
+			// so the doccomment fixtures push the want past the decl).
+			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+			below := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line+1)
+			matched := false
+			for _, k := range []string{key, below} {
+				ws := wants[k]
+				for i, w := range ws {
+					if w.MatchString(d.Message) {
+						wants[k] = append(ws[:i], ws[i+1:]...)
+						matched = true
+						break
+					}
+				}
+				if matched {
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				t.Errorf("missing diagnostic at %s: no %s finding matched %q", key, a.Name, w)
+			}
+		}
+		diags = diags[:0]
+	}
+}

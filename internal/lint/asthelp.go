@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rootExpr strips selectors, index expressions, parens, and derefs off
+// an lvalue and returns the innermost expression — the object whose
+// storage the lvalue ultimately reaches. `ix.sum.S[j].Count` roots at
+// `ix`; `f().x` roots at the call.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// rootIdentObj resolves the lvalue's root to its declared object, or
+// nil when the root is not a plain identifier.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := rootExpr(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// isBareIdent reports whether the lvalue is a plain identifier (a local
+// rebind, which touches no shared storage) rather than a field, index,
+// or deref path into an object.
+func isBareIdent(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	_, ok := e.(*ast.Ident)
+	return ok
+}
+
+// isIntegerType reports whether t's core type is an integer — the only
+// accumulator type whose += / ++ reductions are iteration-order
+// independent (float rounding is not associative, strings concatenate
+// in order).
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through selectors and instantiations), or nil for builtins,
+// conversions, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// builtinName returns the name of the builtin a call invokes ("append",
+// "len", ...), or "" when the callee is not a predeclared builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// namedOrigin unwraps pointers and returns the (generic origin of the)
+// named type behind t, or nil.
+func namedOrigin(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if a, ok := t.(*types.Alias); ok {
+			return namedOrigin(types.Unalias(a))
+		}
+		return nil
+	}
+	return n.Origin()
+}
+
+// isAtomicPointer reports whether t (possibly behind a pointer) is
+// sync/atomic.Pointer[E], returning the element type when it is.
+func isAtomicPointer(t types.Type) (elem types.Type, ok bool) {
+	n := namedOrigin(t)
+	if n == nil {
+		return nil, false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	// Recover the instantiated element from the original (possibly
+	// instantiated) type rather than the origin.
+	if p, okp := t.Underlying().(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	named, okn := t.(*types.Named)
+	if !okn || named.TypeArgs().Len() != 1 {
+		return nil, false
+	}
+	return named.TypeArgs().At(0), true
+}
+
+// funcBodies yields every function or method body in the file together
+// with its declaration, including function literals nested inside.
+func funcBodies(f *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicSnap guards the snapshot-publication discipline the serving
+// tiers rely on: state shared with in-flight queries lives behind an
+// atomic.Pointer, a reload builds a complete replacement and publishes
+// it with one Store, and nobody touches snapshot contents around the
+// pointer. Three write patterns break that discipline without tripping
+// the race detector on every schedule: mutating a loaded snapshot,
+// mutating a value after storing it, and keeping a plain shadow field
+// of the same snapshot type beside the pointer.
+var AtomicSnap = &Analyzer{
+	Name: "atomicsnap",
+	Doc: "state published via atomic.Pointer snapshots must be immutable after " +
+		"publication: no writes through Load results, no writes to a value after " +
+		"Store(p), no plain shadow fields of the snapshot type",
+	AppliesTo: inPackages("internal/serve", "internal/shard"),
+	Run:       runAtomicSnap,
+}
+
+func runAtomicSnap(pass *Pass) {
+	elems := snapshotElemTypes(pass)
+	for _, f := range pass.Files {
+		checkShadowFields(pass, f, elems)
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkSnapshotWrites(pass, decl, body, elems)
+		})
+	}
+}
+
+// snapshotElemTypes collects every T used as atomic.Pointer[T] anywhere
+// in the package's declared struct fields or variables.
+func snapshotElemTypes(pass *Pass) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	collect := func(t types.Type) {
+		if elem, ok := isAtomicPointer(t); ok {
+			if n := namedOrigin(elem); n != nil {
+				out[n] = true
+			}
+		}
+	}
+	for _, name := range pass.Pkg.Scope().Names() {
+		obj := pass.Pkg.Scope().Lookup(name)
+		collect(obj.Type())
+		if tn, ok := obj.(*types.TypeName); ok {
+			if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					collect(st.Field(i).Type())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkShadowFields flags struct fields whose type duplicates a
+// snapshot element outside its atomic.Pointer: reads through the shadow
+// bypass the publication point and go stale (or race) on reload.
+func checkShadowFields(pass *Pass, f *ast.File, elems map[*types.Named]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := pass.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isAtomic := isAtomicPointer(t); isAtomic {
+				continue
+			}
+			if named := namedOrigin(t); named != nil && elems[named] {
+				pass.Reportf(field.Pos(), "plain field of snapshot type %s beside its atomic.Pointer: all reads must go through Load or they race with reload", named.Obj().Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkSnapshotWrites flags writes through Load results and writes to a
+// value after it was passed to Store/Swap/CompareAndSwap within the
+// same function body (textual order — the publication point).
+func checkSnapshotWrites(pass *Pass, decl *ast.FuncDecl, body *ast.BlockStmt, elems map[*types.Named]bool) {
+	// tainted maps objects that alias published snapshot memory to the
+	// position from which writes are forbidden (NoPos = everywhere).
+	tainted := map[types.Object]token.Pos{}
+
+	// Parameters typed *T for a snapshot element T are loaded snapshots
+	// handed down from the caller (serve's per-request helpers).
+	if decl.Type.Params != nil {
+		for _, p := range decl.Type.Params.List {
+			t := pass.Info.Types[p.Type].Type
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				if n := namedOrigin(ptr.Elem()); n != nil && elems[n] {
+					for _, name := range p.Names {
+						if obj := pass.Info.ObjectOf(name); obj != nil {
+							tainted[obj] = token.NoPos
+						}
+					}
+				}
+			}
+		}
+	}
+
+	isLoadCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return false
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return false
+		}
+		_, isAtomic := isAtomicPointer(tv.Type)
+		return isAtomic
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// v := X.Load() taints v from here on.
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) && isLoadCall(rhs) {
+					if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.ObjectOf(id); obj != nil {
+							tainted[obj] = token.NoPos
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// X.Store(p) / Swap(p) / CompareAndSwap(old, p): p is
+			// published at this point; later writes are forbidden.
+			sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Store" && method != "Swap" && method != "CompareAndSwap" {
+				return true
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			if _, isAtomic := isAtomicPointer(tv.Type); !isAtomic {
+				return true
+			}
+			arg := s.Args[len(s.Args)-1]
+			if obj := rootIdentObj(pass.Info, ast.Unparen(arg)); obj != nil {
+				if _, already := tainted[obj]; !already {
+					tainted[obj] = s.End()
+				}
+			}
+		}
+		return true
+	})
+
+	flag := func(lhs ast.Expr, verb string) {
+		if isBareIdent(lhs) {
+			return // rebinding the variable abandons the alias, no write
+		}
+		obj := rootIdentObj(pass.Info, lhs)
+		if obj == nil {
+			return
+		}
+		from, ok := tainted[obj]
+		if !ok || lhs.Pos() < from {
+			return
+		}
+		pass.Reportf(lhs.Pos(), "%s published snapshot state through %s: snapshots are immutable after Load/Store, build a replacement and publish it atomically", verb, exprName(lhs))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flag(lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			flag(s.X, "increment of")
+		}
+		return true
+	})
+
+	// Direct `X.Load().field = v` (no intermediate variable).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if isLoadCall(rootExpr(lhs)) {
+				pass.Reportf(lhs.Pos(), "write through %s mutates the live snapshot in place: build a replacement and Store it", exprName(lhs))
+			}
+		}
+		return true
+	})
+}

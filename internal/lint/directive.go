@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full form is
+//
+//	//lint:allow <analyzer>: <one-line justification>
+//
+// and the directive covers findings of <analyzer> on its own line and
+// on the line directly below (so it can sit above a statement or at the
+// end of one).
+const directivePrefix = "//lint:allow"
+
+// A directive is one parsed //lint:allow comment.
+type directive struct {
+	// Analyzer names the suppressed analyzer.
+	Analyzer string
+	// Reason is the mandatory justification after the colon.
+	Reason string
+	// Pos is where the directive comment starts.
+	Pos token.Position
+}
+
+// parseDirectives extracts every //lint:allow directive from a file's
+// comments. Malformed directives (no analyzer, no justification, or an
+// unknown analyzer name) are reported as diagnostics themselves so the
+// whitelist cannot rot silently.
+func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			tail := strings.TrimPrefix(c.Text, directivePrefix)
+			if tail != "" && tail[0] != ' ' && tail[0] != '\t' {
+				continue // some other //lint:allowX comment
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(tail)
+			name, reason, ok := strings.Cut(rest, ":")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			bad := func(msg string) {
+				report(Diagnostic{Analyzer: "directive", Pos: pos, Message: msg})
+			}
+			switch {
+			case name == "":
+				bad("lint:allow directive names no analyzer")
+			case ByName(name) == nil:
+				bad("lint:allow directive names unknown analyzer " + strings.Trim(name, `"`))
+			case !ok || reason == "":
+				bad("lint:allow " + name + " has no justification (write //lint:allow " + name + ": <reason>)")
+			default:
+				out = append(out, directive{Analyzer: name, Reason: reason, Pos: pos})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive: same file,
+// same analyzer, and the directive sits on d's line or the line above.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.Analyzer != d.Analyzer || dir.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.Pos.Line == d.Pos.Line || dir.Pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

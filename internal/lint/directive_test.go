@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+import "math"
+
+func emitDist(s float64) float64 {
+	return math.Sqrt(s) //lint:allow sqrtfree: the emit site
+}
+
+//lint:allow maprange: integer counter merge, Add is commutative
+func merge(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+//lint:allow
+//lint:allow nosuchanalyzer: reason
+//lint:allow sqrtfree
+func bad() {}
+`
+
+func parseDirectiveSrc(t *testing.T) (*token.FileSet, []directive, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad []Diagnostic
+	dirs := parseDirectives(fset, f, func(d Diagnostic) { bad = append(bad, d) })
+	return fset, dirs, bad
+}
+
+// TestParseDirectives checks that well-formed directives parse with
+// their justification and malformed ones become findings themselves.
+func TestParseDirectives(t *testing.T) {
+	_, dirs, bad := parseDirectiveSrc(t)
+	if len(dirs) != 2 {
+		t.Fatalf("parsed %d directives, want 2: %+v", len(dirs), dirs)
+	}
+	if dirs[0].Analyzer != "sqrtfree" || dirs[0].Reason != "the emit site" {
+		t.Errorf("directive 0 = %+v", dirs[0])
+	}
+	if dirs[1].Analyzer != "maprange" || !strings.Contains(dirs[1].Reason, "commutative") {
+		t.Errorf("directive 1 = %+v", dirs[1])
+	}
+	if len(bad) != 3 {
+		t.Fatalf("got %d malformed-directive findings, want 3: %+v", len(bad), bad)
+	}
+	for i, wantSub := range []string{"names no analyzer", "unknown analyzer", "no justification"} {
+		if !strings.Contains(bad[i].Message, wantSub) {
+			t.Errorf("malformed finding %d = %q, want substring %q", i, bad[i].Message, wantSub)
+		}
+	}
+}
+
+// TestSuppressed checks the directive's coverage window: same line and
+// the line directly below, same file, same analyzer only.
+func TestSuppressed(t *testing.T) {
+	_, dirs, _ := parseDirectiveSrc(t)
+	diag := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: line},
+		}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{diag("p.go", 6, "sqrtfree"), true},   // inline, same line
+		{diag("p.go", 7, "sqrtfree"), true},   // line below the directive
+		{diag("p.go", 6, "maprange"), false},  // other analyzer
+		{diag("p.go", 8, "sqrtfree"), false},  // out of the window
+		{diag("q.go", 6, "sqrtfree"), false},  // other file
+		{diag("p.go", 10, "maprange"), true},  // directive above func decl
+		{diag("p.go", 12, "maprange"), false}, // loop line, beyond window
+	}
+	for i, c := range cases {
+		if got := suppressed(c.d, dirs); got != c.want {
+			t.Errorf("case %d (%s:%d %s): suppressed = %v, want %v",
+				i, c.d.Pos.Filename, c.d.Pos.Line, c.d.Analyzer, got, c.want)
+		}
+	}
+}

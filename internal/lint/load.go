@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	// PkgPath is the full import path ("knnjoin/internal/pgbj").
+	PkgPath string
+	// Dir is the package's source directory on disk.
+	Dir string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files holds the parsed non-test Go files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// listEntry mirrors the `go list -json` fields the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load enumerates the packages matching patterns with the go tool,
+// parses their sources, and type-checks them against the toolchain's
+// export data (so cross-package types resolve without re-checking the
+// whole dependency graph from source). It returns the matched packages
+// in `go list` order.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exportFiles := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if e.Export != "" {
+			exportFiles[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exportFiles)
+	var pkgs []*Package
+	for _, e := range targets {
+		if len(e.GoFiles) == 0 {
+			continue // test-only or empty directory
+		}
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", filepath.Join(e.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: e.ImportPath,
+			Dir:     e.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tp,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+// newInfo allocates the full set of type-checker fact tables the
+// analyzers consume (uses, selections, and generic instantiations
+// included — gobspec resolves DefineKind type arguments via Instances).
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// newExportImporter returns a types.Importer that resolves import paths
+// through the compiler export data files reported by `go list -export`.
+func newExportImporter(fset *token.FileSet, exportFiles map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

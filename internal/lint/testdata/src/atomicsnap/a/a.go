@@ -1,0 +1,57 @@
+// Package a seeds the snapshot-publication discipline for the
+// atomicsnap analyzer: snapshots behind an atomic.Pointer are immutable
+// once published.
+package a
+
+import "sync/atomic"
+
+type snapshot struct {
+	gen  int
+	objs []int
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+type shadowed struct {
+	snap atomic.Pointer[snapshot]
+	cur  *snapshot // want "plain field of snapshot type"
+}
+
+// reloadOK builds a complete replacement and publishes once: clean.
+func (s *server) reloadOK(objs []int) {
+	next := &snapshot{gen: 1, objs: objs}
+	s.snap.Store(next)
+}
+
+// mutateLoaded writes through a Load result.
+func (s *server) mutateLoaded() {
+	cur := s.snap.Load()
+	cur.gen++ // want "increment of published snapshot state"
+}
+
+// mutateStored keeps writing after publication.
+func (s *server) mutateStored(objs []int) {
+	next := &snapshot{}
+	s.snap.Store(next)
+	next.objs = objs // want "write to published snapshot state"
+}
+
+// mutateInline writes through an immediate Load.
+func (s *server) mutateInline() {
+	s.snap.Load().gen = 9 // want "mutates the live snapshot in place"
+}
+
+// readOK only reads through the snapshot: clean.
+func (s *server) readOK() int {
+	return s.snap.Load().gen
+}
+
+// helperOK receives a loaded snapshot and reads: clean.
+func helperOK(sn *snapshot) int { return sn.gen }
+
+// helperBad receives a loaded snapshot and writes.
+func helperBad(sn *snapshot) {
+	sn.gen = 2 // want "write to published snapshot state"
+}

@@ -1,0 +1,18 @@
+package a // want "package a has no package comment"
+
+// Documented carries a doc comment.
+func Documented() {}
+
+func Missing() {} // want "exported function Missing has no doc comment"
+
+type Widget struct{} // want "exported type Widget has no doc comment"
+
+// Grouped constants share the block comment.
+const (
+	A = iota
+	B
+)
+
+var (
+	Loose = 1
+) // want "exported var Loose has no doc comment"

@@ -1,0 +1,11 @@
+// Package b is fully documented and yields no findings.
+package b
+
+// Exported carries a doc comment.
+func Exported() {}
+
+// Gadget carries a doc comment.
+type Gadget struct{}
+
+// Limit carries a doc comment.
+const Limit = 8

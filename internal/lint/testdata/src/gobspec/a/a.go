@@ -1,0 +1,52 @@
+// Package a seeds one wire-safe spec and every gob hazard the gobspec
+// analyzer knows about.
+package a
+
+import "mapreduce"
+
+// goodSpec is wire-safe: exported plain-data fields only.
+type goodSpec struct {
+	Input  string
+	Pivots [][]float64
+	K      int
+}
+
+var goodKind = mapreduce.DefineKind("good", buildGood)
+
+func buildGood(s goodSpec) *mapreduce.Job { return &mapreduce.Job{Name: s.Input} }
+
+// badSpec carries the silent wire hazards: a dropped unexported field
+// and two unencodable types.
+type badSpec struct {
+	Input string
+	seed  int64
+	Hook  func() error
+	Quit  chan int
+}
+
+var badKind = mapreduce.DefineKind("bad", buildBad) // want "seed is unexported" "Hook has func type" "Quit has chan type"
+
+func buildBad(s badSpec) *mapreduce.Job { return &mapreduce.Job{Name: s.Input} }
+
+// nested hides a hazard one level down the type graph.
+type nested struct {
+	Inner innerSpec
+}
+
+type innerSpec struct {
+	Notify func()
+}
+
+var nestedKind = mapreduce.DefineKind("nested", buildNested) // want "Inner.Notify has func type"
+
+func buildNested(s nested) *mapreduce.Job { return &mapreduce.Job{} }
+
+// nilCheck draws the nil-vs-empty distinction gob erases on the wire.
+func nilCheck(s goodSpec) bool {
+	return s.Pivots == nil // want "nil check on gob-roundtripped field"
+}
+
+// lenCheck is the safe way to test emptiness after a round-trip.
+func lenCheck(s goodSpec) bool {
+	return len(s.Pivots) == 0
+}

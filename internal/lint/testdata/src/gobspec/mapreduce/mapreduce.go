@@ -1,0 +1,16 @@
+// Package mapreduce stubs the real engine's job-kind registry for the
+// gobspec fixtures: the analyzer matches DefineKind by name and
+// defining-package name, so this mirror is all it needs.
+package mapreduce
+
+// Job is a stub job.
+type Job struct{ Name string }
+
+// Kind is a stub registered constructor.
+type Kind[T any] struct{ name string }
+
+// DefineKind registers build under name.
+func DefineKind[T any](name string, build func(T) *Job) Kind[T] {
+	_ = build
+	return Kind[T]{name: name}
+}

@@ -1,0 +1,92 @@
+// Package a seeds order-dependent map loops and their order-safe
+// counterparts for the maprange analyzer.
+package a
+
+import "sort"
+
+func emit(k string, v int) {}
+
+// bad feeds emit in randomized iteration order.
+func bad(m map[string]int) {
+	for k, v := range m { // want "call to emit"
+		emit(k, v)
+	}
+}
+
+// badAppend collects results in map order and never re-sorts.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "append to out in map order without a later sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+// badFloat accumulates floats, whose rounding is order-dependent.
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulation on float64 is iteration-order dependent"
+		sum += v
+	}
+	return sum
+}
+
+// badLastWriter keeps whichever element iterates last.
+func badLastWriter(m map[string]int) int {
+	var last int
+	for _, v := range m { // want "last-writer-wins assignment to last"
+		last = v
+	}
+	return last
+}
+
+// badReturn returns a random element.
+func badReturn(m map[string]int) int {
+	for _, v := range m { // want "return from inside the loop"
+		return v
+	}
+	return 0
+}
+
+// goodSorted collects keys and re-establishes a canonical order.
+func goodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCount is a commutative integer reduction.
+func goodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+	}
+	return n
+}
+
+// goodInvert writes into another map; maps have no order to corrupt.
+func goodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// goodLocal keeps all effects in per-iteration locals.
+func goodLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		sub := 0
+		for _, v := range vs {
+			sub += v
+		}
+		total += sub
+	}
+	return total
+}

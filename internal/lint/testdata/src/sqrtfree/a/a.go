@@ -1,0 +1,38 @@
+// Package a seeds the squared-distance contract for the sqrtfree
+// analyzer: scans compare in squared space, so any math.Sqrt is a
+// finding until an emit site whitelists it.
+package a
+
+import "math"
+
+// scanSquared keeps the comparison in squared space: clean.
+func scanSquared(rows [][]float64, q []float64) float64 {
+	best := math.Inf(1)
+	for _, r := range rows {
+		var s float64
+		for j := range r {
+			d := r[j] - q[j]
+			s += d * d
+		}
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// scanLeaky converts to true distance inside the hot loop.
+func scanLeaky(rows [][]float64, q []float64) float64 {
+	best := math.Inf(1)
+	for _, r := range rows {
+		var s float64
+		for j := range r {
+			d := r[j] - q[j]
+			s += d * d
+		}
+		if t := math.Sqrt(s); t < best { // want "math.Sqrt on a distance path"
+			best = t
+		}
+	}
+	return best
+}

@@ -472,7 +472,7 @@ func (e *distEngine) assemble(j *coordJob) (*JobStats, error) {
 			stats.ShuffleRecords += mr.Records
 			stats.ReduceInputRecords[mr.Reducer] += mr.Records
 		}
-		for name, v := range t.counters {
+		for name, v := range t.counters { //lint:allow maprange: integer counter merge, CounterSet.Add is commutative
 			counters.Add(name, v)
 		}
 	}
@@ -485,7 +485,7 @@ func (e *distEngine) assemble(j *coordJob) (*JobStats, error) {
 			reduceWork[i] = t.work
 			stats.SpilledRuns += t.spilledRuns
 			stats.SpilledBytes += t.spilledBytes
-			for name, v := range t.counters {
+			for name, v := range t.counters { //lint:allow maprange: integer counter merge, CounterSet.Add is commutative
 				counters.Add(name, v)
 			}
 		}

@@ -529,7 +529,7 @@ func thresholdDist(h *nnheap.KHeap, def float64, squared bool) float64 {
 		return def
 	}
 	if squared {
-		return math.Sqrt(h.Top().Dist)
+		return math.Sqrt(h.Top().Dist) //lint:allow sqrtfree: one sqrt per (r, S-partition) pair converts the squared heap bound to the true-units θ Theorem 2 compares
 	}
 	return h.Top().Dist
 }

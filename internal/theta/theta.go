@@ -67,7 +67,7 @@ func Tiling(rSize, sSize, n int) (rows, cols int) {
 	if n <= 1 || rSize <= 0 || sSize <= 0 {
 		return 1, 1
 	}
-	rows = int(math.Round(math.Sqrt(float64(n) * float64(rSize) / float64(sSize))))
+	rows = int(math.Round(math.Sqrt(float64(n) * float64(rSize) / float64(sSize)))) //lint:allow sqrtfree: √(n·|R|/|S|) sizes the block grid once per job, no distance involved
 	if rows < 1 {
 		rows = 1
 	}

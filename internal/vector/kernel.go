@@ -189,7 +189,7 @@ func (b *Block) buildF32() bool {
 		// A row with overflowing (Inf after conversion) or NaN
 		// coordinates gets a non-finite error norm, so its lower bound
 		// never certifies a skip and the row is always refined exactly.
-		errs[i] = math.Sqrt(sum) * errInflate
+		errs[i] = math.Sqrt(sum) * errInflate //lint:allow sqrtfree: representation error norm ‖row−row32‖, once per row at block build
 	}
 	b.coords32, b.errF32 = c32, errs
 	return true
@@ -240,7 +240,7 @@ func (b *Block) buildQuant() bool {
 			d := v - (lo + float64(c)*scale)
 			sum += d * d
 		}
-		errs[i] = math.Sqrt(sum) * errInflate
+		errs[i] = math.Sqrt(sum) * errInflate //lint:allow sqrtfree: quantization error norm ‖row−roŵ‖, once per row at block build
 	}
 	b.codes, b.errQ, b.qMin, b.qScale, b.qStride = codes, errs, lo, scale, stride
 	b.qRecErr = float64(dim+1) * (math.Abs(lo) + 256*scale) * 1e-12
@@ -299,7 +299,7 @@ func (sc *Scratch) f32Query(q Point) ([]float32, float64) {
 		d := v - float64(f)
 		sum += d * d
 	}
-	return q32, math.Sqrt(sum) * errInflate
+	return q32, math.Sqrt(sum) * errInflate //lint:allow sqrtfree: query error norm ‖q−q32‖, once per query
 }
 
 // quantQuery codes q against the block's affine grid and returns the
@@ -325,7 +325,7 @@ func (sc *Scratch) quantQuery(q Point, lo, scale float64, stride int) ([]uint8, 
 		d := v - (lo + float64(c)*scale)
 		sum += d * d
 	}
-	return cq, math.Sqrt(sum) * errInflate
+	return cq, math.Sqrt(sum) * errInflate //lint:allow sqrtfree: query error norm ‖q−q̂‖, once per query
 }
 
 // scanScalar is the KernelScalar tier: the pre-columnar shape — one
@@ -415,7 +415,7 @@ func (b *Block) scanF32(q Point, lo, hi int, h *nnheap.KHeap, sc *Scratch) {
 	full := h.Full()
 	if full {
 		bound = h.Top().Dist
-		tBase = math.Sqrt(bound) + qErr
+		tBase = math.Sqrt(bound) + qErr //lint:allow sqrtfree: threshold reprice on heap-bound change only, not per row
 	}
 	for o := range ids {
 		i := lo + o
@@ -461,7 +461,7 @@ func (b *Block) scanF32(q Point, lo, hi int, h *nnheap.KHeap, sc *Scratch) {
 		if h.Full() {
 			full = true
 			bound = h.Top().Dist
-			tBase = math.Sqrt(bound) + qErr
+			tBase = math.Sqrt(bound) + qErr //lint:allow sqrtfree: threshold reprice on heap-bound change only, not per row
 		}
 	}
 }
@@ -500,7 +500,7 @@ func (b *Block) scanQuant(q Point, lo, hi int, h *nnheap.KHeap, sc *Scratch) {
 	full := h.Full()
 	if full {
 		bound = h.Top().Dist
-		tBase = math.Sqrt(bound) + slack
+		tBase = math.Sqrt(bound) + slack //lint:allow sqrtfree: threshold reprice on heap-bound change only, not per row
 	}
 	for p0 := lo; p0 < hi; p0 += quantChunkRows {
 		p1 := min(p0+quantChunkRows, hi)
@@ -525,7 +525,7 @@ func (b *Block) scanQuant(q Point, lo, hi int, h *nnheap.KHeap, sc *Scratch) {
 			if h.Full() {
 				full = true
 				bound = h.Top().Dist
-				tBase = math.Sqrt(bound) + slack
+				tBase = math.Sqrt(bound) + slack //lint:allow sqrtfree: threshold reprice on heap-bound change only, not per row
 			}
 		}
 	}
@@ -540,7 +540,7 @@ func (b *Block) quantLowerBound(i int, q Point, sc *Scratch) float64 {
 	cq, qErr := sc.quantQuery(q, b.qMin, b.qScale, stride)
 	var isum [1]int64
 	quantSqRows(b.codes[i*stride:(i+1)*stride], cq, stride, 1, isum[:])
-	return b.qScale*math.Sqrt(float64(isum[0]))*quantRelSlack - b.errQ[i] - qErr - b.qRecErr
+	return b.qScale*math.Sqrt(float64(isum[0]))*quantRelSlack - b.errQ[i] - qErr - b.qRecErr //lint:allow sqrtfree: certified lower bound is defined in true units; fuzz-gate helper, not the scan loop
 }
 
 // f32LowerBound is quantLowerBound's float32-tier sibling.
@@ -557,7 +557,7 @@ func (b *Block) f32LowerBound(i int, q Point, sc *Scratch) float64 {
 		return math.Inf(-1)
 	}
 	gamma := float64(dim+8) * 1.2e-7
-	return math.Sqrt(s)*(1-gamma) - b.errF32[i] - qErr
+	return math.Sqrt(s)*(1-gamma) - b.errF32[i] - qErr //lint:allow sqrtfree: certified lower bound is defined in true units; fuzz-gate helper, not the scan loop
 }
 
 // nearestKGuts dispatches one L2 row-range scan to the active tier.
@@ -748,7 +748,7 @@ func (b *Block) rangeGuts(q Point, lo, hi int, theta float64, dst []nnheap.Candi
 				}
 			}
 			s := sqDistL2(b.Coords[i*dim:i*dim+len(q)], q)
-			if d := math.Sqrt(s); d <= theta {
+			if d := math.Sqrt(s); d <= theta { //lint:allow sqrtfree: range radius θ is in true units; one sqrt per window survivor at emit
 				dst = append(dst, nnheap.Candidate{ID: ids[o], Dist: d})
 			}
 		}
@@ -773,7 +773,7 @@ func (b *Block) rangeGuts(q Point, lo, hi int, theta float64, dst []nnheap.Candi
 				}
 				i := p0 + o
 				s := sqDistL2(b.Coords[i*dim:i*dim+len(q)], q)
-				if d := math.Sqrt(s); d <= theta {
+				if d := math.Sqrt(s); d <= theta { //lint:allow sqrtfree: range radius θ is in true units; one sqrt per filter survivor at emit
 					dst = append(dst, nnheap.Candidate{ID: pids[o], Dist: d})
 				}
 			}
@@ -782,7 +782,7 @@ func (b *Block) rangeGuts(q Point, lo, hi int, theta float64, dst []nnheap.Candi
 		for o := range ids {
 			i := lo + o
 			s := sqDistL2(b.Coords[i*dim:i*dim+len(q)], q)
-			if d := math.Sqrt(s); d <= theta {
+			if d := math.Sqrt(s); d <= theta { //lint:allow sqrtfree: range radius θ is in true units; one sqrt per window survivor at emit
 				dst = append(dst, nnheap.Candidate{ID: ids[o], Dist: d})
 			}
 		}

@@ -128,7 +128,7 @@ func (m Metric) Dist(p, q Point) float64 {
 	}
 	switch m {
 	case L2:
-		return math.Sqrt(sqDistL2(p, q))
+		return math.Sqrt(sqDistL2(p, q)) //lint:allow sqrtfree: Metric.Dist is the public exact API in true units; kernels use sqDistL2
 	case L1:
 		var s float64
 		for i := range p {

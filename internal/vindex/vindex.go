@@ -236,7 +236,7 @@ func thresholdDist(heap *nnheap.KHeap, def float64, squared bool) float64 {
 	}
 	t := heap.Top().Dist
 	if squared {
-		t = math.Sqrt(t)
+		t = math.Sqrt(t) //lint:allow sqrtfree: one sqrt per partition step converts the squared heap bound to the true-units θ the walk prices
 	}
 	return t
 }
@@ -247,7 +247,7 @@ func sortedDists(heap *nnheap.KHeap, squared bool) []nnheap.Candidate {
 	res := heap.Sorted()
 	if squared {
 		for i := range res {
-			res[i].Dist = math.Sqrt(res[i].Dist)
+			res[i].Dist = math.Sqrt(res[i].Dist) //lint:allow sqrtfree: the emit site — query responses carry true L2 distances
 		}
 	}
 	return res
