@@ -161,6 +161,8 @@ func TestStatsJobsActuals(t *testing.T) {
 		out := append([]stats.JobStat(nil), jobs...)
 		for i := range out {
 			out[i].Wall = 0
+			out[i].MapWall = 0
+			out[i].ReduceWall = 0
 		}
 		return out
 	}

@@ -3,9 +3,11 @@ package knnjoin
 import (
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
 )
 
 // TestMain lets re-executions of this test binary serve as MapReduce
@@ -140,5 +142,105 @@ func TestClusterModeRecoversFromKilledWorker(t *testing.T) {
 	}
 	if reexec < 1 {
 		t.Fatalf("ReexecutedAttempts = %d, want >= 1 after the kill", reexec)
+	}
+}
+
+// TestTracedFaultedJoinProducesMergedTrace is the observability PR's
+// acceptance scenario: a FaultPlan-killed three-worker PGBJ join with
+// tracing enabled must (a) stay byte-identical to the untraced
+// in-process run, and (b) leave a merged trace in which the killed
+// attempt, the coordinator's re-dispatch, and the winning committed
+// attempt are distinct spans; the trace must render as a timeline and
+// survive a Chrome trace-event export round trip.
+func TestTracedFaultedJoinProducesMergedTrace(t *testing.T) {
+	skipClusterShort(t)
+	r := dataset.Uniform(300, 4, 100, 41)
+	s := dataset.Uniform(340, 4, 100, 42)
+	opts := Options{K: 3, Algorithm: PGBJ, Nodes: 4, Seed: 5}
+	want, _, err := Join(r, s, opts)
+	if err != nil {
+		t.Fatalf("in-process: %v", err)
+	}
+
+	dir := t.TempDir()
+	opts.Workers = 3
+	opts.TraceDir = dir
+	opts.Faults = &FaultPlan{Events: []FaultEvent{
+		{Worker: -1, Task: "pgbj-join/map/0", Attempt: 1, Point: AtMidTask, Action: ActKill},
+	}}
+	got, _, err := Join(r, s, opts)
+	if err != nil {
+		t.Fatalf("3 traced workers with mid-join kill: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("tracing perturbed the join output")
+	}
+
+	spans, err := obs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	var killed, committed *obs.SpanRecord
+	redispatched := false
+	for i := range spans {
+		sp := &spans[i]
+		attrs := sp.Attrs
+		if sp.Name == "task" && attrs["task"] == "pgbj-join/map/0" {
+			switch attrs["outcome"] {
+			case "killed":
+				killed = sp
+			case "committed":
+				committed = sp
+			}
+		}
+		for _, ev := range sp.Events {
+			if ev.Name == "re-dispatch" && ev.Attrs["task"] == "pgbj-join/map/0" {
+				redispatched = true
+			}
+		}
+	}
+	if killed == nil {
+		t.Fatal("no task span with outcome=killed for pgbj-join/map/0")
+	}
+	if committed == nil {
+		t.Fatal("no task span with outcome=committed for pgbj-join/map/0")
+	}
+	if killed.SpanID == committed.SpanID {
+		t.Fatal("killed and committed attempts share a span")
+	}
+	if killed.TraceID != committed.TraceID {
+		t.Fatalf("attempts in different traces: %s vs %s", killed.TraceID, committed.TraceID)
+	}
+	if !redispatched {
+		t.Fatal("no re-dispatch event recorded for the killed task")
+	}
+	foundFault := false
+	for _, ev := range killed.Events {
+		if ev.Name == "fault-kill" {
+			foundFault = true
+		}
+	}
+	if !foundFault {
+		t.Fatal("killed attempt's span carries no fault-kill event")
+	}
+
+	timeline := obs.Timeline(spans, 120)
+	if !strings.Contains(timeline, "coord") || !strings.Contains(timeline, "task") {
+		t.Fatalf("timeline missing expected lanes:\n%s", timeline)
+	}
+	raw, err := obs.ChromeTrace(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ParseChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("chrome export does not round-trip: %v", err)
+	}
+	if len(evs) < len(spans) {
+		t.Fatalf("chrome export has %d events for %d spans", len(evs), len(spans))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"testing"
 
 	"knnjoin/internal/benchjobs"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/vector"
 )
 
@@ -122,8 +123,24 @@ func run(args []string) error {
 	sizes := fs.String("sizes", "10000,100000", "comma-separated group sizes n")
 	suite := fs.String("suite", "all", "which suite to run: dist | kernels | all")
 	smoke := fs.Bool("smoke", false, "cross-check outputs only, skip timing (CI equality gate)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "distbench: heap profile:", err)
+			}
+		}()
 	}
 	if *k < 1 || *queries < 0 {
 		return fmt.Errorf("-k must be at least 1 and -queries non-negative")

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"knnjoin/internal/experiments"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
 )
@@ -50,8 +51,24 @@ func run(args []string) error {
 	spillDir := fs.String("spill-dir", "", "out-of-core backend: run every experiment with DFS chunks and shuffle runs under this directory")
 	memLimitFlag := fs.String("mem-limit", "", "resident shuffle budget per run, e.g. 256M (spills to -spill-dir or a temp dir)")
 	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "knnbench: heap profile:", err)
+			}
+		}()
 	}
 	kernel, err := vector.ParseKernel(*kernelName)
 	if err != nil {

@@ -23,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"knnjoin"
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/planner"
 	"knnjoin/internal/stats"
 )
@@ -65,8 +67,27 @@ func run(args []string) error {
 	explain := fs.Bool("explain", false, "print the planner's ranked candidate plans and exit without joining")
 	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
 	workers := fs.Int("workers", 0, "run MapReduce jobs on this many worker processes (0 = in-process engine)")
+	traceDir := fs.String("trace", "", "with -workers: write observability spans as JSONL under this directory (render with knntrace)")
+	pprofOn := fs.Bool("pprof", false, "with -workers: expose net/http/pprof on the coordinator's HTTP server")
+	verbose := fs.Bool("v", false, "print the per-job breakdown (shuffle, spill, map/reduce walls)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "knnjoin: heap profile:", err)
+			}
+		}()
 	}
 	var memLimit int64
 	if *memLimitFlag != "" {
@@ -136,12 +157,15 @@ func run(args []string) error {
 			Radius: *radius, Metric: metric, Nodes: *nodes,
 			NumPivots: *numPivots, PivotStrategy: ps, Seed: *seed,
 			SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel,
-			Workers: *workers,
+			Workers: *workers, TraceDir: *traceDir,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, st.String())
+		if *verbose {
+			printJobs(st.Jobs)
+		}
 		if *statsOnly {
 			return nil
 		}
@@ -153,11 +177,15 @@ func run(args []string) error {
 			K: *k, Metric: metric, Nodes: *nodes,
 			ExcludeSelf: *excludeSelf, Unordered: *unordered, Seed: *seed,
 			SpillDir: *spillDir, MemLimit: memLimit, Workers: *workers,
+			TraceDir: *traceDir,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, st.String())
+		if *verbose {
+			printJobs(st.Jobs)
+		}
 		if *statsOnly {
 			return nil
 		}
@@ -175,6 +203,7 @@ func run(args []string) error {
 		K: *k, Algorithm: algo, Metric: metric, Nodes: *nodes,
 		NumPivots: *numPivots, PivotStrategy: ps, GroupStrategy: gs, Seed: *seed,
 		SpillDir: *spillDir, MemLimit: memLimit, Kernel: kernel, Workers: *workers,
+		TraceDir: *traceDir, Pprof: *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -187,10 +216,30 @@ func run(args []string) error {
 	for _, p := range st.Phases {
 		fmt.Fprintf(os.Stderr, "  %-20s %v\n", p.Name, p.Wall)
 	}
+	if *verbose {
+		printJobs(st.Jobs)
+	}
 	if *statsOnly {
 		return nil
 	}
 	return writeResults(results)
+}
+
+// printJobs writes the per-job actuals table to stderr: where each
+// job's shuffle bytes, spill bytes and wall time (split into map and
+// reduce phases) went.
+func printJobs(jobs []stats.JobStat) {
+	if len(jobs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "  %-24s %12s %12s %12s %12s %12s\n",
+		"job", "shuffle", "spilled", "map", "reduce", "wall")
+	for _, j := range jobs {
+		fmt.Fprintf(os.Stderr, "  %-24s %12s %12s %12v %12v %12v\n",
+			j.Name, stats.FormatBytes(j.ShuffleBytes), stats.FormatBytes(j.SpilledBytes),
+			j.MapWall.Round(time.Microsecond), j.ReduceWall.Round(time.Microsecond),
+			j.Wall.Round(time.Microsecond))
+	}
 }
 
 // writeResults prints "rID,sID,distance" lines to stdout.

@@ -22,7 +22,11 @@
 //	POST /knn/batch  {"queries":[{"point":[...],"k":5}, ...]}
 //	POST /reload     {"path":"new.idx"}   (empty path re-reads -index)
 //	GET  /stats      counters, latency quantiles, cache hit rate
+//	GET  /metrics    Prometheus text exposition
 //	GET  /healthz    liveness
+//
+// -pprof exposes net/http/pprof under /debug/pprof; -trace DIR writes
+// request spans as JSONL for cmd/knntrace.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"time"
 
 	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/pivot"
 	"knnjoin/internal/serve"
 	"knnjoin/internal/shard"
@@ -74,6 +79,8 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	kernelName := fs.String("kernel", "block", "distance kernel tier: scalar | block | f32 | quantized | auto")
 	shards := fs.Int("shards", 0, "serve as a sharded cluster of this many shard processes (0 = single process)")
 	replicas := fs.Int("replicas", 1, "with -shards: replica processes per shard")
+	traceDir := fs.String("trace", "", "write request/scan spans as JSONL under this directory (render with knntrace)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,7 +138,15 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	if *cacheSize == 0 {
 		*cacheSize = -1
 	}
-	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch, Kernel: kernel}
+	var tracer *obs.Tracer
+	if *traceDir != "" {
+		var err error
+		if tracer, err = obs.NewTracer(*traceDir, "serve"); err != nil {
+			return err
+		}
+		defer tracer.Close()
+	}
+	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSize, MaxBatch: *maxBatch, Kernel: kernel, Tracer: tracer}
 
 	var s *serve.Server
 	if *shards > 0 {
@@ -157,12 +172,18 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 		}
 		cluster, err := shard.StartCluster(shard.ClusterConfig{
 			IndexPath: path, Shards: *shards, Replicas: *replicas, Kernel: kernel,
+			TraceDir: *traceDir, Pprof: *pprofOn,
 		})
 		if err != nil {
 			return err
 		}
 		defer cluster.Close()
-		router := shard.NewRouter(cluster, shard.RouterConfig{ProbeInterval: time.Second})
+		// The router's shard_* families join the server's registry so
+		// one /metrics page covers routing and serving.
+		cfg.Metrics = obs.NewRegistry()
+		router := shard.NewRouter(cluster, shard.RouterConfig{
+			ProbeInterval: time.Second, Tracer: tracer, Metrics: cfg.Metrics,
+		})
 		defer router.Close()
 		cfg.Loader = router.Loader
 		s = serve.NewBackend(router, path, cfg)
@@ -170,7 +191,14 @@ func run(parent context.Context, args []string, ready chan<- string) error {
 	} else {
 		s = serve.New(ix, source, cfg)
 	}
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		obs.RegisterPprof(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,59 @@
+// Command knntrace merges the per-process JSONL span files a traced
+// run wrote (knnjoin -workers N -trace DIR, knnserve -trace DIR) and
+// renders them: an ASCII per-process timeline on stdout by default, or
+// Chrome trace-event JSON with -chrome (load the file in Perfetto or
+// chrome://tracing).
+//
+// Usage:
+//
+//	knntrace /tmp/trace-dir                 # ASCII timeline
+//	knntrace -chrome trace.json /tmp/dir    # Chrome trace-event export
+//	knntrace -width 160 /tmp/dir            # wider timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knnjoin/internal/obs"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "knntrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("knntrace", flag.ContinueOnError)
+	chrome := fs.String("chrome", "", "write Chrome trace-event JSON to this file instead of rendering a timeline")
+	width := fs.Int("width", 100, "timeline bar width in columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: knntrace [-chrome out.json] [-width N] TRACE_DIR")
+	}
+	spans, err := obs.ReadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans found in %s", fs.Arg(0))
+	}
+	if *chrome != "" {
+		raw, err := obs.ChromeTrace(spans)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*chrome, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d spans to %s (load in Perfetto or chrome://tracing)\n", len(spans), *chrome)
+		return nil
+	}
+	_, err = out.WriteString(obs.Timeline(spans, *width))
+	return err
+}

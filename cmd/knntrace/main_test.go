@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knnjoin/internal/obs"
+)
+
+// writeTrace populates dir with a two-process trace: a coordinator job
+// span parenting a worker task span with one fault event.
+func writeTrace(t *testing.T, dir string) {
+	t.Helper()
+	coord, err := obs.NewTracer(dir, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := coord.StartSpan("job:test", obs.SpanContext{})
+	worker, err := obs.NewTracer(dir, "worker-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := worker.StartSpan("task", job.Context())
+	task.Event("fault-kill", "point", "mid-task")
+	task.SetAttr("outcome", "killed")
+	task.End()
+	job.End()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := worker.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeTrace(t, dir)
+
+	outFile := filepath.Join(dir, "out.txt")
+	f, err := os.Create(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, []string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{"coord", "worker-0", "job:test", "task", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTrace(t, dir)
+
+	chrome := filepath.Join(dir, "trace.json")
+	f, err := os.Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, []string{"-chrome", chrome, dir}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ParseChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+	var durations, instants int
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "X":
+			durations++
+		case "i":
+			instants++
+		}
+	}
+	if durations != 2 {
+		t.Errorf("duration events = %d, want 2", durations)
+	}
+	if instants != 1 {
+		t.Errorf("instant events = %d, want 1 (the fault-kill)", instants)
+	}
+}
+
+func TestEmptyDirErrors(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, []string{dir}); err == nil {
+		t.Fatal("expected an error for a spanless directory")
+	}
+}

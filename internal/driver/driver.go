@@ -22,6 +22,7 @@ import (
 	"knnjoin/internal/dfs"
 	"knnjoin/internal/mapreduce"
 	"knnjoin/internal/nnheap"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/stats"
 	"knnjoin/internal/vector"
 )
@@ -70,6 +71,17 @@ type Config struct {
 	// worker processes; nil injects nothing. Only meaningful with
 	// Workers > 0.
 	Faults *mapreduce.FaultPlan
+	// TraceDir, when non-empty, enables span tracing on the distributed
+	// engine: coordinator and workers write per-process JSONL span
+	// files there (see internal/obs and cmd/knntrace). Only meaningful
+	// with Workers > 0; tracing never changes any output byte.
+	TraceDir string
+	// TraceParent optionally parents the engine's cluster span under a
+	// caller-owned span (e.g. a CLI root span).
+	TraceParent obs.SpanContext
+	// Pprof exposes net/http/pprof on the coordinator's HTTP server.
+	// Only meaningful with Workers > 0.
+	Pprof bool
 }
 
 // New builds an in-memory environment with nodes simulated nodes and the
@@ -90,8 +102,11 @@ func NewEnv(cfg Config) (*Env, error) {
 	if cfg.Workers > 0 {
 		fs := dfs.New(cfg.ChunkRecords)
 		cluster, err := mapreduce.NewDistCluster(fs, cfg.Nodes, mapreduce.DistConfig{
-			Workers: cfg.Workers,
-			Faults:  cfg.Faults,
+			Workers:     cfg.Workers,
+			Faults:      cfg.Faults,
+			TraceDir:    cfg.TraceDir,
+			TraceParent: cfg.TraceParent,
+			Pprof:       cfg.Pprof,
 		})
 		if err != nil {
 			return nil, err
@@ -231,6 +246,8 @@ func AddJobStatsCounter(rep *stats.Report, js *mapreduce.JobStats, distCounter s
 		DistComps:          js.Counters[distCounter],
 		SpilledBytes:       js.SpilledBytes,
 		Wall:               js.Wall(),
+		MapWall:            js.MapWall,
+		ReduceWall:         js.ReduceWall,
 		WorkerTasks:        js.WorkerTasks,
 		ReexecutedAttempts: js.ReexecutedAttempts,
 	})

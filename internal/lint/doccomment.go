@@ -22,6 +22,7 @@ var exportedDocPaths = map[string]bool{
 	"internal/planner":   true,
 	"internal/shard":     true,
 	"internal/lint":      true,
+	"internal/obs":       true,
 }
 
 // DocComment is the documentation gate, folded in from cmd/doccheck so

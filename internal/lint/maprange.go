@@ -27,6 +27,7 @@ var MapRange = &Analyzer{
 		"internal/theta", "internal/zknn", "internal/lsh", "internal/topk",
 		"internal/rangejoin", "internal/setsim",
 		"internal/planner", "internal/serve", "internal/shard",
+		"internal/obs",
 	),
 	Run: runMapRange,
 }

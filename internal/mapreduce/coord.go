@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/obs"
 )
 
 // The coordinator side of the distributed engine: job/task state, lease
@@ -89,6 +90,11 @@ type coordJob struct {
 	start     time.Time
 	mapDoneAt time.Time
 	stats     JobStats
+
+	// span is the coordinator's job span (nil when tracing is off);
+	// scheduling decisions — lease losses, speculation, duplicate
+	// discards, bad-run repairs — land on it as events.
+	span *obs.Span
 }
 
 // task returns the addressed task, or nil.
@@ -142,7 +148,10 @@ func (e *distEngine) expireLeases(j *coordJob, now time.Time) {
 			t.active = kept
 			if len(t.active) == 0 {
 				t.state = taskPending
+				j.span.Event("lease-expired",
+					"task", fmt.Sprintf("%s/%s/%d", j.job.Name, t.phase, t.index))
 				j.stats.ReexecutedAttempts++
+				e.mReexec.Inc()
 				j.redispatches++
 				if j.redispatches > j.maxRedispatch {
 					e.finishLocked(j, fmt.Errorf("mapreduce: job %q: task %s/%d re-dispatched %d times — giving up",
@@ -196,7 +205,11 @@ func (e *distEngine) assign(worker int) pollResponse {
 			if t.state == taskRunning && len(t.active) == 1 &&
 				t.active[0].worker != worker &&
 				now.Sub(t.active[0].started) >= e.cfg.SpeculativeAfter {
+				j.span.Event("speculative-attempt",
+					"task", fmt.Sprintf("%s/%s/%d", j.job.Name, t.phase, t.index),
+					"worker", fmt.Sprint(worker))
 				j.stats.SpeculativeAttempts++
+				e.mSpec.Inc()
 				return pollResponse{Task: e.assignTask(j, t, worker, now)}
 			}
 		}
@@ -219,6 +232,14 @@ func (e *distEngine) assignTask(j *coordJob, t *distTask, worker int, now time.T
 		SplitIndex: t.index,
 		RunDir:     filepath.Join(j.dir, fmt.Sprintf("%s%d-a%d-w%d", t.phase, t.index, att, worker)),
 		LeaseMs:    lease.Milliseconds(),
+	}
+	ctx := j.span.Context()
+	wt.TraceID, wt.SpanParent = ctx.TraceID, ctx.SpanID
+	if att > 1 {
+		j.span.Event("re-dispatch",
+			"task", fmt.Sprintf("%s/%s/%d", j.job.Name, t.phase, t.index),
+			"attempt", fmt.Sprint(att),
+			"worker", fmt.Sprint(worker))
 	}
 	if t.phase == "reduce" {
 		// The fan-in list is derived at assignment time from currently
@@ -274,9 +295,13 @@ func (e *distEngine) complete(c *completion) completionResponse {
 				m.counters = nil
 				m.state = taskPending
 				j.mapsDone--
+				j.span.Event("bad-run-repair", "path", path,
+					"producer", fmt.Sprintf("%s/map/%d", j.job.Name, mi))
 				j.stats.ReexecutedAttempts++
+				e.mReexec.Inc()
 			}
 			j.stats.ReexecutedAttempts++
+			e.mReexec.Inc()
 		} else {
 			t.failures++
 			if t.failures >= j.maxAttempts {
@@ -293,6 +318,10 @@ func (e *distEngine) complete(c *completion) completionResponse {
 	if t.state == taskDone {
 		// Duplicate completion — a speculative loser or a presumed-dead
 		// worker coming back. The first commit won; discard this one.
+		j.span.Event("duplicate-discarded",
+			"task", fmt.Sprintf("%s/%s/%d", j.job.Name, c.Phase, c.Index),
+			"attempt", fmt.Sprint(c.Attempt),
+			"worker", fmt.Sprint(c.Worker))
 		return completionResponse{}
 	}
 	t.state = taskDone
@@ -306,6 +335,7 @@ func (e *distEngine) complete(c *completion) completionResponse {
 	t.spilledBytes = c.SpilledBytes
 	t.counters = c.Counters
 	j.stats.WorkerTasks++
+	e.mTasks.Inc()
 	if c.Phase == "map" {
 		for _, mr := range c.MapRuns {
 			j.runProducer[mr.Path] = c.Index
@@ -380,6 +410,12 @@ func (e *distEngine) run(job *Job, nReduce, maxAttempts int) (*JobStats, error) 
 	}
 	j.maxRedispatch = 16 + 8*(len(j.maps)+len(j.reduces))
 	j.stats = JobStats{Job: job.Name, MapTasks: len(j.maps), ReduceTasks: len(j.reduces)}
+	e.mJobs.Inc()
+	j.span = e.tracer.StartSpan("job:"+job.Name, e.rootSpan.Context())
+	j.span.SetAttr("kind", job.Kind)
+	j.span.SetAttr("maps", fmt.Sprint(len(j.maps)))
+	j.span.SetAttr("reduces", fmt.Sprint(len(j.reduces)))
+	defer j.span.End()
 
 	e.mu.Lock()
 	if e.closed.Load() {
@@ -423,9 +459,14 @@ func (e *distEngine) run(job *Job, nReduce, maxAttempts int) (*JobStats, error) 
 	e.cur = nil
 	jerr := j.err
 	e.mu.Unlock()
+	j.span.SetAttr("reexecuted", fmt.Sprint(j.stats.ReexecutedAttempts))
+	j.span.SetAttr("speculative", fmt.Sprint(j.stats.SpeculativeAttempts))
 	if jerr != nil {
+		j.span.SetAttr("outcome", "error")
+		j.span.SetAttr("err", jerr.Error())
 		return nil, jerr
 	}
+	j.span.SetAttr("outcome", "ok")
 	return e.assemble(j)
 }
 
@@ -492,6 +533,8 @@ func (e *distEngine) assemble(j *coordJob) (*JobStats, error) {
 		stats.SimReduceMakespan = makespan(reduceWork, e.nodes)
 	}
 	stats.Counters = counters.Snapshot()
+	e.mShufB.Add(stats.ShuffleBytes)
+	e.mSpillB.Add(stats.SpilledBytes)
 	end := time.Now()
 	if j.mapDoneAt.IsZero() {
 		j.mapDoneAt = end

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/obs"
 )
 
 // DistConfig configures a distributed cluster: a coordinator in this
@@ -45,6 +46,20 @@ type DistConfig struct {
 	// Faults is an optional deterministic fault-injection plan shipped
 	// to every worker; see FaultPlan. Nil injects nothing.
 	Faults *FaultPlan
+
+	// TraceDir, when non-empty, enables tracing: the coordinator and
+	// every worker process record spans to per-process JSONL files in
+	// this directory (merge and render them with cmd/knntrace).
+	TraceDir string
+
+	// Pprof exposes net/http/pprof under /debug/pprof on the
+	// coordinator's HTTP server.
+	Pprof bool
+
+	// TraceParent, when valid, parents the coordinator's cluster span
+	// under a caller-owned span (e.g. a CLI root span), joining the
+	// cluster's spans to the caller's trace.
+	TraceParent obs.SpanContext
 }
 
 // defaultLease is the lease timeout when DistConfig leaves it zero.
@@ -70,6 +85,20 @@ type distEngine struct {
 	mu     sync.Mutex
 	cur    *coordJob
 	jobSeq atomic.Int64
+
+	// Observability: nil tracer/span when DistConfig.TraceDir is empty
+	// (every use no-ops); the metrics registry always exists and backs
+	// the coordinator's /metrics endpoint.
+	tracer   *obs.Tracer
+	rootSpan *obs.Span
+	metrics  *obs.Registry
+	mJobs    *obs.Counter
+	mTasks   *obs.Counter
+	mReexec  *obs.Counter
+	mSpec    *obs.Counter
+	mShufB   *obs.Counter
+	mSpillB  *obs.Counter
+	mDfsB    *obs.Counter
 }
 
 // lease returns the configured lease timeout.
@@ -100,6 +129,23 @@ func NewDistCluster(fs dfs.Store, n int, cfg DistConfig) (*Cluster, error) {
 
 func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, error) {
 	e := &distEngine{cfg: cfg, fs: fs, nodes: nodes}
+	if cfg.TraceDir != "" {
+		tr, err := obs.NewTracer(cfg.TraceDir, "coord")
+		if err != nil {
+			return nil, err
+		}
+		e.tracer = tr
+		e.rootSpan = tr.StartSpan("cluster", cfg.TraceParent)
+		e.rootSpan.SetAttr("workers", fmt.Sprint(cfg.Workers))
+	}
+	e.metrics = obs.NewRegistry()
+	e.mJobs = e.metrics.Counter("mr_jobs_total", "Jobs run on this cluster.")
+	e.mTasks = e.metrics.Counter("mr_worker_tasks_total", "Task attempts committed by workers.")
+	e.mReexec = e.metrics.Counter("mr_reexecuted_attempts_total", "Attempts lost to lease expiry or bad-run repair and re-dispatched.")
+	e.mSpec = e.metrics.Counter("mr_speculative_attempts_total", "Speculative backup attempts launched against stragglers.")
+	e.mShufB = e.metrics.Counter("mr_shuffle_bytes_total", "Bytes of committed map-side shuffle runs.")
+	e.mSpillB = e.metrics.Counter("mr_spill_bytes_total", "Bytes spilled to disk under memory pressure.")
+	e.mDfsB = e.metrics.Counter("mr_dfs_chunk_bytes_total", "Bytes served by the coordinator's DFS chunk service.")
 	if cfg.Dir == "" {
 		dir, err := os.MkdirTemp("", "knnjoin-mr-*")
 		if err != nil {
@@ -119,6 +165,7 @@ func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, erro
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		e.closeTracer()
 		e.cleanupDir()
 		return nil, fmt.Errorf("mapreduce: coordinator listen: %w", err)
 	}
@@ -127,7 +174,15 @@ func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, erro
 	mux.HandleFunc("/poll", jsonHandler(func(r *pollRequest) pollResponse { return e.assign(r.Worker) }))
 	mux.HandleFunc("/done", jsonHandler(func(c *completion) completionResponse { return e.complete(c) }))
 	mux.HandleFunc("/heartbeat", jsonHandler(func(h *heartbeatMsg) heartbeatResponse { return e.heartbeat(h) }))
-	mux.Handle("/dfs/", http.StripPrefix("/dfs", dfs.NewServer(fs)))
+	mux.Handle("/dfs/", http.StripPrefix("/dfs", countBytes(dfs.NewServer(fs), e.mDfsB)))
+	metricsHandler := e.metrics.Handler()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		e.refreshTaskGauges()
+		metricsHandler.ServeHTTP(w, r)
+	})
+	if cfg.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	e.srv = &http.Server{Handler: mux}
 	go e.srv.Serve(ln)
 
@@ -138,7 +193,8 @@ func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, erro
 	}
 	hb := e.lease() / 4
 	for i := 0; i < cfg.Workers; i++ {
-		wc := workerConfig{URL: e.base, Index: i, HeartbeatMs: hb.Milliseconds(), Faults: cfg.Faults}
+		wc := workerConfig{URL: e.base, Index: i, HeartbeatMs: hb.Milliseconds(),
+			Faults: cfg.Faults, TraceDir: cfg.TraceDir}
 		raw, err := json.Marshal(wc)
 		if err != nil {
 			e.shutdown()
@@ -165,6 +221,68 @@ func startDistEngine(fs dfs.Store, nodes int, cfg DistConfig) (*distEngine, erro
 		}()
 	}
 	return e, nil
+}
+
+// CoordinatorURL returns the coordinator's base URL for a distributed
+// cluster ("" for in-process clusters) — its /metrics endpoint serves
+// the engine's metric families in Prometheus text format.
+func (c *Cluster) CoordinatorURL() string {
+	if c.dist == nil {
+		return ""
+	}
+	return c.dist.base
+}
+
+// refreshTaskGauges recomputes the task-state gauges from the current
+// job's task table on each /metrics scrape.
+func (e *distEngine) refreshTaskGauges() {
+	var pending, running, done int64
+	e.mu.Lock()
+	if j := e.cur; j != nil {
+		for _, tasks := range [][]distTask{j.maps, j.reduces} {
+			for i := range tasks {
+				switch tasks[i].state {
+				case taskPending:
+					pending++
+				case taskRunning:
+					running++
+				case taskDone:
+					done++
+				}
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.metrics.Gauge("mr_tasks_pending", "Tasks awaiting dispatch in the current job.").Set(pending)
+	e.metrics.Gauge("mr_tasks_running", "Tasks with at least one live attempt in the current job.").Set(running)
+	e.metrics.Gauge("mr_tasks_done", "Tasks committed in the current job.").Set(done)
+	e.metrics.Gauge("mr_workers_live", "Worker processes currently alive.").Set(int64(e.live.Load()))
+}
+
+// countBytes wraps a handler, adding every response body byte to c.
+func countBytes(h http.Handler, c *obs.Counter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&countingWriter{ResponseWriter: w, c: c}, r)
+	})
+}
+
+// countingWriter tallies written bytes into an obs counter.
+type countingWriter struct {
+	http.ResponseWriter
+	c *obs.Counter
+}
+
+// Write implements io.Writer, counting the bytes through.
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.c.Add(int64(n))
+	return n, err
+}
+
+// closeTracer ends the engine's cluster span and closes its tracer.
+func (e *distEngine) closeTracer() {
+	e.rootSpan.End()
+	e.tracer.Close()
 }
 
 // jsonHandler adapts a request/response function to an HTTP endpoint.
@@ -204,6 +322,7 @@ func (e *distEngine) close() error {
 		}
 	}
 	e.srv.Close()
+	e.closeTracer()
 	e.cleanupDir()
 	return nil
 }
@@ -225,5 +344,6 @@ func (e *distEngine) shutdown() {
 	if e.srv != nil {
 		e.srv.Close()
 	}
+	e.closeTracer()
 	e.cleanupDir()
 }

@@ -115,10 +115,14 @@ type injector struct {
 	fired  []bool
 	// pauseHB suspends and resumes the worker's heartbeats (ActFreeze).
 	pauseHB func(bool)
+	// observe, when non-nil, is told about a fired event before its
+	// action executes — the tracing hook, which must run ahead of
+	// ActKill's os.Exit so the dying attempt's span reaches disk.
+	observe func(ev *FaultEvent, task string, attempt int)
 }
 
-func newInjector(worker int, plan *FaultPlan, pauseHB func(bool)) *injector {
-	in := &injector{worker: worker, pauseHB: pauseHB}
+func newInjector(worker int, plan *FaultPlan, pauseHB func(bool), observe func(ev *FaultEvent, task string, attempt int)) *injector {
+	in := &injector{worker: worker, pauseHB: pauseHB, observe: observe}
 	if plan != nil {
 		in.events = plan.Events
 		in.fired = make([]bool, len(plan.Events))
@@ -146,6 +150,9 @@ func (in *injector) at(task string, attempt int, point FaultPoint) *FaultEvent {
 	if ev == nil {
 		return nil
 	}
+	if in.observe != nil {
+		in.observe(ev, task, attempt)
+	}
 	switch ev.Action {
 	case ActKill:
 		os.Exit(faultKillExitCode)
@@ -157,6 +164,36 @@ func (in *injector) at(task string, attempt int, point FaultPoint) *FaultEvent {
 		in.pauseHB(false)
 	}
 	return ev
+}
+
+// faultPointName names a FaultPoint for span events.
+func faultPointName(p FaultPoint) string {
+	switch p {
+	case AtTaskStart:
+		return "task-start"
+	case AtMidTask:
+		return "mid-task"
+	case AtPreCommit:
+		return "pre-commit"
+	case AtPostCommit:
+		return "post-commit"
+	}
+	return "unknown"
+}
+
+// faultActionName names a FaultAction for span events.
+func faultActionName(a FaultAction) string {
+	switch a {
+	case ActKill:
+		return "kill"
+	case ActSleep:
+		return "sleep"
+	case ActFreeze:
+		return "freeze"
+	case ActTruncateRun:
+		return "truncate-run"
+	}
+	return "unknown"
 }
 
 // faultKillExitCode distinguishes fault-plan kills from crashes in

@@ -66,6 +66,14 @@ type wireTask struct {
 	// LeaseMs is how long the coordinator will wait between heartbeats
 	// before presuming the attempt dead and re-dispatching the task.
 	LeaseMs int64
+
+	// TraceID and SpanParent propagate the coordinator's job span to
+	// the worker, which parents its task-attempt span under them. Both
+	// empty when tracing is disabled; they ride only this request-side
+	// struct, never a response, so enabling tracing cannot perturb any
+	// output byte.
+	TraceID    string
+	SpanParent string
 }
 
 // pollRequest asks for a task.
@@ -135,4 +143,7 @@ type workerConfig struct {
 	Index       int    // this worker's index
 	HeartbeatMs int64
 	Faults      *FaultPlan
+	// TraceDir, when non-empty, makes the worker record task-attempt
+	// spans to its own JSONL file in this shared trace directory.
+	TraceDir string
 }

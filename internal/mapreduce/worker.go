@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"knnjoin/internal/dfs"
+	"knnjoin/internal/obs"
 )
 
 // workerEnv carries a workerConfig (JSON) into a spawned worker process.
@@ -47,13 +48,30 @@ type worker struct {
 	inj      *injector
 	hbPaused atomic.Bool
 
+	// tracer records task-attempt spans (nil when tracing is off);
+	// curSpan is the span of the attempt currently executing, kept
+	// where the fault observer can reach it before a kill.
+	tracer  *obs.Tracer
+	curSpan atomic.Pointer[obs.Span]
+
 	cachedJobID int64
 	cachedJob   *Job
 }
 
 func runWorker(cfg workerConfig) int {
 	w := &worker{cfg: cfg, client: &http.Client{}}
-	w.inj = newInjector(cfg.Index, cfg.Faults, func(p bool) { w.hbPaused.Store(p) })
+	if cfg.TraceDir != "" {
+		tr, err := obs.NewTracer(cfg.TraceDir, fmt.Sprintf("worker-%d", cfg.Index))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapreduce worker %d: tracer: %v\n", cfg.Index, err)
+			return 1
+		}
+		w.tracer = tr
+		defer tr.Close()
+	}
+	w.inj = newInjector(cfg.Index, cfg.Faults,
+		func(p bool) { w.hbPaused.Store(p) },
+		w.observeFault)
 	store, err := dfs.NewRemote(cfg.URL + "/dfs")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mapreduce worker %d: chunk service: %v\n", cfg.Index, err)
@@ -123,7 +141,27 @@ func (w *worker) jobFor(t *wireTask) (*Job, error) {
 // runTask executes one assignment end to end: heartbeats while working,
 // then reports the completion (retrying the report itself, which must
 // not be lost to a transient connection error when the work is durable).
+// The attempt runs under its own span, parented to the coordinator's
+// job span via the assignment's trace context; the span's outcome attr
+// distinguishes the winning commit ("committed") from speculative
+// losers and late duplicates ("discarded"), failures ("error"), and —
+// via the fault observer — attempts that never got to report
+// ("killed").
 func (w *worker) runTask(t *wireTask) {
+	span := w.tracer.StartSpan("task",
+		obs.SpanContext{TraceID: t.TraceID, SpanID: t.SpanParent})
+	span.SetAttr("task", fmt.Sprintf("%s/%s/%d", t.JobName, t.Phase, t.Index))
+	span.SetAttr("attempt", fmt.Sprint(t.Attempt))
+	span.SetAttr("worker", fmt.Sprint(w.cfg.Index))
+	w.curSpan.Store(span)
+	defer func() {
+		w.curSpan.Store(nil)
+		span.End()
+		// Flush per task: worker processes can be torn down without a
+		// graceful shutdown, and a buffered span would vanish with them.
+		w.tracer.Flush()
+	}()
+
 	stop := make(chan struct{})
 	go w.heartbeatLoop(t, stop)
 	comp := w.execute(t)
@@ -133,12 +171,43 @@ func (w *worker) runTask(t *wireTask) {
 	comp.Phase = t.Phase
 	comp.Index = t.Index
 	comp.Attempt = t.Attempt
+	if comp.Err != "" {
+		span.SetAttr("outcome", "error")
+		span.SetAttr("err", comp.Err)
+	}
 	for i := 0; i < 3; i++ {
 		var resp completionResponse
 		if err := w.post("/done", comp, &resp); err == nil {
+			if comp.Err == "" {
+				if resp.Accepted {
+					span.SetAttr("outcome", "committed")
+				} else {
+					span.SetAttr("outcome", "discarded")
+				}
+			}
 			return
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+	if comp.Err == "" {
+		span.SetAttr("outcome", "unreported")
+	}
+}
+
+// observeFault records a fired fault event on the current attempt's
+// span. For kills it also stamps the outcome, ends the span, and
+// flushes the tracer — this runs just before the injector's os.Exit,
+// so the killed attempt survives into the merged trace.
+func (w *worker) observeFault(ev *FaultEvent, task string, attempt int) {
+	span := w.curSpan.Load()
+	span.Event("fault-"+faultActionName(ev.Action),
+		"task", task,
+		"attempt", fmt.Sprint(attempt),
+		"point", faultPointName(ev.Point))
+	if ev.Action == ActKill {
+		span.SetAttr("outcome", "killed")
+		span.End()
+		w.tracer.Flush()
 	}
 }
 

@@ -1,0 +1,20 @@
+package obs
+
+import "context"
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span. A nil
+// span is stored as-is — SpanFromContext round-trips it to nil and
+// every operation on it no-ops.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil when
+// none is set — safe to use directly thanks to nil-safe span methods.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

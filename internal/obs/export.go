@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChromeEvent is one Chrome trace-event record: a complete-duration
+// event (Ph "X") for a span or an instant event (Ph "i") for a span
+// event. The exported JSON loads directly in Perfetto / chrome://tracing.
+type ChromeEvent struct {
+	// Name is the event's display name.
+	Name string `json:"name"`
+	// Ph is the event phase: "X" for spans, "i" for instants.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds.
+	Ts int64 `json:"ts"`
+	// Dur is the duration in microseconds (Ph "X" only).
+	Dur int64 `json:"dur,omitempty"`
+	// Pid groups events by trace.
+	Pid int `json:"pid"`
+	// Tid groups events by recording process within a trace.
+	Tid int `json:"tid"`
+	// S scopes instant events to their thread ("t", Ph "i" only).
+	S string `json:"s,omitempty"`
+	// Args carries span/event attributes plus span identity.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level Chrome trace JSON object.
+type chromeTraceFile struct {
+	TraceEvents []ChromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// ChromeTrace converts merged spans to Chrome trace-event JSON. Each
+// distinct trace becomes a pid, each recording process within it a
+// tid; spans map to "X" duration events and span events to "i"
+// instants on the same tid.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	tracePid := make(map[string]int)
+	procTid := make(map[string]int)
+	var events []ChromeEvent
+	for _, sp := range spans {
+		pid, ok := tracePid[sp.TraceID]
+		if !ok {
+			pid = len(tracePid) + 1
+			tracePid[sp.TraceID] = pid
+		}
+		tid, ok := procTid[sp.Proc]
+		if !ok {
+			tid = len(procTid) + 1
+			procTid[sp.Proc] = tid
+		}
+		args := map[string]string{"span": sp.SpanID, "proc": sp.Proc}
+		if sp.Parent != "" {
+			args["parent"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		dur := (sp.EndNs - sp.StartNs) / 1e3
+		if dur < 1 {
+			dur = 1
+		}
+		events = append(events, ChromeEvent{
+			Name: sp.Name, Ph: "X",
+			Ts: sp.StartNs / 1e3, Dur: dur,
+			Pid: pid, Tid: tid, Args: args,
+		})
+		for _, ev := range sp.Events {
+			evArgs := map[string]string{"span": sp.SpanID}
+			for k, v := range ev.Attrs {
+				evArgs[k] = v
+			}
+			events = append(events, ChromeEvent{
+				Name: ev.Name, Ph: "i", S: "t",
+				Ts:  ev.AtNs / 1e3,
+				Pid: pid, Tid: tid, Args: evArgs,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	return json.MarshalIndent(chromeTraceFile{
+		TraceEvents: events,
+		Metadata:    map[string]string{"source": "knntrace"},
+	}, "", " ")
+}
+
+// ParseChromeTrace decodes Chrome trace-event JSON produced by
+// ChromeTrace — the structural round-trip check the CI obs job runs.
+func ParseChromeTrace(raw []byte) ([]ChromeEvent, error) {
+	var f chromeTraceFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X", "i":
+		default:
+			return nil, fmt.Errorf("obs: chrome trace event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: chrome trace event %d: empty name", i)
+		}
+	}
+	return f.TraceEvents, nil
+}
+
+// Timeline renders merged spans as an ASCII per-process timeline,
+// width columns wide. Each recording process gets a lane; spans
+// become [name----] bars placed proportionally between the earliest
+// start and latest end, with span events marked as '!'. Stragglers
+// and re-executed attempts read directly off the lane lengths.
+func Timeline(spans []SpanRecord, width int) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if width < 40 {
+		width = 40
+	}
+	minNs, maxNs := spans[0].StartNs, spans[0].EndNs
+	procs := make(map[string][]SpanRecord)
+	var order []string
+	for _, sp := range spans {
+		if sp.StartNs < minNs {
+			minNs = sp.StartNs
+		}
+		if sp.EndNs > maxNs {
+			maxNs = sp.EndNs
+		}
+		if _, ok := procs[sp.Proc]; !ok {
+			order = append(order, sp.Proc)
+		}
+		procs[sp.Proc] = append(procs[sp.Proc], sp)
+	}
+	sort.Strings(order)
+	span := maxNs - minNs
+	if span <= 0 {
+		span = 1
+	}
+	labelW := 0
+	for _, p := range order {
+		if len(p) > labelW {
+			labelW = len(p)
+		}
+	}
+	barW := width - labelW - 3
+	if barW < 20 {
+		barW = 20
+	}
+	col := func(ns int64) int {
+		c := int(float64(ns-minNs) / float64(span) * float64(barW-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= barW {
+			c = barW - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace window: %.1fms across %d process(es), %d span(s)\n",
+		float64(span)/1e6, len(order), len(spans))
+	for _, p := range order {
+		// Each span gets its own row within the process lane so
+		// overlapping attempts (speculation, re-dispatch) stay visible.
+		for i, sp := range procs[p] {
+			lane := make([]byte, barW)
+			for j := range lane {
+				lane[j] = ' '
+			}
+			s, e := col(sp.StartNs), col(sp.EndNs)
+			for j := s; j <= e; j++ {
+				lane[j] = '-'
+			}
+			lane[s] = '['
+			lane[e] = ']'
+			name := sp.Name
+			if out := sp.Attrs["outcome"]; out != "" {
+				name += ":" + out
+			}
+			switch {
+			case e-s-1 >= len(name):
+				// The label fits inside the bar.
+				for j := 0; j < len(name); j++ {
+					lane[s+1+j] = name[j]
+				}
+			case e+2+len(name) <= barW:
+				// Too narrow — label to the right of the bar.
+				for j := 0; j < len(name); j++ {
+					lane[e+2+j] = name[j]
+				}
+			default:
+				// Bar hugs the right edge — label to the left.
+				for j := 0; j < len(name) && s-2-len(name)+j >= 0; j++ {
+					lane[s-2-len(name)+j] = name[j]
+				}
+			}
+			for _, ev := range sp.Events {
+				lane[col(ev.AtNs)] = '!'
+			}
+			label := p
+			if i > 0 {
+				label = strings.Repeat(" ", len(p))
+			}
+			fmt.Fprintf(&b, "%-*s | %s\n", labelW, label, string(lane))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionFormat renders a registry with all three metric kinds
+// and feeds the output through ParseText — the satellite-3 exposition
+// parser test: every family parses, HELP/TYPE present, histogram
+// bucket sums consistent.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("knnserve_cache_hits_total", "Cache hits.").Add(7)
+	r.Gauge("mr_tasks_running", "Running tasks.").Set(3)
+	h := r.Histogram("knnserve_request_latency_ms", "Request latency.", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 2, 2, 7, 100} {
+		h.Observe(v)
+	}
+
+	text := r.Render()
+	fams, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("rendered output did not parse: %v\n%s", err, text)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3:\n%s", len(fams), text)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		if f.Help == "" {
+			t.Fatalf("family %s missing HELP", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	if f := byName["knnserve_cache_hits_total"]; f.Type != "counter" || f.Samples[0].Value != 7 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if f := byName["mr_tasks_running"]; f.Type != "gauge" || f.Samples[0].Value != 3 {
+		t.Fatalf("gauge family wrong: %+v", f)
+	}
+	hist := byName["knnserve_request_latency_ms"]
+	if hist.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hist)
+	}
+	want := map[string]float64{
+		`knnserve_request_latency_ms_bucket{le="1"}`:    1,
+		`knnserve_request_latency_ms_bucket{le="5"}`:    3,
+		`knnserve_request_latency_ms_bucket{le="10"}`:   4,
+		`knnserve_request_latency_ms_bucket{le="+Inf"}`: 5,
+		`knnserve_request_latency_ms_sum`:               111.5,
+		`knnserve_request_latency_ms_count`:             5,
+	}
+	for _, s := range hist.Samples {
+		if w, ok := want[s.Name]; !ok || math.Abs(s.Value-w) > 1e-9 {
+			t.Fatalf("sample %s = %g, want %g (ok=%v)", s.Name, s.Value, w, ok)
+		}
+		delete(want, s.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing samples: %v", want)
+	}
+
+	// Families must come out sorted for deterministic scrapes.
+	if !strings.Contains(text, "# TYPE knnserve_cache_hits_total counter") {
+		t.Fatalf("TYPE line missing:\n%s", text)
+	}
+	i := strings.Index(text, "knnserve_cache_hits_total")
+	j := strings.Index(text, "mr_tasks_running")
+	if i > j {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+// TestParseTextRejects covers the parser's malformed-input paths.
+func TestParseTextRejects(t *testing.T) {
+	for _, bad := range []string{
+		"orphan_sample 5\n",
+		"# TYPE x wibble\nx 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx 1\nx 2\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",
+	} {
+		if _, err := ParseText(bad); err == nil {
+			t.Fatalf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+// TestRegistryHandler scrapes the HTTP endpoint.
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	if _, err := ParseText(string(body)); err != nil {
+		t.Fatal(err)
+	}
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestRegistryConcurrent is the satellite-3 race hammer: goroutines
+// bump all three metric kinds while others render; under -race this
+// proves the registry lock-free paths are clean, and the final counts
+// must be exact (no lost updates).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "Hammered counter.")
+			ga := r.Gauge("hammer_gauge", "Hammered gauge.")
+			h := r.Histogram("hammer_ms", "Hammered histogram.", []float64{1, 10, 100})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i % 200))
+				if i%100 == 0 {
+					if _, err := ParseText(r.Render()); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "Hammered counter.").Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	h := r.Histogram("hammer_ms", "Hammered histogram.", []float64{1, 10, 100})
+	if h.Count() != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+	// Sum of 16 goroutines each observing 0..199 repeated 2.5 times:
+	// per goroutine sum = 2*sum(0..199) + sum(0..99) = 2*19900 + 4950.
+	wantSum := float64(goroutines) * (2*19900 + 4950)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+	if _, err := ParseText(r.Render()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantile pins the bucket-quantile estimator used to
+// back the serve tier's /stats snapshot.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_ms", "Q.", []float64{1, 2, 4, 8, 16})
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2) // all mass in le="2"
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %g, want 2", got)
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("p99 = %g, want 2", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(1); got != 16 {
+		t.Fatalf("p100 = %g, want 16 (largest finite bound)", got)
+	}
+}
+
+// TestNilRegistryNoOps proves disabled metrics cost nothing and crash
+// nothing.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "X.")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter held a value")
+	}
+	g := r.Gauge("y", "Y.")
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge held a value")
+	}
+	h := r.Histogram("z", "Z.", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram held observations")
+	}
+	if r.Render() != "" {
+		t.Fatal("nil registry rendered output")
+	}
+}
+
+// TestRegisterTypeConflictPanics pins the wiring-bug guard.
+func TestRegisterTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "D.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering dup as gauge did not panic")
+		}
+	}()
+	r.Gauge("dup", "D.")
+}

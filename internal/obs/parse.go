@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one rendered metric line: a name (with any {labels}
+// suffix intact) and its value.
+type Sample struct {
+	// Name is the sample's full name, including any label suffix
+	// such as `_bucket{le="5"}`.
+	Name string
+	// Value is the sample's numeric value.
+	Value float64
+}
+
+// Family is one parsed metric family from a text exposition payload.
+type Family struct {
+	// Name is the family name from the # TYPE line.
+	Name string
+	// Help is the family's # HELP text.
+	Help string
+	// Type is "counter", "gauge" or "histogram".
+	Type string
+	// Samples are the family's value lines in exposition order.
+	Samples []Sample
+}
+
+// ParseText parses a Prometheus text exposition payload (the subset
+// this package emits: HELP and TYPE comment lines followed by sample
+// lines) into families. It rejects samples that precede their TYPE
+// line, malformed values, and histograms whose cumulative buckets
+// decrease — the checks the /metrics endpoint tests lean on.
+func ParseText(text string) ([]Family, error) {
+	var fams []Family
+	var cur *Family
+	help := make(map[string]string)
+	for n, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: HELP without text", n+1)
+			}
+			help[name] = h
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: TYPE without type", n+1)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown type %q", n+1, typ)
+			}
+			fams = append(fams, Family{Name: name, Help: help[name], Type: typ})
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: sample without value", n+1)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", n+1, val, err)
+		}
+		if cur == nil || !sampleBelongs(cur.Name, name) {
+			return nil, fmt.Errorf("obs: line %d: sample %s outside its family", n+1, name)
+		}
+		cur.Samples = append(cur.Samples, Sample{Name: name, Value: v})
+	}
+	for i := range fams {
+		if err := checkFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample line name belongs to the
+// family: the bare name for counters/gauges, or the name plus a
+// _bucket/_sum/_count suffix for histograms.
+func sampleBelongs(fam, sample string) bool {
+	if sample == fam {
+		return true
+	}
+	rest, ok := strings.CutPrefix(sample, fam)
+	if !ok {
+		return false
+	}
+	return rest == "_sum" || rest == "_count" || strings.HasPrefix(rest, "_bucket{")
+}
+
+// checkFamily enforces per-type shape: histograms need monotone
+// cumulative buckets ending at +Inf with a matching _count; counters
+// and gauges need exactly one sample.
+func checkFamily(f *Family) error {
+	switch f.Type {
+	case "counter", "gauge":
+		if len(f.Samples) != 1 {
+			return fmt.Errorf("obs: family %s: want 1 sample, got %d", f.Name, len(f.Samples))
+		}
+		return nil
+	case "histogram":
+		var prev float64
+		var infSeen bool
+		var inf, count float64
+		for _, s := range f.Samples {
+			switch {
+			case strings.HasPrefix(s.Name, f.Name+"_bucket{"):
+				if s.Value < prev {
+					return fmt.Errorf("obs: family %s: bucket %s not cumulative", f.Name, s.Name)
+				}
+				prev = s.Value
+				if strings.Contains(s.Name, `le="+Inf"`) {
+					infSeen, inf = true, s.Value
+				}
+			case s.Name == f.Name+"_count":
+				count = s.Value
+			}
+		}
+		if !infSeen {
+			return fmt.Errorf("obs: family %s: missing +Inf bucket", f.Name)
+		}
+		if inf != count {
+			return fmt.Errorf("obs: family %s: +Inf bucket %g != count %g", f.Name, inf, count)
+		}
+		return nil
+	}
+	return fmt.Errorf("obs: family %s: unknown type %s", f.Name, f.Type)
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/
+// on mux. Long-running processes (knnserve, the coordinator, shard
+// procs) call this only when their -pprof flag is set, so profiling
+// surface is opt-in.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns a
+// stop function for defer. Empty path is a no-op — CLIs pass their
+// -cpuprofile flag straight through.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+	}
+	return func() {
+		runtimepprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path after forcing a GC
+// so the profile reflects live objects. Empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := runtimepprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Package obs is the unified observability layer: span-based tracing
+// written to per-process JSONL files, a small Prometheus-style metrics
+// registry, and pprof wiring helpers — stdlib only, shared by the
+// MapReduce engine, the serving tiers and the CLIs.
+//
+// The package's hard contract is zero perturbation: enabling tracing or
+// metrics must never change any query or join output byte. Tracing
+// enforces this structurally — a nil *Tracer (the disabled state) makes
+// every span operation a no-op, spans carry trace context through
+// request *fields* that responses never echo, and nothing on a data
+// path ever reads a span back. Metrics are plain atomic counters that
+// no result computation consults.
+//
+// Tracing model: a trace is a tree of spans identified by a TraceID;
+// each span has its own SpanID, an optional parent span, a name, start
+// and end timestamps, string attributes, and point-in-time events
+// (fault injections, lease losses, re-dispatches). Every process writes
+// the spans it owns to its own JSONL file in a shared trace directory;
+// cmd/knntrace merges the files into one timeline and exports Chrome
+// trace-event JSON. Context crosses process boundaries as a SpanContext
+// (TraceID + SpanID) embedded in the RPC request — coordinator→worker
+// task assignments, router→shard scan calls.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a span for cross-process parenting: the trace
+// it belongs to and the span itself. The zero value is "no context" —
+// a span started with it roots a new trace.
+type SpanContext struct {
+	// TraceID names the trace; empty means no propagated context.
+	TraceID string `json:"trace,omitempty"`
+	// SpanID names the parent span within the trace.
+	SpanID string `json:"span,omitempty"`
+}
+
+// Valid reports whether the context carries a trace to join.
+func (c SpanContext) Valid() bool { return c.TraceID != "" }
+
+// Event is a point-in-time annotation on a span: a fault injection
+// firing, a lease expiring, a task being re-dispatched.
+type Event struct {
+	// Name identifies the event ("fault-kill", "lease-expired", ...).
+	Name string `json:"name"`
+	// AtNs is the event time in Unix nanoseconds.
+	AtNs int64 `json:"at_ns"`
+	// Attrs are optional event details.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanRecord is the JSONL wire form of one finished span — what
+// tracers write and what ReadDir returns for merging and rendering.
+type SpanRecord struct {
+	// TraceID groups the spans of one logical operation.
+	TraceID string `json:"trace"`
+	// SpanID is this span's unique identifier.
+	SpanID string `json:"span"`
+	// Parent is the parent span's ID; empty for a root span.
+	Parent string `json:"parent,omitempty"`
+	// Name is the span's operation name ("job", "task", "knn", ...).
+	Name string `json:"name"`
+	// Proc names the process that recorded the span ("coord",
+	// "worker-1", "serve", "shard-0-1", ...).
+	Proc string `json:"proc"`
+	// StartNs and EndNs bound the span in Unix nanoseconds.
+	StartNs int64 `json:"start_ns"`
+	// EndNs is the span's end time in Unix nanoseconds.
+	EndNs int64 `json:"end_ns"`
+	// Attrs are the span's key=value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Events are the span's point-in-time annotations, in order.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Span is one in-flight traced operation. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so callers thread
+// spans unconditionally and pay nothing when tracing is disabled.
+type Span struct {
+	mu  sync.Mutex
+	t   *Tracer
+	rec SpanRecord
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+}
+
+// SetAttr annotates the span with a key=value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string)
+	}
+	s.rec.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Event appends a point-in-time event. attrs alternate key, value; an
+// odd trailing key is ignored.
+func (s *Span) Event(name string, attrs ...string) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, AtNs: time.Now().UnixNano()}
+	if len(attrs) >= 2 {
+		ev.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			ev.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	s.mu.Lock()
+	s.rec.Events = append(s.rec.Events, ev)
+	s.mu.Unlock()
+}
+
+// End stamps the span's end time and writes it to the tracer's file.
+// Ending a span twice writes it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.EndNs != 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.rec.EndNs = time.Now().UnixNano()
+	rec := s.rec
+	s.mu.Unlock()
+	s.t.write(&rec)
+}
+
+// Tracer writes the spans of one process to a JSONL file in the trace
+// directory. A nil Tracer is the disabled state: StartSpan returns a
+// nil span and every operation no-ops. Construct with NewTracer; call
+// Close (or at least Flush) before the process exits.
+type Tracer struct {
+	proc string
+	pid  int
+	seq  atomic.Int64
+
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// NewTracer creates the trace directory if needed and opens a fresh
+// span file unique to this (process name, pid) pair.
+func NewTracer(dir, proc string) (*Tracer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: trace dir: %w", err)
+	}
+	pid := os.Getpid()
+	f, err := os.CreateTemp(dir, fmt.Sprintf("%s-%d-*.jsonl", proc, pid))
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	return &Tracer{proc: proc, pid: pid, f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// Proc returns the tracer's process name ("" for a nil tracer).
+func (t *Tracer) Proc() string {
+	if t == nil {
+		return ""
+	}
+	return t.proc
+}
+
+// NewTraceID mints a process-unique trace identifier.
+func (t *Tracer) NewTraceID() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("t%d-%x-%d", t.pid, time.Now().UnixNano(), t.seq.Add(1))
+}
+
+// StartSpan opens a span. A valid parent places the span in the
+// parent's trace; the zero SpanContext roots a new trace. Returns nil
+// (a no-op span) on a nil tracer.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t}
+	s.rec = SpanRecord{
+		SpanID:  fmt.Sprintf("%s-%d-%d", t.proc, t.pid, t.seq.Add(1)),
+		Name:    name,
+		Proc:    t.proc,
+		StartNs: time.Now().UnixNano(),
+	}
+	if parent.Valid() {
+		s.rec.TraceID, s.rec.Parent = parent.TraceID, parent.SpanID
+	} else {
+		s.rec.TraceID = t.NewTraceID()
+	}
+	return s
+}
+
+// write appends one finished span to the file.
+func (t *Tracer) write(rec *SpanRecord) {
+	if t == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		t.err = err
+		return
+	}
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(raw); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// Flush forces buffered spans to disk — called before os.Exit paths
+// (fault-plan kills) so the dying attempt's span survives.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = t.w.Flush()
+	}
+	return t.err
+}
+
+// Close flushes and closes the span file, reporting the first error
+// the tracer hit.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = t.w.Flush()
+	}
+	if cerr := t.f.Close(); t.err == nil {
+		t.err = cerr
+	}
+	return t.err
+}
+
+// ReadDir loads every *.jsonl span file in a trace directory and
+// returns the merged spans ordered by start time (ties by span ID, so
+// the merge is deterministic across runs with equal timestamps).
+func ReadDir(dir string) ([]SpanRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var spans []SpanRecord
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace file %s: %w", p, err)
+		}
+		for n, line := range splitLines(raw) {
+			var rec SpanRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("obs: trace file %s line %d: %w", p, n+1, err)
+			}
+			spans = append(spans, rec)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	return spans, nil
+}
+
+// splitLines cuts raw into its non-empty newline-separated lines.
+func splitLines(raw []byte) [][]byte {
+	var lines [][]byte
+	start := 0
+	for i := 0; i <= len(raw); i++ {
+		if i == len(raw) || raw[i] == '\n' {
+			if i > start {
+				lines = append(lines, raw[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return lines
+}

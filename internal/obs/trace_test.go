@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerRoundTrip writes spans from two "processes" into one trace
+// directory and checks ReadDir merges them with parentage intact.
+func TestTracerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewTracer(dir, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := NewTracer(dir, "worker-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job := coord.StartSpan("job", SpanContext{})
+	job.SetAttr("algo", "pgbj")
+	task := worker.StartSpan("task", job.Context())
+	task.Event("fault-kill", "point", "mid-task")
+	task.SetAttr("outcome", "killed")
+	task.End()
+	job.Event("lease-expired", "task", "m0")
+	job.End()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := worker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	j, tk := byName["job"], byName["task"]
+	if j.TraceID == "" || j.TraceID != tk.TraceID {
+		t.Fatalf("trace IDs differ: job=%q task=%q", j.TraceID, tk.TraceID)
+	}
+	if tk.Parent != j.SpanID {
+		t.Fatalf("task parent = %q, want job span %q", tk.Parent, j.SpanID)
+	}
+	if j.Attrs["algo"] != "pgbj" || tk.Attrs["outcome"] != "killed" {
+		t.Fatalf("attrs lost: job=%v task=%v", j.Attrs, tk.Attrs)
+	}
+	if len(tk.Events) != 1 || tk.Events[0].Name != "fault-kill" || tk.Events[0].Attrs["point"] != "mid-task" {
+		t.Fatalf("task events = %v", tk.Events)
+	}
+	if tk.EndNs < tk.StartNs || j.EndNs < j.StartNs {
+		t.Fatal("span end before start")
+	}
+}
+
+// TestNilTracerNoOps proves the disabled path: every operation on a
+// nil tracer and its nil spans must be callable and side-effect free.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartSpan("x", SpanContext{})
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	s.SetAttr("k", "v")
+	s.Event("e")
+	s.End()
+	if c := s.Context(); c.Valid() {
+		t.Fatalf("nil span context valid: %+v", c)
+	}
+	if tr.NewTraceID() != "" || tr.Proc() != "" {
+		t.Fatal("nil tracer minted IDs")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanContextThreading checks the context.Context carriers.
+func TestSpanContextThreading(t *testing.T) {
+	ctx := context.Background()
+	if s := SpanFromContext(ctx); s != nil {
+		t.Fatal("empty context produced a span")
+	}
+	tr, err := NewTracer(t.TempDir(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	s := tr.StartSpan("req", SpanContext{})
+	ctx = ContextWithSpan(ctx, s)
+	got := SpanFromContext(ctx)
+	if got != s {
+		t.Fatal("span did not round-trip through context")
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines; run
+// under -race this is the tracer's thread-safety proof.
+func TestTracerConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := NewTracer(dir, "hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.StartSpan("root", SpanContext{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.StartSpan("child", root.Context())
+				s.SetAttr("i", "x")
+				s.Event("tick")
+				root.Event("spawn")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 8*50+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), 8*50+1)
+	}
+	ids := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		if ids[sp.SpanID] {
+			t.Fatalf("duplicate span ID %s", sp.SpanID)
+		}
+		ids[sp.SpanID] = true
+	}
+}
+
+// TestDoubleEndWritesOnce guards the flush-before-kill path, where a
+// span can be ended by the fault observer and again by its defer.
+func TestDoubleEndWritesOnce(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := NewTracer(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.StartSpan("once", SpanContext{})
+	s.End()
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("double End wrote %d spans", len(spans))
+	}
+}
+
+// TestTimelineRenders smoke-checks the ASCII renderer: every process
+// lane appears and event markers survive.
+func TestTimelineRenders(t *testing.T) {
+	spans := []SpanRecord{
+		{TraceID: "t1", SpanID: "a", Name: "job", Proc: "coord", StartNs: 0, EndNs: 10e6},
+		{TraceID: "t1", SpanID: "b", Parent: "a", Name: "task", Proc: "worker-0", StartNs: 1e6, EndNs: 4e6,
+			Attrs:  map[string]string{"outcome": "killed"},
+			Events: []Event{{Name: "fault-kill", AtNs: 3e6}}},
+		{TraceID: "t1", SpanID: "c", Parent: "a", Name: "task", Proc: "worker-1", StartNs: 5e6, EndNs: 9e6,
+			Attrs: map[string]string{"outcome": "committed"}},
+	}
+	out := Timeline(spans, 100)
+	for _, want := range []string{"coord", "worker-0", "worker-1", "!", "3 span(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if Timeline(nil, 80) != "(no spans)\n" {
+		t.Fatal("empty timeline wrong")
+	}
+}
+
+// TestChromeTraceRoundTrip exports spans to Chrome trace JSON and
+// parses it back, checking phases, counts and metadata survive.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	spans := []SpanRecord{
+		{TraceID: "t1", SpanID: "a", Name: "job", Proc: "coord", StartNs: 1e6, EndNs: 10e6},
+		{TraceID: "t1", SpanID: "b", Parent: "a", Name: "task", Proc: "worker-0", StartNs: 2e6, EndNs: 4e6,
+			Events: []Event{{Name: "fault-kill", AtNs: 3e6, Attrs: map[string]string{"point": "mid-task"}}}},
+	}
+	raw, err := ChromeTrace(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x, inst int
+	for _, ev := range events {
+		switch ev.Ph {
+		case "X":
+			x++
+			if ev.Dur <= 0 {
+				t.Fatalf("X event %s has dur %d", ev.Name, ev.Dur)
+			}
+		case "i":
+			inst++
+			if ev.Name != "fault-kill" || ev.Args["point"] != "mid-task" {
+				t.Fatalf("instant event wrong: %+v", ev)
+			}
+		}
+	}
+	if x != 2 || inst != 1 {
+		t.Fatalf("got %d X + %d i events, want 2 + 1", x, inst)
+	}
+	if _, err := ParseChromeTrace([]byte("{not json")); err == nil {
+		t.Fatal("ParseChromeTrace accepted garbage")
+	}
+}

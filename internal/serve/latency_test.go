@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
+)
+
+// Regression: quantiles over a partially filled ring must sample only
+// the recorded entries, never the zero-valued tail of the buffer. With
+// 10 samples of 5ms in a 100-slot window, a tail-including bug would
+// report p50 == 0.
+func TestLatencyRingPartialWindow(t *testing.T) {
+	l := latencyRing{buf: make([]float64, 100)}
+	for i := 0; i < 10; i++ {
+		l.add(5)
+	}
+	count, p50, p90, p99 := l.quantiles()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if p50 != 5 || p90 != 5 || p99 != 5 {
+		t.Fatalf("quantiles over partial window = %v/%v/%v, want 5/5/5 (zero tail leaked in)", p50, p90, p99)
+	}
+}
+
+func TestLatencyRingWrapsWindow(t *testing.T) {
+	l := latencyRing{buf: make([]float64, 4)}
+	for _, ms := range []float64{100, 100, 100, 100, 1, 1, 1, 1} {
+		l.add(ms)
+	}
+	count, p50, _, p99 := l.quantiles()
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+	if p50 != 1 || p99 != 1 {
+		t.Fatalf("quantiles after wrap = p50=%v p99=%v, want 1/1 (old window leaked in)", p50, p99)
+	}
+}
+
+// The ring feeds the /metrics histogram without changing the /stats
+// JSON shape: same adds must be visible in both, and /stats must keep
+// its exact nearest-rank values.
+func TestLatencyRingFeedsHistogram(t *testing.T) {
+	reg := &obs.Registry{}
+	h := reg.Histogram("test_latency_ms", "test", nil)
+	l := latencyRing{buf: make([]float64, 100), hist: h}
+	for i := 0; i < 10; i++ {
+		l.add(5)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("histogram count = %d, want 10", h.Count())
+	}
+	if h.Sum() != 50 {
+		t.Fatalf("histogram sum = %v, want 50", h.Sum())
+	}
+	_, p50, _, _ := l.quantiles()
+	if p50 != 5 {
+		t.Fatalf("ring p50 = %v, want exact 5", p50)
+	}
+}
+
+// /stats keeps its JSON shape (latency_ms_p50 etc.) now that the ring
+// also feeds the exposition histogram.
+func TestStatsShapeUnchanged(t *testing.T) {
+	ix := buildIndex(t, dataset.Uniform(200, 4, 10, 3))
+	s := NewBackend(indexBackend{ix}, "", Config{CacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post(t, ts, "/knn", `{"point":[1,2,3,4],"k":3}`)
+
+	code, body := get(t, ts, "/stats")
+	if code != 200 {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal /stats: %v", err)
+	}
+	lat, ok := m["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats lost latency_ms object: %s", body)
+	}
+	for _, key := range []string{"count", "p50", "p90", "p99"} {
+		if _, ok := lat[key]; !ok {
+			t.Fatalf("/stats latency_ms lost key %q: %s", key, body)
+		}
+	}
+	if _, ok := m["queries"]; !ok {
+		t.Fatalf("/stats lost queries: %s", body)
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
+)
+
+// TestMetricsEndpointParses scrapes GET /metrics after real traffic and
+// checks the payload is well-formed Prometheus text exposition whose
+// counters reflect the requests served.
+func TestMetricsEndpointParses(t *testing.T) {
+	objs := dataset.Uniform(200, 3, 100, 5)
+	s := New(buildIndex(t, objs), "", Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := dataset.Uniform(1, 3, 100, 50)[0].Point
+	for i := 0; i < 3; i++ {
+		if code, body := post(t, ts, "/knn", knnBody(q, 5)); code != http.StatusOK {
+			t.Fatalf("/knn status %d: %s", code, body)
+		}
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", code, body)
+	}
+	fams, err := obs.ParseText(string(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	byName := make(map[string]obs.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	knn, ok := byName["knnserve_knn_requests_total"]
+	if !ok {
+		t.Fatal("knnserve_knn_requests_total missing from /metrics")
+	}
+	if knn.Samples[0].Value != 3 {
+		t.Fatalf("knnserve_knn_requests_total = %g, want 3", knn.Samples[0].Value)
+	}
+	lat, ok := byName["knnserve_request_latency_ms"]
+	if !ok {
+		t.Fatal("knnserve_request_latency_ms missing from /metrics")
+	}
+	if lat.Type != "histogram" {
+		t.Fatalf("knnserve_request_latency_ms type = %s, want histogram", lat.Type)
+	}
+}

@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/nnheap"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
 )
@@ -49,14 +51,17 @@ import (
 // The query methods must be safe for concurrent use and must match
 // vindex semantics exactly: KNN results ascending by distance (ties by
 // ID), range results in ascending ID order, Stats accounted per query.
+// The context carries the request's trace span (obs.SpanFromContext)
+// so remote backends parent their RPC spans under it; it never affects
+// any result byte, and in-process backends may ignore it.
 type Backend interface {
 	// KNNWithStats answers one kNN query.
-	KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error)
+	KNNWithStats(ctx context.Context, q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error)
 	// KNNBatchWithStats answers len(qs) queries; results[i] and stats[i]
 	// must equal a KNNWithStats(qs[i], ks[i]) call's.
-	KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error)
+	KNNBatchWithStats(ctx context.Context, qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error)
 	// RangeWithStats answers one range query.
-	RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error)
+	RangeWithStats(ctx context.Context, q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error)
 	// Len, Dim and NumPartitions describe the indexed dataset.
 	Len() int
 	// Dim is the dimensionality of the indexed points.
@@ -80,17 +85,17 @@ type kernelSetter interface {
 // index's own methods.
 type indexBackend struct{ *vindex.Index }
 
-func (b indexBackend) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+func (b indexBackend) KNNWithStats(_ context.Context, q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
 	res, st := b.Index.KNNWithStats(q, k)
 	return res, st, nil
 }
 
-func (b indexBackend) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+func (b indexBackend) KNNBatchWithStats(_ context.Context, qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
 	res, sts := b.Index.KNNBatchWithStats(qs, ks)
 	return res, sts, nil
 }
 
-func (b indexBackend) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+func (b indexBackend) RangeWithStats(_ context.Context, q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
 	res, st := b.Index.RangeWithStats(q, radius)
 	return res, st, nil
 }
@@ -129,6 +134,15 @@ type Config struct {
 	// sharded router installs a loader that reloads every shard before
 	// swapping the routing table.
 	Loader func(path string) (Backend, error)
+	// Tracer, when non-nil, records one span per request (annotated
+	// with cache hit/miss and the query's work accounting) and carries
+	// its context to the backend. Nil disables tracing; outputs are
+	// byte-identical either way.
+	Tracer *obs.Tracer
+	// Metrics is the registry behind GET /metrics. Nil makes the server
+	// create its own; pass one to share a registry across subsystems in
+	// one process (a shard proc registers shard families on it too).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +192,23 @@ type Server struct {
 	reloads      atomic.Int64
 
 	lat latencyRing
+
+	// Observability mirrors of the counters above for /metrics, plus
+	// the request tracer. The tracer may be nil (disabled); the metric
+	// handles never are — they come from the registry, which always
+	// exists.
+	tracer      *obs.Tracer
+	metrics     *obs.Registry
+	mKNN        *obs.Counter
+	mRange      *obs.Counter
+	mBatch      *obs.Counter
+	mBatchQs    *obs.Counter
+	mErrors     *obs.Counter
+	mDistComps  *obs.Counter
+	mReloads    *obs.Counter
+	mCacheHits  *obs.Counter
+	mCacheMiss  *obs.Counter
+	mLatencyHst *obs.Histogram
 }
 
 // New returns a server over ix. source records where the index came from
@@ -191,14 +222,38 @@ func New(ix *vindex.Index, source string, cfg Config) *Server {
 func NewBackend(be Backend, source string, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		start: time.Now(),
-		lat:   latencyRing{buf: make([]float64, cfg.LatencyWindow)},
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		start:  time.Now(),
+		tracer: cfg.Tracer,
 	}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.mKNN = s.metrics.Counter("knnserve_knn_requests_total", "Answered /knn requests.")
+	s.mRange = s.metrics.Counter("knnserve_range_requests_total", "Answered /range requests.")
+	s.mBatch = s.metrics.Counter("knnserve_batch_requests_total", "Answered /knn/batch requests.")
+	s.mBatchQs = s.metrics.Counter("knnserve_batch_queries_total", "Queries answered inside batches.")
+	s.mErrors = s.metrics.Counter("knnserve_errors_total", "Non-2xx answers across all endpoints.")
+	s.mDistComps = s.metrics.Counter("knnserve_dist_computations_total", "Distance evaluations by cache-missing queries.")
+	s.mReloads = s.metrics.Counter("knnserve_reloads_total", "Index snapshot swaps.")
+	s.mCacheHits = s.metrics.Counter("knnserve_cache_hits_total", "Result-cache hits.")
+	s.mCacheMiss = s.metrics.Counter("knnserve_cache_misses_total", "Result-cache misses.")
+	s.mLatencyHst = s.metrics.Histogram("knnserve_request_latency_ms", "Per-query latency in milliseconds.", nil)
+	// The /stats quantile ring and the /metrics histogram share one
+	// observation point: latencyRing.add feeds both (satellite of the
+	// observability PR — the ring keeps its exact nearest-rank
+	// quantiles, the histogram serves scrapes).
+	s.lat = latencyRing{buf: make([]float64, cfg.LatencyWindow), hist: s.mLatencyHst}
 	s.snap.Store(newSnapshot(be, source, cfg))
 	return s
 }
+
+// Metrics returns the server's metric registry — the one /metrics
+// serves — so co-resident subsystems (a shard process's scan handlers)
+// can register their own families on it.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 func newSnapshot(be Backend, source string, cfg Config) *snapshot {
 	// The server takes ownership of the backend: applying the configured
@@ -226,6 +281,7 @@ func (s *Server) Swap(ix *vindex.Index, source string) {
 func (s *Server) SwapBackend(be Backend, source string) {
 	s.snap.Store(newSnapshot(be, source, s.cfg))
 	s.reloads.Add(1)
+	s.mReloads.Inc()
 }
 
 // Index returns the current snapshot's index when the backend is a
@@ -248,6 +304,7 @@ func (s *Server) Backend() Backend { return s.snap.Load().be }
 //	POST /knn/batch  up to MaxBatch kNN queries, answered in order
 //	POST /reload     swap in a new index snapshot from disk
 //	GET  /stats      counters, latency quantiles, cache hit rate
+//	GET  /metrics    the same counters in Prometheus text format
 //	GET  /healthz    liveness plus index size
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -256,6 +313,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /knn/batch", s.handleBatch)
 	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -406,6 +464,7 @@ func validatePoint(q vector.Point, dim int) error {
 
 func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	s.errCount.Add(1)
+	s.mErrors.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
@@ -452,30 +511,35 @@ func clampK(k, n int) int {
 }
 
 // queryKNN answers one kNN query against snap on the worker pool,
-// returning the response body and whether it was served from cache.
-func (s *Server) queryKNN(snap *snapshot, q vector.Point, k int) ([]byte, bool, error) {
+// returning the response body, whether it was served from cache, and
+// the query's work accounting (zero on a cache hit — the hit's stats
+// live inside the cached body).
+func (s *Server) queryKNN(ctx context.Context, snap *snapshot, q vector.Point, k int) ([]byte, bool, vindex.Stats, error) {
 	key := ""
 	if snap.cache != nil {
 		key = cacheKey(q, k)
 		if body, ok := snap.cache.get(key); ok {
-			return body, true, nil
+			s.mCacheHits.Inc()
+			return body, true, vindex.Stats{}, nil
 		}
+		s.mCacheMiss.Inc()
 	}
 	s.sem <- struct{}{}
-	res, st, err := snap.be.KNNWithStats(q, k)
+	res, st, err := snap.be.KNNWithStats(ctx, q, k)
 	<-s.sem
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", errBackend, err)
+		return nil, false, st, fmt.Errorf("%w: %v", errBackend, err)
 	}
 	s.distComps.Add(st.DistComputations)
+	s.mDistComps.Add(st.DistComputations)
 	body, err := MarshalKNN(res, st)
 	if err != nil {
-		return nil, false, err
+		return nil, false, st, err
 	}
 	if snap.cache != nil {
 		snap.cache.put(key, body)
 	}
-	return body, false, nil
+	return body, false, st, nil
 }
 
 // writeQueryErr maps a query failure to its status: backend failures
@@ -493,24 +557,51 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	span := s.tracer.StartSpan("knn", obs.SpanContext{})
+	defer span.End()
 	snap := s.snap.Load()
 	if err := validatePoint(req.Point, snap.be.Dim()); err != nil {
+		span.SetAttr("outcome", "bad-request")
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.K < 1 {
+		span.SetAttr("outcome", "bad-request")
 		s.writeErr(w, http.StatusBadRequest, "k must be at least 1, got %d", req.K)
 		return
 	}
+	span.SetAttr("k", fmt.Sprint(req.K))
 	t0 := time.Now()
-	body, _, err := s.queryKNN(snap, req.Point, clampK(req.K, snap.be.Len()))
+	ctx := obs.ContextWithSpan(r.Context(), span)
+	body, hit, st, err := s.queryKNN(ctx, snap, req.Point, clampK(req.K, snap.be.Len()))
 	if err != nil {
+		span.SetAttr("outcome", "error")
 		s.writeQueryErr(w, err)
 		return
 	}
+	annotateQuery(span, hit, st)
 	s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
 	s.knnCount.Add(1)
+	s.mKNN.Inc()
 	writeJSON(w, http.StatusOK, body)
+}
+
+// annotateQuery stamps a request span with the cache outcome and the
+// query's work accounting (QueryStats); cache hits carry no fresh
+// accounting — the hit's stats are inside the cached body.
+func annotateQuery(span *obs.Span, hit bool, st vindex.Stats) {
+	if span == nil {
+		return
+	}
+	span.SetAttr("outcome", "ok")
+	if hit {
+		span.SetAttr("cache", "hit")
+		return
+	}
+	span.SetAttr("cache", "miss")
+	span.SetAttr("dist_computations", fmt.Sprint(st.DistComputations))
+	span.SetAttr("partitions_scanned", fmt.Sprint(st.PartitionsScanned))
+	span.SetAttr("partitions_pruned", fmt.Sprint(st.PartitionsPruned))
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -518,24 +609,32 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	span := s.tracer.StartSpan("range", obs.SpanContext{})
+	defer span.End()
 	snap := s.snap.Load()
 	if err := validatePoint(req.Point, snap.be.Dim()); err != nil {
+		span.SetAttr("outcome", "bad-request")
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Radius < 0 || math.IsNaN(req.Radius) {
+		span.SetAttr("outcome", "bad-request")
 		s.writeErr(w, http.StatusBadRequest, "radius must be non-negative, got %v", req.Radius)
 		return
 	}
+	span.SetAttr("radius", fmt.Sprint(req.Radius))
 	t0 := time.Now()
 	s.sem <- struct{}{}
-	objs, st, qerr := snap.be.RangeWithStats(req.Point, req.Radius)
+	objs, st, qerr := snap.be.RangeWithStats(obs.ContextWithSpan(r.Context(), span), req.Point, req.Radius)
 	<-s.sem
 	if qerr != nil {
+		span.SetAttr("outcome", "error")
 		s.writeQueryErr(w, fmt.Errorf("%w: %v", errBackend, qerr))
 		return
 	}
 	s.distComps.Add(st.DistComputations)
+	s.mDistComps.Add(st.DistComputations)
+	annotateQuery(span, false, st)
 	resp := RangeResponse{Objects: make([]RangeObject, len(objs)), Stats: queryStats(st)}
 	for i, o := range objs {
 		resp.Objects[i] = RangeObject{ID: o.ID, Point: o.Point}
@@ -547,6 +646,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
 	s.rangeCount.Add(1)
+	s.mRange.Inc()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -564,6 +664,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.Queries), s.cfg.MaxBatch)
 		return
 	}
+	span := s.tracer.StartSpan("batch", obs.SpanContext{})
+	defer span.End()
+	span.SetAttr("queries", fmt.Sprint(len(req.Queries)))
+	ctx := obs.ContextWithSpan(r.Context(), span)
 	// One snapshot for the whole batch: a concurrent reload must not
 	// split a batch across index generations.
 	snap := s.snap.Load()
@@ -596,12 +700,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		keys[i] = cacheKey(q.Point, clampK(q.K, snap.be.Len()))
 		if body, ok := snap.cache.get(keys[i]); ok {
+			s.mCacheHits.Inc()
 			s.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e6)
 			results[i] = body
 		} else {
+			s.mCacheMiss.Inc()
 			misses = append(misses, i)
 		}
 	}
+	span.SetAttr("cache_hits", fmt.Sprint(len(req.Queries)-len(misses)))
+	span.SetAttr("cache_misses", fmt.Sprint(len(misses)))
 	var wg sync.WaitGroup
 	for c := 0; c < len(misses); c += batchChunk {
 		chunk := misses[c:min(c+batchChunk, len(misses))]
@@ -616,7 +724,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				ks[x] = clampK(req.Queries[i].K, snap.be.Len())
 			}
 			s.sem <- struct{}{}
-			res, sts, err := snap.be.KNNBatchWithStats(pts, ks)
+			res, sts, err := snap.be.KNNBatchWithStats(ctx, pts, ks)
 			<-s.sem
 			if err != nil {
 				qerr := fmt.Errorf("%w: %v", errBackend, err)
@@ -630,6 +738,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			elapsed := float64(time.Since(t0).Nanoseconds()) / 1e6
 			for x, i := range chunk {
 				s.distComps.Add(sts[x].DistComputations)
+				s.mDistComps.Add(sts[x].DistComputations)
 				body, err := MarshalKNN(res[x], sts[x])
 				if err != nil {
 					queryErrs[i] = err
@@ -646,6 +755,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for i, err := range queryErrs {
 		if err != nil {
+			span.SetAttr("outcome", "error")
 			if errors.Is(err, errBackend) {
 				s.writeErr(w, http.StatusBadGateway, "query %d: %v", i, err)
 			} else {
@@ -654,8 +764,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	span.SetAttr("outcome", "ok")
 	s.batchCount.Add(1)
 	s.batchQueries.Add(int64(len(req.Queries)))
+	s.mBatch.Inc()
+	s.mBatchQs.Add(int64(len(req.Queries)))
 	body, err := json.Marshal(BatchResponse{Results: results})
 	if err != nil {
 		s.writeErr(w, http.StatusInternalServerError, "marshal response: %v", err)
@@ -853,6 +966,12 @@ type latencyRing struct {
 	buf   []float64
 	next  int
 	count int64 // total recorded, may exceed len(buf)
+
+	// hist mirrors every add into the /metrics exposition histogram.
+	// The ring stays authoritative for /stats (exact nearest-rank
+	// quantiles over the window); the histogram trades that precision
+	// for a cheap, mergeable scrape format. May be nil.
+	hist *obs.Histogram
 }
 
 func (l *latencyRing) add(ms float64) {
@@ -861,6 +980,7 @@ func (l *latencyRing) add(ms float64) {
 	l.next = (l.next + 1) % len(l.buf)
 	l.count++
 	l.mu.Unlock()
+	l.hist.Observe(ms)
 }
 
 func (l *latencyRing) quantiles() (count int64, p50, p90, p99 float64) {

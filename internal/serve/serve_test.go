@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -567,15 +568,15 @@ type failingBackend struct{ Backend }
 
 var errBoom = errors.New("all replicas down")
 
-func (f failingBackend) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+func (f failingBackend) KNNWithStats(_ context.Context, q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
 	return nil, vindex.Stats{}, errBoom
 }
 
-func (f failingBackend) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+func (f failingBackend) KNNBatchWithStats(_ context.Context, qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
 	return nil, nil, errBoom
 }
 
-func (f failingBackend) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+func (f failingBackend) RangeWithStats(_ context.Context, q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
 	return nil, vindex.Stats{}, errBoom
 }
 

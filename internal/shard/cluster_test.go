@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -272,7 +273,7 @@ func TestConcurrentRoutingWithFailover(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				q := dataset.Gaussian(1, 3, 4, 0.3, 100, int64(w*100+i))[0].Point
-				got, gotSt, err := router.KNNWithStats(q, 5)
+				got, gotSt, err := router.KNNWithStats(context.Background(), q, 5)
 				if err != nil {
 					errs <- fmt.Errorf("worker %d query %d: %w", w, i, err)
 					return

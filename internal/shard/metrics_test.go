@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"knnjoin/internal/dataset"
+	"knnjoin/internal/obs"
+)
+
+// scrapeMetrics fetches url/metrics and parses it as Prometheus text
+// exposition, returning families keyed by name.
+func scrapeMetrics(t *testing.T, url string) map[string]obs.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s/metrics status %d: %s", url, resp.StatusCode, body)
+	}
+	fams, err := obs.ParseText(string(body))
+	if err != nil {
+		t.Fatalf("%s/metrics does not parse: %v\n%s", url, err, body)
+	}
+	byName := make(map[string]obs.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+// TestShardMetricsParse scrapes /metrics on both tiers of a sharded
+// deployment after real traffic: the router's registry (shard_router_*
+// joined with the fronting server's knnserve_* families) and a shard
+// replica's own registry (shard_* scan counters).
+func TestShardMetricsParse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns shard processes")
+	}
+	dir := t.TempDir()
+	path, _ := saveIndex(t, dataset.Gaussian(600, 3, 5, 0.1, 100, 31), dir, "m.idx")
+	reg := obs.NewRegistry()
+	tw := startTwin(t, path, ClusterConfig{Shards: 2}, RouterConfig{Metrics: reg})
+
+	q := dataset.Gaussian(1, 3, 5, 0.2, 100, 44)[0].Point
+	checkIdentical(t, tw, "/knn", knnBody(t, q, 5), "warmup knn")
+
+	// The router and the fronting server share reg in production
+	// (cmd/knnserve); here only the router writes to it, so scrape it
+	// directly rather than through an HTTP tier.
+	text, err := obs.ParseText(string(renderRegistry(t, reg)))
+	if err != nil {
+		t.Fatalf("router registry does not parse: %v", err)
+	}
+	routerFams := make(map[string]obs.Family, len(text))
+	for _, f := range text {
+		routerFams[f.Name] = f
+	}
+	queries, ok := routerFams["shard_router_queries_total"]
+	if !ok {
+		t.Fatal("shard_router_queries_total missing from router registry")
+	}
+	if queries.Samples[0].Value < 1 {
+		t.Fatalf("shard_router_queries_total = %g, want >= 1", queries.Samples[0].Value)
+	}
+	if _, ok := routerFams["shard_router_scan_rpcs_total"]; !ok {
+		t.Fatal("shard_router_scan_rpcs_total missing from router registry")
+	}
+
+	// Each replica serves its own /metrics via the embedded serve tier;
+	// the shard_* families record delegated scan work.
+	eps := tw.cluster.Endpoints()
+	if len(eps) == 0 || len(eps[0]) == 0 {
+		t.Fatal("cluster reports no endpoints")
+	}
+	var scans float64
+	for _, shardEps := range eps {
+		for _, ep := range shardEps {
+			fams := scrapeMetrics(t, ep)
+			sc, ok := fams["shard_scan_requests_total"]
+			if !ok {
+				t.Fatalf("shard_scan_requests_total missing from %s/metrics", ep)
+			}
+			scans += sc.Samples[0].Value
+		}
+	}
+	if scans < 1 {
+		t.Fatalf("summed shard_scan_requests_total = %g, want >= 1 after a routed query", scans)
+	}
+}
+
+// renderRegistry renders a registry through its own HTTP handler, the
+// same path GET /metrics uses.
+func renderRegistry(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec.Body.Bytes()
+}

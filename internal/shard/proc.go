@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"knnjoin/internal/obs"
 	"knnjoin/internal/serve"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
@@ -42,6 +43,11 @@ type procConfig struct {
 	Kernel string `json:"kernel"`
 	// Faults is the deterministic fault-injection plan, if any.
 	Faults *FaultPlan `json:"faults,omitempty"`
+	// TraceDir, when set, makes the replica write scan spans as JSONL
+	// there (joined to the router's trace via the request trace fields).
+	TraceDir string `json:"trace_dir,omitempty"`
+	// Pprof exposes net/http/pprof under /debug/pprof on the replica.
+	Pprof bool `json:"pprof,omitempty"`
 }
 
 // RunShardIfSpawned checks whether this process was spawned as a shard
@@ -74,6 +80,13 @@ type shardProc struct {
 	cfg    procConfig
 	kernel vector.Kernel
 	srv    *serve.Server
+	tracer *obs.Tracer
+
+	// /metrics families for the delegated-walk endpoints; the serve
+	// families (shard-local /knn etc.) live on the same registry.
+	mScans   *obs.Counter
+	mRanges  *obs.Counter
+	mReloads *obs.Counter
 
 	// gens maps generation → subset index. The two most recent
 	// generations are retained so router walks in flight across a
@@ -110,15 +123,32 @@ func runShard(cfg procConfig) error {
 	if cfg.Faults != nil {
 		p.fired = make([]bool, len(cfg.Faults.Events))
 	}
+	if cfg.TraceDir != "" {
+		tr, err := obs.NewTracer(cfg.TraceDir, fmt.Sprintf("shard-%d-%d", cfg.Shard, cfg.Replica))
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		p.tracer = tr
+	}
 	// serve.New applies the kernel tier to sub before publishing it, so
-	// the same pointer is scan-ready for the gens map.
-	p.srv = serve.New(sub, cfg.Index, serve.Config{Kernel: kernel})
+	// the same pointer is scan-ready for the gens map. The replica's
+	// serve.Server owns the /metrics registry; the shard families below
+	// join it so one scrape covers both roles.
+	p.srv = serve.New(sub, cfg.Index, serve.Config{Kernel: kernel, Tracer: p.tracer})
+	reg := p.srv.Metrics()
+	p.mScans = reg.Counter("shard_scan_requests_total", "Delegated /shard/scan runs executed.")
+	p.mRanges = reg.Counter("shard_range_requests_total", "Delegated /shard/range runs executed.")
+	p.mReloads = reg.Counter("shard_reloads_total", "Index generations loaded via /shard/reload.")
 	p.putGen(cfg.Gen, sub)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /shard/scan", p.handleScan)
 	mux.HandleFunc("POST /shard/range", p.handleRange)
 	mux.HandleFunc("POST /shard/reload", p.handleReload)
+	if cfg.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	mux.Handle("/", p.srv.Handler())
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -221,6 +251,20 @@ func (p *shardProc) maybeFault(n int64) {
 	}
 }
 
+// scanSpan opens the replica-side span for one delegated run, joined
+// to the router's trace via the request's trace fields. Replicas are
+// killed, not shut down, so the span is flushed on end — otherwise it
+// would die in the tracer's buffer.
+func (p *shardProc) scanSpan(name, traceID, parent string) (*obs.Span, func()) {
+	span := p.tracer.StartSpan(name, obs.SpanContext{TraceID: traceID, SpanID: parent})
+	span.SetAttr("shard", fmt.Sprint(p.cfg.Shard))
+	span.SetAttr("replica", fmt.Sprint(p.cfg.Replica))
+	return span, func() {
+		span.End()
+		p.tracer.Flush()
+	}
+}
+
 func (p *shardProc) handleScan(w http.ResponseWriter, r *http.Request) {
 	p.maybeFault(p.scans.Add(1))
 	var req ScanRequest
@@ -228,16 +272,24 @@ func (p *shardProc) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeShardErr(w, http.StatusBadRequest, "bad scan request: %v", err)
 		return
 	}
+	span, done := p.scanSpan("shard-scan", req.TraceID, req.SpanParent)
+	defer done()
+	span.SetAttr("parts", fmt.Sprint(len(req.Parts)))
 	ix := p.gen(req.Gen)
 	if ix == nil {
+		span.SetAttr("outcome", "stale-gen")
 		writeShardErr(w, http.StatusConflict, "unknown index generation %d", req.Gen)
 		return
 	}
 	resp, err := execScan(ix, &req)
 	if err != nil {
+		span.SetAttr("outcome", "error")
 		writeShardErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	span.SetAttr("outcome", "ok")
+	span.SetAttr("dist_computations", fmt.Sprint(resp.DistComputations))
+	p.mScans.Inc()
 	writeShardJSON(w, resp)
 }
 
@@ -247,16 +299,23 @@ func (p *shardProc) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeShardErr(w, http.StatusBadRequest, "bad range request: %v", err)
 		return
 	}
+	span, done := p.scanSpan("shard-range", req.TraceID, req.SpanParent)
+	defer done()
+	span.SetAttr("parts", fmt.Sprint(len(req.Parts)))
 	ix := p.gen(req.Gen)
 	if ix == nil {
+		span.SetAttr("outcome", "stale-gen")
 		writeShardErr(w, http.StatusConflict, "unknown index generation %d", req.Gen)
 		return
 	}
 	resp, err := execRangeScan(ix, &req)
 	if err != nil {
+		span.SetAttr("outcome", "error")
 		writeShardErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	span.SetAttr("outcome", "ok")
+	p.mRanges.Inc()
 	writeShardJSON(w, resp)
 }
 
@@ -275,5 +334,6 @@ func (p *shardProc) handleReload(w http.ResponseWriter, r *http.Request) {
 	// gens map gets the same prepared pointer.
 	p.srv.Swap(sub, req.Index)
 	p.putGen(req.Gen, sub)
+	p.mReloads.Inc()
 	writeShardJSON(w, serve.HealthResponse{Status: "ok", Objects: sub.Len(), Partitions: sub.NumPartitions()})
 }

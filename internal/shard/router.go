@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"knnjoin/internal/codec"
 	"knnjoin/internal/nnheap"
+	"knnjoin/internal/obs"
 	"knnjoin/internal/serve"
 	"knnjoin/internal/vector"
 	"knnjoin/internal/vindex"
@@ -54,6 +56,15 @@ type RouterConfig struct {
 	// unresponsive preferred replicas between queries; zero disables it
 	// (queries still fail over on their own).
 	ProbeInterval time.Duration
+	// Tracer, when non-nil, records one client span per shard scan RPC,
+	// parented under the serve request span when the query carries one.
+	// Nil disables tracing; responses are byte-identical either way.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is where the router registers its shard_*
+	// families — pass the serve.Server's registry so one /metrics page
+	// covers both. Nil disables metric export (counters still no-op
+	// safely).
+	Metrics *obs.Registry
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -81,6 +92,14 @@ type Router struct {
 	contacted atomic.Int64
 	failovers atomic.Int64
 
+	// /metrics mirrors of the counters above (nil-safe no-ops when
+	// RouterConfig.Metrics is nil), plus the RPC tracer.
+	tracer     *obs.Tracer
+	mQueries   *obs.Counter
+	mScanRPCs  *obs.Counter
+	mContacted *obs.Counter
+	mFailovers *obs.Counter
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -96,8 +115,13 @@ func NewRouter(c *Cluster, cfg RouterConfig) *Router {
 		cfg:     cfg,
 		client:  &http.Client{Timeout: cfg.Timeout},
 		probeC:  &http.Client{Timeout: cfg.Timeout},
+		tracer:  cfg.Tracer,
 		stop:    make(chan struct{}),
 	}
+	r.mQueries = cfg.Metrics.Counter("shard_router_queries_total", "Queries routed (batch members counted individually).")
+	r.mScanRPCs = cfg.Metrics.Counter("shard_router_scan_rpcs_total", "Successful /shard/scan RPCs issued.")
+	r.mContacted = cfg.Metrics.Counter("shard_router_shards_contacted_total", "Distinct shards contacted, summed over queries.")
+	r.mFailovers = cfg.Metrics.Counter("shard_router_failovers_total", "Replica failover transitions (query retries and prober demotions).")
 	r.state.Store(&routerState{meta: c.Meta(), owner: c.Owner(), gen: c.Gen()})
 	eps := c.Endpoints()
 	r.reps = make([]*replicaSet, len(eps))
@@ -240,40 +264,49 @@ func rangeWalk(meta *vindex.Index, owner []int, gen int64, q vector.Point, radiu
 	return out, st, len(shards), nil
 }
 
-// KNNWithStats implements serve.Backend over the cluster.
-func (r *Router) KNNWithStats(q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
+// KNNWithStats implements serve.Backend over the cluster. The context
+// may carry the serve request span (obs.SpanFromContext); scan RPCs are
+// recorded as client spans under it.
+func (r *Router) KNNWithStats(ctx context.Context, q vector.Point, k int) ([]nnheap.Candidate, vindex.Stats, error) {
 	st := r.state.Load()
-	res, stats, n, err := knnWalk(st.meta, st.owner, st.gen, q, k, r.scanRPC)
+	res, stats, n, err := knnWalk(st.meta, st.owner, st.gen, q, k, r.boundScan(ctx))
 	r.queries.Add(1)
+	r.mQueries.Inc()
 	r.contacted.Add(int64(n))
+	r.mContacted.Add(int64(n))
 	return res, stats, err
 }
 
 // KNNBatchWithStats answers the batch over ONE routing state, like the
 // single-node server answers a batch over one snapshot, so a reload
 // mid-batch cannot mix generations within a response.
-func (r *Router) KNNBatchWithStats(qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
+func (r *Router) KNNBatchWithStats(ctx context.Context, qs []vector.Point, ks []int) ([][]nnheap.Candidate, []vindex.Stats, error) {
 	st := r.state.Load()
+	scan := r.boundScan(ctx)
 	results := make([][]nnheap.Candidate, len(qs))
 	stats := make([]vindex.Stats, len(qs))
 	for i, q := range qs {
-		res, s, n, err := knnWalk(st.meta, st.owner, st.gen, q, ks[i], r.scanRPC)
+		res, s, n, err := knnWalk(st.meta, st.owner, st.gen, q, ks[i], scan)
 		if err != nil {
 			return nil, nil, fmt.Errorf("query %d: %w", i, err)
 		}
 		r.queries.Add(1)
+		r.mQueries.Inc()
 		r.contacted.Add(int64(n))
+		r.mContacted.Add(int64(n))
 		results[i], stats[i] = res, s
 	}
 	return results, stats, nil
 }
 
 // RangeWithStats implements serve.Backend over the cluster.
-func (r *Router) RangeWithStats(q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
+func (r *Router) RangeWithStats(ctx context.Context, q vector.Point, radius float64) ([]codec.Object, vindex.Stats, error) {
 	st := r.state.Load()
-	res, stats, n, err := rangeWalk(st.meta, st.owner, st.gen, q, radius, r.rangeRPC)
+	res, stats, n, err := rangeWalk(st.meta, st.owner, st.gen, q, radius, r.boundRange(ctx))
 	r.queries.Add(1)
+	r.mQueries.Inc()
 	r.contacted.Add(int64(n))
+	r.mContacted.Add(int64(n))
 	return res, stats, err
 }
 
@@ -304,23 +337,45 @@ func (r *Router) Loader(path string) (serve.Backend, error) {
 	return r, nil
 }
 
-// scanRPC is the production scanFunc: POST /shard/scan with failover.
-func (r *Router) scanRPC(sh int, req *ScanRequest) (*ScanResponse, error) {
-	var resp ScanResponse
-	if err := r.call(sh, "/shard/scan", req, &resp); err != nil {
-		return nil, err
+// boundScan binds the request context into the production scanFunc:
+// POST /shard/scan with failover, one client span per RPC.
+func (r *Router) boundScan(ctx context.Context) scanFunc {
+	parent := obs.SpanFromContext(ctx).Context()
+	return func(sh int, req *ScanRequest) (*ScanResponse, error) {
+		req.TraceID, req.SpanParent = parent.TraceID, parent.SpanID
+		span := r.tracer.StartSpan("scan-rpc", parent)
+		defer span.End()
+		span.SetAttr("shard", fmt.Sprint(sh))
+		span.SetAttr("parts", fmt.Sprint(len(req.Parts)))
+		var resp ScanResponse
+		if err := r.call(sh, "/shard/scan", req, &resp); err != nil {
+			span.SetAttr("outcome", "error")
+			return nil, err
+		}
+		span.SetAttr("outcome", "ok")
+		r.scanRPCs.Add(1)
+		r.mScanRPCs.Inc()
+		return &resp, nil
 	}
-	r.scanRPCs.Add(1)
-	return &resp, nil
 }
 
-// rangeRPC is the production rangeFunc: POST /shard/range with failover.
-func (r *Router) rangeRPC(sh int, req *RangeScanRequest) (*RangeScanResponse, error) {
-	var resp RangeScanResponse
-	if err := r.call(sh, "/shard/range", req, &resp); err != nil {
-		return nil, err
+// boundRange is boundScan's range-query counterpart.
+func (r *Router) boundRange(ctx context.Context) rangeFunc {
+	parent := obs.SpanFromContext(ctx).Context()
+	return func(sh int, req *RangeScanRequest) (*RangeScanResponse, error) {
+		req.TraceID, req.SpanParent = parent.TraceID, parent.SpanID
+		span := r.tracer.StartSpan("range-rpc", parent)
+		defer span.End()
+		span.SetAttr("shard", fmt.Sprint(sh))
+		span.SetAttr("parts", fmt.Sprint(len(req.Parts)))
+		var resp RangeScanResponse
+		if err := r.call(sh, "/shard/range", req, &resp); err != nil {
+			span.SetAttr("outcome", "error")
+			return nil, err
+		}
+		span.SetAttr("outcome", "ok")
+		return &resp, nil
 	}
-	return &resp, nil
 }
 
 // call POSTs to shard sh's preferred replica, failing over through the
@@ -343,6 +398,7 @@ func (r *Router) call(sh int, path string, req, resp any) error {
 		if err != nil {
 			lastErr = fmt.Errorf("replica %d: %w", idx, err)
 			r.failovers.Add(1)
+			r.mFailovers.Inc()
 			continue
 		}
 		if idx != int(rs.preferred.Load()) {
@@ -398,6 +454,7 @@ func (r *Router) probe() {
 					if r.healthy(rs.urls[cand]) {
 						rs.preferred.CompareAndSwap(int32(p), int32(cand))
 						r.failovers.Add(1)
+						r.mFailovers.Inc()
 						break
 					}
 				}

@@ -34,6 +34,12 @@ type ClusterConfig struct {
 	// StartTimeout bounds waiting for every replica to publish its
 	// address and pass a health check (default 30s).
 	StartTimeout time.Duration
+	// TraceDir, when set, makes every replica write scan spans as JSONL
+	// there; pair it with a router tracer over the same directory so
+	// cmd/knntrace can merge one coherent trace.
+	TraceDir string
+	// Pprof exposes /debug/pprof on every replica.
+	Pprof bool
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -98,6 +104,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			raw, err := json.Marshal(procConfig{
 				Index: cfg.IndexPath, Cells: assign[s], Shard: s, Replica: r,
 				Gen: 1, AddrFile: addrFiles[s][r], Kernel: cfg.Kernel.String(), Faults: cfg.Faults,
+				TraceDir: cfg.TraceDir, Pprof: cfg.Pprof,
 			})
 			if err != nil {
 				c.Close()

@@ -75,6 +75,13 @@ type ScanRequest struct {
 	Heap []WireCand `json:"heap"`
 	// Parts are the partitions to execute, in visit order.
 	Parts []ScanPart `json:"parts"`
+
+	// TraceID and SpanParent propagate the router's request span so the
+	// shard's scan span joins the same trace. Omitted when tracing is
+	// disabled; they ride only this request-side struct, never the
+	// response, so enabling tracing cannot perturb any output byte.
+	TraceID    string `json:"trace_id,omitempty"`
+	SpanParent string `json:"span_parent,omitempty"`
 }
 
 // ScanResponse returns the walk state after the run plus the Stats
@@ -115,6 +122,10 @@ type RangeScanRequest struct {
 	Radius uint64 `json:"radius"`
 	// Parts are the windows to scan.
 	Parts []RangePart `json:"parts"`
+
+	// TraceID and SpanParent mirror ScanRequest's trace propagation.
+	TraceID    string `json:"trace_id,omitempty"`
+	SpanParent string `json:"span_parent,omitempty"`
 }
 
 // WireObject is one range match in transit, coordinates as float bits.

@@ -43,6 +43,14 @@ type JobStat struct {
 	SpilledBytes int64
 	// Wall is the job's map plus reduce wall time.
 	Wall time.Duration
+	// MapWall and ReduceWall split Wall into the job's phases: map (for
+	// distributed jobs, first task dispatch through the last map
+	// commit — the shuffle's run files are written inside the map
+	// tasks) and reduce (merge through the last reduce commit). They
+	// show where a job's time went, not just its total; map-only jobs
+	// leave ReduceWall zero.
+	MapWall    time.Duration
+	ReduceWall time.Duration
 	// WorkerTasks counts task attempts committed by separate worker
 	// processes — zero on the in-process engine, and at least the
 	// job's task count when it ran distributed (more after recovery

@@ -236,6 +236,14 @@ type Options struct {
 	// to the worker processes — testing hook; nil injects nothing.
 	// Only meaningful with Workers > 0.
 	Faults *FaultPlan
+	// TraceDir, when set with Workers > 0, makes the coordinator and
+	// every worker write observability spans as JSONL files under this
+	// directory (merge and render them with cmd/knntrace). Empty
+	// disables tracing; join results are byte-identical either way.
+	TraceDir string
+	// Pprof, with Workers > 0, exposes net/http/pprof on the
+	// coordinator's HTTP server for live profiling of long joins.
+	Pprof bool
 }
 
 func (o Options) withDefaults(rSize int) (Options, error) {
@@ -364,7 +372,8 @@ func Join(r, s []Object, opts Options) ([]Result, *Stats, error) {
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, ChunkRecords: opts.ChunkRecords,
 		SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
-		Workers: opts.Workers, Faults: opts.Faults,
+		Workers: opts.Workers, Faults: opts.Faults, TraceDir: opts.TraceDir,
+		Pprof: opts.Pprof,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
@@ -464,6 +473,8 @@ type RangeOptions struct {
 	Workers int
 	// Faults is the worker fault-injection plan (see Options.Faults).
 	Faults *FaultPlan
+	// TraceDir enables span tracing (see Options.TraceDir).
+	TraceDir string
 }
 
 // RangeJoin computes the θ-range join of r and s on the emulated
@@ -493,7 +504,7 @@ func RangeJoin(r, s []Object, opts RangeOptions) ([]Result, *Stats, error) {
 	}
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
-		Workers: opts.Workers, Faults: opts.Faults,
+		Workers: opts.Workers, Faults: opts.Faults, TraceDir: opts.TraceDir,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)
@@ -545,6 +556,8 @@ type PairOptions struct {
 	Workers int
 	// Faults is the worker fault-injection plan (see Options.Faults).
 	Faults *FaultPlan
+	// TraceDir enables span tracing (see Options.TraceDir).
+	TraceDir string
 }
 
 // ClosestPairs finds the k closest (r, s) pairs of R × S on the emulated
@@ -565,7 +578,7 @@ func ClosestPairs(r, s []Object, opts PairOptions) ([]Pair, *Stats, error) {
 	}
 	env, err := driver.NewEnv(driver.Config{
 		Nodes: opts.Nodes, SpillDir: opts.SpillDir, MemLimit: opts.MemLimit,
-		Workers: opts.Workers, Faults: opts.Faults,
+		Workers: opts.Workers, Faults: opts.Faults, TraceDir: opts.TraceDir,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("knnjoin: %w", err)

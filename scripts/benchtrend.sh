@@ -1,0 +1,84 @@
+#!/bin/sh
+# benchtrend.sh — append benchmark suite results to a CSV history.
+#
+# The BENCH_*.json files are point snapshots: each run overwrites the
+# last, so regressions between snapshots leave no trail. This script
+# runs the requested suites and APPENDS one timestamped CSV row per
+# measurement to BENCH_history.csv, building the perf-trend artifact
+# the ROADMAP tracks.
+#
+# Usage:
+#
+#   scripts/benchtrend.sh                 # default suites: shuffle dist
+#   scripts/benchtrend.sh serve kernels   # any of: shuffle spill serve
+#                                         # plan cluster shards dist kernels
+#
+# Columns: utc_time,git_rev,suite,name,measure,ns_per_op,allocs_per_op,
+# bytes_per_op. "measure" distinguishes nested measurements (distbench
+# reports scalar/block/tier paths per benchmark; shufflebench rows
+# leave it empty).
+set -eu
+cd "$(dirname "$0")/.."
+
+HISTORY=BENCH_history.csv
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+[ $# -gt 0 ] && suites="$*" || suites="shuffle dist"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+if [ ! -f "$HISTORY" ]; then
+    echo "utc_time,git_rev,suite,name,measure,ns_per_op,allocs_per_op,bytes_per_op" > "$HISTORY"
+fi
+
+# flatten turns one suite's JSON report into CSV rows. The timing
+# suites emit each measurement as ns_per_op / allocs_per_op /
+# bytes_per_op lines in that order, so a row completes on
+# bytes_per_op; the plan suite reports wall_ns walls instead (no
+# alloc accounting — those rows carry zeros). The preceding "name"
+# line names the benchmark and the nearest enclosing `"key": {`
+# labels nested measurements.
+flatten() {
+    awk -v stamp="$STAMP" -v rev="$REV" -v suite="$1" '
+        function row(ns, al, by) {
+            printf "%s,%s,%s,%s,%s,%.0f,%d,%d\n", stamp, rev, suite, name, measure, ns, al, by
+        }
+        /"name":/ {
+            line = $0
+            gsub(/.*"name": *"/, "", line); gsub(/".*/, "", line)
+            name = line; measure = ""
+        }
+        /"[A-Za-z0-9_-]+": *\{/ {
+            line = $0
+            gsub(/^[ \t]*"/, "", line); gsub(/": *\{.*/, "", line)
+            measure = line
+        }
+        /"ns_per_op":/          { ns = $2 + 0 }
+        /"allocs_per_op":/      { al = $2 + 0 }
+        /"bytes_per_op":/       { row(ns, al, $2 + 0) }
+        /^[ \t]*"wall_ns":/     { row($2 + 0, 0, 0) }
+        /^[ \t]*"planned_wall_ns":/ { measure = "planned"; row($2 + 0, 0, 0); measure = "" }
+    ' "$2"
+}
+
+for s in $suites; do
+    case "$s" in
+        shuffle|spill|serve|plan|cluster|shards)
+            echo "benchtrend: running shufflebench -suite $s" >&2
+            go run ./cmd/shufflebench -suite "$s" -out "$tmp" >/dev/null
+            ;;
+        dist|kernels)
+            echo "benchtrend: running distbench -suite $s" >&2
+            go run ./cmd/distbench -suite "$s" -out "$tmp" >/dev/null
+            ;;
+        *)
+            echo "benchtrend: unknown suite '$s'" >&2
+            exit 1
+            ;;
+    esac
+    flatten "$s" "$tmp" >> "$HISTORY"
+done
+
+echo "benchtrend: appended $(wc -l < "$HISTORY" | tr -d ' ') total rows in $HISTORY"
